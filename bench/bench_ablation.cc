@@ -1,0 +1,93 @@
+// Ablations of the design decisions DESIGN.md calls out (not a paper table,
+// but each sweep corresponds to a design knob the paper discusses):
+//
+//   A. Co-adaptivity: full Pollux vs PolluxSched-with-fixed-batch-sizes —
+//      isolates the contribution of batch-size/LR co-adaptation (Sec. 1's
+//      core thesis) from goodput-driven resource allocation alone.
+//   B. RESTART_PENALTY: 0 (free reallocations in the fitness) to 1.0
+//      (reallocation strongly discouraged), Sec. 4.2.1.
+//   C. Genetic-algorithm budget: generations x population per 60 s round,
+//      Sec. 5.1 uses 100 x 100.
+//   D. Scheduling interval: how often PolluxSched re-optimizes allocations.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/csv.h"
+
+namespace pollux {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(flags);
+  flags.DefineInt("seeds", 1, "trace seeds to average per cell");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  const BenchSimConfig base = ConfigFromFlags(flags);
+  const int seeds = static_cast<int>(flags.GetInt("seeds"));
+
+  std::printf("=== Ablation A: co-adaptivity (batch-size adaptation on/off) ===\n");
+  {
+    TablePrinter table({"policy", "avg JCT", "stat. eff."});
+    for (const char* policy : {"pollux", "pollux-fixed-batch", "optimus", "tiresias", "fifo"}) {
+      const PolicyAverages result = RunBenchPolicySeeds(policy, base, seeds);
+      table.AddRow({policy, FormatDouble(result.avg_jct_hours, 2) + "h",
+                    FormatDouble(100.0 * result.avg_efficiency, 0) + "%"});
+    }
+    table.Print(std::cout);
+    std::printf("pollux-fixed-batch keeps goodput-driven allocation but not batch\n"
+                "adaptation; the gap to full Pollux is the co-adaptivity contribution.\n");
+  }
+
+  std::printf("\n=== Ablation B: RESTART_PENALTY in the fitness function ===\n");
+  {
+    TablePrinter table({"penalty", "avg JCT", "makespan"});
+    BenchSimConfig config = base;
+    for (double penalty : {0.0, 0.25, 0.5, 1.0}) {
+      config.restart_penalty = penalty;
+      const PolicyAverages result = RunBenchPolicySeeds("pollux", config, seeds);
+      table.AddRow({FormatDouble(penalty, 2), FormatDouble(result.avg_jct_hours, 2) + "h",
+                    FormatDouble(result.makespan_hours, 1) + "h"});
+    }
+    table.Print(std::cout);
+  }
+
+  std::printf("\n=== Ablation C: genetic-algorithm budget per round ===\n");
+  {
+    TablePrinter table({"population x generations", "avg JCT", "stat. eff."});
+    BenchSimConfig config = base;
+    const int budgets[][2] = {{10, 5}, {20, 10}, {40, 25}, {80, 50}};
+    for (const auto& budget : budgets) {
+      config.ga_population = budget[0];
+      config.ga_generations = budget[1];
+      const PolicyAverages result = RunBenchPolicySeeds("pollux", config, seeds);
+      table.AddRow({std::to_string(budget[0]) + " x " + std::to_string(budget[1]),
+                    FormatDouble(result.avg_jct_hours, 2) + "h",
+                    FormatDouble(100.0 * result.avg_efficiency, 0) + "%"});
+    }
+    table.Print(std::cout);
+  }
+
+  std::printf("\n=== Ablation D: scheduling interval ===\n");
+  {
+    TablePrinter table({"interval", "avg JCT", "makespan"});
+    BenchSimConfig config = base;
+    for (double interval : {30.0, 60.0, 120.0, 240.0}) {
+      config.sched_interval = interval;
+      const PolicyAverages result = RunBenchPolicySeeds("pollux", config, seeds);
+      table.AddRow({FormatDouble(interval, 0) + "s",
+                    FormatDouble(result.avg_jct_hours, 2) + "h",
+                    FormatDouble(result.makespan_hours, 1) + "h"});
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pollux
+
+int main(int argc, char** argv) { return pollux::Main(argc, argv); }

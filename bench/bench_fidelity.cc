@@ -1,0 +1,66 @@
+// Simulator fidelity (supports the Sec. 5.3 "Simulator fidelity" paragraph):
+// the headline Pollux result must be robust to the simulator's own knobs —
+// the clock resolution and the amount of measurement noise the agents see.
+// If conclusions flipped under 5x coarser ticks or 3x noisier profiling, the
+// simulation would be fragile; the paper reports its simulator reproduces
+// the testbed factors, and this bench reports the analogous internal check.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/csv.h"
+
+namespace pollux {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(flags);
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  const BenchSimConfig base = ConfigFromFlags(flags);
+
+  std::printf("=== Fidelity: Pollux avg JCT vs simulator clock resolution ===\n");
+  {
+    TablePrinter table({"tick", "avg JCT", "makespan", "stat. eff."});
+    BenchSimConfig config = base;
+    for (double tick : {1.0, 2.0, 5.0}) {
+      config.tick = tick;
+      const PolicyAverages result = RunBenchPolicySeeds("pollux", config, 1);
+      table.AddRow({FormatDouble(tick, 0) + "s", FormatDouble(result.avg_jct_hours, 2) + "h",
+                    FormatDouble(result.makespan_hours, 1) + "h",
+                    FormatDouble(100.0 * result.avg_efficiency, 0) + "%"});
+    }
+    table.Print(std::cout);
+  }
+
+  std::printf("\n=== Fidelity: Pollux vs Tiresias under profiling noise ===\n");
+  {
+    TablePrinter table({"obs noise", "gns noise", "Pollux avg JCT", "Tiresias avg JCT",
+                        "Pollux wins"});
+    BenchSimConfig config = base;
+    const double obs_levels[] = {0.0, 0.05, 0.15};
+    const double gns_levels[] = {0.0, 0.10, 0.30};
+    for (int i = 0; i < 3; ++i) {
+      config.observation_noise = obs_levels[i];
+      config.gns_noise = gns_levels[i];
+      const PolicyAverages pollux = RunBenchPolicySeeds("pollux", config, 1);
+      const PolicyAverages tiresias = RunBenchPolicySeeds("tiresias", config, 1);
+      table.AddRow({FormatDouble(obs_levels[i], 2), FormatDouble(gns_levels[i], 2),
+                    FormatDouble(pollux.avg_jct_hours, 2) + "h",
+                    FormatDouble(tiresias.avg_jct_hours, 2) + "h",
+                    pollux.avg_jct_hours < tiresias.avg_jct_hours ? "yes" : "NO"});
+    }
+    table.Print(std::cout);
+  }
+  std::printf("\nExpected: the Pollux-vs-baseline ordering is stable across clock resolutions\n"
+              "and noise levels (the simulator's conclusions are not knife-edge artifacts).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pollux
+
+int main(int argc, char** argv) { return pollux::Main(argc, argv); }

@@ -1,0 +1,61 @@
+// Figure 1: the motivating trade-offs (ResNet18 on CIFAR-10).
+//
+//   Fig. 1a — system throughput vs number of GPUs at batch size 512 vs 2048:
+//             the larger batch keeps scaling where the smaller one saturates.
+//   Fig. 1b — goodput-optimal batch size vs number of GPUs, first half vs
+//             second half of training: later training (larger gradient noise
+//             scale) tolerates much larger batch sizes.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/csv.h"
+#include "workload/model_profile.h"
+#include "workload/trace_gen.h"
+
+namespace pollux {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineInt("max_gpus", 16, "largest GPU count to sweep");
+  flags.DefineInt("gpus_per_node", 4, "GPUs per node");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  const int max_gpus = static_cast<int>(flags.GetInt("max_gpus"));
+  const int gpus_per_node = static_cast<int>(flags.GetInt("gpus_per_node"));
+  const ModelProfile& profile = GetModelProfile(ModelKind::kResNet18Cifar10);
+
+  std::printf("=== Fig. 1a: throughput (imgs/sec) vs #GPUs, by batch size (%s) ===\n",
+              profile.name.c_str());
+  TablePrinter fig1a({"gpus", "bs=512", "bs=2048"});
+  for (int k = 1; k <= max_gpus; k *= 2) {
+    Placement placement{k, (k + gpus_per_node - 1) / gpus_per_node};
+    fig1a.AddRow({std::to_string(k),
+                  FormatDouble(profile.TrueThroughput(placement, 512), 0),
+                  FormatDouble(profile.TrueThroughput(placement, 2048), 0)});
+  }
+  fig1a.Print(std::cout);
+
+  std::printf("\n=== Fig. 1b: goodput-optimal batch size vs #GPUs, by training stage ===\n");
+  TablePrinter fig1b({"gpus", "first-half (25%)", "second-half (75%)"});
+  for (int k : {2, 4, 8, 16}) {
+    if (k > max_gpus) {
+      break;
+    }
+    fig1b.AddRow({std::to_string(k),
+                  std::to_string(OptimalBatchForGpus(profile, k, gpus_per_node, 0.25)),
+                  std::to_string(OptimalBatchForGpus(profile, k, gpus_per_node, 0.75))});
+  }
+  fig1b.Print(std::cout);
+  std::printf("\nExpected shape: bs=2048 scales further than bs=512; optimal batch grows with\n"
+              "both GPU count and training progress (Fig. 1a / 1b).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pollux
+
+int main(int argc, char** argv) { return pollux::Main(argc, argv); }

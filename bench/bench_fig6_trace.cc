@@ -1,0 +1,71 @@
+// Figure 6: job submissions per hour of the day in the (synthetic) trace,
+// plus the 8-hour sampling window used for the primary workload and the mix
+// of models/categories drawn from it (Table 1's "Frac. of Workload" column).
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench/common.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+namespace pollux {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineInt("jobs", 4000, "trace size used to estimate the distributions");
+  flags.DefineInt("seed", 1, "trace seed");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  std::printf("=== Fig. 6: relative submission rate per hour of day ===\n");
+  TablePrinter diurnal({"hour", "rate", "bar"});
+  for (int hour = 0; hour < 24; ++hour) {
+    const double weight = DiurnalWeight24(hour);
+    std::string bar(static_cast<size_t>(weight * 12.0), '#');
+    const bool in_window =
+        hour >= TraceWindowStartHour() && hour < TraceWindowStartHour() + 8;
+    diurnal.AddRow({std::to_string(hour), FormatDouble(weight, 2),
+                    bar + (in_window ? "  <- window" : "")});
+  }
+  diurnal.Print(std::cout);
+
+  TraceOptions options;
+  options.num_jobs = static_cast<int>(flags.GetInt("jobs"));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const auto jobs = GenerateTrace(options);
+
+  std::printf("\n=== Sampled 8-hour window: submissions per hour (n = %zu) ===\n", jobs.size());
+  Histogram per_hour(0.0, options.duration, 8);
+  for (const auto& job : jobs) {
+    per_hour.Add(job.submit_time);
+  }
+  TablePrinter window({"window hour", "submissions"});
+  for (size_t h = 0; h < per_hour.bins(); ++h) {
+    window.AddRow({std::to_string(h + 1), std::to_string(per_hour.bin_count(h))});
+  }
+  window.Print(std::cout);
+  std::printf("peak (hour 4) / first hour = %.2f (paper: 3x)\n",
+              static_cast<double>(per_hour.bin_count(3)) /
+                  static_cast<double>(per_hour.bin_count(0)));
+
+  std::printf("\n=== Table 1 workload mix ===\n");
+  std::map<std::string, int> counts;
+  for (const auto& job : jobs) {
+    counts[ModelKindName(job.model)] += 1;
+  }
+  TablePrinter mix({"model", "fraction"});
+  for (const auto& [name, count] : counts) {
+    mix.AddRow({name, FormatDouble(100.0 * count / static_cast<double>(jobs.size()), 1) + "%"});
+  }
+  mix.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pollux
+
+int main(int argc, char** argv) { return pollux::Main(argc, argv); }

@@ -1,0 +1,57 @@
+// Figure 8: average JCT for increasing job load (0.5x to 2x the primary
+// workload's submission rate). All policies degrade with load; Pollux's
+// advantage widens (paper: at 2x load Pollux grows 1.8x vs 2.0x for
+// Optimus+Oracle and 2.6x for Tiresias).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/csv.h"
+
+namespace pollux {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(flags);
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  BenchSimConfig config = ConfigFromFlags(flags);
+
+  std::printf("=== Fig. 8: avg JCT (hours) vs relative job load ===\n");
+  TablePrinter table({"load", "Pollux", "Optimus+Oracle", "Tiresias+TunedJobs"});
+  double base_pollux = 0.0;
+  double base_optimus = 0.0;
+  double base_tiresias = 0.0;
+  for (double load : {0.5, 1.0, 1.5, 2.0}) {
+    config.load = load;
+    const PolicyAverages pollux = RunBenchPolicySeeds("pollux", config, 1);
+    const PolicyAverages optimus = RunBenchPolicySeeds("optimus", config, 1);
+    const PolicyAverages tiresias = RunBenchPolicySeeds("tiresias", config, 1);
+    if (load == 1.0) {
+      base_pollux = pollux.avg_jct_hours;
+      base_optimus = optimus.avg_jct_hours;
+      base_tiresias = tiresias.avg_jct_hours;
+    }
+    table.AddRow({FormatDouble(load, 1) + "x", FormatDouble(pollux.avg_jct_hours, 2) + "h",
+                  FormatDouble(optimus.avg_jct_hours, 2) + "h",
+                  FormatDouble(tiresias.avg_jct_hours, 2) + "h"});
+  }
+  table.Print(std::cout);
+  std::printf("\nGrowth from 1x to 2x load (paper: 1.8x / 2.0x / 2.6x):\n");
+  config.load = 2.0;
+  const PolicyAverages pollux2 = RunBenchPolicySeeds("pollux", config, 1);
+  const PolicyAverages optimus2 = RunBenchPolicySeeds("optimus", config, 1);
+  const PolicyAverages tiresias2 = RunBenchPolicySeeds("tiresias", config, 1);
+  std::printf("  Pollux:   %.1fx\n", pollux2.avg_jct_hours / base_pollux);
+  std::printf("  Optimus:  %.1fx\n", optimus2.avg_jct_hours / base_optimus);
+  std::printf("  Tiresias: %.1fx\n", tiresias2.avg_jct_hours / base_tiresias);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pollux
+
+int main(int argc, char** argv) { return pollux::Main(argc, argv); }

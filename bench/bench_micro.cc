@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) for the hot paths that bound
+// PolluxSched's 60-second scheduling budget: goodput evaluation, batch-size
+// optimization, speedup-table construction, genetic-algorithm rounds, and
+// online model fitting.
+
+#include <benchmark/benchmark.h>
+
+#include "core/genetic.h"
+#include "core/gns.h"
+#include "core/goodput.h"
+#include "core/model_fitter.h"
+#include "core/speedup_table.h"
+#include "util/rng.h"
+#include "workload/trace_gen.h"
+
+namespace pollux {
+namespace {
+
+GoodputModel TypicalModel() {
+  ThroughputParams params{0.05, 2e-4, 0.03, 0.002, 0.1, 0.005, 2.0};
+  return GoodputModel(params, 1000.0, 128);
+}
+
+BatchLimits TypicalLimits() { return BatchLimits{128, 16384, 1024}; }
+
+void BM_GoodputEval(benchmark::State& state) {
+  const GoodputModel model = TypicalModel();
+  double batch = 512.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.GoodputAt(Placement{8, 2}, batch));
+    batch = batch < 8192.0 ? batch + 1.0 : 512.0;
+  }
+}
+BENCHMARK(BM_GoodputEval);
+
+void BM_OptimizeBatchSize(benchmark::State& state) {
+  const GoodputModel model = TypicalModel();
+  const BatchLimits limits = TypicalLimits();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.OptimizeBatchSize(Placement{8, 2}, limits));
+  }
+}
+BENCHMARK(BM_OptimizeBatchSize);
+
+void BM_SpeedupTableBuild(benchmark::State& state) {
+  const GoodputModel model = TypicalModel();
+  const BatchLimits limits = TypicalLimits();
+  const int max_gpus = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SpeedupTable table(model, limits, max_gpus);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_SpeedupTableBuild)->Arg(8)->Arg(64);
+
+void BM_GeneticRound(benchmark::State& state) {
+  const int num_jobs = static_cast<int>(state.range(0));
+  std::vector<SchedJobInfo> jobs;
+  for (int j = 0; j < num_jobs; ++j) {
+    SchedJobInfo info;
+    info.job_id = static_cast<uint64_t>(j);
+    info.speedups = SpeedupTable(TypicalModel(), TypicalLimits(), 16);
+    info.max_gpus_cap = 16;
+    jobs.push_back(std::move(info));
+  }
+  GaOptions options;
+  options.population_size = 40;
+  options.generations = 1;  // Cost per generation.
+  GeneticOptimizer ga(ClusterSpec::Homogeneous(16, 4), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ga.Optimize(jobs));
+  }
+}
+BENCHMARK(BM_GeneticRound)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_ThroughputFit(benchmark::State& state) {
+  ThroughputParams truth{0.04, 3e-4, 0.02, 0.001, 0.08, 0.004, 1.8};
+  std::vector<ThroughputObservation> observations;
+  for (int k : {1, 2, 4, 8, 16}) {
+    for (long m : {128L, 256L, 512L, 1024L}) {
+      ThroughputObservation obs;
+      obs.placement = Placement{k, k > 4 ? 2 : 1};
+      obs.batch_size = m;
+      obs.iter_time = IterTime(truth, obs.placement, static_cast<double>(m));
+      observations.push_back(obs);
+    }
+  }
+  FitOptions options;
+  options.max_gpus_seen = 16;
+  options.max_nodes_seen = 4;
+  options.multi_starts = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitThroughputParams(observations, options));
+  }
+}
+BENCHMARK(BM_ThroughputFit);
+
+void BM_GnsEstimate(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<std::vector<double>> grads(8, std::vector<double>(1024));
+  for (auto& grad : grads) {
+    for (double& g : grad) {
+      g = rng.Normal(0.0, 1.0);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateGnsFromReplicas(grads, 1024.0));
+  }
+}
+BENCHMARK(BM_GnsEstimate);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  TraceOptions options;
+  options.num_jobs = 160;
+  for (auto _ : state) {
+    options.seed += 1;
+    benchmark::DoNotOptimize(GenerateTrace(options));
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+}  // namespace
+}  // namespace pollux
+
+BENCHMARK_MAIN();

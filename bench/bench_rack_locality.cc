@@ -1,0 +1,106 @@
+// Rack-level locality extension (Sec. 3.2's "can be extended to account for
+// rack-level locality by adding a third pair of parameters").
+//
+// Demonstrates the three-tier synchronization model: predicted throughput
+// for the same GPU count under co-located / same-rack / cross-rack
+// placements, and a fit of the 9-parameter model to noisy measurements
+// spanning all three tiers.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/rack_model.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace pollux {
+namespace {
+
+RackThroughputParams ResNet50RackTruth() {
+  // The two-tier ResNet-50 ground truth, extended with a rack tier (~2.5x the
+  // cross-node constants, typical of oversubscribed rack uplinks).
+  RackThroughputParams params;
+  params.alpha_grad = 0.02;
+  params.beta_grad = 0.010;
+  params.alpha_sync_local = 0.08;
+  params.beta_sync_local = 0.004;
+  params.alpha_sync_node = 0.25;
+  params.beta_sync_node = 0.012;
+  params.alpha_sync_rack = 0.60;
+  params.beta_sync_rack = 0.030;
+  params.gamma = 2.2;
+  return params;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineInt("seed", 5, "measurement noise seed");
+  flags.DefineDouble("noise", 0.05, "lognormal sigma of measurement noise");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  const auto truth = ResNet50RackTruth();
+
+  std::printf("=== Three-tier sync model: throughput (imgs/sec) by placement locality ===\n");
+  TablePrinter tiers({"gpus", "batch", "co-located (1 node)", "same rack (4/node)",
+                      "cross rack (4/node)"});
+  for (int k : {8, 16, 32}) {
+    const long batch = 200L * k;
+    const int nodes = std::max(2, k / 4);
+    tiers.AddRow(
+        {std::to_string(k), std::to_string(batch),
+         FormatDouble(RackModelThroughput(truth, RackPlacement{k, 1, 1}, double(batch)), 0),
+         FormatDouble(RackModelThroughput(truth, RackPlacement{k, nodes, 1}, double(batch)), 0),
+         FormatDouble(RackModelThroughput(truth, RackPlacement{k, nodes, 2}, double(batch)),
+                      0)});
+  }
+  tiers.Print(std::cout);
+
+  // Fit the 9-parameter model to noisy observations across all tiers.
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  const double noise = flags.GetDouble("noise");
+  std::vector<RackThroughputObservation> observations;
+  for (int k : {1, 2, 4, 8, 16, 32}) {
+    for (const auto& [nodes, racks] :
+         std::vector<std::pair<int, int>>{{1, 1}, {2, 1}, {4, 2}, {8, 2}}) {
+      if (k < nodes) {
+        continue;
+      }
+      for (long m : {200L, 800L, 3200L}) {
+        const RackPlacement placement{k, nodes, racks};
+        observations.push_back(
+            {placement, m,
+             RackIterTime(truth, placement, double(m)) * std::exp(rng.Normal(0.0, noise))});
+      }
+    }
+  }
+  RackFitOptions options;
+  options.max_gpus_seen = 32;
+  options.max_nodes_seen = 8;
+  options.max_racks_seen = 2;
+  const RackFitResult fit = FitRackThroughputParams(observations, options);
+  std::printf("\nfitted 9-parameter model on %zu noisy observations, RMSLE = %.4f\n",
+              observations.size(), fit.rmsle);
+
+  TablePrinter check({"placement (K/N/R)", "actual", "model"});
+  for (const RackPlacement placement :
+       {RackPlacement{12, 2, 1}, RackPlacement{12, 3, 2}, RackPlacement{24, 6, 2}}) {
+    const long batch = 200L * placement.num_gpus;
+    check.AddRow({std::to_string(placement.num_gpus) + "/" +
+                      std::to_string(placement.num_nodes) + "/" +
+                      std::to_string(placement.num_racks),
+                  FormatDouble(RackModelThroughput(truth, placement, double(batch)), 0),
+                  FormatDouble(RackModelThroughput(fit.params, placement, double(batch)), 0)});
+  }
+  check.Print(std::cout);
+  std::printf("\nExpected shape: same GPUs get strictly slower as the placement spreads\n"
+              "(co-located > same rack > cross rack), and the fit tracks held-out placements.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pollux
+
+int main(int argc, char** argv) { return pollux::Main(argc, argv); }

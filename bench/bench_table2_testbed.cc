@@ -1,0 +1,115 @@
+// Table 2 (and the Sec. 5.3 simulator-fidelity paragraph): the headline
+// comparison on the primary workload — 160 ideally-tuned jobs over an 8-hour
+// window on 16 nodes x 4 GPUs — under Pollux, Optimus+Oracle, and
+// Tiresias+TunedJobs. Reports average and tail JCT, makespan, the
+// time-averaged statistical efficiency across running jobs (Sec. 5.2.1's
+// ~91% vs ~74%), and relative throughput/goodput factors.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench/common.h"
+#include "util/csv.h"
+
+namespace pollux {
+namespace {
+
+// Geometric mean over jobs of (pollux metric / baseline metric), paired by
+// job id — the per-job factors Sec. 5.2.1 reports ("1.5x higher throughput",
+// "2x higher goodput").
+struct PairedFactors {
+  double throughput = 1.0;
+  double goodput = 1.0;
+};
+
+PairedFactors PairedJobFactors(const SimResult& pollux, const SimResult& baseline) {
+  std::map<uint64_t, const JobResult*> by_id;
+  for (const auto& job : baseline.jobs) {
+    by_id[job.job_id] = &job;
+  }
+  double log_tput = 0.0;
+  double log_goodput = 0.0;
+  int count = 0;
+  for (const auto& job : pollux.jobs) {
+    const auto it = by_id.find(job.job_id);
+    if (it == by_id.end() || job.avg_goodput <= 0.0 || it->second->avg_goodput <= 0.0 ||
+        job.avg_throughput <= 0.0 || it->second->avg_throughput <= 0.0) {
+      continue;
+    }
+    log_tput += std::log(job.avg_throughput / it->second->avg_throughput);
+    log_goodput += std::log(job.avg_goodput / it->second->avg_goodput);
+    ++count;
+  }
+  PairedFactors factors;
+  if (count > 0) {
+    factors.throughput = std::exp(log_tput / count);
+    factors.goodput = std::exp(log_goodput / count);
+  }
+  return factors;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(flags);
+  flags.DefineInt("seeds", 4, "number of trace seeds to average (paper: 8)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  const BenchSimConfig config = ConfigFromFlags(flags);
+  const int seeds = static_cast<int>(flags.GetInt("seeds"));
+
+  std::printf("=== Table 2: %d ideally-tuned jobs, %dx%d GPUs, %d seed(s) ===\n", config.jobs,
+              config.nodes, config.gpus_per_node, seeds);
+  const PolicyAverages pollux = RunBenchPolicySeeds("pollux", config, seeds);
+  const PolicyAverages optimus = RunBenchPolicySeeds("optimus", config, seeds);
+  const PolicyAverages tiresias = RunBenchPolicySeeds("tiresias", config, seeds);
+
+  TablePrinter table({"policy", "avg JCT", "p99 JCT", "makespan", "stat. eff."});
+  auto add = [&](const char* name, const PolicyAverages& a) {
+    table.AddRow({name, FormatDouble(a.avg_jct_hours, 2) + "h",
+                  FormatDouble(a.p99_jct_hours, 1) + "h",
+                  FormatDouble(a.makespan_hours, 1) + "h",
+                  FormatDouble(100.0 * a.avg_efficiency, 0) + "%"});
+  };
+  add("Pollux", pollux);
+  add("Optimus+Oracle", optimus);
+  add("Tiresias+TunedJobs", tiresias);
+  table.Print(std::cout);
+
+  std::printf("\nRelative factors (paper's Sec. 5.2.1 narrative):\n");
+  std::printf("  avg JCT reduction vs Optimus+Oracle:    %.0f%%  (paper: 25%%)\n",
+              100.0 * (1.0 - pollux.avg_jct_hours / optimus.avg_jct_hours));
+  std::printf("  avg JCT reduction vs Tiresias:          %.0f%%  (paper: 50%%)\n",
+              100.0 * (1.0 - pollux.avg_jct_hours / tiresias.avg_jct_hours));
+  std::printf("  makespan reduction vs Optimus+Oracle:   %.0f%%  (paper: 17%%)\n",
+              100.0 * (1.0 - pollux.makespan_hours / optimus.makespan_hours));
+  std::printf("  makespan reduction vs Tiresias:         %.0f%%  (paper: 39%%)\n",
+              100.0 * (1.0 - pollux.makespan_hours / tiresias.makespan_hours));
+  std::printf("  stat. efficiency: %.0f%% vs %.0f%% / %.0f%%  (paper: ~91%% vs ~74%%)\n",
+              100.0 * pollux.avg_efficiency, 100.0 * optimus.avg_efficiency,
+              100.0 * tiresias.avg_efficiency);
+
+  // Per-job factors are paired on one seed (geometric mean over jobs).
+  BenchSimConfig paired_config = config;
+  const SimResult pollux_run = RunBenchPolicy("pollux", paired_config);
+  const PairedFactors vs_optimus =
+      PairedJobFactors(pollux_run, RunBenchPolicy("optimus", paired_config));
+  const PairedFactors vs_tiresias =
+      PairedJobFactors(pollux_run, RunBenchPolicy("tiresias", paired_config));
+  std::printf("  per-job throughput factor vs Optimus+Oracle: %.1fx (paper: 1.2x)\n",
+              vs_optimus.throughput);
+  std::printf("  per-job throughput factor vs Tiresias:       %.1fx (paper: 1.5x)\n",
+              vs_tiresias.throughput);
+  std::printf("  per-job goodput factor vs Optimus+Oracle:    %.1fx (paper: 1.4x)\n",
+              vs_optimus.goodput);
+  std::printf("  per-job goodput factor vs Tiresias:          %.1fx (paper: 2.0x)\n",
+              vs_tiresias.goodput);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pollux
+
+int main(int argc, char** argv) { return pollux::Main(argc, argv); }

@@ -1,0 +1,133 @@
+#include "bench/common.h"
+
+#include "baselines/fifo.h"
+#include "baselines/fixed_batch_policy.h"
+#include "baselines/optimus.h"
+#include "baselines/tiresias.h"
+#include "sim/pollux_policy.h"
+
+namespace pollux {
+
+void AddCommonFlags(FlagParser& flags) {
+  flags.DefineInt("nodes", 16, "number of cluster nodes");
+  flags.DefineInt("gpus_per_node", 4, "GPUs per node");
+  flags.DefineInt("jobs", 160, "job submissions in the trace window");
+  flags.DefineDouble("duration_hours", 8.0, "trace window length in hours");
+  flags.DefineDouble("load", 1.0, "relative load factor (scales job count)");
+  flags.DefineDouble("user_frac", 0.0, "fraction of user-configured (non-tuned) jobs");
+  flags.DefineDouble("interference", 0.0, "network interference slowdown in [0,1)");
+  flags.DefineBool("avoidance", true, "PolluxSched interference avoidance constraint");
+  flags.DefineDouble("weight_lambda", 0.5, "job weight decay lambda (Eqn. 16)");
+  flags.DefineInt("ga_pop", 40, "genetic algorithm population size");
+  flags.DefineInt("ga_gens", 25, "genetic algorithm generations per round");
+  flags.DefineDouble("sched_interval", 60.0, "scheduling interval in seconds");
+  flags.DefineDouble("restart_penalty", 0.25, "RESTART_PENALTY in the fitness function");
+  flags.DefineDouble("tick", 1.0, "simulation clock step in seconds");
+  flags.DefineDouble("obs_noise", 0.05, "lognormal sigma of profiled iteration times");
+  flags.DefineDouble("gns_noise", 0.10, "lognormal sigma of gradient moment samples");
+  flags.DefineInt("seed", 1, "base random seed");
+}
+
+BenchSimConfig ConfigFromFlags(const FlagParser& flags) {
+  BenchSimConfig config;
+  config.nodes = static_cast<int>(flags.GetInt("nodes"));
+  config.gpus_per_node = static_cast<int>(flags.GetInt("gpus_per_node"));
+  config.jobs = static_cast<int>(flags.GetInt("jobs"));
+  config.duration_hours = flags.GetDouble("duration_hours");
+  config.load = flags.GetDouble("load");
+  config.user_configured_fraction = flags.GetDouble("user_frac");
+  config.interference_slowdown = flags.GetDouble("interference");
+  config.interference_avoidance = flags.GetBool("avoidance");
+  config.weight_lambda = flags.GetDouble("weight_lambda");
+  config.ga_population = static_cast<int>(flags.GetInt("ga_pop"));
+  config.ga_generations = static_cast<int>(flags.GetInt("ga_gens"));
+  config.sched_interval = flags.GetDouble("sched_interval");
+  config.restart_penalty = flags.GetDouble("restart_penalty");
+  config.tick = flags.GetDouble("tick");
+  config.observation_noise = flags.GetDouble("obs_noise");
+  config.gns_noise = flags.GetDouble("gns_noise");
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  return config;
+}
+
+std::vector<JobSpec> MakeBenchTrace(const BenchSimConfig& config) {
+  TraceOptions options;
+  options.num_jobs = config.jobs;
+  options.duration = config.duration_hours * 3600.0;
+  options.load_factor = config.load;
+  options.user_configured_fraction = config.user_configured_fraction;
+  options.gpus_per_node = config.gpus_per_node;
+  options.max_gpus = config.nodes * config.gpus_per_node;
+  options.seed = config.seed;
+  return GenerateTrace(options);
+}
+
+SimResult RunBenchPolicy(const std::string& policy, const BenchSimConfig& config) {
+  return RunImportedTrace(policy, config, MakeBenchTrace(config));
+}
+
+SimResult RunImportedTrace(const std::string& policy, const BenchSimConfig& config,
+                           const std::vector<JobSpec>& trace) {
+  SimOptions options;
+  options.cluster = ClusterSpec::Homogeneous(config.nodes, config.gpus_per_node);
+  options.gpus_per_node = config.gpus_per_node;
+  options.interference_slowdown = config.interference_slowdown;
+  options.sched_interval = config.sched_interval;
+  options.tick = config.tick;
+  options.observation_noise = config.observation_noise;
+  options.gns_noise = config.gns_noise;
+  options.seed = config.seed;
+  SchedConfig sched_config;
+  sched_config.ga.population_size = config.ga_population;
+  sched_config.ga.generations = config.ga_generations;
+  sched_config.ga.interference_avoidance = config.interference_avoidance;
+  sched_config.ga.restart_penalty = config.restart_penalty;
+  sched_config.ga.seed = config.seed;
+  sched_config.weight_lambda = config.weight_lambda;
+  if (policy == "pollux") {
+    PolluxPolicy pollux(options.cluster, sched_config);
+    return Simulator(options, trace, &pollux).Run();
+  }
+  if (policy == "pollux-fixed-batch") {
+    FixedBatchPolluxPolicy fixed(options.cluster, sched_config);
+    return Simulator(options, trace, &fixed).Run();
+  }
+  if (policy == "optimus") {
+    OptimusPolicy optimus(OptimusConfig{config.gpus_per_node});
+    return Simulator(options, trace, &optimus).Run();
+  }
+  if (policy == "fifo") {
+    FifoPolicy fifo;
+    return Simulator(options, trace, &fifo).Run();
+  }
+  TiresiasPolicy tiresias;
+  return Simulator(options, trace, &tiresias).Run();
+}
+
+PolicyAverages RunBenchPolicySeeds(const std::string& policy, BenchSimConfig config, int seeds) {
+  PolicyAverages averages;
+  const uint64_t base_seed = config.seed;
+  for (int s = 0; s < seeds; ++s) {
+    config.seed = base_seed + static_cast<uint64_t>(s);
+    const SimResult result = RunBenchPolicy(policy, config);
+    const Summary jct = result.JctSummary();
+    averages.avg_jct_hours += jct.mean / 3600.0;
+    averages.p99_jct_hours += jct.p99 / 3600.0;
+    averages.p50_jct_hours += jct.p50 / 3600.0;
+    averages.makespan_hours += result.makespan / 3600.0;
+    averages.avg_efficiency += result.AvgClusterEfficiency();
+    averages.avg_throughput += result.AvgJobThroughput();
+    averages.avg_goodput += result.AvgJobGoodput();
+  }
+  const double n = static_cast<double>(seeds > 0 ? seeds : 1);
+  averages.avg_jct_hours /= n;
+  averages.p99_jct_hours /= n;
+  averages.p50_jct_hours /= n;
+  averages.makespan_hours /= n;
+  averages.avg_efficiency /= n;
+  averages.avg_throughput /= n;
+  averages.avg_goodput /= n;
+  return averages;
+}
+
+}  // namespace pollux

@@ -1,0 +1,77 @@
+// Shared plumbing for the per-table/per-figure benchmark binaries: a single
+// configuration struct covering every experiment knob, flag registration,
+// trace construction, and one-call policy execution.
+
+#ifndef POLLUX_BENCH_COMMON_H_
+#define POLLUX_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/flags.h"
+#include "workload/trace_gen.h"
+
+namespace pollux {
+
+struct BenchSimConfig {
+  int nodes = 16;
+  int gpus_per_node = 4;
+  int jobs = 160;
+  double duration_hours = 8.0;
+  double load = 1.0;
+  double user_configured_fraction = 0.0;
+  double interference_slowdown = 0.0;
+  bool interference_avoidance = true;
+  double weight_lambda = 0.5;
+  // Genetic-algorithm budget. The paper uses 100 x 100 every 60 s of real
+  // time; the bench default is reduced so the full suite completes in
+  // minutes. Raise via --ga_pop/--ga_gens to match the paper exactly.
+  int ga_population = 40;
+  int ga_generations = 25;
+  // Scheduling cadence and checkpoint-restart fitness penalty (Sec. 5.1
+  // defaults; swept by bench_ablation).
+  double sched_interval = 60.0;
+  double restart_penalty = 0.25;
+  // Simulator fidelity knobs (swept by bench_fidelity).
+  double tick = 1.0;
+  double observation_noise = 0.05;
+  double gns_noise = 0.10;
+  uint64_t seed = 1;
+};
+
+// Registers the common --nodes/--jobs/--seed/... flags.
+void AddCommonFlags(FlagParser& flags);
+
+// Builds the config from parsed flags.
+BenchSimConfig ConfigFromFlags(const FlagParser& flags);
+
+// Synthesizes the workload trace for the config.
+std::vector<JobSpec> MakeBenchTrace(const BenchSimConfig& config);
+
+// Runs one full cluster simulation under the named policy
+// ("pollux" | "pollux-fixed-batch" | "optimus" | "tiresias") and returns its
+// result.
+SimResult RunBenchPolicy(const std::string& policy, const BenchSimConfig& config);
+
+// Same, but over an externally supplied trace (e.g. imported from CSV)
+// instead of a synthesized one.
+SimResult RunImportedTrace(const std::string& policy, const BenchSimConfig& config,
+                           const std::vector<JobSpec>& trace);
+
+// Convenience wrapper that averages a metric over `seeds` trace seeds.
+struct PolicyAverages {
+  double avg_jct_hours = 0.0;
+  double p99_jct_hours = 0.0;
+  double p50_jct_hours = 0.0;
+  double makespan_hours = 0.0;
+  double avg_efficiency = 0.0;
+  double avg_throughput = 0.0;
+  double avg_goodput = 0.0;
+};
+
+PolicyAverages RunBenchPolicySeeds(const std::string& policy, BenchSimConfig config, int seeds);
+
+}  // namespace pollux
+
+#endif  // POLLUX_BENCH_COMMON_H_

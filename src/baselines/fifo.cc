@@ -1,0 +1,40 @@
+#include "baselines/fifo.h"
+
+#include <algorithm>
+
+#include "sim/placement.h"
+
+namespace pollux {
+
+std::map<uint64_t, std::vector<int>> FifoPolicy::Schedule(const SchedulerContext& context) {
+  std::vector<const JobSnapshot*> order;
+  for (const auto& job : context.jobs) {
+    order.push_back(&job);
+  }
+  std::stable_sort(order.begin(), order.end(), [](const JobSnapshot* a, const JobSnapshot* b) {
+    return a->submit_time < b->submit_time;
+  });
+
+  const int total_gpus = context.cluster->TotalGpus();
+  int used = 0;
+  std::vector<PlacementRequest> requests;
+  std::map<uint64_t, std::vector<int>> current;
+  for (const JobSnapshot* job : order) {
+    const int wanted = std::max(1, job->spec != nullptr ? job->spec->requested_gpus : 1);
+    // Running jobs always keep their allocation (no preemption); waiting jobs
+    // are admitted in order while capacity lasts.
+    const bool running = !job->allocation.empty();
+    if (running || used + wanted <= total_gpus) {
+      requests.push_back(PlacementRequest{job->job_id, wanted});
+      used += wanted;
+    } else {
+      requests.push_back(PlacementRequest{job->job_id, 0});
+    }
+    if (running) {
+      current[job->job_id] = job->allocation;
+    }
+  }
+  return PlaceConsolidated(*context.cluster, requests, current);
+}
+
+}  // namespace pollux

@@ -1,0 +1,22 @@
+// FIFO baseline: the simplest non-resource-adaptive scheduler. Jobs are
+// admitted strictly in submission order at their user-requested GPU counts
+// and are never preempted; later jobs wait for capacity. Serves as the floor
+// that Tiresias' least-attained-service mechanism improves on (head-of-line
+// blocking by long-running jobs).
+
+#ifndef POLLUX_BASELINES_FIFO_H_
+#define POLLUX_BASELINES_FIFO_H_
+
+#include "sim/scheduler.h"
+
+namespace pollux {
+
+class FifoPolicy : public Scheduler {
+ public:
+  std::map<uint64_t, std::vector<int>> Schedule(const SchedulerContext& context) override;
+  const char* name() const override { return "fifo"; }
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_BASELINES_FIFO_H_

@@ -1,0 +1,6 @@
+#include "baselines/fixed_batch_policy.h"
+
+// FixedBatchPolluxPolicy is header-only behavior over PolluxPolicy; this
+// translation unit anchors its vtable.
+
+namespace pollux {}  // namespace pollux

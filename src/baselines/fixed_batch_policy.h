@@ -1,0 +1,24 @@
+// Ablation policy: PolluxSched's resource adaptation *without* batch-size
+// co-adaptation. Jobs keep their submitted batch size forever while
+// allocations still follow the goodput-driven genetic algorithm. Comparing
+// this against full Pollux isolates the contribution of co-adapting the
+// batch size and learning rate — the paper's core thesis.
+
+#ifndef POLLUX_BASELINES_FIXED_BATCH_POLICY_H_
+#define POLLUX_BASELINES_FIXED_BATCH_POLICY_H_
+
+#include "sim/pollux_policy.h"
+
+namespace pollux {
+
+class FixedBatchPolluxPolicy : public PolluxPolicy {
+ public:
+  using PolluxPolicy::PolluxPolicy;
+
+  bool adapts_batch_size() const override { return false; }
+  const char* name() const override { return "pollux-fixed-batch"; }
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_BASELINES_FIXED_BATCH_POLICY_H_

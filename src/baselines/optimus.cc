@@ -1,0 +1,167 @@
+#include "baselines/optimus.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/throughput_model.h"
+#include "sim/placement.h"
+
+namespace pollux {
+namespace {
+
+Placement PackedPlacement(int num_gpus, int gpus_per_node) {
+  Placement placement;
+  placement.num_gpus = num_gpus;
+  placement.num_nodes = (num_gpus + gpus_per_node - 1) / gpus_per_node;
+  return placement;
+}
+
+}  // namespace
+
+double OptimusPolicy::EstimatedRemainingTime(const JobSnapshot& job, int num_gpus,
+                                             int gpus_per_node) {
+  if (num_gpus <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double iter_time =
+      IterTime(job.agent.model.params(), PackedPlacement(num_gpus, gpus_per_node),
+               static_cast<double>(job.batch_size));
+  return job.oracle_remaining_iterations * iter_time;
+}
+
+int OptimusPolicy::EfficientGpuCount(const JobSnapshot& job, int gpus_per_node, int max_gpus,
+                                     double efficiency_floor) {
+  const double one = ModelThroughput(job.agent.model.params(), Placement{1, 1},
+                                     static_cast<double>(job.batch_size));
+  if (one <= 0.0) {
+    return 1;
+  }
+  int best = 1;
+  for (int k = 2; k <= max_gpus; ++k) {
+    const double many = ModelThroughput(job.agent.model.params(),
+                                        PackedPlacement(k, gpus_per_node),
+                                        static_cast<double>(job.batch_size));
+    if (many / (one * k) >= efficiency_floor) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+std::map<uint64_t, std::vector<int>> OptimusPolicy::Schedule(const SchedulerContext& context) {
+  const int total_gpus = context.cluster->TotalGpus();
+
+  // Admission order: shortest predicted remaining time first (ties broken by
+  // submission time), since Optimus targets the average JCT.
+  std::vector<const JobSnapshot*> order;
+  for (const auto& job : context.jobs) {
+    order.push_back(&job);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](const JobSnapshot* a, const JobSnapshot* b) {
+    // Oracle single-GPU remaining time: a stable length key (Sec. 5.2's
+    // idealization). Falls back to the fitted model when no oracle exists.
+    const double ta = a->oracle_single_gpu_remaining > 0.0
+                          ? a->oracle_single_gpu_remaining
+                          : EstimatedRemainingTime(*a, 1, config_.gpus_per_node);
+    const double tb = b->oracle_single_gpu_remaining > 0.0
+                          ? b->oracle_single_gpu_remaining
+                          : EstimatedRemainingTime(*b, 1, config_.gpus_per_node);
+    if (ta != tb) {
+      return ta < tb;
+    }
+    return a->submit_time < b->submit_time;
+  });
+
+  // Admission: shortest-remaining-first. Short jobs (under an hour of
+  // estimated remaining work) are granted the knee of their scaling curve up
+  // front — at their fixed batch sizes a minimal share would waste most of
+  // their statistical efficiency — while longer jobs are admitted at their
+  // minimum share and rely on the waterfilling pass below for growth.
+  std::vector<int> gpus(order.size(), 0);
+  int used = 0;
+  for (size_t i = 0; i < order.size() && used < total_gpus; ++i) {
+    const long per_gpu = std::max<long>(1, order[i]->agent.limits.max_batch_per_gpu);
+    const int min_gpus = std::max(1, static_cast<int>(std::min<long>(
+                                         (order[i]->batch_size + per_gpu - 1) / per_gpu,
+                                         total_gpus)));
+    // Every admitted job is sized to the knee of its predicted scaling curve
+    // (at its fixed batch size a minimal share wastes most of its statistical
+    // efficiency), capped at a quarter of the cluster so one long job cannot
+    // monopolize admission.
+    const int knee_cap = std::max(min_gpus, total_gpus / 4);
+    const int wanted = std::max(
+        min_gpus, std::min(knee_cap, EfficientGpuCount(*order[i], config_.gpus_per_node,
+                                                       total_gpus)));
+    const int granted = std::min(wanted, total_gpus - used);
+    gpus[i] = granted;
+    used += granted;
+  }
+
+  // Waterfill the remaining GPUs by diminishing marginal gains, weighted by
+  // the inverse square of each job's estimated remaining time: this both
+  // prioritizes jobs that are close to finishing (Optimus targets the
+  // average JCT) and equalizes remaining times across long jobs instead of
+  // running them sequentially. Besides +1 GPU we also consider completing
+  // the next full node, since crossing a node boundary with a single GPU
+  // can transiently hurt (local -> cross-node sync) even when a whole extra
+  // node helps.
+  while (used < total_gpus) {
+    double best_gain = 0.0;
+    int best_index = -1;
+    int best_delta = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (gpus[i] == 0) {
+        continue;  // Not admitted this round.
+      }
+      const double now_time =
+          EstimatedRemainingTime(*order[i], gpus[i], config_.gpus_per_node);
+      if (now_time <= 0.0) {
+        continue;
+      }
+      const int remainder = gpus[i] % config_.gpus_per_node;
+      const int to_node_boundary = remainder == 0 ? config_.gpus_per_node
+                                                  : config_.gpus_per_node - remainder;
+      for (int delta : {1, to_node_boundary, to_node_boundary + config_.gpus_per_node}) {
+        if (delta <= 0 || used + delta > total_gpus) {
+          continue;
+        }
+        const double next_time =
+            EstimatedRemainingTime(*order[i], gpus[i] + delta, config_.gpus_per_node);
+        const double gain = (now_time - next_time) / (delta * now_time * now_time);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_index = static_cast<int>(i);
+          best_delta = delta;
+        }
+      }
+    }
+    if (best_index < 0) {
+      break;  // No job benefits from more GPUs.
+    }
+    gpus[static_cast<size_t>(best_index)] += best_delta;
+    used += best_delta;
+  }
+
+  // Hysteresis: a checkpoint-restart costs real time, so small adjustments
+  // to a running job's share are not worth it. Keep the current count when
+  // the target moved by less than 25%.
+  std::vector<PlacementRequest> requests;
+  std::map<uint64_t, std::vector<int>> current;
+  for (size_t i = 0; i < order.size(); ++i) {
+    int target = gpus[i];
+    const int held = std::accumulate(order[i]->allocation.begin(),
+                                     order[i]->allocation.end(), 0);
+    if (held > 0 && target > 0 && target != held &&
+        std::abs(target - held) <= std::max(1, held / 4)) {
+      target = held;
+    }
+    requests.push_back(PlacementRequest{order[i]->job_id, target});
+    if (!order[i]->allocation.empty()) {
+      current[order[i]->job_id] = order[i]->allocation;
+    }
+  }
+  return PlaceConsolidated(*context.cluster, requests, current);
+}
+
+}  // namespace pollux

@@ -1,0 +1,52 @@
+// Optimus+Oracle baseline [Peng et al., EuroSys 2018], as evaluated in the
+// paper (Sec. 5.2).
+//
+// Optimus is only-resource-adaptive: it chooses each job's GPU count from a
+// learned throughput model, but keeps the user's batch size fixed and is
+// blind to statistical efficiency. Following the paper's methodology:
+//   * it predicts throughput with the same Eqn.-11 model PolluxAgent fits
+//     (rather than Optimus' original parameter-server-specific model), and
+//   * it receives oracle knowledge of each job's exact remaining training
+//     iterations.
+// Since Optimus optimizes the *average* JCT, admission follows its oracle
+// remaining-time estimates: jobs are admitted shortest-remaining-first, each
+// sized to the knee of its predicted scaling curve (the largest GPU count
+// that still achieves 50% scaling efficiency, but at least enough GPUs to
+// fit its batch size). Whatever capacity is left is handed out greedily to
+// the job whose estimated remaining time shrinks the most per extra GPU.
+
+#ifndef POLLUX_BASELINES_OPTIMUS_H_
+#define POLLUX_BASELINES_OPTIMUS_H_
+
+#include "sim/scheduler.h"
+
+namespace pollux {
+
+struct OptimusConfig {
+  // GPUs-per-node used to predict placements for candidate GPU counts.
+  int gpus_per_node = 4;
+};
+
+class OptimusPolicy : public Scheduler {
+ public:
+  explicit OptimusPolicy(OptimusConfig config = {}) : config_(config) {}
+
+  std::map<uint64_t, std::vector<int>> Schedule(const SchedulerContext& context) override;
+  const char* name() const override { return "optimus+oracle"; }
+
+  // Estimated completion time of a job on `num_gpus` GPUs (exposed for
+  // tests): oracle_remaining_iterations * predicted iteration time.
+  static double EstimatedRemainingTime(const JobSnapshot& job, int num_gpus, int gpus_per_node);
+
+  // Largest GPU count (up to max_gpus) whose predicted throughput stays at or
+  // above `efficiency_floor` of perfect scaling (exposed for tests).
+  static int EfficientGpuCount(const JobSnapshot& job, int gpus_per_node, int max_gpus,
+                               double efficiency_floor = 0.5);
+
+ private:
+  OptimusConfig config_;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_BASELINES_OPTIMUS_H_

@@ -1,0 +1,6 @@
+#include "baselines/or_policy.h"
+
+// ThroughputOnlyPolicy is header-only behavior over PolluxPolicy; this
+// translation unit anchors its vtable.
+
+namespace pollux {}  // namespace pollux

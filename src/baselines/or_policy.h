@@ -1,0 +1,24 @@
+// The Or et al. [MLSys 2020] cloud-elasticity baseline used in Fig. 10:
+// like Pollux it grows the batch size when given more resources, but it
+// models job performance with system throughput alone — so it always runs
+// the largest feasible batch and (together with ThroughputAutoscaler)
+// provisions nodes without regard for statistical efficiency.
+
+#ifndef POLLUX_BASELINES_OR_POLICY_H_
+#define POLLUX_BASELINES_OR_POLICY_H_
+
+#include "sim/pollux_policy.h"
+
+namespace pollux {
+
+class ThroughputOnlyPolicy : public PolluxPolicy {
+ public:
+  using PolluxPolicy::PolluxPolicy;
+
+  bool throughput_only_batch() const override { return true; }
+  const char* name() const override { return "or-et-al"; }
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_BASELINES_OR_POLICY_H_

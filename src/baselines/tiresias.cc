@@ -1,0 +1,55 @@
+#include "baselines/tiresias.h"
+
+#include <algorithm>
+
+#include "sim/placement.h"
+
+namespace pollux {
+
+int TiresiasPolicy::QueueOf(double gpu_time) const {
+  int queue = 0;
+  for (double threshold : config_.queue_thresholds) {
+    if (gpu_time >= threshold) {
+      ++queue;
+    }
+  }
+  return queue;
+}
+
+std::map<uint64_t, std::vector<int>> TiresiasPolicy::Schedule(const SchedulerContext& context) {
+  // Priority order: lower queue first (least attained service), FIFO within.
+  std::vector<const JobSnapshot*> order;
+  order.reserve(context.jobs.size());
+  for (const auto& job : context.jobs) {
+    order.push_back(&job);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](const JobSnapshot* a, const JobSnapshot* b) {
+    const int qa = QueueOf(a->gpu_time);
+    const int qb = QueueOf(b->gpu_time);
+    if (qa != qb) {
+      return qa < qb;
+    }
+    return a->submit_time < b->submit_time;
+  });
+
+  // Admit jobs in priority order while their fixed requests fit.
+  const int total_gpus = context.cluster->TotalGpus();
+  int used = 0;
+  std::vector<PlacementRequest> requests;
+  std::map<uint64_t, std::vector<int>> current;
+  for (const JobSnapshot* job : order) {
+    const int wanted = std::max(1, job->spec != nullptr ? job->spec->requested_gpus : 1);
+    if (used + wanted <= total_gpus) {
+      requests.push_back(PlacementRequest{job->job_id, wanted});
+      used += wanted;
+    } else {
+      requests.push_back(PlacementRequest{job->job_id, 0});  // Preempted/waiting.
+    }
+    if (!job->allocation.empty()) {
+      current[job->job_id] = job->allocation;
+    }
+  }
+  return PlaceConsolidated(*context.cluster, requests, current);
+}
+
+}  // namespace pollux

@@ -1,0 +1,43 @@
+// Tiresias baseline [Gu et al., NSDI 2019], as evaluated in the paper
+// (Sec. 5.2, "Tiresias+TunedJobs").
+//
+// Tiresias is non-resource-adaptive: each job runs with exactly the GPU count
+// its user requested at submission. We reproduce its central mechanism,
+// discretized two-dimensional least-attained-service (2D-LAS): jobs are
+// binned into priority queues by attained GPU-time (service); lower-service
+// queues run first, FIFO within a queue. Replicas are consolidated onto as
+// few nodes as possible, and preemption falls out of re-evaluating the queue
+// order every scheduling interval.
+
+#ifndef POLLUX_BASELINES_TIRESIAS_H_
+#define POLLUX_BASELINES_TIRESIAS_H_
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace pollux {
+
+struct TiresiasConfig {
+  // Queue boundaries on attained service (GPU-seconds). Defaults match the
+  // paper's category scale: jobs demote after 1 and 10 GPU-hours.
+  std::vector<double> queue_thresholds = {1.0 * 3600.0, 10.0 * 3600.0};
+};
+
+class TiresiasPolicy : public Scheduler {
+ public:
+  explicit TiresiasPolicy(TiresiasConfig config = {}) : config_(std::move(config)) {}
+
+  std::map<uint64_t, std::vector<int>> Schedule(const SchedulerContext& context) override;
+  const char* name() const override { return "tiresias"; }
+
+  // Queue index for a given attained service (exposed for tests).
+  int QueueOf(double gpu_time) const;
+
+ private:
+  TiresiasConfig config_;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_BASELINES_TIRESIAS_H_

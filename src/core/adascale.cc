@@ -1,0 +1,32 @@
+#include "core/adascale.h"
+
+#include "core/efficiency.h"
+
+namespace pollux {
+
+AdaScaleState::AdaScaleState(long base_batch_size, double base_lr, double smoothing)
+    : base_batch_size_(base_batch_size), base_lr_(base_lr), tracker_(smoothing) {}
+
+double AdaScaleState::Update(const GnsSample& sample, long batch_size) {
+  tracker_.AddSample(sample);
+  const double gain = GainAt(batch_size);
+  scale_invariant_iterations_ += gain;
+  ++steps_;
+  return gain;
+}
+
+double AdaScaleState::GainAt(long batch_size) const {
+  return AdaScaleGain(tracker_.Phi(), static_cast<double>(base_batch_size_),
+                      static_cast<double>(batch_size));
+}
+
+double AdaScaleState::LearningRateAt(long batch_size) const {
+  return base_lr_ * GainAt(batch_size);
+}
+
+double AdaScaleState::EfficiencyAt(long batch_size) const {
+  return StatisticalEfficiency(tracker_.Phi(), static_cast<double>(base_batch_size_),
+                               static_cast<double>(batch_size));
+}
+
+}  // namespace pollux

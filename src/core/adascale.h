@@ -1,0 +1,62 @@
+// AdaScale SGD support (Sec. 2.2, Eqn. 5).
+//
+// AdaScale runs large-batch SGD at batch size m while behaving like r_t
+// iterations of small-batch SGD at the user's original batch size m0:
+//   * the learning rate is scaled by r_t = (phi_t/m0 + 1)/(phi_t/m + 1),
+//   * training progress is accounted in "scale-invariant iterations", i.e.
+//     the running sum of r_t.
+//
+// AdaScaleState is the bookkeeping object a training loop (or PolluxAgent)
+// drives: feed it gradient-moment samples, ask it for the learning rate at
+// the current batch size, and read back statistical progress.
+
+#ifndef POLLUX_CORE_ADASCALE_H_
+#define POLLUX_CORE_ADASCALE_H_
+
+#include "core/gns.h"
+
+namespace pollux {
+
+class AdaScaleState {
+ public:
+  // `base_batch_size` is m0 and `base_lr` is eta_0, both chosen by the user at
+  // submission time. `smoothing` controls GNS smoothing.
+  AdaScaleState(long base_batch_size, double base_lr, double smoothing = 0.95);
+
+  // Records gradient statistics for the step that just ran, then accounts one
+  // step of progress at the given batch size. Returns the gain r_t that was
+  // credited.
+  double Update(const GnsSample& sample, long batch_size);
+
+  // Gain r_t (Eqn. 5) at the given batch size under the current smoothed phi.
+  double GainAt(long batch_size) const;
+
+  // Learning rate AdaScale prescribes at the given batch size:
+  // eta = r_t * eta_0.
+  double LearningRateAt(long batch_size) const;
+
+  // Statistical efficiency (Eqn. 7) at the given batch size.
+  double EfficiencyAt(long batch_size) const;
+
+  // Accumulated scale-invariant iterations (equivalent m0-batch steps).
+  double scale_invariant_iterations() const { return scale_invariant_iterations_; }
+
+  // Accumulated real steps taken.
+  long steps() const { return steps_; }
+
+  double phi() const { return tracker_.Phi(); }
+  long base_batch_size() const { return base_batch_size_; }
+  double base_lr() const { return base_lr_; }
+  const GnsTracker& tracker() const { return tracker_; }
+
+ private:
+  long base_batch_size_;
+  double base_lr_;
+  GnsTracker tracker_;
+  double scale_invariant_iterations_ = 0.0;
+  long steps_ = 0;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_CORE_ADASCALE_H_

@@ -1,0 +1,87 @@
+#include "core/agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/efficiency.h"
+
+namespace pollux {
+
+PolluxAgent::PolluxAgent(uint64_t job_id, long base_batch_size, double base_lr, BatchLimits limits,
+                         AgentConfig config)
+    : job_id_(job_id),
+      base_batch_size_(base_batch_size),
+      base_lr_(base_lr),
+      limits_(limits),
+      config_(config),
+      tracker_(config.gns_smoothing) {
+  // Until the first fit, the model carries the perfect-scaling prior: zero
+  // overheads mean the scheduler is encouraged to explore more resources.
+  ThroughputParams prior;
+  prior.beta_grad = 1e-4;
+  prior.gamma = 1.0;
+  model_ = GoodputModel(prior, 0.0, base_batch_size_);
+}
+
+void PolluxAgent::RecordIteration(const Placement& placement, long batch_size, double iter_time) {
+  if (placement.num_gpus <= 0 || batch_size <= 0 || iter_time <= 0.0) {
+    return;
+  }
+  // The throughput model only distinguishes single-node from multi-node
+  // placements, so collapse N to that regime for deduplication; batch sizes
+  // are bucketed geometrically (~12% wide buckets).
+  const int node_regime = placement.num_nodes <= 1 ? 1 : 2;
+  const long bucket =
+      std::lround(std::log(static_cast<double>(batch_size)) / std::log(1.12));
+  ConfigStats& stats = observations_[{placement.num_gpus, node_regime, bucket}];
+  stats.iter_time.Add(iter_time);
+  stats.batch_size.Add(static_cast<double>(batch_size));
+}
+
+void PolluxAgent::RecordGradientStats(const GnsSample& sample) { tracker_.AddSample(sample); }
+
+void PolluxAgent::NotifyAllocation(const Placement& placement) {
+  max_gpus_seen_ = std::max(max_gpus_seen_, placement.num_gpus);
+  max_nodes_seen_ = std::max(max_nodes_seen_, placement.num_nodes);
+}
+
+AgentReport PolluxAgent::MakeReport() {
+  if (!observations_.empty() && observations_.size() != last_fit_configs_) {
+    last_fit_configs_ = observations_.size();
+    std::vector<ThroughputObservation> data;
+    data.reserve(observations_.size());
+    for (const auto& [key, stats] : observations_) {
+      ThroughputObservation obs;
+      obs.placement = Placement{std::get<0>(key), std::get<1>(key)};
+      obs.batch_size = std::lround(stats.batch_size.mean());
+      obs.iter_time = stats.iter_time.mean();
+      data.push_back(obs);
+    }
+    FitOptions options;
+    options.max_gpus_seen = std::max(1, max_gpus_seen_);
+    options.max_nodes_seen = std::max(1, max_nodes_seen_);
+    options.multi_starts = config_.fit_multi_starts;
+    options.seed = config_.seed + static_cast<uint64_t>(observations_.size());
+    const FitResult fit = FitThroughputParams(data, options);
+    model_.set_params(fit.params);
+  }
+  model_.set_phi(tracker_.Phi());
+
+  AgentReport report;
+  report.job_id = job_id_;
+  report.model = model_;
+  report.limits = limits_;
+  report.max_gpus_cap = std::max(1, 2 * max_gpus_seen_);
+  return report;
+}
+
+GoodputModel::BatchChoice PolluxAgent::TuneBatchSize(const Placement& placement) const {
+  return model_.OptimizeBatchSize(placement, limits_);
+}
+
+double PolluxAgent::LearningRateAt(long batch_size) const {
+  return base_lr_ * AdaScaleGain(tracker_.Phi(), static_cast<double>(base_batch_size_),
+                                 static_cast<double>(batch_size));
+}
+
+}  // namespace pollux

@@ -1,0 +1,111 @@
+// PolluxAgent (Sec. 4.1): the per-job component.
+//
+// The agent observes every training iteration (placement, batch size,
+// iteration time) and the job's gradient statistics; it periodically re-fits
+// theta_sys to the profiled throughput data, combines it with the smoothed
+// gradient noise scale into the job's GOODPUT function, reports that function
+// to PolluxSched, and tunes the job's batch size (Eqn. 13) and AdaScale
+// learning rate for its currently allocated resources.
+
+#ifndef POLLUX_CORE_AGENT_H_
+#define POLLUX_CORE_AGENT_H_
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "core/adascale.h"
+#include "core/gns.h"
+#include "core/goodput.h"
+#include "core/model_fitter.h"
+#include "core/types.h"
+#include "util/stats.h"
+
+namespace pollux {
+
+struct AgentConfig {
+  double gns_smoothing = 0.95;
+  int fit_multi_starts = 2;
+  uint64_t seed = 1;
+};
+
+// The goodput function handed to PolluxSched: (theta_sys, phi_t, m0) plus the
+// job's feasibility limits and exploration cap.
+struct AgentReport {
+  uint64_t job_id = 0;
+  GoodputModel model;
+  BatchLimits limits;
+  // At most twice the most GPUs the job has ever held (Sec. 4.1).
+  int max_gpus_cap = 1;
+};
+
+class PolluxAgent {
+ public:
+  PolluxAgent(uint64_t job_id, long base_batch_size, double base_lr, BatchLimits limits,
+              AgentConfig config = {});
+
+  // --- Profiling hooks, called from the training loop / simulator. ---
+
+  // One completed training iteration at the given configuration.
+  void RecordIteration(const Placement& placement, long batch_size, double iter_time);
+
+  // Gradient moment statistics for an iteration (from either GNS estimator).
+  void RecordGradientStats(const GnsSample& sample);
+
+  // The job was (re)started with a new allocation; tracks lifetime maxima
+  // that drive prior-driven exploration.
+  void NotifyAllocation(const Placement& placement);
+
+  // --- Periodic work (Sec. 4.3). ---
+
+  // Re-fits theta_sys to all throughput data collected so far and returns the
+  // up-to-date goodput function for PolluxSched.
+  AgentReport MakeReport();
+
+  // Eqn. 13: the most efficient batch size for the given placement under the
+  // current goodput model (call after MakeReport for fresh parameters).
+  GoodputModel::BatchChoice TuneBatchSize(const Placement& placement) const;
+
+  // AdaScale learning rate (Eqn. 5) at the given batch size.
+  double LearningRateAt(long batch_size) const;
+
+  const GoodputModel& model() const { return model_; }
+  double phi() const { return tracker_.Phi(); }
+  const BatchLimits& limits() const { return limits_; }
+  int max_gpus_seen() const { return max_gpus_seen_; }
+  int max_nodes_seen() const { return max_nodes_seen_; }
+  size_t distinct_configurations() const { return observations_.size(); }
+  uint64_t job_id() const { return job_id_; }
+
+ private:
+  uint64_t job_id_;
+  long base_batch_size_;
+  double base_lr_;
+  BatchLimits limits_;
+  AgentConfig config_;
+
+  // Profiled iteration times keyed by (K, N-regime, geometric batch-size
+  // bucket); repeated samples of one configuration are averaged. Bucketing
+  // the batch size keeps the configuration count bounded while the agent
+  // continuously re-tunes m, which in turn bounds how often theta_sys must
+  // be re-fitted.
+  struct ConfigStats {
+    RunningStats iter_time;
+    RunningStats batch_size;
+  };
+  std::map<std::tuple<int, int, long>, ConfigStats> observations_;
+  GnsTracker tracker_;
+  GoodputModel model_;
+  // Zero until the first allocation: the exploration cap max(1, 2x seen)
+  // then starts at 1, so every job begins on a single GPU (Sec. 3) and is
+  // guaranteed to collect K=1 observations before scaling out.
+  int max_gpus_seen_ = 0;
+  int max_nodes_seen_ = 0;
+  // Re-fitting is skipped while the set of observed configurations is
+  // unchanged (the fit would barely move; phi is still refreshed every call).
+  size_t last_fit_configs_ = 0;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_CORE_AGENT_H_

@@ -1,0 +1,62 @@
+#include "core/allocation.h"
+
+#include <cstddef>
+
+namespace pollux {
+
+ClusterSpec ClusterSpec::Homogeneous(int nodes, int gpus) {
+  ClusterSpec spec;
+  spec.gpus_per_node.assign(static_cast<size_t>(nodes), gpus);
+  return spec;
+}
+
+AllocationMatrix::AllocationMatrix(size_t num_jobs, size_t num_nodes)
+    : num_jobs_(num_jobs), num_nodes_(num_nodes), cells_(num_jobs * num_nodes, 0) {}
+
+std::vector<int> AllocationMatrix::Row(size_t job) const {
+  std::vector<int> row(num_nodes_);
+  for (size_t n = 0; n < num_nodes_; ++n) {
+    row[n] = at(job, n);
+  }
+  return row;
+}
+
+void AllocationMatrix::SetRow(size_t job, const std::vector<int>& row) {
+  for (size_t n = 0; n < num_nodes_ && n < row.size(); ++n) {
+    at(job, n) = row[n];
+  }
+}
+
+Placement AllocationMatrix::JobPlacement(size_t job) const {
+  Placement placement;
+  for (size_t n = 0; n < num_nodes_; ++n) {
+    const int gpus = at(job, n);
+    if (gpus > 0) {
+      placement.num_gpus += gpus;
+      ++placement.num_nodes;
+    }
+  }
+  return placement;
+}
+
+std::vector<int> AllocationMatrix::NodeUsage() const {
+  std::vector<int> usage(num_nodes_, 0);
+  for (size_t j = 0; j < num_jobs_; ++j) {
+    for (size_t n = 0; n < num_nodes_; ++n) {
+      usage[n] += at(j, n);
+    }
+  }
+  return usage;
+}
+
+bool AllocationMatrix::WithinCapacity(const ClusterSpec& cluster) const {
+  const std::vector<int> usage = NodeUsage();
+  for (size_t n = 0; n < usage.size(); ++n) {
+    if (usage[n] > cluster.gpus_per_node[n]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pollux

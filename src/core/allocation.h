@@ -1,0 +1,79 @@
+// Cluster shape and allocation matrices (Sec. 4.2).
+//
+// An AllocationMatrix A has one row per job and one column per node; A[j][n]
+// is the number of GPUs on node n allocated to job j. PolluxSched's genetic
+// algorithm evolves a population of these matrices.
+
+#ifndef POLLUX_CORE_ALLOCATION_H_
+#define POLLUX_CORE_ALLOCATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace pollux {
+
+// Physical cluster shape: GPUs available on each node.
+struct ClusterSpec {
+  std::vector<int> gpus_per_node;
+
+  int NumNodes() const { return static_cast<int>(gpus_per_node.size()); }
+  int TotalGpus() const {
+    int total = 0;
+    for (int g : gpus_per_node) {
+      total += g;
+    }
+    return total;
+  }
+  int MaxGpusPerNode() const {
+    int best = 0;
+    for (int g : gpus_per_node) {
+      best = best > g ? best : g;
+    }
+    return best;
+  }
+
+  // Homogeneous helper: `nodes` nodes with `gpus` GPUs each.
+  static ClusterSpec Homogeneous(int nodes, int gpus);
+};
+
+class AllocationMatrix {
+ public:
+  AllocationMatrix() = default;
+  AllocationMatrix(size_t num_jobs, size_t num_nodes);
+
+  int& at(size_t job, size_t node) { return cells_[job * num_nodes_ + node]; }
+  int at(size_t job, size_t node) const { return cells_[job * num_nodes_ + node]; }
+
+  size_t num_jobs() const { return num_jobs_; }
+  size_t num_nodes() const { return num_nodes_; }
+
+  // Row accessors.
+  std::vector<int> Row(size_t job) const;
+  void SetRow(size_t job, const std::vector<int>& row);
+
+  // K and N for one job (Eqn. 10's placement summary).
+  Placement JobPlacement(size_t job) const;
+
+  // Total GPUs requested on each node across all jobs.
+  std::vector<int> NodeUsage() const;
+
+  // True when no node is over-committed.
+  bool WithinCapacity(const ClusterSpec& cluster) const;
+
+  // True when job j occupies >= 2 nodes (a "distributed job" for the
+  // interference-avoidance constraint).
+  bool IsDistributed(size_t job) const { return JobPlacement(job).num_nodes >= 2; }
+
+  bool operator==(const AllocationMatrix&) const = default;
+
+ private:
+  size_t num_jobs_ = 0;
+  size_t num_nodes_ = 0;
+  std::vector<int> cells_;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_CORE_ALLOCATION_H_

@@ -1,0 +1,52 @@
+#include "core/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pollux {
+
+AutoscaleDecision DecideNodeCount(const AutoscaleConfig& config, int current_nodes,
+                                  double current_utility,
+                                  const std::function<double(int)>& utility_at) {
+  AutoscaleDecision decision;
+  decision.target_nodes = std::clamp(current_nodes, config.min_nodes, config.max_nodes);
+  const bool below = current_utility < config.low_util_threshold;
+  const bool above = current_utility > config.high_util_threshold;
+  if ((!below && !above) || config.min_nodes >= config.max_nodes) {
+    // Clamping alone may still change the size if the operator shrank the
+    // allowed range.
+    decision.changed = decision.target_nodes != current_nodes;
+    return decision;
+  }
+
+  const double target = 0.5 * (config.low_util_threshold + config.high_util_threshold);
+  // Binary search assuming utility is non-increasing in the node count:
+  // too-high utility means the cluster is too small, too-low means too large.
+  int lo = config.min_nodes;
+  int hi = config.max_nodes;
+  int best_nodes = decision.target_nodes;
+  double best_gap = std::fabs(current_utility - target);
+  while (lo <= hi) {
+    const int mid = lo + (hi - lo) / 2;
+    double utility = current_utility;
+    if (mid != current_nodes) {
+      utility = utility_at(mid);
+      ++decision.probes;
+    }
+    const double gap = std::fabs(utility - target);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best_nodes = mid;
+    }
+    if (utility > target) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  decision.target_nodes = best_nodes;
+  decision.changed = decision.target_nodes != current_nodes;
+  return decision;
+}
+
+}  // namespace pollux

@@ -1,0 +1,42 @@
+// Goodput-driven cloud auto-scaling (Sec. 4.2.2).
+//
+// UTILITY(A) = sum_j SPEEDUP_j(A_j) / TOTAL_GPUS is in [0, 1]. When the
+// applied allocation's utility leaves the operator-configured band, Pollux
+// binary-searches the number of nodes (assuming utility decreases with
+// cluster size), evaluating each candidate size by running the genetic
+// algorithm, and picks the size whose utility is closest to the band's
+// midpoint.
+
+#ifndef POLLUX_CORE_AUTOSCALER_H_
+#define POLLUX_CORE_AUTOSCALER_H_
+
+#include <functional>
+
+namespace pollux {
+
+struct AutoscaleConfig {
+  double low_util_threshold = 0.45;
+  double high_util_threshold = 0.85;
+  int min_nodes = 1;
+  int max_nodes = 16;
+};
+
+struct AutoscaleDecision {
+  int target_nodes = 0;
+  // Number of what-if GA evaluations performed.
+  int probes = 0;
+  bool changed = false;
+};
+
+// Decides the next cluster size. `current_utility` is UTILITY of the applied
+// allocation at `current_nodes`; `utility_at(n)` must evaluate the utility
+// the scheduler would achieve with n nodes (typically
+// PolluxSched::EvaluateUtilityAt). Returns current_nodes unchanged while the
+// utility stays within the configured band.
+AutoscaleDecision DecideNodeCount(const AutoscaleConfig& config, int current_nodes,
+                                  double current_utility,
+                                  const std::function<double(int)>& utility_at);
+
+}  // namespace pollux
+
+#endif  // POLLUX_CORE_AUTOSCALER_H_

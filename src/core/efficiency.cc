@@ -1,0 +1,25 @@
+#include "core/efficiency.h"
+
+#include <algorithm>
+
+namespace pollux {
+
+double GradientNoiseScale(double m0, double grad_variance, double grad_sqnorm) {
+  if (grad_sqnorm <= 0.0 || m0 <= 0.0) {
+    return 0.0;
+  }
+  const double variance = std::max(grad_variance, 0.0);
+  return m0 * variance / grad_sqnorm;
+}
+
+double StatisticalEfficiency(double phi, double m0, double m) {
+  const double noise = std::max(phi, 0.0);
+  return (noise + m0) / (noise + m);
+}
+
+double AdaScaleGain(double phi, double m0, double m) {
+  const double noise = std::max(phi, 0.0);
+  return (noise / m0 + 1.0) / (noise / m + 1.0);
+}
+
+}  // namespace pollux

@@ -1,0 +1,32 @@
+// Statistical efficiency and the gradient noise scale (Sec. 3.1 / Appendix A):
+//
+//   phi_t           = m0 * sigma_t^2 / mu_t^2 = tr(Sigma) / |g|^2       (GNS)
+//   EFFICIENCY_t(m) = (phi_t + m0) / (phi_t + m)                        (7)
+//   AdaScale gain   = r_t = (phi_t/m0 + 1) / (phi_t/m + 1)              (5)
+//
+// with sigma_t^2 = Var[g_hat] and mu_t^2 = |E[g_hat]|^2 at batch size m0.
+// Appendix A shows EFFICIENCY_t(m) = r_t * m0 / m; both identities are
+// exercised by the tests.
+
+#ifndef POLLUX_CORE_EFFICIENCY_H_
+#define POLLUX_CORE_EFFICIENCY_H_
+
+namespace pollux {
+
+// Gradient noise scale from gradient statistics measured at batch size m0.
+// `grad_variance` is sigma^2 (total variance of the batch-m0 stochastic
+// gradient, i.e. tr(Cov[g_hat])), `grad_sqnorm` is mu^2 = |E g_hat|^2.
+// Returns 0 when mu^2 is non-positive (degenerate input is clamped).
+double GradientNoiseScale(double m0, double grad_variance, double grad_sqnorm);
+
+// Eqn. 7. Requires m >= m0 > 0; result is in (0, 1].
+double StatisticalEfficiency(double phi, double m0, double m);
+
+// Eqn. 5: AdaScale's learning-rate / progress gain r_t at batch size m
+// relative to m0. Equal to EFFICIENCY(m) * m / m0 (Appendix A); r_t is in
+// [1, m/m0].
+double AdaScaleGain(double phi, double m0, double m);
+
+}  // namespace pollux
+
+#endif  // POLLUX_CORE_EFFICIENCY_H_

@@ -1,0 +1,51 @@
+// Cluster-wide fitness for PolluxSched (Eqns. 14-16).
+//
+//   FITNESS(A) = sum_j w_j * SPEEDUP_j(A_j) / sum_j w_j                 (14)
+//   w_j        = min(1, GPUTIME_THRES / GPUTIME(j))^lambda              (16)
+//
+// with a RESTART_PENALTY subtracted from SPEEDUP_j whenever applying A would
+// force job j to checkpoint-restart (Sec. 4.2.1).
+
+#ifndef POLLUX_CORE_FITNESS_H_
+#define POLLUX_CORE_FITNESS_H_
+
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/speedup_table.h"
+
+namespace pollux {
+
+// Eqn. 16. `gpu_time` and `threshold` in the same unit (we use GPU-seconds);
+// lambda = 0 disables decay (all weights 1).
+double JobWeight(double gpu_time, double threshold, double lambda);
+
+// Everything the scheduler-side fitness evaluation needs to know per job.
+struct SchedJobInfo {
+  uint64_t job_id = 0;
+  SpeedupTable speedups;
+  double weight = 1.0;
+  // The allocation the job currently runs with (empty vector == not running).
+  // A differing row in a candidate matrix incurs the restart penalty.
+  std::vector<int> current_allocation;
+  // Lifetime exploration cap: at most twice the most GPUs the job has ever
+  // held (Sec. 4.1 "prior-driven exploration").
+  int max_gpus_cap = 1;
+};
+
+// Penalized speedup of one row of the allocation matrix.
+double PenalizedSpeedup(const SchedJobInfo& job, const AllocationMatrix& matrix, size_t row,
+                        double restart_penalty);
+
+// Eqn. 14 over all jobs.
+double Fitness(const std::vector<SchedJobInfo>& jobs, const AllocationMatrix& matrix,
+               double restart_penalty);
+
+// Eqn. 17: cluster resource utility sum_j SPEEDUP_j / TOTAL_GPUS (no restart
+// penalty, no weights) — the autoscaling signal.
+double Utility(const std::vector<SchedJobInfo>& jobs, const AllocationMatrix& matrix,
+               int total_gpus);
+
+}  // namespace pollux
+
+#endif  // POLLUX_CORE_FITNESS_H_

@@ -1,0 +1,275 @@
+#include "core/genetic.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pollux {
+namespace {
+
+// Decrements one positive cell of the given row, chosen uniformly at random
+// among positive cells (weighted sampling over a single scan, no allocation).
+// Returns false if the row is all zeros.
+bool DecrementRandomPositiveInRow(AllocationMatrix& matrix, size_t job, Rng& rng) {
+  int positives = 0;
+  size_t chosen = 0;
+  for (size_t n = 0; n < matrix.num_nodes(); ++n) {
+    if (matrix.at(job, n) > 0) {
+      ++positives;
+      if (rng.UniformInt(1, positives) == 1) {
+        chosen = n;
+      }
+    }
+  }
+  if (positives == 0) {
+    return false;
+  }
+  --matrix.at(job, chosen);
+  return true;
+}
+
+// Same, over a column.
+bool DecrementRandomPositiveInColumn(AllocationMatrix& matrix, size_t node, Rng& rng) {
+  int positives = 0;
+  size_t chosen = 0;
+  for (size_t j = 0; j < matrix.num_jobs(); ++j) {
+    if (matrix.at(j, node) > 0) {
+      ++positives;
+      if (rng.UniformInt(1, positives) == 1) {
+        chosen = j;
+      }
+    }
+  }
+  if (positives == 0) {
+    return false;
+  }
+  --matrix.at(chosen, node);
+  return true;
+}
+
+}  // namespace
+
+GeneticOptimizer::GeneticOptimizer(ClusterSpec cluster, GaOptions options)
+    : cluster_(std::move(cluster)), options_(options), rng_(options.seed) {}
+
+void GeneticOptimizer::SetCluster(ClusterSpec cluster) {
+  cluster_ = std::move(cluster);
+  population_.clear();
+  last_job_ids_.clear();
+}
+
+void GeneticOptimizer::Mutate(AllocationMatrix& matrix) {
+  const size_t nodes = matrix.num_nodes();
+  if (nodes == 0) {
+    return;
+  }
+  // Each cell mutates with probability 1/N, i.e. each job suffers one
+  // mutation on average. Sampled as a per-row Binomial(N, 1/N) draw (cheaper
+  // than N Bernoulli draws per job; Poisson(1) approximation for large N).
+  for (size_t j = 0; j < matrix.num_jobs(); ++j) {
+    int64_t mutations =
+        nodes <= 8 ? 0 : std::min<int64_t>(rng_.Poisson(1.0), static_cast<int64_t>(nodes));
+    if (nodes <= 8) {
+      for (size_t n = 0; n < nodes; ++n) {
+        if (rng_.Bernoulli(1.0 / static_cast<double>(nodes))) {
+          matrix.at(j, n) = static_cast<int>(rng_.UniformInt(0, cluster_.gpus_per_node[n]));
+        }
+      }
+      continue;
+    }
+    for (int64_t k = 0; k < mutations; ++k) {
+      const size_t n = static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(nodes) - 1));
+      matrix.at(j, n) = static_cast<int>(rng_.UniformInt(0, cluster_.gpus_per_node[n]));
+    }
+  }
+}
+
+AllocationMatrix GeneticOptimizer::Crossover(const AllocationMatrix& a, const AllocationMatrix& b) {
+  AllocationMatrix child(a.num_jobs(), a.num_nodes());
+  for (size_t j = 0; j < a.num_jobs(); ++j) {
+    const AllocationMatrix& parent = rng_.Bernoulli(0.5) ? a : b;
+    for (size_t n = 0; n < a.num_nodes(); ++n) {
+      child.at(j, n) = parent.at(j, n);
+    }
+  }
+  return child;
+}
+
+void GeneticOptimizer::Repair(AllocationMatrix& matrix, const std::vector<SchedJobInfo>& jobs) {
+  const size_t num_jobs = matrix.num_jobs();
+  const size_t num_nodes = matrix.num_nodes();
+
+  // 1. Per-job exploration cap (at most 2x the most GPUs ever held).
+  for (size_t j = 0; j < num_jobs; ++j) {
+    const int cap = std::max(1, jobs[j].max_gpus_cap);
+    int total = matrix.JobPlacement(j).num_gpus;
+    while (total > cap && DecrementRandomPositiveInRow(matrix, j, rng_)) {
+      --total;
+    }
+  }
+
+  // 2. Node capacity: randomly decrement cells within over-capacity columns.
+  for (size_t n = 0; n < num_nodes; ++n) {
+    int usage = 0;
+    for (size_t j = 0; j < num_jobs; ++j) {
+      usage += matrix.at(j, n);
+    }
+    while (usage > cluster_.gpus_per_node[n] &&
+           DecrementRandomPositiveInColumn(matrix, n, rng_)) {
+      --usage;
+    }
+  }
+
+  // 3. Interference avoidance: at most one distributed (multi-node) job per
+  // node. Evicting a job's share on one node can change which jobs are
+  // distributed, so iterate to a fixed point. Node counts per job are
+  // maintained incrementally to keep the scan linear.
+  if (!options_.interference_avoidance) {
+    return;
+  }
+  std::vector<int> nodes_of_job(num_jobs, 0);
+  for (size_t j = 0; j < num_jobs; ++j) {
+    for (size_t n = 0; n < num_nodes; ++n) {
+      if (matrix.at(j, n) > 0) {
+        ++nodes_of_job[j];
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t n = 0; n < num_nodes; ++n) {
+      // Reservoir-pick the distributed job to keep on this node.
+      int distributed = 0;
+      size_t keep = 0;
+      for (size_t j = 0; j < num_jobs; ++j) {
+        if (matrix.at(j, n) > 0 && nodes_of_job[j] >= 2) {
+          ++distributed;
+          if (rng_.UniformInt(1, distributed) == 1) {
+            keep = j;
+          }
+        }
+      }
+      if (distributed < 2) {
+        continue;
+      }
+      for (size_t j = 0; j < num_jobs; ++j) {
+        if (j != keep && matrix.at(j, n) > 0 && nodes_of_job[j] >= 2) {
+          matrix.at(j, n) = 0;
+          --nodes_of_job[j];
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+void GeneticOptimizer::SeedPopulation(const std::vector<SchedJobInfo>& jobs) {
+  const size_t num_jobs = jobs.size();
+  const size_t num_nodes = static_cast<size_t>(cluster_.NumNodes());
+
+  // Remap the persisted population onto the current job set by job id.
+  std::vector<AllocationMatrix> remapped;
+  if (!population_.empty() && population_.front().num_nodes() == num_nodes) {
+    for (const auto& old : population_) {
+      AllocationMatrix matrix(num_jobs, num_nodes);
+      for (size_t j = 0; j < num_jobs; ++j) {
+        for (size_t old_row = 0; old_row < last_job_ids_.size(); ++old_row) {
+          if (last_job_ids_[old_row] == jobs[j].job_id) {
+            for (size_t n = 0; n < num_nodes; ++n) {
+              matrix.at(j, n) = old.at(old_row, n);
+            }
+            break;
+          }
+        }
+      }
+      remapped.push_back(std::move(matrix));
+    }
+  }
+  population_ = std::move(remapped);
+
+  // The incumbent allocation is always a member, so the GA can only improve
+  // on keeping everything in place.
+  AllocationMatrix incumbent(num_jobs, num_nodes);
+  for (size_t j = 0; j < num_jobs; ++j) {
+    incumbent.SetRow(j, jobs[j].current_allocation);
+  }
+  population_.push_back(incumbent);
+
+  while (population_.size() < static_cast<size_t>(options_.population_size)) {
+    AllocationMatrix matrix = incumbent;
+    Mutate(matrix);
+    population_.push_back(std::move(matrix));
+  }
+  if (population_.size() > static_cast<size_t>(options_.population_size)) {
+    population_.resize(static_cast<size_t>(options_.population_size));
+  }
+  for (auto& matrix : population_) {
+    Repair(matrix, jobs);
+  }
+  last_job_ids_.clear();
+  for (const auto& job : jobs) {
+    last_job_ids_.push_back(job.job_id);
+  }
+}
+
+size_t GeneticOptimizer::TournamentPick(const std::vector<double>& fitnesses) {
+  size_t best = static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(fitnesses.size()) - 1));
+  for (int i = 1; i < options_.tournament_size; ++i) {
+    const size_t candidate =
+        static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(fitnesses.size()) - 1));
+    if (fitnesses[candidate] > fitnesses[best]) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+GeneticOptimizer::Result GeneticOptimizer::Optimize(const std::vector<SchedJobInfo>& jobs) {
+  Result result;
+  const size_t num_nodes = static_cast<size_t>(cluster_.NumNodes());
+  if (jobs.empty() || num_nodes == 0) {
+    result.best = AllocationMatrix(jobs.size(), num_nodes);
+    return result;
+  }
+
+  SeedPopulation(jobs);
+  std::vector<double> fitnesses(population_.size());
+  for (size_t i = 0; i < population_.size(); ++i) {
+    fitnesses[i] = Fitness(jobs, population_[i], options_.restart_penalty);
+  }
+
+  for (int gen = 0; gen < options_.generations; ++gen) {
+    const size_t parents = population_.size();
+    for (size_t i = 0; i < static_cast<size_t>(options_.population_size); ++i) {
+      const size_t pa = TournamentPick(fitnesses);
+      const size_t pb = TournamentPick(fitnesses);
+      AllocationMatrix child = Crossover(population_[pa], population_[pb]);
+      Mutate(child);
+      Repair(child, jobs);
+      const double fitness = Fitness(jobs, child, options_.restart_penalty);
+      population_.push_back(std::move(child));
+      fitnesses.push_back(fitness);
+    }
+    // Elitist survival: keep the best population_size individuals.
+    std::vector<size_t> order(population_.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return fitnesses[a] > fitnesses[b]; });
+    std::vector<AllocationMatrix> survivors;
+    std::vector<double> survivor_fitnesses;
+    survivors.reserve(parents);
+    for (size_t i = 0; i < std::min(parents, order.size()); ++i) {
+      survivors.push_back(std::move(population_[order[i]]));
+      survivor_fitnesses.push_back(fitnesses[order[i]]);
+    }
+    population_ = std::move(survivors);
+    fitnesses = std::move(survivor_fitnesses);
+  }
+
+  result.best = population_.front();
+  result.fitness = fitnesses.front();
+  result.utility = Utility(jobs, result.best, cluster_.TotalGpus());
+  return result;
+}
+
+}  // namespace pollux

@@ -1,0 +1,74 @@
+// The genetic algorithm PolluxSched runs every scheduling interval
+// (Sec. 4.2.1, Fig. 5). Each individual is an allocation matrix; one
+// generation applies mutation, tournament-selected crossover, and repair
+// (node capacity, per-job exploration caps, and optionally the interference-
+// avoidance constraint), then keeps the fittest individuals. The population
+// is persisted across calls to bootstrap the next scheduling interval.
+
+#ifndef POLLUX_CORE_GENETIC_H_
+#define POLLUX_CORE_GENETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/fitness.h"
+#include "util/rng.h"
+
+namespace pollux {
+
+struct GaOptions {
+  int population_size = 100;
+  int generations = 100;
+  int tournament_size = 3;
+  double restart_penalty = 0.25;
+  // Disallow two multi-node jobs from sharing any node (Sec. 4.2.1).
+  bool interference_avoidance = true;
+  uint64_t seed = 42;
+};
+
+class GeneticOptimizer {
+ public:
+  GeneticOptimizer(ClusterSpec cluster, GaOptions options);
+
+  struct Result {
+    AllocationMatrix best;
+    double fitness = 0.0;
+    double utility = 0.0;  // Eqn. 17 of the best matrix.
+  };
+
+  // Runs the configured number of generations for the given job set and
+  // returns the fittest allocation matrix. Jobs are matched to the persisted
+  // population by job_id, so jobs may arrive/depart between calls.
+  Result Optimize(const std::vector<SchedJobInfo>& jobs);
+
+  // Replaces the cluster (used by the autoscaler when nodes are added or
+  // released). Clears the persisted population since matrix shapes change.
+  void SetCluster(ClusterSpec cluster);
+
+  const ClusterSpec& cluster() const { return cluster_; }
+
+  // Exposed for testing: enforces all feasibility constraints in place.
+  void Repair(AllocationMatrix& matrix, const std::vector<SchedJobInfo>& jobs);
+
+  // Exposed for testing: each cell mutates with probability 1/num_nodes to a
+  // uniform value in [0, node capacity].
+  void Mutate(AllocationMatrix& matrix);
+
+  // Exposed for testing: offspring takes each row from one of the parents.
+  AllocationMatrix Crossover(const AllocationMatrix& a, const AllocationMatrix& b);
+
+ private:
+  void SeedPopulation(const std::vector<SchedJobInfo>& jobs);
+  size_t TournamentPick(const std::vector<double>& fitnesses);
+
+  ClusterSpec cluster_;
+  GaOptions options_;
+  Rng rng_;
+  std::vector<uint64_t> last_job_ids_;
+  std::vector<AllocationMatrix> population_;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_CORE_GENETIC_H_

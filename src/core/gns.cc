@@ -1,0 +1,118 @@
+#include "core/gns.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pollux {
+namespace {
+
+double SquaredNorm(const std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) {
+    total += x * x;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::optional<GnsSample> EstimateGnsFromReplicas(
+    std::span<const std::vector<double>> replica_grads, double total_batch) {
+  const size_t k = replica_grads.size();
+  if (k < 2 || total_batch <= 0.0) {
+    return std::nullopt;
+  }
+  const size_t dim = replica_grads[0].size();
+  if (dim == 0) {
+    return std::nullopt;
+  }
+  for (const auto& grad : replica_grads) {
+    if (grad.size() != dim) {
+      return std::nullopt;
+    }
+  }
+  const double small_batch = total_batch / static_cast<double>(k);  // b = m / K.
+  const double big_batch = total_batch;                             // m.
+
+  // Mean over replicas of |g_k|^2 and |mean_k g_k|^2.
+  double mean_sq_small = 0.0;
+  std::vector<double> mean_grad(dim, 0.0);
+  for (const auto& grad : replica_grads) {
+    mean_sq_small += SquaredNorm(grad);
+    for (size_t i = 0; i < dim; ++i) {
+      mean_grad[i] += grad[i];
+    }
+  }
+  mean_sq_small /= static_cast<double>(k);
+  for (double& x : mean_grad) {
+    x /= static_cast<double>(k);
+  }
+  const double sq_big = SquaredNorm(mean_grad);
+
+  // E|g_b|^2 = |G|^2 + tr(Sigma)/b, so the pair of batch sizes gives unbiased
+  // estimates of both moments [McCandlish et al. 2018, Appendix A.1]:
+  GnsSample sample;
+  sample.grad_sqnorm = (big_batch * sq_big - small_batch * mean_sq_small) /
+                       (big_batch - small_batch);
+  sample.cov_trace = (mean_sq_small - sq_big) / (1.0 / small_batch - 1.0 / big_batch);
+  return sample;
+}
+
+std::optional<GnsSample> EstimateGnsDifferenced(const std::vector<double>& previous,
+                                                const std::vector<double>& current,
+                                                double batch_size) {
+  if (previous.size() != current.size() || previous.empty() || batch_size <= 0.0) {
+    return std::nullopt;
+  }
+  // With slowly-varying true gradient G, g_t - g_{t-1} is approximately a
+  // zero-mean difference of two independent batch-m estimates, so
+  // E|diff|^2 = 2 tr(Sigma)/m; and E|avg|^2 = |G|^2 + tr(Sigma)/(2m).
+  double diff_sq = 0.0;
+  double avg_sq = 0.0;
+  for (size_t i = 0; i < current.size(); ++i) {
+    const double diff = current[i] - previous[i];
+    const double avg = 0.5 * (current[i] + previous[i]);
+    diff_sq += diff * diff;
+    avg_sq += avg * avg;
+  }
+  GnsSample sample;
+  sample.cov_trace = batch_size * diff_sq / 2.0;
+  sample.grad_sqnorm = avg_sq - diff_sq / 4.0;
+  return sample;
+}
+
+GnsTracker::GnsTracker(double smoothing) : smoothing_(std::clamp(smoothing, 0.0, 0.999999)) {}
+
+void GnsTracker::AddSample(const GnsSample& sample) {
+  cov_ema_ = smoothing_ * cov_ema_ + (1.0 - smoothing_) * sample.cov_trace;
+  sqnorm_ema_ = smoothing_ * sqnorm_ema_ + (1.0 - smoothing_) * sample.grad_sqnorm;
+  weight_ = smoothing_ * weight_ + (1.0 - smoothing_);
+  ++count_;
+}
+
+void GnsTracker::Reset() {
+  cov_ema_ = 0.0;
+  sqnorm_ema_ = 0.0;
+  weight_ = 0.0;
+  count_ = 0;
+}
+
+double GnsTracker::cov_trace() const { return weight_ > 0.0 ? cov_ema_ / weight_ : 0.0; }
+
+double GnsTracker::grad_sqnorm() const { return weight_ > 0.0 ? sqnorm_ema_ / weight_ : 0.0; }
+
+double GnsTracker::Phi() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double sqnorm = grad_sqnorm();
+  if (sqnorm <= 0.0) {
+    // Degenerate smoothed moments (e.g. gradient vanished): an arbitrarily
+    // large noise scale is the conservative answer, but we cap it so callers
+    // get finite efficiencies.
+    return cov_trace() > 0.0 ? 1e12 : 0.0;
+  }
+  return std::max(cov_trace() / sqnorm, 0.0);
+}
+
+}  // namespace pollux

@@ -1,0 +1,78 @@
+// Gradient noise scale estimation (Sec. 3.1).
+//
+// The GNS phi = tr(Sigma) / |G|^2 is estimated from two moment estimators:
+//   * EstimateGnsFromReplicas: the standard multi-replica estimator
+//     [McCandlish et al. 2018, Johnson et al. 2020] that contrasts the mean
+//     squared norm of per-replica gradients (batch m/K) against the squared
+//     norm of the averaged gradient (batch m).
+//   * EstimateGnsDifferenced: the single-replica differenced estimator
+//     [Wang & Yu 2017] used by Pollux "when there is only a single process",
+//     based on consecutive gradient estimates.
+//
+// Both return unbiased estimates of (tr(Sigma), |G|^2), where Sigma is the
+// single-example gradient covariance and G the true gradient. Individual
+// estimates are extremely noisy, so GnsTracker smooths them with bias-
+// corrected exponential moving averages before exposing phi.
+
+#ifndef POLLUX_CORE_GNS_H_
+#define POLLUX_CORE_GNS_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace pollux {
+
+// One unbiased sample of the gradient moment statistics.
+struct GnsSample {
+  // Estimate of tr(Sigma): total variance contributed by a single example.
+  double cov_trace = 0.0;
+  // Estimate of |G|^2: squared norm of the true (full-batch) gradient.
+  double grad_sqnorm = 0.0;
+};
+
+// Multi-replica estimator. `replica_grads` holds K >= 2 local gradients, each
+// computed on total_batch / K examples. Returns nullopt when K < 2 or the
+// inputs are degenerate (mismatched sizes, non-positive batch).
+std::optional<GnsSample> EstimateGnsFromReplicas(
+    std::span<const std::vector<double>> replica_grads, double total_batch);
+
+// Differenced estimator from two consecutive gradient estimates at the same
+// batch size. Assumes the true gradient changes slowly across one iteration.
+std::optional<GnsSample> EstimateGnsDifferenced(const std::vector<double>& previous,
+                                                const std::vector<double>& current,
+                                                double batch_size);
+
+// Smooths GnsSamples with bias-corrected EMAs and exposes the current phi.
+// Variance and squared-norm are smoothed separately, as in AdaScale.
+class GnsTracker {
+ public:
+  // `smoothing` is the EMA retention factor in [0, 1); 0 keeps only the most
+  // recent sample.
+  explicit GnsTracker(double smoothing = 0.95);
+
+  void AddSample(const GnsSample& sample);
+  void Reset();
+
+  bool valid() const { return count_ > 0; }
+  size_t sample_count() const { return count_; }
+
+  // Bias-corrected smoothed moments.
+  double cov_trace() const;
+  double grad_sqnorm() const;
+
+  // Smoothed gradient noise scale, clamped to >= 0. Returns 0 until the first
+  // sample arrives.
+  double Phi() const;
+
+ private:
+  double smoothing_;
+  double cov_ema_ = 0.0;
+  double sqnorm_ema_ = 0.0;
+  double weight_ = 0.0;  // Accumulated EMA normalization for bias correction.
+  size_t count_ = 0;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_CORE_GNS_H_

@@ -1,0 +1,152 @@
+#include "core/model_fitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "optim/lbfgsb.h"
+#include "util/rng.h"
+
+namespace pollux {
+namespace {
+
+constexpr double kLogEpsilon = 1e-8;
+
+ThroughputParams UnpackParams(const std::vector<double>& x) {
+  ThroughputParams params;
+  params.alpha_grad = x[0];
+  params.beta_grad = x[1];
+  params.alpha_sync_local = x[2];
+  params.beta_sync_local = x[3];
+  params.alpha_sync_node = x[4];
+  params.beta_sync_node = x[5];
+  params.gamma = x[6];
+  return params;
+}
+
+// Least-squares line fit of iter_time against batch size over single-GPU
+// observations, used to seed (alpha_grad, beta_grad).
+void SeedGradParams(const std::vector<ThroughputObservation>& observations, double* alpha,
+                    double* beta) {
+  double sum_m = 0.0;
+  double sum_t = 0.0;
+  double sum_mm = 0.0;
+  double sum_mt = 0.0;
+  int n = 0;
+  for (const auto& obs : observations) {
+    if (obs.placement.num_gpus != 1) {
+      continue;
+    }
+    const double m = static_cast<double>(obs.batch_size);
+    sum_m += m;
+    sum_t += obs.iter_time;
+    sum_mm += m * m;
+    sum_mt += m * obs.iter_time;
+    ++n;
+  }
+  if (n == 0) {
+    // Fall back to per-GPU normalized samples from any placement.
+    for (const auto& obs : observations) {
+      const double m = static_cast<double>(obs.batch_size) / obs.placement.num_gpus;
+      sum_m += m;
+      sum_t += obs.iter_time;
+      sum_mm += m * m;
+      sum_mt += m * obs.iter_time;
+      ++n;
+    }
+  }
+  const double denom = static_cast<double>(n) * sum_mm - sum_m * sum_m;
+  if (n >= 2 && std::fabs(denom) > 1e-12) {
+    *beta = std::max((static_cast<double>(n) * sum_mt - sum_m * sum_t) / denom, 1e-8);
+    *alpha = std::max((sum_t - *beta * sum_m) / static_cast<double>(n), 0.0);
+  } else if (n >= 1) {
+    *alpha = 0.0;
+    *beta = std::max(sum_t / std::max(sum_m, 1.0), 1e-8);
+  } else {
+    *alpha = 0.01;
+    *beta = 1e-4;
+  }
+}
+
+}  // namespace
+
+double ThroughputRmsle(const ThroughputParams& params,
+                       const std::vector<ThroughputObservation>& observations) {
+  if (observations.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& obs : observations) {
+    const double predicted =
+        IterTime(params, obs.placement, static_cast<double>(obs.batch_size));
+    const double diff = std::log(predicted + kLogEpsilon) - std::log(obs.iter_time + kLogEpsilon);
+    total += diff * diff;
+  }
+  return std::sqrt(total / static_cast<double>(observations.size()));
+}
+
+FitResult FitThroughputParams(const std::vector<ThroughputObservation>& observations,
+                              const FitOptions& options) {
+  FitResult result;
+  if (observations.empty()) {
+    return result;
+  }
+
+  // Index layout: [alpha_grad, beta_grad, alpha_loc, beta_loc, alpha_node,
+  // beta_node, gamma].
+  std::vector<double> lower(7, 0.0);
+  std::vector<double> upper = {options.max_alpha, options.max_beta, options.max_alpha,
+                               options.max_beta,  options.max_alpha, options.max_beta,
+                               10.0};
+  lower[6] = 1.0;
+  // Gradient computation can never be free: without this floor, a job whose
+  // observations all share one GPU count can have its entire iteration time
+  // attributed to synchronization, predicting infinite single-GPU throughput.
+  lower[1] = 1e-8;
+
+  // Prior-driven exploration pins (Sec. 4.1).
+  if (options.max_gpus_seen <= 1) {
+    upper[2] = upper[3] = upper[4] = upper[5] = 0.0;
+  }
+  if (options.max_nodes_seen <= 1) {
+    upper[4] = upper[5] = 0.0;
+  }
+  if (options.max_gpus_seen <= 2) {
+    upper[3] = upper[5] = 0.0;
+  }
+
+  BoundedProblem problem;
+  problem.lower = lower;
+  problem.upper = upper;
+  // The tiny ridge on the synchronization parameters resolves the
+  // attribution ambiguity when the data cannot distinguish compute from sync
+  // time (e.g. all observations share one GPU count): ties break toward
+  // compute, keeping extrapolations to other GPU counts sane.
+  constexpr double kSyncRidge = 1e-3;
+  problem.objective = [&](const std::vector<double>& x) {
+    return ThroughputRmsle(UnpackParams(x), observations) +
+           kSyncRidge * (x[2] + x[3] + x[4] + x[5]);
+  };
+
+  double alpha_seed = 0.0;
+  double beta_seed = 0.0;
+  SeedGradParams(observations, &alpha_seed, &beta_seed);
+  std::vector<double> x0 = {std::min(alpha_seed, upper[0]),
+                            std::min(beta_seed, upper[1]),
+                            std::min(0.1, upper[2]),
+                            std::min(0.01, upper[3]),
+                            std::min(0.2, upper[4]),
+                            std::min(0.01, upper[5]),
+                            1.5};
+
+  LbfgsbOptions lbfgs_options;
+  lbfgs_options.max_iterations = 80;
+  Rng rng(options.seed);
+  const LbfgsbResult fit =
+      MinimizeBoundedMultiStart(problem, x0, options.multi_starts, rng, lbfgs_options);
+  result.params = UnpackParams(fit.x);
+  result.rmsle = fit.value;
+  result.evaluations = fit.evaluations;
+  return result;
+}
+
+}  // namespace pollux

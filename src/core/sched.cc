@@ -1,0 +1,64 @@
+#include "core/sched.h"
+
+#include <algorithm>
+
+namespace pollux {
+
+PolluxSched::PolluxSched(ClusterSpec cluster, SchedConfig config)
+    : config_(config), optimizer_(std::move(cluster), config.ga) {}
+
+std::vector<SchedJobInfo> PolluxSched::BuildJobInfos(const std::vector<SchedJobReport>& reports,
+                                                     int max_gpus) const {
+  std::vector<SchedJobInfo> jobs;
+  jobs.reserve(reports.size());
+  for (const auto& report : reports) {
+    SchedJobInfo info;
+    info.job_id = report.agent.job_id;
+    // The exploration cap bounds how many GPUs this job can receive, so the
+    // speedup table never needs entries beyond it.
+    const int table_gpus = std::min(max_gpus, std::max(1, report.agent.max_gpus_cap));
+    info.speedups = SpeedupTable(report.agent.model, report.agent.limits, table_gpus);
+    info.weight = JobWeight(report.gpu_time, config_.gpu_time_threshold, config_.weight_lambda);
+    info.current_allocation = report.current_allocation;
+    info.max_gpus_cap = std::max(1, report.agent.max_gpus_cap);
+    jobs.push_back(std::move(info));
+  }
+  return jobs;
+}
+
+std::map<uint64_t, std::vector<int>> PolluxSched::Schedule(
+    const std::vector<SchedJobReport>& reports) {
+  std::map<uint64_t, std::vector<int>> allocations;
+  if (reports.empty()) {
+    last_utility_ = 0.0;
+    last_fitness_ = 0.0;
+    return allocations;
+  }
+  const std::vector<SchedJobInfo> jobs =
+      BuildJobInfos(reports, optimizer_.cluster().TotalGpus());
+  const GeneticOptimizer::Result result = optimizer_.Optimize(jobs);
+  last_utility_ = result.utility;
+  last_fitness_ = result.fitness;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    allocations[jobs[j].job_id] = result.best.Row(j);
+  }
+  return allocations;
+}
+
+double PolluxSched::EvaluateUtilityAt(int num_nodes, int gpus_per_node,
+                                      const std::vector<SchedJobReport>& reports) const {
+  if (reports.empty() || num_nodes <= 0) {
+    return 0.0;
+  }
+  const ClusterSpec hypothetical = ClusterSpec::Homogeneous(num_nodes, gpus_per_node);
+  const std::vector<SchedJobInfo> jobs = BuildJobInfos(reports, hypothetical.TotalGpus());
+  GaOptions options = config_.ga;
+  // A what-if evaluation can afford a smaller budget than the applied round.
+  options.generations = std::max(1, options.generations / 4);
+  GeneticOptimizer probe(hypothetical, options);
+  return probe.Optimize(jobs).utility;
+}
+
+void PolluxSched::SetCluster(ClusterSpec cluster) { optimizer_.SetCluster(std::move(cluster)); }
+
+}  // namespace pollux

@@ -1,0 +1,74 @@
+// PolluxSched (Sec. 4.2): the cluster-wide component.
+//
+// Every scheduling interval it receives each job's goodput function from its
+// PolluxAgent, builds per-job speedup tables, assigns job weights (Eqn. 16),
+// and runs the genetic algorithm to find the allocation matrix maximizing
+// FITNESS (Eqn. 14). The chosen allocations are returned to the caller (the
+// simulator, or a real cluster integration) to apply.
+
+#ifndef POLLUX_CORE_SCHED_H_
+#define POLLUX_CORE_SCHED_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/allocation.h"
+#include "core/genetic.h"
+
+namespace pollux {
+
+struct SchedConfig {
+  GaOptions ga;
+  // GPUTIME_THRES, in GPU-seconds (paper default: 4 GPU-hours).
+  double gpu_time_threshold = 4.0 * 3600.0;
+  // Weight decay exponent lambda (paper default 0.5; 0 disables weighting).
+  double weight_lambda = 0.5;
+};
+
+// Per-job information PolluxSched receives each interval.
+struct SchedJobReport {
+  AgentReport agent;
+  // Total GPU-seconds consumed so far (for Eqn. 16).
+  double gpu_time = 0.0;
+  // GPUs per node the job currently holds; empty when not running.
+  std::vector<int> current_allocation;
+};
+
+class PolluxSched {
+ public:
+  PolluxSched(ClusterSpec cluster, SchedConfig config);
+
+  // Runs one scheduling round. Returns the per-node GPU allocation for each
+  // job id (rows of the best allocation matrix).
+  std::map<uint64_t, std::vector<int>> Schedule(const std::vector<SchedJobReport>& reports);
+
+  // Eqn. 17 of the most recently applied allocation matrix.
+  double last_utility() const { return last_utility_; }
+  double last_fitness() const { return last_fitness_; }
+
+  // Evaluates the cluster utility the GA would achieve with `num_nodes`
+  // homogeneous nodes (used by the cloud autoscaler's binary search). Does
+  // not disturb the persisted population.
+  double EvaluateUtilityAt(int num_nodes, int gpus_per_node,
+                           const std::vector<SchedJobReport>& reports) const;
+
+  // Replaces the cluster after autoscaling.
+  void SetCluster(ClusterSpec cluster);
+  const ClusterSpec& cluster() const { return optimizer_.cluster(); }
+  const SchedConfig& config() const { return config_; }
+
+ private:
+  std::vector<SchedJobInfo> BuildJobInfos(const std::vector<SchedJobReport>& reports,
+                                          int max_gpus) const;
+
+  SchedConfig config_;
+  GeneticOptimizer optimizer_;
+  double last_utility_ = 0.0;
+  double last_fitness_ = 0.0;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_CORE_SCHED_H_

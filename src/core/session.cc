@@ -1,0 +1,80 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+namespace pollux {
+
+PolluxSession::PolluxSession(SessionOptions options)
+    : options_(options),
+      agent_(options.job_id, options.base_batch_size, options.base_lr, options.limits,
+             options.agent),
+      adascale_(options.base_batch_size, options.base_lr, options.agent.gns_smoothing),
+      recommended_batch_(options.base_batch_size) {}
+
+void PolluxSession::SetPlacement(const Placement& placement) {
+  placement_ = placement;
+  agent_.NotifyAllocation(placement);
+  // The previous gradient came from a different effective configuration;
+  // differencing across the boundary would mix distributions.
+  has_previous_gradient_ = false;
+}
+
+void PolluxSession::BeginStep() {
+  step_start_ = std::chrono::steady_clock::now();
+  timing_ = true;
+}
+
+PolluxSession::StepDecision PolluxSession::EndStep(
+    std::span<const std::vector<double>> replica_grads, long batch_size) {
+  double seconds = 0.0;
+  if (timing_) {
+    seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - step_start_).count();
+    timing_ = false;
+  }
+  return EndStepWithDuration(replica_grads, batch_size, seconds);
+}
+
+PolluxSession::StepDecision PolluxSession::EndStepWithDuration(
+    std::span<const std::vector<double>> replica_grads, long batch_size, double step_seconds) {
+  if (step_seconds > 0.0 && placement_.num_gpus > 0) {
+    agent_.RecordIteration(placement_, batch_size, step_seconds);
+  }
+
+  // Estimator selection (Sec. 3.1): per-replica sample variance with >= 2
+  // workers, consecutive-gradient differencing with one.
+  std::optional<GnsSample> sample;
+  if (replica_grads.size() >= 2) {
+    sample = EstimateGnsFromReplicas(replica_grads, static_cast<double>(batch_size));
+  } else if (replica_grads.size() == 1) {
+    if (has_previous_gradient_) {
+      sample = EstimateGnsDifferenced(previous_gradient_, replica_grads[0],
+                                      static_cast<double>(batch_size));
+    }
+    previous_gradient_ = replica_grads[0];
+    has_previous_gradient_ = true;
+  }
+
+  StepDecision decision;
+  if (sample.has_value()) {
+    agent_.RecordGradientStats(*sample);
+    decision.gain = adascale_.Update(*sample, batch_size);
+  } else {
+    decision.gain = adascale_.GainAt(batch_size);
+  }
+  decision.learning_rate = adascale_.LearningRateAt(batch_size);
+
+  if (options_.report_every_steps > 0 &&
+      adascale_.steps() % options_.report_every_steps == 0 && placement_.num_gpus > 0) {
+    agent_.MakeReport();
+    const auto choice = agent_.TuneBatchSize(placement_);
+    if (choice.batch_size > 0) {
+      recommended_batch_ = choice.batch_size;
+    }
+    decision.reported = true;
+  }
+  decision.recommended_batch_size = std::max(recommended_batch_, options_.base_batch_size);
+  return decision;
+}
+
+}  // namespace pollux

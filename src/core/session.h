@@ -1,0 +1,92 @@
+// PolluxSession: a single-object integration facade for training loops.
+//
+// PolluxAgent, the GNS estimators, and AdaScale each expose one piece of the
+// paper's job-level machinery; real integrations (Sec. 4.3 embeds the agent
+// into PyTorch) need all of them wired together with timing measurement and
+// estimator selection. PolluxSession is that wiring: a training loop calls
+//
+//   session.BeginStep();
+//   ... compute per-replica gradients ...
+//   PolluxSession::StepDecision d = session.EndStep(replica_grads);
+//   optimizer.Step(params, avg_grad, d.learning_rate);
+//
+// and the session measures wall-clock iteration time, picks the right
+// gradient-noise estimator (multi-replica when >= 2 replicas, differenced
+// otherwise), maintains AdaScale state, feeds the PolluxAgent, and surfaces
+// the batch size the goodput model currently recommends.
+
+#ifndef POLLUX_CORE_SESSION_H_
+#define POLLUX_CORE_SESSION_H_
+
+#include <chrono>
+#include <span>
+#include <vector>
+
+#include "core/agent.h"
+
+namespace pollux {
+
+struct SessionOptions {
+  uint64_t job_id = 0;
+  long base_batch_size = 32;  // m0.
+  double base_lr = 0.05;      // eta_0.
+  BatchLimits limits;
+  // How often (in steps) EndStep refreshes the agent report and the
+  // recommended batch size.
+  long report_every_steps = 50;
+  AgentConfig agent;
+};
+
+class PolluxSession {
+ public:
+  explicit PolluxSession(SessionOptions options);
+
+  // Declares the resources the loop currently runs on (call at start and on
+  // every re-allocation).
+  void SetPlacement(const Placement& placement);
+
+  // Marks the beginning of one training step (starts the step timer).
+  void BeginStep();
+
+  struct StepDecision {
+    // AdaScale learning rate for the batch size that was just processed.
+    double learning_rate = 0.0;
+    // The AdaScale gain credited for this step.
+    double gain = 1.0;
+    // Goodput-recommended batch size for the current placement; the loop may
+    // adopt it for subsequent steps (refreshed every report interval).
+    long recommended_batch_size = 0;
+    // True when this EndStep refreshed the agent report.
+    bool reported = false;
+  };
+
+  // Completes one step: `replica_grads` holds each worker's gradient for the
+  // `batch_size` examples just processed. Uses the wall clock started by
+  // BeginStep (a manual duration can be supplied for testing/replay).
+  StepDecision EndStep(std::span<const std::vector<double>> replica_grads, long batch_size);
+  StepDecision EndStepWithDuration(std::span<const std::vector<double>> replica_grads,
+                                   long batch_size, double step_seconds);
+
+  // The goodput function to forward to PolluxSched.
+  AgentReport Report() { return agent_.MakeReport(); }
+
+  const PolluxAgent& agent() const { return agent_; }
+  const AdaScaleState& adascale() const { return adascale_; }
+  long steps() const { return adascale_.steps(); }
+  double phi() const { return adascale_.phi(); }
+
+ private:
+  SessionOptions options_;
+  PolluxAgent agent_;
+  AdaScaleState adascale_;
+  Placement placement_;
+  std::vector<double> previous_gradient_;
+  bool has_previous_gradient_ = false;
+  long recommended_batch_ = 0;
+  std::chrono::steady_clock::time_point step_start_;
+  bool timing_ = false;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_CORE_SESSION_H_

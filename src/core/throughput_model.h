@@ -1,0 +1,46 @@
+// The system throughput model of Sec. 3.2 (Eqns. 8-11):
+//
+//   T_grad(a, m) = alpha_grad + beta_grad * m / K                       (9)
+//   T_sync(a)    = 0                                   if K = 1
+//                = alpha_sync_local + beta_sync_local*(K-2)  if N = 1, K >= 2
+//                = alpha_sync_node  + beta_sync_node *(K-2)  otherwise  (10)
+//   T_iter       = (T_grad^gamma + T_sync^gamma)^(1/gamma)              (11)
+//   THROUGHPUT   = m / T_iter                                           (8)
+//
+// gamma >= 1 interpolates between no overlap (gamma = 1, sum) and perfect
+// overlap (gamma -> inf, max) of computation and communication.
+
+#ifndef POLLUX_CORE_THROUGHPUT_MODEL_H_
+#define POLLUX_CORE_THROUGHPUT_MODEL_H_
+
+#include "core/types.h"
+
+namespace pollux {
+
+// theta_sys, the 7-tuple of learnable system throughput parameters (Eqn. 12).
+struct ThroughputParams {
+  double alpha_grad = 0.0;
+  double beta_grad = 0.0;
+  double alpha_sync_local = 0.0;
+  double beta_sync_local = 0.0;
+  double alpha_sync_node = 0.0;
+  double beta_sync_node = 0.0;
+  double gamma = 1.0;
+};
+
+// Time per iteration spent computing local gradient estimates (Eqn. 9).
+double GradTime(const ThroughputParams& params, const Placement& placement, double batch_size);
+
+// Time per iteration spent synchronizing gradients/parameters (Eqn. 10).
+double SyncTime(const ThroughputParams& params, const Placement& placement);
+
+// Combined iteration time (Eqn. 11).
+double IterTime(const ThroughputParams& params, const Placement& placement, double batch_size);
+
+// Examples per second (Eqn. 8). Returns 0 for empty placements.
+double ModelThroughput(const ThroughputParams& params, const Placement& placement,
+                       double batch_size);
+
+}  // namespace pollux
+
+#endif  // POLLUX_CORE_THROUGHPUT_MODEL_H_

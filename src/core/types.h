@@ -1,0 +1,43 @@
+// Shared value types for the Pollux core library.
+
+#ifndef POLLUX_CORE_TYPES_H_
+#define POLLUX_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace pollux {
+
+// Summary of a job's resource allocation as seen by the throughput model
+// (Eqn. 10 depends on the allocation vector only through the number of GPUs K
+// and whether the replicas are co-located on a single node).
+struct Placement {
+  int num_gpus = 0;   // K: total GPUs allocated across all nodes.
+  int num_nodes = 0;  // N: nodes contributing at least one GPU.
+
+  bool operator==(const Placement&) const = default;
+};
+
+// Batch-size feasibility box for a job. The minimum is the user-provided
+// initial batch size m0 (Pollux only considers m >= m0); the maxima come from
+// GPU memory (per-replica) and from the model's tolerated global batch size.
+struct BatchLimits {
+  long min_batch = 1;           // m0.
+  long max_batch_total = 1;     // Largest global batch size considered.
+  long max_batch_per_gpu = 1;   // Largest per-replica batch that fits in memory.
+
+  // Largest feasible global batch size for the given number of replicas.
+  // Never below min_batch: a replica can always process its m0 share through
+  // gradient accumulation, matching AdaptDL's behaviour.
+  long MaxFeasible(int num_gpus) const {
+    const long by_memory = max_batch_per_gpu * static_cast<long>(num_gpus);
+    const long cap = by_memory < max_batch_total ? by_memory : max_batch_total;
+    return cap > min_batch ? cap : min_batch;
+  }
+  bool Feasible(int num_gpus, long batch_size) const {
+    return batch_size >= min_batch && batch_size <= MaxFeasible(num_gpus);
+  }
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_CORE_TYPES_H_

@@ -1,0 +1,82 @@
+#include "minidl/dataset.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace pollux {
+
+Dataset MakeSyntheticRegression(size_t n, size_t dim, size_t hidden_units, double noise_stddev,
+                                uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.features = Matrix(n, dim);
+  data.labels.resize(n);
+  for (double& x : data.features.data) {
+    x = rng.Normal(0.0, 1.0);
+  }
+  if (hidden_units == 0) {
+    std::vector<double> teacher(dim);
+    for (double& w : teacher) {
+      w = rng.Normal(0.0, 1.0);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      double y = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        y += teacher[d] * data.features.at(i, d);
+      }
+      data.labels[i] = y + rng.Normal(0.0, noise_stddev);
+    }
+    return data;
+  }
+  Matrix w1(hidden_units, dim);
+  std::vector<double> w2(hidden_units);
+  for (double& w : w1.data) {
+    w = rng.Normal(0.0, 1.0 / std::sqrt(static_cast<double>(dim)));
+  }
+  for (double& w : w2) {
+    w = rng.Normal(0.0, 1.0);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double y = 0.0;
+    for (size_t h = 0; h < hidden_units; ++h) {
+      double pre = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        pre += w1.at(h, d) * data.features.at(i, d);
+      }
+      y += w2[h] * std::tanh(pre);
+    }
+    data.labels[i] = y + rng.Normal(0.0, noise_stddev);
+  }
+  return data;
+}
+
+MinibatchSampler::MinibatchSampler(size_t n, uint64_t seed) : rng_state_(seed) {
+  order_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    order_[i] = i;
+  }
+  Shuffle();
+}
+
+void MinibatchSampler::Shuffle() {
+  Rng rng(rng_state_);
+  rng_state_ = rng.NextU64();
+  rng.Shuffle(order_);
+}
+
+std::vector<size_t> MinibatchSampler::Next(size_t batch) {
+  std::vector<size_t> indices;
+  indices.reserve(batch);
+  while (indices.size() < batch) {
+    if (cursor_ >= order_.size()) {
+      cursor_ = 0;
+      ++epochs_;
+      Shuffle();
+    }
+    indices.push_back(order_[cursor_++]);
+  }
+  return indices;
+}
+
+}  // namespace pollux

@@ -1,0 +1,47 @@
+// Synthetic datasets for the minidl training substrate.
+
+#ifndef POLLUX_MINIDL_DATASET_H_
+#define POLLUX_MINIDL_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "minidl/tensor.h"
+
+namespace pollux {
+
+struct Dataset {
+  Matrix features;             // n x dim.
+  std::vector<double> labels;  // n.
+
+  size_t size() const { return features.rows; }
+  size_t dim() const { return features.cols; }
+};
+
+// Regression data from a random nonlinear teacher:
+// y = tanh(W1 x) . w2 + noise. With hidden_units == 0 the teacher is linear.
+Dataset MakeSyntheticRegression(size_t n, size_t dim, size_t hidden_units, double noise_stddev,
+                                uint64_t seed);
+
+// A deterministic epoch-shuffled minibatch sampler over [0, n).
+class MinibatchSampler {
+ public:
+  MinibatchSampler(size_t n, uint64_t seed);
+
+  // Returns the next `batch` indices, reshuffling at epoch boundaries.
+  std::vector<size_t> Next(size_t batch);
+
+  size_t epochs_completed() const { return epochs_; }
+
+ private:
+  std::vector<size_t> order_;
+  size_t cursor_ = 0;
+  size_t epochs_ = 0;
+  uint64_t rng_state_;
+
+  void Shuffle();
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_MINIDL_DATASET_H_

@@ -1,0 +1,114 @@
+#include "minidl/mlp.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace pollux {
+
+Mlp::Mlp(size_t input_dim, size_t hidden_units, uint64_t seed)
+    : input_dim_(input_dim), hidden_units_(hidden_units) {
+  Rng rng(seed);
+  if (hidden_units_ == 0) {
+    params_.resize(input_dim_ + 1, 0.0);
+    for (size_t d = 0; d < input_dim_; ++d) {
+      params_[d] = rng.Normal(0.0, 1.0 / std::sqrt(static_cast<double>(input_dim_)));
+    }
+    return;
+  }
+  params_.resize(hidden_units_ * input_dim_ + hidden_units_ + hidden_units_ + 1, 0.0);
+  const double w1_scale = 1.0 / std::sqrt(static_cast<double>(input_dim_));
+  const double w2_scale = 1.0 / std::sqrt(static_cast<double>(hidden_units_));
+  for (size_t i = 0; i < hidden_units_ * input_dim_; ++i) {
+    params_[i] = rng.Normal(0.0, w1_scale);
+  }
+  const size_t w2_offset = hidden_units_ * input_dim_ + hidden_units_;
+  for (size_t h = 0; h < hidden_units_; ++h) {
+    params_[w2_offset + h] = rng.Normal(0.0, w2_scale);
+  }
+}
+
+double Mlp::Predict(const Dataset& data, size_t row, std::vector<double>* hidden_out) const {
+  if (hidden_units_ == 0) {
+    double y = params_[input_dim_];  // Bias.
+    for (size_t d = 0; d < input_dim_; ++d) {
+      y += params_[d] * data.features.at(row, d);
+    }
+    return y;
+  }
+  const size_t b1_offset = hidden_units_ * input_dim_;
+  const size_t w2_offset = b1_offset + hidden_units_;
+  const size_t b2_offset = w2_offset + hidden_units_;
+  double y = params_[b2_offset];
+  if (hidden_out != nullptr) {
+    hidden_out->resize(hidden_units_);
+  }
+  for (size_t h = 0; h < hidden_units_; ++h) {
+    double pre = params_[b1_offset + h];
+    const size_t w1_row = h * input_dim_;
+    for (size_t d = 0; d < input_dim_; ++d) {
+      pre += params_[w1_row + d] * data.features.at(row, d);
+    }
+    const double act = std::tanh(pre);
+    if (hidden_out != nullptr) {
+      (*hidden_out)[h] = act;
+    }
+    y += params_[w2_offset + h] * act;
+  }
+  return y;
+}
+
+double Mlp::Loss(const Dataset& data, std::span<const size_t> indices) const {
+  double total = 0.0;
+  for (size_t row : indices) {
+    const double err = Predict(data, row, nullptr) - data.labels[row];
+    total += err * err;
+  }
+  return indices.empty() ? 0.0 : total / static_cast<double>(indices.size());
+}
+
+double Mlp::LossAndGradient(const Dataset& data, std::span<const size_t> indices,
+                            std::vector<double>* gradient) const {
+  gradient->assign(params_.size(), 0.0);
+  if (indices.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  std::vector<double> hidden;
+  const double inv_n = 1.0 / static_cast<double>(indices.size());
+  for (size_t row : indices) {
+    const double prediction = Predict(data, row, &hidden);
+    const double err = prediction - data.labels[row];
+    total += err * err;
+    const double dl_dy = 2.0 * err * inv_n;  // d(MSE)/d(prediction).
+    if (hidden_units_ == 0) {
+      for (size_t d = 0; d < input_dim_; ++d) {
+        (*gradient)[d] += dl_dy * data.features.at(row, d);
+      }
+      (*gradient)[input_dim_] += dl_dy;
+      continue;
+    }
+    const size_t b1_offset = hidden_units_ * input_dim_;
+    const size_t w2_offset = b1_offset + hidden_units_;
+    const size_t b2_offset = w2_offset + hidden_units_;
+    (*gradient)[b2_offset] += dl_dy;
+    for (size_t h = 0; h < hidden_units_; ++h) {
+      (*gradient)[w2_offset + h] += dl_dy * hidden[h];
+      const double dl_dpre = dl_dy * params_[w2_offset + h] * (1.0 - hidden[h] * hidden[h]);
+      (*gradient)[b1_offset + h] += dl_dpre;
+      const size_t w1_row = h * input_dim_;
+      for (size_t d = 0; d < input_dim_; ++d) {
+        (*gradient)[w1_row + d] += dl_dpre * data.features.at(row, d);
+      }
+    }
+  }
+  return total * inv_n;
+}
+
+void Mlp::ApplyGradient(const std::vector<double>& gradient, double learning_rate) {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    params_[i] -= learning_rate * gradient[i];
+  }
+}
+
+}  // namespace pollux

@@ -1,0 +1,51 @@
+// A one-hidden-layer MLP (or plain linear model) with mean-squared-error
+// loss and exact backpropagation, exposing its parameters and gradients as
+// flat vectors — the representation the GNS estimators and AdaScale consume.
+
+#ifndef POLLUX_MINIDL_MLP_H_
+#define POLLUX_MINIDL_MLP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "minidl/dataset.h"
+
+namespace pollux {
+
+class Mlp {
+ public:
+  // hidden_units == 0 builds a linear regression model.
+  Mlp(size_t input_dim, size_t hidden_units, uint64_t seed);
+
+  size_t param_count() const { return params_.size(); }
+  const std::vector<double>& params() const { return params_; }
+  std::vector<double>& mutable_params() { return params_; }
+  void set_params(std::vector<double> params) { params_ = std::move(params); }
+
+  // Mean squared error over the given sample indices.
+  double Loss(const Dataset& data, std::span<const size_t> indices) const;
+
+  // MSE and its gradient (flat, same layout as params()) over the indices.
+  double LossAndGradient(const Dataset& data, std::span<const size_t> indices,
+                         std::vector<double>* gradient) const;
+
+  // In-place SGD update: params -= lr * gradient.
+  void ApplyGradient(const std::vector<double>& gradient, double learning_rate);
+
+  size_t input_dim() const { return input_dim_; }
+  size_t hidden_units() const { return hidden_units_; }
+
+ private:
+  // Parameter layout: [W1 (hidden x dim) | b1 (hidden) | w2 (hidden) | b2]
+  // for the MLP; [w (dim) | b] for the linear model.
+  double Predict(const Dataset& data, size_t row, std::vector<double>* hidden_out) const;
+
+  size_t input_dim_;
+  size_t hidden_units_;
+  std::vector<double> params_;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_MINIDL_MLP_H_

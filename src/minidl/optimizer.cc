@@ -1,0 +1,42 @@
+#include "minidl/optimizer.h"
+
+#include <algorithm>
+
+namespace pollux {
+
+SgdOptimizer::SgdOptimizer(size_t param_count, SgdOptions options)
+    : options_(options), velocity_(param_count, 0.0) {}
+
+void SgdOptimizer::Step(std::vector<double>& params, const std::vector<double>& gradient,
+                        double learning_rate) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    double g = gradient[i];
+    if (options_.weight_decay > 0.0) {
+      g += options_.weight_decay * params[i];
+    }
+    if (options_.momentum > 0.0) {
+      velocity_[i] = options_.momentum * velocity_[i] + g;
+      g = options_.nesterov ? gradient[i] + options_.momentum * velocity_[i] : velocity_[i];
+    }
+    params[i] -= learning_rate * g;
+  }
+}
+
+void SgdOptimizer::Reset() { std::fill(velocity_.begin(), velocity_.end(), 0.0); }
+
+StepDecaySchedule::StepDecaySchedule(double base_lr, std::vector<long> milestones, double factor)
+    : base_lr_(base_lr), milestones_(std::move(milestones)), factor_(factor) {
+  std::sort(milestones_.begin(), milestones_.end());
+}
+
+double StepDecaySchedule::LearningRateAt(long step) const {
+  double lr = base_lr_;
+  for (long milestone : milestones_) {
+    if (step >= milestone) {
+      lr *= factor_;
+    }
+  }
+  return lr;
+}
+
+}  // namespace pollux

@@ -1,0 +1,79 @@
+#include "minidl/tensor.h"
+
+#include <cmath>
+
+namespace pollux {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows, b.cols);
+  for (size_t i = 0; i < a.rows; ++i) {
+    for (size_t k = 0; k < a.cols; ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) {
+        continue;
+      }
+      for (size_t j = 0; j < b.cols; ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposed(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows, b.rows);
+  for (size_t i = 0; i < a.rows; ++i) {
+    for (size_t j = 0; j < b.rows; ++j) {
+      double total = 0.0;
+      for (size_t k = 0; k < a.cols; ++k) {
+        total += a.at(i, k) * b.at(j, k);
+      }
+      c.at(i, j) = total;
+    }
+  }
+  return c;
+}
+
+void TanhInPlace(Matrix& m) {
+  for (double& x : m.data) {
+    x = std::tanh(x);
+  }
+}
+
+Matrix TanhDerivativeFromOutput(const Matrix& tanh_output) {
+  Matrix d(tanh_output.rows, tanh_output.cols);
+  for (size_t i = 0; i < d.data.size(); ++i) {
+    d.data[i] = 1.0 - tanh_output.data[i] * tanh_output.data[i];
+  }
+  return d;
+}
+
+void HadamardInPlace(Matrix& a, const Matrix& b) {
+  for (size_t i = 0; i < a.data.size(); ++i) {
+    a.data[i] *= b.data[i];
+  }
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    total += a[i] * b[i];
+  }
+  return total;
+}
+
+double SquaredNorm(const std::vector<double>& v) { return Dot(v, v); }
+
+void Scale(std::vector<double>& v, double factor) {
+  for (double& x : v) {
+    x *= factor;
+  }
+}
+
+}  // namespace pollux

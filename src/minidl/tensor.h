@@ -1,0 +1,50 @@
+// Minimal dense linear algebra for the minidl training substrate.
+//
+// The paper integrates PolluxAgent with PyTorch training loops; minidl is the
+// smallest real training stack that exercises the same integration surface:
+// real models, real gradients, real SGD — enough to drive AdaScale and the
+// gradient-noise-scale estimators end to end without a DL framework.
+
+#ifndef POLLUX_MINIDL_TENSOR_H_
+#define POLLUX_MINIDL_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pollux {
+
+// Row-major dense matrix.
+struct Matrix {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<double> data;
+
+  Matrix() = default;
+  Matrix(size_t r, size_t c) : rows(r), cols(c), data(r * c, 0.0) {}
+
+  double& at(size_t r, size_t c) { return data[r * cols + c]; }
+  double at(size_t r, size_t c) const { return data[r * cols + c]; }
+};
+
+// C = A * B. Dimensions must agree.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// C = A * B^T.
+Matrix MatMulTransposed(const Matrix& a, const Matrix& b);
+
+// Element-wise tanh and its derivative (1 - tanh^2), applied in place.
+void TanhInPlace(Matrix& m);
+Matrix TanhDerivativeFromOutput(const Matrix& tanh_output);
+
+// Element-wise product, in place into `a`.
+void HadamardInPlace(Matrix& a, const Matrix& b);
+
+// Vector helpers over flattened parameter/gradient vectors.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+double SquaredNorm(const std::vector<double>& v);
+void Scale(std::vector<double>& v, double factor);
+
+}  // namespace pollux
+
+#endif  // POLLUX_MINIDL_TENSOR_H_

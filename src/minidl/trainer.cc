@@ -1,0 +1,72 @@
+#include "minidl/trainer.h"
+
+#include <algorithm>
+
+#include "core/gns.h"
+#include "minidl/tensor.h"
+
+namespace pollux {
+
+DataParallelTrainer::DataParallelTrainer(Mlp* model, const Dataset* data, TrainerOptions options)
+    : model_(model),
+      data_(data),
+      options_(options),
+      sampler_(data->size(), options.seed),
+      adascale_(options.base_batch_size, options.base_lr, options.gns_smoothing),
+      optimizer_(model->param_count(), options.sgd),
+      schedule_(options.base_lr, options.lr_milestones, options.lr_decay_factor) {}
+
+double DataParallelTrainer::Step(long batch_size) {
+  const long m = std::max(batch_size, options_.base_batch_size);
+  const int replicas = std::max(1, options_.replicas);
+  const std::vector<size_t> indices = sampler_.Next(static_cast<size_t>(m));
+
+  // Per-replica gradients over disjoint shards of the global batch.
+  std::vector<std::vector<double>> replica_grads(static_cast<size_t>(replicas));
+  std::vector<double> mean_gradient(model_->param_count(), 0.0);
+  double loss = 0.0;
+  const size_t shard = indices.size() / static_cast<size_t>(replicas);
+  for (int r = 0; r < replicas; ++r) {
+    const size_t begin = static_cast<size_t>(r) * shard;
+    const size_t end = r == replicas - 1 ? indices.size() : begin + shard;
+    const std::span<const size_t> slice(indices.data() + begin, end - begin);
+    loss += model_->LossAndGradient(*data_, slice, &replica_grads[static_cast<size_t>(r)]) *
+            static_cast<double>(slice.size());
+    Axpy(1.0, replica_grads[static_cast<size_t>(r)], mean_gradient);
+  }
+  loss /= static_cast<double>(indices.size());
+  Scale(mean_gradient, 1.0 / replicas);
+
+  // Gradient moment estimation: multi-replica when possible, differenced
+  // estimator with a single worker (Sec. 3.1).
+  std::optional<GnsSample> sample;
+  if (replicas >= 2) {
+    sample = EstimateGnsFromReplicas(replica_grads, static_cast<double>(m));
+  } else if (has_previous_gradient_) {
+    sample = EstimateGnsDifferenced(previous_gradient_, mean_gradient, static_cast<double>(m));
+  }
+  previous_gradient_ = mean_gradient;
+  last_replica_gradients_ = std::move(replica_grads);
+  has_previous_gradient_ = true;
+
+  if (sample.has_value()) {
+    last_gain_ = adascale_.Update(*sample, m);
+  } else {
+    last_gain_ = adascale_.GainAt(m);
+  }
+  // AdaScale's gain scales the (possibly step-decayed) base learning rate.
+  const double scheduled = schedule_.LearningRateAt(adascale_.steps());
+  last_lr_ = last_gain_ * scheduled;
+  optimizer_.Step(model_->mutable_params(), mean_gradient, last_lr_);
+  return loss;
+}
+
+double DataParallelTrainer::FullLoss() const {
+  std::vector<size_t> all(data_->size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    all[i] = i;
+  }
+  return model_->Loss(*data_, all);
+}
+
+}  // namespace pollux

@@ -1,0 +1,82 @@
+// Data-parallel SGD trainer integrating AdaScale and the GNS estimators with
+// a real training loop (Sec. 4.3's PolluxAgent-in-PyTorch integration, scaled
+// down to minidl).
+//
+// Each Step(m) splits a global batch of m samples across `replicas` simulated
+// workers, computes each worker's real gradient, estimates the gradient
+// moments from the per-replica gradients (or the single-replica differenced
+// estimator when replicas == 1), updates AdaScale, and applies the averaged
+// gradient with the AdaScale-adapted learning rate.
+
+#ifndef POLLUX_MINIDL_TRAINER_H_
+#define POLLUX_MINIDL_TRAINER_H_
+
+#include "core/adascale.h"
+#include "minidl/dataset.h"
+#include "minidl/mlp.h"
+#include "minidl/optimizer.h"
+
+namespace pollux {
+
+struct TrainerOptions {
+  long base_batch_size = 32;  // m0.
+  double base_lr = 0.05;      // eta_0.
+  int replicas = 1;           // Simulated data-parallel workers.
+  double gns_smoothing = 0.9;
+  uint64_t seed = 1;
+  // Momentum / weight-decay SGD (0 = plain SGD).
+  SgdOptions sgd;
+  // Step-decay milestones (in real steps) and factor; empty = constant base
+  // LR. AdaScale's gain multiplies the scheduled LR.
+  std::vector<long> lr_milestones;
+  double lr_decay_factor = 0.1;
+};
+
+class DataParallelTrainer {
+ public:
+  // `model` and `data` must outlive the trainer.
+  DataParallelTrainer(Mlp* model, const Dataset* data, TrainerOptions options);
+
+  // Runs one data-parallel SGD step with the given global batch size
+  // (m >= m0). Returns the training loss over the batch.
+  double Step(long batch_size);
+
+  // Statistical progress in m0-equivalent iterations (sum of AdaScale gains).
+  double ScaleInvariantIterations() const { return adascale_.scale_invariant_iterations(); }
+
+  const AdaScaleState& adascale() const { return adascale_; }
+  long steps() const { return adascale_.steps(); }
+  double last_gain() const { return last_gain_; }
+  double last_learning_rate() const { return last_lr_; }
+  int replicas() const { return options_.replicas; }
+
+  // Full-dataset loss (for validation-style checks).
+  double FullLoss() const;
+
+  // Averaged gradient of the most recent step (empty before the first step).
+  const std::vector<double>& last_gradient() const { return previous_gradient_; }
+
+  // Per-replica gradients of the most recent step (what a framework hook
+  // would hand to the GNS estimators).
+  const std::vector<std::vector<double>>& last_replica_gradients() const {
+    return last_replica_gradients_;
+  }
+
+ private:
+  Mlp* model_;
+  const Dataset* data_;
+  TrainerOptions options_;
+  MinibatchSampler sampler_;
+  AdaScaleState adascale_;
+  SgdOptimizer optimizer_;
+  StepDecaySchedule schedule_;
+  std::vector<double> previous_gradient_;  // For the differenced estimator.
+  std::vector<std::vector<double>> last_replica_gradients_;
+  bool has_previous_gradient_ = false;
+  double last_gain_ = 1.0;
+  double last_lr_ = 0.0;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_MINIDL_TRAINER_H_

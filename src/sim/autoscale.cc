@@ -1,0 +1,57 @@
+#include "sim/autoscale.h"
+
+#include <algorithm>
+
+namespace pollux {
+
+int GoodputAutoscaler::DecideNodes(const SchedulerContext& context, int current_nodes,
+                                   int gpus_per_node) {
+  if (context.jobs.empty()) {
+    return config_.min_nodes;
+  }
+  const double utility = policy_->sched().last_utility();
+  const auto& reports = policy_->last_reports();
+  const AutoscaleDecision decision =
+      DecideNodeCount(config_, current_nodes, utility, [&](int nodes) {
+        return policy_->sched().EvaluateUtilityAt(nodes, gpus_per_node, reports);
+      });
+  return decision.target_nodes;
+}
+
+int ThroughputAutoscaler::DecideNodes(const SchedulerContext& context, int current_nodes,
+                                      int gpus_per_node) {
+  (void)current_nodes;
+  if (context.jobs.empty()) {
+    return min_nodes_;
+  }
+  // Single large job is the Fig. 10 scenario; with several jobs, use the sum
+  // of per-job throughput ratios.
+  int best = min_nodes_;
+  for (int nodes = min_nodes_; nodes <= max_nodes_; ++nodes) {
+    double per_gpu_fraction = 0.0;
+    for (const auto& job : context.jobs) {
+      const auto& model = job.agent.model;
+      const BatchLimits& limits = job.agent.limits;
+      const int gpus = nodes * gpus_per_node;
+      const Placement placement{gpus, nodes};
+      // Throughput-maximizing batch: throughput increases with batch size, so
+      // the largest feasible batch is optimal under a throughput-only model.
+      const long batch = limits.MaxFeasible(gpus);
+      const double many = model.ThroughputAt(placement, static_cast<double>(batch));
+      const long base_batch = limits.MaxFeasible(1);
+      const double one =
+          model.ThroughputAt(Placement{1, 1}, static_cast<double>(base_batch));
+      if (one <= 0.0) {
+        continue;
+      }
+      per_gpu_fraction += many / (one * gpus);
+    }
+    per_gpu_fraction /= static_cast<double>(context.jobs.size());
+    if (per_gpu_fraction >= threshold_) {
+      best = nodes;
+    }
+  }
+  return best;
+}
+
+}  // namespace pollux

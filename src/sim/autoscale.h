@@ -1,0 +1,68 @@
+// Cluster autoscaling strategies for the cloud experiments (Sec. 4.2.2,
+// Sec. 5.3.3 / Fig. 10).
+//
+// GoodputAutoscaler is Pollux's utility-band policy: it binary-searches the
+// node count whose achievable UTILITY (Eqn. 17) is closest to the band's
+// midpoint, evaluating candidates with what-if genetic-algorithm runs.
+//
+// ThroughputAutoscaler reproduces the Or et al. baseline: it models job
+// performance with system throughput only (no statistical efficiency), so it
+// scales out as soon as the throughput-per-GPU stays above a utilization
+// threshold — early and aggressively, regardless of training progress.
+
+#ifndef POLLUX_SIM_AUTOSCALE_H_
+#define POLLUX_SIM_AUTOSCALE_H_
+
+#include "core/autoscaler.h"
+#include "sim/pollux_policy.h"
+#include "sim/scheduler.h"
+
+namespace pollux {
+
+class ClusterAutoscaler {
+ public:
+  virtual ~ClusterAutoscaler() = default;
+
+  // Returns the desired number of nodes for the next interval.
+  virtual int DecideNodes(const SchedulerContext& context, int current_nodes,
+                          int gpus_per_node) = 0;
+  virtual const char* name() const = 0;
+};
+
+// Pollux goodput/utility-driven autoscaling. Must be wired to the PolluxPolicy
+// whose scheduler state it probes.
+class GoodputAutoscaler : public ClusterAutoscaler {
+ public:
+  GoodputAutoscaler(AutoscaleConfig config, PolluxPolicy* policy)
+      : config_(config), policy_(policy) {}
+
+  int DecideNodes(const SchedulerContext& context, int current_nodes,
+                  int gpus_per_node) override;
+  const char* name() const override { return "pollux-goodput"; }
+
+ private:
+  AutoscaleConfig config_;
+  PolluxPolicy* policy_;
+};
+
+// Or et al.-style throughput-based autoscaling: pick the largest node count
+// whose predicted throughput-per-GPU (at the throughput-maximizing batch
+// size) stays above `utilization_threshold` of the single-GPU throughput.
+class ThroughputAutoscaler : public ClusterAutoscaler {
+ public:
+  ThroughputAutoscaler(int min_nodes, int max_nodes, double utilization_threshold)
+      : min_nodes_(min_nodes), max_nodes_(max_nodes), threshold_(utilization_threshold) {}
+
+  int DecideNodes(const SchedulerContext& context, int current_nodes,
+                  int gpus_per_node) override;
+  const char* name() const override { return "throughput"; }
+
+ private:
+  int min_nodes_;
+  int max_nodes_;
+  double threshold_;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_SIM_AUTOSCALE_H_

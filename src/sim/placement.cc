@@ -1,0 +1,108 @@
+#include "sim/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pollux {
+namespace {
+
+int RowTotal(const std::vector<int>& row) {
+  int total = 0;
+  for (int g : row) {
+    total += g;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::map<uint64_t, std::vector<int>> PlaceConsolidated(
+    const ClusterSpec& cluster, const std::vector<PlacementRequest>& requests,
+    const std::map<uint64_t, std::vector<int>>& current) {
+  const size_t num_nodes = cluster.gpus_per_node.size();
+  std::vector<int> free = cluster.gpus_per_node;
+  std::map<uint64_t, std::vector<int>> result;
+
+  // Pass 1: keep existing placements whose size already matches the request.
+  std::vector<PlacementRequest> remaining;
+  for (const auto& request : requests) {
+    if (request.num_gpus <= 0) {
+      result[request.job_id] = std::vector<int>(num_nodes, 0);
+      continue;
+    }
+    const auto it = current.find(request.job_id);
+    if (it != current.end() && RowTotal(it->second) == request.num_gpus &&
+        it->second.size() == num_nodes) {
+      result[request.job_id] = it->second;
+      for (size_t n = 0; n < num_nodes; ++n) {
+        free[n] -= it->second[n];
+      }
+      continue;
+    }
+    remaining.push_back(request);
+  }
+  // Kept placements can momentarily over-commit if the cluster shrank; drop
+  // kept rows on over-committed nodes back into the pool.
+  for (size_t n = 0; n < num_nodes; ++n) {
+    if (free[n] >= 0) {
+      continue;
+    }
+    for (auto& [job_id, row] : result) {
+      if (free[n] >= 0) {
+        break;
+      }
+      if (row[n] > 0) {
+        free[n] += row[n];
+        const int total = RowTotal(row);
+        row.assign(num_nodes, 0);
+        remaining.push_back(PlacementRequest{job_id, total});
+      }
+    }
+  }
+
+  // Pass 2: place the rest, largest requests first, each packed onto the
+  // fewest nodes by repeatedly taking the freest node.
+  std::stable_sort(remaining.begin(), remaining.end(),
+                   [](const PlacementRequest& a, const PlacementRequest& b) {
+                     return a.num_gpus > b.num_gpus;
+                   });
+  for (const auto& request : remaining) {
+    const int total_free = std::accumulate(free.begin(), free.end(), 0);
+    std::vector<int> row(num_nodes, 0);
+    if (request.num_gpus > total_free) {
+      result[request.job_id] = row;  // Cannot place; job waits.
+      continue;
+    }
+    int needed = request.num_gpus;
+    // Prefer a single node that fits the whole request (tightest such node),
+    // then spill to the freest nodes.
+    int best_single = -1;
+    for (size_t n = 0; n < num_nodes; ++n) {
+      if (free[n] >= needed &&
+          (best_single < 0 || free[n] < free[static_cast<size_t>(best_single)])) {
+        best_single = static_cast<int>(n);
+      }
+    }
+    if (best_single >= 0) {
+      row[static_cast<size_t>(best_single)] = needed;
+      free[static_cast<size_t>(best_single)] -= needed;
+      needed = 0;
+    }
+    while (needed > 0) {
+      size_t freest = 0;
+      for (size_t n = 1; n < num_nodes; ++n) {
+        if (free[n] > free[freest]) {
+          freest = n;
+        }
+      }
+      const int take = std::min(free[freest], needed);
+      row[freest] += take;
+      free[freest] -= take;
+      needed -= take;
+    }
+    result[request.job_id] = row;
+  }
+  return result;
+}
+
+}  // namespace pollux

@@ -1,0 +1,33 @@
+// Consolidated placement helper shared by the non-Pollux baselines.
+//
+// Tiresias and Optimus decide a GPU *count* per job; this helper turns counts
+// into per-node placements that (a) keep a job's existing placement when it
+// already holds exactly the requested count (avoiding needless restarts) and
+// (b) otherwise pack each job onto as few nodes as possible (both baselines
+// co-locate replicas for efficient synchronization).
+
+#ifndef POLLUX_SIM_PLACEMENT_H_
+#define POLLUX_SIM_PLACEMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/allocation.h"
+
+namespace pollux {
+
+struct PlacementRequest {
+  uint64_t job_id = 0;
+  int num_gpus = 0;
+};
+
+// Returns a per-node GPU row for every request (zero rows for num_gpus == 0
+// or when capacity ran out). `current` maps job ids to their existing rows.
+std::map<uint64_t, std::vector<int>> PlaceConsolidated(
+    const ClusterSpec& cluster, const std::vector<PlacementRequest>& requests,
+    const std::map<uint64_t, std::vector<int>>& current);
+
+}  // namespace pollux
+
+#endif  // POLLUX_SIM_PLACEMENT_H_

@@ -1,0 +1,23 @@
+#include "sim/pollux_policy.h"
+
+namespace pollux {
+
+PolluxPolicy::PolluxPolicy(ClusterSpec cluster, SchedConfig config)
+    : sched_(std::move(cluster), config) {}
+
+std::map<uint64_t, std::vector<int>> PolluxPolicy::Schedule(const SchedulerContext& context) {
+  last_reports_.clear();
+  last_reports_.reserve(context.jobs.size());
+  for (const auto& snapshot : context.jobs) {
+    SchedJobReport report;
+    report.agent = snapshot.agent;
+    report.gpu_time = snapshot.gpu_time;
+    report.current_allocation = snapshot.allocation;
+    last_reports_.push_back(std::move(report));
+  }
+  return sched_.Schedule(last_reports_);
+}
+
+void PolluxPolicy::OnClusterChanged(const ClusterSpec& cluster) { sched_.SetCluster(cluster); }
+
+}  // namespace pollux

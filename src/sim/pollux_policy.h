@@ -1,0 +1,34 @@
+// Scheduler-interface adapter that drives PolluxSched from the simulator.
+
+#ifndef POLLUX_SIM_POLLUX_POLICY_H_
+#define POLLUX_SIM_POLLUX_POLICY_H_
+
+#include "core/sched.h"
+#include "sim/scheduler.h"
+
+namespace pollux {
+
+class PolluxPolicy : public Scheduler {
+ public:
+  PolluxPolicy(ClusterSpec cluster, SchedConfig config);
+
+  std::map<uint64_t, std::vector<int>> Schedule(const SchedulerContext& context) override;
+  bool adapts_batch_size() const override { return true; }
+  void OnClusterChanged(const ClusterSpec& cluster) override;
+  const char* name() const override { return "pollux"; }
+
+  PolluxSched& sched() { return sched_; }
+  const PolluxSched& sched() const { return sched_; }
+
+  // The reports built during the most recent Schedule call (reused by the
+  // goodput autoscaler's what-if probes).
+  const std::vector<SchedJobReport>& last_reports() const { return last_reports_; }
+
+ private:
+  PolluxSched sched_;
+  std::vector<SchedJobReport> last_reports_;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_SIM_POLLUX_POLICY_H_

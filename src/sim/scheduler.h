@@ -1,0 +1,79 @@
+// Scheduler interface for the discrete-time cluster simulator.
+//
+// Each scheduling interval the simulator hands the active scheduler a
+// snapshot of every submitted-but-unfinished job and receives back a per-node
+// GPU allocation for each. The snapshot deliberately contains a superset of
+// what any one policy is allowed to use:
+//   * Pollux uses the PolluxAgent report (goodput function);
+//   * Optimus uses the fitted throughput model plus the oracle remaining
+//     iteration count (Sec. 5.2's Optimus+Oracle);
+//   * Tiresias uses only the user-requested GPU count and attained service.
+
+#ifndef POLLUX_SIM_SCHEDULER_H_
+#define POLLUX_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/allocation.h"
+#include "workload/model_profile.h"
+#include "workload/trace_gen.h"
+
+namespace pollux {
+
+struct JobSnapshot {
+  uint64_t job_id = 0;
+  const JobSpec* spec = nullptr;
+  const ModelProfile* profile = nullptr;
+  // Latest PolluxAgent report: fitted theta_sys, smoothed phi, limits, cap.
+  AgentReport agent;
+  // GPU-seconds consumed so far (Tiresias' attained service, Eqn. 16 input).
+  double gpu_time = 0.0;
+  // Current allocation (GPUs per node); empty when the job holds nothing.
+  std::vector<int> allocation;
+  double submit_time = 0.0;
+  // Oracle information (Optimus+Oracle only, Sec. 5.2: "we run each job
+  // ahead of time and provide Optimus with the exact number of iterations
+  // until completion"): exact remaining training iterations at the job's
+  // current batch size, and the exact single-GPU time those iterations would
+  // take — a stable job-length key that does not depend on the online fit.
+  double oracle_remaining_iterations = 0.0;
+  double oracle_single_gpu_remaining = 0.0;
+  // The batch size the job currently trains with.
+  long batch_size = 0;
+};
+
+struct SchedulerContext {
+  double now = 0.0;
+  const ClusterSpec* cluster = nullptr;
+  std::vector<JobSnapshot> jobs;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Returns the GPUs-per-node row for each job id. Jobs omitted from the map
+  // keep their current allocation.
+  virtual std::map<uint64_t, std::vector<int>> Schedule(const SchedulerContext& context) = 0;
+
+  // Whether jobs under this policy re-tune their batch size via the agent
+  // (true only for Pollux-style co-adaptive policies).
+  virtual bool adapts_batch_size() const { return false; }
+
+  // Whether batch-size adaptation maximizes system throughput only (the
+  // Or et al. cloud-autoscaling baseline of Sec. 5.3.3) instead of goodput.
+  // Only meaningful when adapts_batch_size() is true.
+  virtual bool throughput_only_batch() const { return false; }
+
+  // Notification that the autoscaler changed the cluster shape.
+  virtual void OnClusterChanged(const ClusterSpec& cluster) { (void)cluster; }
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_SIM_SCHEDULER_H_

@@ -1,0 +1,474 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/pollux_policy.h"
+#include "util/logging.h"
+
+namespace pollux {
+namespace {
+
+constexpr double kProgressEpsilon = 1e-6;
+
+Placement PlacementOf(const std::vector<int>& row) {
+  Placement placement;
+  for (int gpus : row) {
+    if (gpus > 0) {
+      placement.num_gpus += gpus;
+      ++placement.num_nodes;
+    }
+  }
+  return placement;
+}
+
+}  // namespace
+
+const char* SimEventKindName(SimEventKind kind) {
+  switch (kind) {
+    case SimEventKind::kSubmit:
+      return "submit";
+    case SimEventKind::kStart:
+      return "start";
+    case SimEventKind::kReallocate:
+      return "reallocate";
+    case SimEventKind::kPreempt:
+      return "preempt";
+    case SimEventKind::kComplete:
+      return "complete";
+    case SimEventKind::kClusterResize:
+      return "cluster_resize";
+  }
+  return "?";
+}
+
+struct Simulator::Job {
+  Job(const JobSpec& job_spec, const ModelProfile& model_profile, bool adaptive_batch,
+      Rng job_rng)
+      : spec(job_spec),
+        profile(&model_profile),
+        agent(job_spec.job_id, model_profile.base_batch_size, model_profile.base_lr,
+              model_profile.Limits()),
+        rng(job_rng),
+        batch(adaptive_batch ? model_profile.base_batch_size
+                             : std::max(job_spec.batch_size, model_profile.base_batch_size)) {}
+
+  JobSpec spec;
+  const ModelProfile* profile;
+  PolluxAgent agent;
+  Rng rng;
+
+  std::vector<int> alloc;  // GPUs per node; empty until first allocation.
+  Placement placement;
+  long batch;
+  double progress = 0.0;  // Reference examples completed.
+  bool finished = false;
+  double restart_until = 0.0;
+  double start_time = -1.0;
+  double finish_time = -1.0;
+  double gpu_time = 0.0;
+  int restarts = 0;
+  bool has_report = false;
+  AgentReport report;
+
+  // Time integrals while running.
+  double run_seconds = 0.0;
+  double eff_integral = 0.0;
+  double tput_integral = 0.0;
+  double goodput_integral = 0.0;
+
+  double TotalExamples() const { return profile->TotalExamples(); }
+  double ProgressFraction() const {
+    return std::clamp(progress / TotalExamples(), 0.0, 1.0);
+  }
+  bool Running(double now) const {
+    return !finished && placement.num_gpus > 0 && now >= restart_until;
+  }
+};
+
+Simulator::Simulator(SimOptions options, std::vector<JobSpec> trace, Scheduler* scheduler,
+                     ClusterAutoscaler* autoscaler)
+    : options_(std::move(options)),
+      cluster_(options_.cluster),
+      scheduler_(scheduler),
+      autoscaler_(autoscaler),
+      rng_(options_.seed),
+      trace_(std::move(trace)) {
+  std::sort(trace_.begin(), trace_.end(),
+            [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::ActivateSubmissions(double now) {
+  while (next_submission_ < trace_.size() && trace_[next_submission_].submit_time <= now) {
+    const JobSpec& spec = trace_[next_submission_];
+    jobs_.push_back(std::make_unique<Job>(spec, GetModelProfile(spec.model),
+                                          scheduler_->adapts_batch_size(), rng_.Fork()));
+    result_.events.push_back(
+        SimEvent{spec.submit_time, SimEventKind::kSubmit, spec.job_id, 0, 0});
+    ++next_submission_;
+  }
+}
+
+void Simulator::RefreshReports(double now) {
+  for (auto& job : jobs_) {
+    if (job->finished) {
+      continue;
+    }
+    job->report = job->agent.MakeReport();
+    job->has_report = true;
+    if (scheduler_->adapts_batch_size() && job->placement.num_gpus > 0) {
+      if (scheduler_->throughput_only_batch()) {
+        // Or et al.: throughput increases with batch size, so the largest
+        // feasible batch is "optimal" under a throughput-only model.
+        job->batch = job->agent.limits().MaxFeasible(job->placement.num_gpus);
+      } else {
+        const auto choice = job->agent.TuneBatchSize(job->placement);
+        if (choice.batch_size > 0) {
+          job->batch = choice.batch_size;
+        }
+      }
+    }
+  }
+  (void)now;
+}
+
+std::vector<JobSnapshot> Simulator::BuildSnapshots(double now) {
+  std::vector<JobSnapshot> snapshots;
+  for (auto& job : jobs_) {
+    if (job->finished) {
+      continue;
+    }
+    if (!job->has_report) {
+      job->report = job->agent.MakeReport();
+      job->has_report = true;
+    }
+    JobSnapshot snapshot;
+    snapshot.job_id = job->spec.job_id;
+    snapshot.spec = &job->spec;
+    snapshot.profile = job->profile;
+    snapshot.agent = job->report;
+    snapshot.gpu_time = job->gpu_time;
+    if (job->placement.num_gpus > 0) {
+      snapshot.allocation = job->alloc;
+    }
+    snapshot.submit_time = job->spec.submit_time;
+    snapshot.batch_size = job->batch;
+    const double efficiency =
+        job->profile->TrueEfficiency(job->batch, job->ProgressFraction());
+    const double per_iteration = static_cast<double>(job->batch) * efficiency;
+    snapshot.oracle_remaining_iterations =
+        per_iteration > 0.0 ? (job->TotalExamples() - job->progress) / per_iteration : 0.0;
+    snapshot.oracle_single_gpu_remaining =
+        snapshot.oracle_remaining_iterations *
+        job->profile->TrueIterTime(Placement{1, 1}, job->batch);
+    snapshots.push_back(std::move(snapshot));
+  }
+  (void)now;
+  return snapshots;
+}
+
+void Simulator::ApplyAllocation(Job& job, const std::vector<int>& row, double now) {
+  std::vector<int> new_row = row;
+  new_row.resize(cluster_.gpus_per_node.size(), 0);
+  std::vector<int> old_row = job.alloc;
+  old_row.resize(cluster_.gpus_per_node.size(), 0);
+  if (new_row == old_row) {
+    return;
+  }
+  const Placement new_placement = PlacementOf(new_row);
+  if (job.placement.num_gpus > 0) {
+    ++job.restarts;  // Had resources: must checkpoint before moving.
+  }
+  result_.events.push_back(SimEvent{
+      now, new_placement.num_gpus > 0 ? SimEventKind::kReallocate : SimEventKind::kPreempt,
+      job.spec.job_id, new_placement.num_gpus, new_placement.num_nodes});
+  job.alloc = std::move(new_row);
+  job.placement = new_placement;
+  if (new_placement.num_gpus > 0) {
+    job.restart_until = now + options_.restart_delay;
+    job.agent.NotifyAllocation(new_placement);
+    if (scheduler_->adapts_batch_size()) {
+      if (scheduler_->throughput_only_batch()) {
+        job.batch = job.agent.limits().MaxFeasible(new_placement.num_gpus);
+      } else {
+        const auto choice = job.agent.TuneBatchSize(new_placement);
+        if (choice.batch_size > 0) {
+          job.batch = choice.batch_size;
+        }
+      }
+    }
+  }
+}
+
+void Simulator::RunSchedulingRound(double now) {
+  SchedulerContext context;
+  context.now = now;
+  context.cluster = &cluster_;
+  context.jobs = BuildSnapshots(now);
+  const auto decisions = scheduler_->Schedule(context);
+  for (auto& job : jobs_) {
+    if (job->finished) {
+      continue;
+    }
+    const auto it = decisions.find(job->spec.job_id);
+    if (it != decisions.end()) {
+      ApplyAllocation(*job, it->second, now);
+    }
+  }
+}
+
+void Simulator::RunAutoscaling(double now) {
+  SchedulerContext context;
+  context.now = now;
+  context.cluster = &cluster_;
+  context.jobs = BuildSnapshots(now);
+  const int current = cluster_.NumNodes();
+  const int target = autoscaler_->DecideNodes(context, current, options_.gpus_per_node);
+  if (target == current || target <= 0) {
+    return;
+  }
+  Log(LogLevel::kInfo) << "autoscale at t=" << now << ": " << current << " -> " << target
+                       << " nodes";
+  result_.events.push_back(SimEvent{now, SimEventKind::kClusterResize, 0, 0, target});
+  cluster_ = ClusterSpec::Homogeneous(target, options_.gpus_per_node);
+  scheduler_->OnClusterChanged(cluster_);
+  for (auto& job : jobs_) {
+    if (job->finished || job->alloc.empty()) {
+      continue;
+    }
+    bool lost_gpus = false;
+    for (size_t n = static_cast<size_t>(target); n < job->alloc.size(); ++n) {
+      if (job->alloc[n] > 0) {
+        lost_gpus = true;
+      }
+    }
+    job->alloc.resize(static_cast<size_t>(target), 0);
+    if (lost_gpus) {
+      // The job's replicas on released nodes are gone; it checkpoints and
+      // waits for the next scheduling round.
+      job->alloc.assign(static_cast<size_t>(target), 0);
+      job->placement = Placement{};
+      ++job->restarts;
+    }
+  }
+}
+
+bool Simulator::JobSuffersInterference(const Job& job) const {
+  if (options_.interference_slowdown <= 0.0 || job.placement.num_nodes < 2) {
+    return false;
+  }
+  for (size_t n = 0; n < job.alloc.size(); ++n) {
+    if (job.alloc[n] <= 0) {
+      continue;
+    }
+    for (const auto& other : jobs_) {
+      if (other.get() == &job || other->finished || other->placement.num_nodes < 2) {
+        continue;
+      }
+      if (n < other->alloc.size() && other->alloc[n] > 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Simulator::AdvanceJobs(double now, double dt) {
+  for (auto& job : jobs_) {
+    if (!job->Running(now)) {
+      continue;
+    }
+    if (job->start_time < 0.0) {
+      job->start_time = now;
+      result_.events.push_back(SimEvent{now, SimEventKind::kStart, job->spec.job_id,
+                                        job->placement.num_gpus, job->placement.num_nodes});
+    }
+    const double slow =
+        JobSuffersInterference(*job) ? 1.0 - options_.interference_slowdown : 1.0;
+    const double iter_time = job->profile->TrueIterTime(job->placement, job->batch);
+    if (iter_time <= 0.0) {
+      continue;
+    }
+    const double throughput = static_cast<double>(job->batch) / iter_time * slow;
+    const double efficiency =
+        job->profile->TrueEfficiency(job->batch, job->ProgressFraction());
+    const double rate = throughput * efficiency;
+    const double remaining = job->TotalExamples() - job->progress;
+    double step = dt;
+    bool completes = false;
+    if (rate * dt >= remaining - kProgressEpsilon) {
+      step = remaining / rate;
+      completes = true;
+    }
+    job->progress += rate * step;
+    job->gpu_time += job->placement.num_gpus * step;
+    job->run_seconds += step;
+    job->eff_integral += efficiency * step;
+    job->tput_integral += throughput * step;
+    job->goodput_integral += rate * step;
+
+    // Profiling: the agent observes the iteration time (inflated by any
+    // interference) with multiplicative measurement noise, plus one gradient
+    // moment sample per tick.
+    const double observed_iter =
+        iter_time / slow * std::exp(job->rng.Normal(0.0, options_.observation_noise));
+    job->agent.RecordIteration(job->placement, job->batch, observed_iter);
+    const double phi = job->profile->gns.PhiAt(job->ProgressFraction());
+    GnsSample sample;
+    sample.cov_trace = phi * std::exp(job->rng.Normal(0.0, options_.gns_noise));
+    sample.grad_sqnorm = std::exp(job->rng.Normal(0.0, options_.gns_noise));
+    job->agent.RecordGradientStats(sample);
+
+    if (completes) {
+      job->finished = true;
+      job->finish_time = now + step;
+      job->alloc.assign(job->alloc.size(), 0);
+      job->placement = Placement{};
+      result_.events.push_back(
+          SimEvent{job->finish_time, SimEventKind::kComplete, job->spec.job_id, 0, 0});
+    }
+  }
+}
+
+void Simulator::RecordTimelineSample(double now) {
+  ClusterSample sample;
+  sample.time = now;
+  sample.nodes = cluster_.NumNodes();
+  sample.total_gpus = cluster_.TotalGpus();
+  double eff_sum = 0.0;
+  for (const auto& job : jobs_) {
+    if (job->finished || job->placement.num_gpus <= 0) {
+      continue;
+    }
+    ++sample.running_jobs;
+    sample.gpus_in_use += job->placement.num_gpus;
+    eff_sum += job->profile->TrueEfficiency(job->batch, job->ProgressFraction());
+    sample.max_batch_size = std::max(sample.max_batch_size, job->batch);
+  }
+  if (sample.running_jobs > 0) {
+    sample.mean_efficiency = eff_sum / sample.running_jobs;
+  }
+  if (const auto* pollux = dynamic_cast<const PolluxPolicy*>(scheduler_)) {
+    sample.utility = pollux->sched().last_utility();
+  }
+  result_.timeline.push_back(sample);
+}
+
+bool Simulator::AllJobsFinished() const {
+  if (next_submission_ < trace_.size()) {
+    return false;
+  }
+  for (const auto& job : jobs_) {
+    if (!job->finished) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SimResult Simulator::Run() {
+  double now = 0.0;
+  double next_report = 0.0;
+  double next_sched = 0.0;
+  double next_autoscale = options_.autoscale_interval;
+  while (now < options_.max_time) {
+    ActivateSubmissions(now);
+    if (now + 1e-9 >= next_report) {
+      RefreshReports(now);
+      next_report += options_.report_interval;
+    }
+    if (now + 1e-9 >= next_sched) {
+      RunSchedulingRound(now);
+      RecordTimelineSample(now);
+      next_sched += options_.sched_interval;
+    }
+    if (autoscaler_ != nullptr && now + 1e-9 >= next_autoscale) {
+      RunAutoscaling(now);
+      next_autoscale += options_.autoscale_interval;
+    }
+    if (AllJobsFinished()) {
+      break;
+    }
+    AdvanceJobs(now, options_.tick);
+    result_.node_seconds += cluster_.NumNodes() * options_.tick;
+    now += options_.tick;
+  }
+
+  result_.timed_out = !AllJobsFinished();
+  result_.makespan = 0.0;
+  for (const auto& job : jobs_) {
+    JobResult job_result;
+    job_result.job_id = job->spec.job_id;
+    job_result.model = job->spec.model;
+    job_result.category = job->profile->category;
+    job_result.submit_time = job->spec.submit_time;
+    job_result.start_time = job->start_time;
+    job_result.finish_time = job->finished ? job->finish_time : now;
+    job_result.gpu_time = job->gpu_time;
+    job_result.num_restarts = job->restarts;
+    job_result.completed = job->finished;
+    if (job->run_seconds > 0.0) {
+      job_result.avg_efficiency = job->eff_integral / job->run_seconds;
+      job_result.avg_throughput = job->tput_integral / job->run_seconds;
+      job_result.avg_goodput = job->goodput_integral / job->run_seconds;
+    }
+    result_.makespan = std::max(result_.makespan, job_result.finish_time);
+    result_.jobs.push_back(job_result);
+  }
+  return result_;
+}
+
+Summary SimResult::JctSummary() const {
+  std::vector<double> jcts;
+  jcts.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    jcts.push_back(job.Jct());
+  }
+  return Summarize(jcts);
+}
+
+double SimResult::AvgClusterEfficiency() const {
+  double total = 0.0;
+  int samples = 0;
+  for (const auto& sample : timeline) {
+    if (sample.running_jobs > 0) {
+      total += sample.mean_efficiency;
+      ++samples;
+    }
+  }
+  return samples > 0 ? total / samples : 0.0;
+}
+
+double SimResult::AvgUtilization() const {
+  double total = 0.0;
+  int samples = 0;
+  for (const auto& sample : timeline) {
+    if (sample.running_jobs > 0 && sample.total_gpus > 0) {
+      // gpus_in_use relative to the cluster size at that instant (the
+      // denominator matters under autoscaling).
+      total += static_cast<double>(sample.gpus_in_use) / sample.total_gpus;
+      ++samples;
+    }
+  }
+  return samples > 0 ? total / samples : 0.0;
+}
+
+double SimResult::AvgJobThroughput() const {
+  double total = 0.0;
+  for (const auto& job : jobs) {
+    total += job.avg_throughput;
+  }
+  return jobs.empty() ? 0.0 : total / static_cast<double>(jobs.size());
+}
+
+double SimResult::AvgJobGoodput() const {
+  double total = 0.0;
+  for (const auto& job : jobs) {
+    total += job.avg_goodput;
+  }
+  return jobs.empty() ? 0.0 : total / static_cast<double>(jobs.size());
+}
+
+}  // namespace pollux

@@ -1,0 +1,155 @@
+// Discrete-time cluster simulator (Sec. 5.3).
+//
+// The simulator advances a fixed-increment clock over a trace of job
+// submissions. Each job's actual speed comes from its model profile's hidden
+// ground truth (throughput params + GNS trajectory); its PolluxAgent only
+// sees noisy observations and must model the job online, exactly as in a
+// real deployment. Reproduced system effects, matching the paper's
+// simulator: placement-dependent synchronization time, 30-second
+// checkpoint-restart delays on reallocation, and optional network
+// interference between distributed jobs sharing a node. Progress is
+// accounted in reference examples so both system throughput and statistical
+// efficiency determine completion times.
+
+#ifndef POLLUX_SIM_SIMULATOR_H_
+#define POLLUX_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/allocation.h"
+#include "sim/autoscale.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/trace_gen.h"
+
+namespace pollux {
+
+struct SimOptions {
+  ClusterSpec cluster;
+  double tick = 1.0;                   // Simulation step, seconds.
+  double sched_interval = 60.0;        // PolluxSched cadence (Sec. 5.1).
+  double report_interval = 30.0;       // PolluxAgent cadence (Sec. 5.1).
+  double restart_delay = 30.0;         // Checkpoint-restart cost (Sec. 5.3).
+  double interference_slowdown = 0.0;  // Fig. 9 injection: 0, 0.25, 0.5.
+  double observation_noise = 0.05;     // Lognormal sigma on profiled T_iter.
+  double gns_noise = 0.10;             // Lognormal sigma on gradient moments.
+  double max_time = 14.0 * 24.0 * 3600.0;
+  uint64_t seed = 1;
+
+  // Cloud autoscaling (Fig. 10): when an autoscaler is attached, the cluster
+  // is resized to its decision every autoscale_interval.
+  double autoscale_interval = 300.0;
+  int gpus_per_node = 4;
+};
+
+struct JobResult {
+  uint64_t job_id = 0;
+  ModelKind model = ModelKind::kResNet18Cifar10;
+  JobCategory category = JobCategory::kSmall;
+  double submit_time = 0.0;
+  double start_time = -1.0;
+  double finish_time = -1.0;
+  double gpu_time = 0.0;
+  int num_restarts = 0;
+  bool completed = false;
+  // Time-averaged statistics while the job was running.
+  double avg_efficiency = 0.0;
+  double avg_throughput = 0.0;
+  double avg_goodput = 0.0;
+
+  double Jct() const { return finish_time - submit_time; }
+};
+
+// Structured lifecycle event, for post-hoc analysis and debugging.
+enum class SimEventKind {
+  kSubmit,         // Job arrived.
+  kStart,          // Job ran its first iteration.
+  kReallocate,     // Job's allocation changed (gpus/nodes = new placement).
+  kPreempt,        // Job's allocation dropped to zero.
+  kComplete,       // Job finished.
+  kClusterResize,  // Autoscaler changed the node count (nodes = new count).
+};
+
+const char* SimEventKindName(SimEventKind kind);
+
+struct SimEvent {
+  double time = 0.0;
+  SimEventKind kind = SimEventKind::kSubmit;
+  uint64_t job_id = 0;  // Unused for kClusterResize.
+  int gpus = 0;
+  int nodes = 0;
+};
+
+// One sample of cluster-level state, recorded every scheduling interval.
+struct ClusterSample {
+  double time = 0.0;
+  int nodes = 0;
+  int total_gpus = 0;
+  int gpus_in_use = 0;
+  int running_jobs = 0;
+  double mean_efficiency = 0.0;  // True statistical efficiency of running jobs.
+  double utility = 0.0;          // Pollux policies only; 0 otherwise.
+  long max_batch_size = 0;       // Largest batch among running jobs.
+};
+
+struct SimResult {
+  std::vector<JobResult> jobs;
+  std::vector<ClusterSample> timeline;
+  std::vector<SimEvent> events;
+  double makespan = 0.0;
+  double node_seconds = 0.0;  // For cloud cost accounting.
+  bool timed_out = false;
+
+  Summary JctSummary() const;
+  // Time-weighted average of ClusterSample::mean_efficiency over samples with
+  // at least one running job.
+  double AvgClusterEfficiency() const;
+  // Average fraction of cluster GPUs in use over samples with at least one
+  // active job.
+  double AvgUtilization() const;
+  double AvgJobThroughput() const;
+  double AvgJobGoodput() const;
+};
+
+class Simulator {
+ public:
+  // `scheduler` must outlive the simulator; `autoscaler` may be null.
+  Simulator(SimOptions options, std::vector<JobSpec> trace, Scheduler* scheduler,
+            ClusterAutoscaler* autoscaler = nullptr);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimResult Run();
+
+ private:
+  struct Job;
+
+  void ActivateSubmissions(double now);
+  void RefreshReports(double now);
+  void RunSchedulingRound(double now);
+  void RunAutoscaling(double now);
+  void AdvanceJobs(double now, double dt);
+  void ApplyAllocation(Job& job, const std::vector<int>& row, double now);
+  void RecordTimelineSample(double now);
+  bool AllJobsFinished() const;
+  std::vector<JobSnapshot> BuildSnapshots(double now);
+  bool JobSuffersInterference(const Job& job) const;
+
+  SimOptions options_;
+  ClusterSpec cluster_;
+  Scheduler* scheduler_;
+  ClusterAutoscaler* autoscaler_;
+  Rng rng_;
+  std::vector<JobSpec> trace_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  size_t next_submission_ = 0;
+  SimResult result_;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_SIM_SIMULATOR_H_

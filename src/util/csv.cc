@@ -1,0 +1,92 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pollux {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+        out << ' ';
+      }
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.size() - 1);
+  for (size_t i = 0; i < total; ++i) {
+    out << '-';
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    const std::string& cell = cells[i];
+    const bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) {
+      out_ << cell;
+      continue;
+    }
+    out_ << '"';
+    for (char ch : cell) {
+      if (ch == '"') {
+        out_ << "\"\"";
+      } else {
+        out_ << ch;
+      }
+    }
+    out_ << '"';
+  }
+  out_ << '\n';
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string FormatDuration(double seconds) {
+  char buffer[64];
+  if (seconds >= 3600.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fh", seconds / 3600.0);
+  } else if (seconds >= 60.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fs", seconds);
+  }
+  return buffer;
+}
+
+}  // namespace pollux

@@ -1,0 +1,50 @@
+// Tabular output helpers: the benchmark binaries print the same rows/series
+// the paper reports. TablePrinter renders an aligned console table; CsvWriter
+// emits machine-readable CSV for plotting.
+
+#ifndef POLLUX_UTIL_CSV_H_
+#define POLLUX_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pollux {
+
+// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders the table (header, separator, rows) to the stream.
+  void Print(std::ostream& out) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Minimal CSV writer with RFC-4180-style quoting of cells that contain
+// commas, quotes, or newlines.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& out_;
+};
+
+// Formats a double with the given number of decimal places.
+std::string FormatDouble(double value, int decimals = 2);
+
+// Formats seconds as e.g. "1.2h" / "43m" / "12s" for human-readable tables.
+std::string FormatDuration(double seconds);
+
+}  // namespace pollux
+
+#endif  // POLLUX_UTIL_CSV_H_

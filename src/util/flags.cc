@@ -1,0 +1,108 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pollux {
+
+void FlagParser::DefineInt(const std::string& name, int64_t default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{Type::kInt, std::to_string(default_value), help};
+}
+
+void FlagParser::DefineDouble(const std::string& name, double default_value,
+                              const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, std::to_string(default_value), help};
+}
+
+void FlagParser::DefineString(const std::string& name, const std::string& default_value,
+                              const std::string& help) {
+  flags_[name] = Flag{Type::kString, default_value, help};
+}
+
+void FlagParser::DefineBool(const std::string& name, bool default_value, const std::string& help) {
+  flags_[name] = Flag{Type::kBool, default_value ? "true" : "false", help};
+}
+
+bool FlagParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+    return false;
+  }
+  it->second.value = value;
+  return true;
+}
+
+bool FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      if (!SetValue(arg.substr(0, eq), arg.substr(eq + 1))) {
+        return false;
+      }
+      continue;
+    }
+    // --no-flag form for booleans.
+    if (arg.rfind("no-", 0) == 0) {
+      const std::string name = arg.substr(3);
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        it->second.value = "false";
+        continue;
+      }
+    }
+    auto it = flags_.find(arg);
+    if (it != flags_.end() && it->second.type == Type::kBool) {
+      it->second.value = "true";
+      continue;
+    }
+    // --key value form.
+    if (i + 1 < argc) {
+      if (!SetValue(arg, argv[++i])) {
+        return false;
+      }
+      continue;
+    }
+    std::fprintf(stderr, "flag --%s is missing a value\n", arg.c_str());
+    return false;
+  }
+  return true;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return std::strtoll(flags_.at(name).value.c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::strtod(flags_.at(name).value.c_str(), nullptr);
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return flags_.at(name).value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const std::string& v = flags_.at(name).value;
+  return v == "true" || v == "1" || v == "yes";
+}
+
+void FlagParser::PrintUsage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::fprintf(stderr, "  --%s (default: %s)\n      %s\n", name.c_str(), flag.value.c_str(),
+                 flag.help.c_str());
+  }
+}
+
+}  // namespace pollux

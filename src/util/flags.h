@@ -1,0 +1,50 @@
+// Tiny command-line flag parser used by the bench/example binaries.
+// Supports --key=value and --key value forms plus boolean --flag /
+// --no-flag. Unknown flags are an error so typos fail loudly.
+
+#ifndef POLLUX_UTIL_FLAGS_H_
+#define POLLUX_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pollux {
+
+class FlagParser {
+ public:
+  // Registers a flag with a default value and help text. Must be called
+  // before Parse().
+  void DefineInt(const std::string& name, int64_t default_value, const std::string& help);
+  void DefineDouble(const std::string& name, double default_value, const std::string& help);
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value, const std::string& help);
+
+  // Parses argv. Returns false (after printing usage) on --help or any
+  // malformed/unknown flag.
+  bool Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  void PrintUsage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string value;
+    std::string help;
+  };
+
+  bool SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_UTIL_FLAGS_H_

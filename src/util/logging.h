@@ -1,0 +1,48 @@
+// Leveled logging with a process-global threshold. The simulator logs
+// scheduling decisions at kDebug; benches default to kWarning so output stays
+// readable.
+
+#ifndef POLLUX_UTIL_LOGGING_H_
+#define POLLUX_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pollux {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Sets/gets the process-global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr if `level` passes the threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+// Stream-style helper: Log(LogLevel::kInfo) << "jobs=" << n;
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream();
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+inline LogStream Log(LogLevel level) { return LogStream(level); }
+
+}  // namespace pollux
+
+#endif  // POLLUX_UTIL_LOGGING_H_

@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Everything in the simulator and the benchmarks must be reproducible from a
+// single 64-bit seed, so we implement a small, fast, well-understood PRNG
+// (xoshiro256**, seeded via splitmix64) rather than relying on the
+// implementation-defined distributions in <random>. All distribution sampling
+// is implemented in this file so results are identical across platforms and
+// standard libraries.
+
+#ifndef POLLUX_UTIL_RNG_H_
+#define POLLUX_UTIL_RNG_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pollux {
+
+// xoshiro256** generator. Satisfies the UniformRandomBitGenerator concept so
+// it can also be plugged into <algorithm> utilities if needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  // Raw 64 random bits.
+  uint64_t NextU64();
+  result_type operator()() { return NextU64(); }
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller (cached second value).
+  double Normal();
+
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  // Lognormal such that the *median* of the distribution is `median` and the
+  // underlying normal has standard deviation `sigma_log`.
+  double LogNormal(double median, double sigma_log);
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // normal approximation for large ones).
+  int64_t Poisson(double mean);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Requires at least one strictly positive weight.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Derives an independent child generator; used to give each job / component
+  // its own stream so adding components does not perturb others.
+  Rng Fork();
+
+ private:
+  std::array<uint64_t, 4> state_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_UTIL_RNG_H_

@@ -1,0 +1,90 @@
+// Descriptive statistics used throughout the simulator and the benchmark
+// harnesses: one-shot summaries over vectors plus a Welford-style running
+// accumulator for streaming metrics.
+
+#ifndef POLLUX_UTIL_STATS_H_
+#define POLLUX_UTIL_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace pollux {
+
+// Arithmetic mean; 0 for an empty range.
+double Mean(const std::vector<double>& values);
+
+// Unbiased (n-1) sample variance; 0 when fewer than two values.
+double Variance(const std::vector<double>& values);
+
+double StdDev(const std::vector<double>& values);
+
+// Linear-interpolation percentile, q in [0, 100]. Copies and sorts internally.
+double Percentile(std::vector<double> values, double q);
+
+double Median(std::vector<double> values);
+
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+double Sum(const std::vector<double>& values);
+
+// Five-number-style summary of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+Summary Summarize(const std::vector<double>& values);
+
+// Numerically stable streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double value);
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
+// bins. Used for the trace-shape benchmark (Fig. 6).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double value);
+  size_t bin_count(size_t bin) const { return counts_[bin]; }
+  size_t bins() const { return counts_.size(); }
+  size_t total() const { return total_; }
+  // Inclusive lower edge of the given bin.
+  double bin_lo(size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_UTIL_STATS_H_

@@ -1,0 +1,181 @@
+#include "workload/model_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/efficiency.h"
+
+namespace pollux {
+
+double GnsCurve::PhiAt(double progress_fraction) const {
+  const double p = std::clamp(progress_fraction, 0.0, 1.0);
+  const double lo = std::max(phi_start, 1e-6);
+  const double hi = std::max(phi_end, lo);
+  double phi = lo * std::pow(hi / lo, p);
+  for (double point : decay_points) {
+    if (p >= point) {
+      phi *= decay_boost;
+    }
+  }
+  return phi;
+}
+
+BatchLimits ModelProfile::Limits() const {
+  BatchLimits limits;
+  limits.min_batch = base_batch_size;
+  limits.max_batch_total = max_batch_total;
+  limits.max_batch_per_gpu = max_batch_per_gpu;
+  return limits;
+}
+
+double ModelProfile::TrueIterTime(const Placement& placement, long batch_size) const {
+  return IterTime(true_params, placement, static_cast<double>(batch_size));
+}
+
+double ModelProfile::TrueThroughput(const Placement& placement, long batch_size) const {
+  return ModelThroughput(true_params, placement, static_cast<double>(batch_size));
+}
+
+double ModelProfile::TrueEfficiency(long batch_size, double progress_fraction) const {
+  return StatisticalEfficiency(gns.PhiAt(progress_fraction),
+                               static_cast<double>(base_batch_size),
+                               static_cast<double>(batch_size));
+}
+
+double ModelProfile::TrueGoodput(const Placement& placement, long batch_size,
+                                 double progress_fraction) const {
+  return TrueThroughput(placement, batch_size) * TrueEfficiency(batch_size, progress_fraction);
+}
+
+namespace {
+
+// Calibrated so that single-GPU completion times land in each model's Table-1
+// GPU-time category on T4-class hardware, and scaling/efficiency shapes match
+// the paper's figures (see DESIGN.md).
+ModelProfile MakeResNet50() {
+  ModelProfile p;
+  p.name = "resnet50-imagenet";
+  p.kind = ModelKind::kResNet50ImageNet;
+  p.category = JobCategory::kXLarge;
+  p.true_params = {0.02, 0.010, 0.08, 0.004, 0.25, 0.012, 2.2};
+  p.gns = GnsCurve{1500.0, 8000.0, {1.0 / 3.0, 2.0 / 3.0}, 3.0};
+  p.base_batch_size = 200;
+  p.base_lr = 0.1;
+  p.max_batch_per_gpu = 256;
+  p.max_batch_total = 32000;
+  p.dataset_size = 1281650.0;
+  p.target_epochs = 45.0;
+  return p;
+}
+
+ModelProfile MakeYoloV3() {
+  ModelProfile p;
+  p.name = "yolov3-voc";
+  p.kind = ModelKind::kYoloV3Voc;
+  p.category = JobCategory::kLarge;
+  p.true_params = {0.05, 0.0167, 0.10, 0.005, 0.30, 0.015, 2.0};
+  p.gns = GnsCurve{30.0, 300.0, {0.6}, 2.0};
+  p.base_batch_size = 8;
+  p.base_lr = 1e-3;
+  p.max_batch_per_gpu = 8;
+  p.max_batch_total = 128;
+  p.dataset_size = 16551.0;
+  p.target_epochs = 180.0;
+  return p;
+}
+
+ModelProfile MakeDeepSpeech2() {
+  ModelProfile p;
+  p.name = "deepspeech2-arctic";
+  p.kind = ModelKind::kDeepSpeech2;
+  p.category = JobCategory::kMedium;
+  p.true_params = {0.05, 3.3e-3, 0.05, 0.003, 0.15, 0.008, 2.0};
+  p.gns = GnsCurve{150.0, 1500.0, {}, 1.0};
+  p.base_batch_size = 32;
+  p.base_lr = 3e-4;
+  p.max_batch_per_gpu = 32;
+  p.max_batch_total = 512;
+  p.dataset_size = 50000.0;
+  p.target_epochs = 100.0;
+  return p;
+}
+
+ModelProfile MakeResNet18() {
+  ModelProfile p;
+  p.name = "resnet18-cifar10";
+  p.kind = ModelKind::kResNet18Cifar10;
+  p.category = JobCategory::kSmall;
+  p.true_params = {0.01, 6.7e-4, 0.015, 0.001, 0.06, 0.004, 1.8};
+  p.gns = GnsCurve{300.0, 3000.0, {0.5}, 2.5};
+  p.base_batch_size = 128;
+  p.base_lr = 0.05;
+  p.max_batch_per_gpu = 1024;
+  p.max_batch_total = 8192;
+  p.dataset_size = 50000.0;
+  p.target_epochs = 40.0;
+  return p;
+}
+
+ModelProfile MakeNeuMF() {
+  ModelProfile p;
+  p.name = "neumf-movielens";
+  p.kind = ModelKind::kNeuMFMovieLens;
+  p.category = JobCategory::kSmall;
+  p.true_params = {0.005, 2.5e-5, 0.005, 0.0005, 0.02, 0.002, 1.5};
+  p.gns = GnsCurve{800.0, 8000.0, {}, 1.0};
+  p.base_batch_size = 256;
+  p.base_lr = 2e-3;
+  p.max_batch_per_gpu = 32768;
+  p.max_batch_total = 262144;
+  p.dataset_size = 4970845.0;
+  p.target_epochs = 7.0;
+  return p;
+}
+
+}  // namespace
+
+const ModelProfile& GetModelProfile(ModelKind kind) {
+  static const ModelProfile* const kResNet50 = new ModelProfile(MakeResNet50());
+  static const ModelProfile* const kYolo = new ModelProfile(MakeYoloV3());
+  static const ModelProfile* const kDeepSpeech = new ModelProfile(MakeDeepSpeech2());
+  static const ModelProfile* const kResNet18 = new ModelProfile(MakeResNet18());
+  static const ModelProfile* const kNeuMF = new ModelProfile(MakeNeuMF());
+  switch (kind) {
+    case ModelKind::kResNet50ImageNet:
+      return *kResNet50;
+    case ModelKind::kYoloV3Voc:
+      return *kYolo;
+    case ModelKind::kDeepSpeech2:
+      return *kDeepSpeech;
+    case ModelKind::kResNet18Cifar10:
+      return *kResNet18;
+    case ModelKind::kNeuMFMovieLens:
+      return *kNeuMF;
+  }
+  return *kResNet18;
+}
+
+const std::vector<ModelKind>& AllModelKinds() {
+  static const std::vector<ModelKind>* const kAll = new std::vector<ModelKind>{
+      ModelKind::kResNet50ImageNet, ModelKind::kYoloV3Voc, ModelKind::kDeepSpeech2,
+      ModelKind::kResNet18Cifar10, ModelKind::kNeuMFMovieLens};
+  return *kAll;
+}
+
+const char* ModelKindName(ModelKind kind) { return GetModelProfile(kind).name.c_str(); }
+
+const char* JobCategoryName(JobCategory category) {
+  switch (category) {
+    case JobCategory::kSmall:
+      return "small";
+    case JobCategory::kMedium:
+      return "medium";
+    case JobCategory::kLarge:
+      return "large";
+    case JobCategory::kXLarge:
+      return "xlarge";
+  }
+  return "?";
+}
+
+}  // namespace pollux

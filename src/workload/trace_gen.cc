@@ -1,0 +1,144 @@
+#include "workload/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/goodput.h"
+
+namespace pollux {
+namespace {
+
+// Relative submission rates over a 24-hour day, shaped like Fig. 6: a quiet
+// night, a morning ramp, the daily peak around midday, and a slow decline.
+constexpr double kDiurnal[24] = {0.9, 0.7, 0.6, 0.55, 0.5, 0.6, 0.8, 1.2,
+                                 1.8, 2.4, 3.6, 3.3,  3.0, 2.8, 2.5, 2.2,
+                                 2.0, 1.8, 1.6, 1.4,  1.2, 1.1, 1.0, 0.95};
+
+constexpr int kWindowStart = 7;  // Window hours 7..14: peak (3.6) is the 4th
+                                 // hour at 3x the first hour (1.2).
+
+// Training progress at which pre-submission tuning is assumed to have been
+// evaluated (mid-training, as a one-shot user would).
+constexpr double kTuningProgress = 0.4;
+
+Placement PackedPlacement(int num_gpus, int gpus_per_node) {
+  Placement placement;
+  placement.num_gpus = num_gpus;
+  placement.num_nodes = (num_gpus + gpus_per_node - 1) / gpus_per_node;
+  return placement;
+}
+
+GoodputModel TrueGoodputModel(const ModelProfile& profile, double progress_fraction) {
+  return GoodputModel(profile.true_params, profile.gns.PhiAt(progress_fraction),
+                      profile.base_batch_size);
+}
+
+ModelKind SampleModelKind(Rng& rng) {
+  // Table 1 workload fractions: 38% / 38% / 17% / 5% / 2%.
+  const std::vector<double> weights = {0.02, 0.05, 0.17, 0.38, 0.38};
+  static const ModelKind kOrder[] = {ModelKind::kResNet50ImageNet, ModelKind::kYoloV3Voc,
+                                     ModelKind::kDeepSpeech2, ModelKind::kResNet18Cifar10,
+                                     ModelKind::kNeuMFMovieLens};
+  return kOrder[rng.WeightedIndex(weights)];
+}
+
+}  // namespace
+
+double DiurnalWeight24(int hour) { return kDiurnal[((hour % 24) + 24) % 24]; }
+
+int TraceWindowStartHour() { return kWindowStart; }
+
+double WindowHourWeight(int window_hour) { return DiurnalWeight24(kWindowStart + window_hour); }
+
+double TrueSpeedup(const ModelProfile& profile, int num_gpus, int gpus_per_node,
+                   double progress_fraction) {
+  const GoodputModel model = TrueGoodputModel(profile, progress_fraction);
+  return Speedup(model, PackedPlacement(num_gpus, gpus_per_node), profile.Limits());
+}
+
+long OptimalBatchForGpus(const ModelProfile& profile, int num_gpus, int gpus_per_node,
+                         double progress_fraction) {
+  const GoodputModel model = TrueGoodputModel(profile, progress_fraction);
+  return model.OptimizeBatchSize(PackedPlacement(num_gpus, gpus_per_node), profile.Limits())
+      .batch_size;
+}
+
+JobConfig SampleTunedConfig(const ModelProfile& profile, int gpus_per_node, int max_gpus,
+                            Rng& rng) {
+  std::vector<int> valid;
+  for (int k = 1; k <= max_gpus; ++k) {
+    const double speedup = TrueSpeedup(profile, k, gpus_per_node, kTuningProgress);
+    const double fraction = speedup / static_cast<double>(k);
+    if (fraction >= 0.5 && fraction <= 0.8) {
+      valid.push_back(k);
+    }
+  }
+  JobConfig config;
+  if (valid.empty()) {
+    // Model does not scale into the 50%-80% band anywhere; a rational user
+    // runs it on a single GPU.
+    config.num_gpus = 1;
+  } else {
+    config.num_gpus =
+        valid[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(valid.size()) - 1))];
+  }
+  config.batch_size =
+      OptimalBatchForGpus(profile, config.num_gpus, gpus_per_node, kTuningProgress);
+  return config;
+}
+
+JobConfig SampleUserConfig(const ModelProfile& profile, int gpus_per_node, int max_gpus,
+                           Rng& rng) {
+  // Philly-style request-size distribution: dominated by single-GPU asks.
+  static const int kSizes[] = {1, 2, 4, 8, 16};
+  const std::vector<double> weights = {0.70, 0.10, 0.12, 0.06, 0.02};
+  JobConfig config;
+  config.num_gpus = std::min(kSizes[rng.WeightedIndex(weights)], max_gpus);
+  const long optimal =
+      OptimalBatchForGpus(profile, config.num_gpus, gpus_per_node, kTuningProgress);
+  // Within a factor of 2 of the most efficient batch size (log-uniform).
+  const double factor = std::exp2(rng.Uniform(-1.0, 1.0));
+  const BatchLimits limits = profile.Limits();
+  const long scaled = std::lround(static_cast<double>(optimal) * factor);
+  config.batch_size =
+      std::clamp(scaled, limits.min_batch, limits.MaxFeasible(config.num_gpus));
+  return config;
+}
+
+std::vector<JobSpec> GenerateTrace(const TraceOptions& options) {
+  Rng rng(options.seed);
+  const int num_jobs =
+      std::max(1, static_cast<int>(std::lround(options.num_jobs * options.load_factor)));
+
+  std::vector<double> hour_weights(8);
+  for (int h = 0; h < 8; ++h) {
+    hour_weights[static_cast<size_t>(h)] = WindowHourWeight(h);
+  }
+  const double hour_span = options.duration / 8.0;
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<size_t>(num_jobs));
+  for (int i = 0; i < num_jobs; ++i) {
+    JobSpec spec;
+    spec.model = SampleModelKind(rng);
+    const size_t hour = rng.WeightedIndex(hour_weights);
+    spec.submit_time = (static_cast<double>(hour) + rng.NextDouble()) * hour_span;
+    const ModelProfile& profile = GetModelProfile(spec.model);
+    spec.user_configured = rng.Bernoulli(options.user_configured_fraction);
+    const JobConfig config =
+        spec.user_configured
+            ? SampleUserConfig(profile, options.gpus_per_node, options.max_gpus, rng)
+            : SampleTunedConfig(profile, options.gpus_per_node, options.max_gpus, rng);
+    spec.requested_gpus = config.num_gpus;
+    spec.batch_size = config.batch_size;
+    jobs.push_back(spec);
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].job_id = i;
+  }
+  return jobs;
+}
+
+}  // namespace pollux

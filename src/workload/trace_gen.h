@@ -1,0 +1,92 @@
+// Synthetic workload traces (Sec. 5.1).
+//
+// The paper samples 160 job submissions from an 8-hour window of the
+// Microsoft (Philly) cluster trace that contains the daily submission peak
+// (3x the rate of the window's first hour, Fig. 6), maps each traced job to a
+// Table-1 model in the same GPU-time category, and configures it either
+// "ideally tuned" (Sec. 5.2) or "user-configured" straight from the trace
+// (Sec. 5.3.1). This module reproduces all three mechanisms synthetically:
+// the diurnal arrival process, the category mix, and both configurators.
+
+#ifndef POLLUX_WORKLOAD_TRACE_GEN_H_
+#define POLLUX_WORKLOAD_TRACE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/model_profile.h"
+
+namespace pollux {
+
+struct JobSpec {
+  uint64_t job_id = 0;
+  ModelKind model = ModelKind::kResNet18Cifar10;
+  double submit_time = 0.0;  // Seconds from workload start.
+  // The configuration a user would have submitted: number of GPUs (used by
+  // Tiresias verbatim; ignored by resource-adaptive schedulers) and batch
+  // size (used by Tiresias and Optimus; Pollux adapts it).
+  int requested_gpus = 1;
+  long batch_size = 0;
+  bool user_configured = false;
+};
+
+struct TraceOptions {
+  int num_jobs = 160;
+  double duration = 8.0 * 3600.0;
+  // Multiplies num_jobs (Fig. 8's load knob).
+  double load_factor = 1.0;
+  // Fraction of jobs configured like real trace users instead of ideally
+  // tuned (Fig. 7's knob: 0, 1/3, 2/3, 1).
+  double user_configured_fraction = 0.0;
+  int gpus_per_node = 4;
+  int max_gpus = 64;
+  uint64_t seed = 1;
+};
+
+// Relative submission rate for each hour of a 24-hour day (Fig. 6 shape).
+double DiurnalWeight24(int hour);
+
+// First hour of the 8-hour sampling window (contains the peak in its fourth
+// hour at 3x the rate of its first hour).
+int TraceWindowStartHour();
+
+// Relative submission rate of hour [0, 8) within the sampling window.
+double WindowHourWeight(int window_hour);
+
+// True (ground-truth) speedup of running `profile` on num_gpus GPUs packed
+// onto ceil(num_gpus / gpus_per_node) nodes, with the batch size optimized,
+// relative to one GPU, at the given training progress.
+double TrueSpeedup(const ModelProfile& profile, int num_gpus, int gpus_per_node,
+                   double progress_fraction);
+
+// Goodput-optimal batch size for the given GPU count at the given progress
+// under the ground-truth model.
+long OptimalBatchForGpus(const ModelProfile& profile, int num_gpus, int gpus_per_node,
+                         double progress_fraction);
+
+struct JobConfig {
+  int num_gpus = 1;
+  long batch_size = 0;
+};
+
+// Sec. 5.2's "highly rational user": a GPU count whose true speedup is
+// 50%-80% of ideal (chosen uniformly among valid counts), with the optimal
+// batch size for that count.
+JobConfig SampleTunedConfig(const ModelProfile& profile, int gpus_per_node, int max_gpus,
+                            Rng& rng);
+
+// Sec. 5.3.1's realistic user: GPU count drawn from a Philly-like request
+// distribution (dominated by small requests), batch size within a factor of
+// 2 of the most efficient batch for that count.
+JobConfig SampleUserConfig(const ModelProfile& profile, int gpus_per_node, int max_gpus,
+                           Rng& rng);
+
+// Samples a full trace: arrival times from the diurnal window, model kinds
+// from the Table-1 category mix, and per-job configurations. Jobs are sorted
+// by submission time and numbered from 0.
+std::vector<JobSpec> GenerateTrace(const TraceOptions& options);
+
+}  // namespace pollux
+
+#endif  // POLLUX_WORKLOAD_TRACE_GEN_H_

@@ -1,0 +1,139 @@
+#include "workload/trace_io.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace pollux {
+namespace {
+
+constexpr char kHeader[] = "job_id,model,submit_time,requested_gpus,batch_size,user_configured";
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) {
+    fields.push_back(field);
+  }
+  if (!line.empty() && line.back() == ',') {
+    fields.emplace_back();
+  }
+  return fields;
+}
+
+bool ParseDouble(const std::string& text, double* value) {
+  char* end = nullptr;
+  *value = std::strtod(text.c_str(), &end);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool ParseLong(const std::string& text, long* value) {
+  char* end = nullptr;
+  *value = std::strtol(text.c_str(), &end, 10);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<ModelKind> ModelKindFromName(const std::string& name) {
+  for (ModelKind kind : AllModelKinds()) {
+    if (name == ModelKindName(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+void WriteTraceCsv(std::ostream& out, const std::vector<JobSpec>& jobs) {
+  out << kHeader << '\n';
+  out.precision(12);  // Submission times are seconds; keep millisecond fidelity.
+  for (const auto& job : jobs) {
+    out << job.job_id << ',' << ModelKindName(job.model) << ',' << job.submit_time << ','
+        << job.requested_gpus << ',' << job.batch_size << ','
+        << (job.user_configured ? 1 : 0) << '\n';
+  }
+}
+
+std::optional<std::vector<JobSpec>> ReadTraceCsv(std::istream& in, std::string* error) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    Fail(error, "empty input");
+    return std::nullopt;
+  }
+  // Tolerate trailing carriage returns from Windows-authored files.
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  if (line != kHeader) {
+    Fail(error, "unexpected header: " + line);
+    return std::nullopt;
+  }
+
+  std::vector<JobSpec> jobs;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    const std::string where = "line " + std::to_string(line_number);
+    if (fields.size() != 6) {
+      Fail(error, where + ": expected 6 fields, got " + std::to_string(fields.size()));
+      return std::nullopt;
+    }
+    JobSpec job;
+    long id = 0;
+    long gpus = 0;
+    long batch = 0;
+    long user = 0;
+    double submit = 0.0;
+    if (!ParseLong(fields[0], &id) || id < 0) {
+      Fail(error, where + ": bad job_id");
+      return std::nullopt;
+    }
+    const auto model = ModelKindFromName(fields[1]);
+    if (!model.has_value()) {
+      Fail(error, where + ": unknown model '" + fields[1] + "'");
+      return std::nullopt;
+    }
+    if (!ParseDouble(fields[2], &submit) || submit < 0.0) {
+      Fail(error, where + ": bad submit_time");
+      return std::nullopt;
+    }
+    if (!ParseLong(fields[3], &gpus) || gpus < 1) {
+      Fail(error, where + ": bad requested_gpus");
+      return std::nullopt;
+    }
+    if (!ParseLong(fields[4], &batch) || batch < 1) {
+      Fail(error, where + ": bad batch_size");
+      return std::nullopt;
+    }
+    if (!ParseLong(fields[5], &user) || (user != 0 && user != 1)) {
+      Fail(error, where + ": bad user_configured flag");
+      return std::nullopt;
+    }
+    job.job_id = static_cast<uint64_t>(id);
+    job.model = *model;
+    job.submit_time = submit;
+    job.requested_gpus = static_cast<int>(gpus);
+    job.batch_size = batch;
+    job.user_configured = user == 1;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace pollux

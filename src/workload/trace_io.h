@@ -1,0 +1,36 @@
+// CSV import/export for workload traces, so externally-produced traces
+// (e.g. re-derived from the real Philly data) can be replayed through the
+// simulator, and synthesized traces can be archived for exact repeatability.
+//
+// Format (header required):
+//   job_id,model,submit_time,requested_gpus,batch_size,user_configured
+//   0,resnet18-cifar10,352.5,8,2048,0
+
+#ifndef POLLUX_WORKLOAD_TRACE_IO_H_
+#define POLLUX_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/trace_gen.h"
+
+namespace pollux {
+
+// Writes the trace in CSV form.
+void WriteTraceCsv(std::ostream& out, const std::vector<JobSpec>& jobs);
+
+// Parses a CSV trace. Returns std::nullopt (and fills *error if non-null) on
+// malformed input: missing/unknown header, unknown model name, non-numeric
+// fields, or negative values.
+std::optional<std::vector<JobSpec>> ReadTraceCsv(std::istream& in,
+                                                 std::string* error = nullptr);
+
+// Model-name lookup used by the reader ("resnet50-imagenet" etc., matching
+// ModelKindName). Returns std::nullopt for unknown names.
+std::optional<ModelKind> ModelKindFromName(const std::string& name);
+
+}  // namespace pollux
+
+#endif  // POLLUX_WORKLOAD_TRACE_IO_H_

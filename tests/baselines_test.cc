@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/optimus.h"
+#include "baselines/tiresias.h"
+#include "workload/model_profile.h"
+
+namespace pollux {
+namespace {
+
+JobSnapshot MakeSnapshot(uint64_t id, double submit, int requested_gpus, long batch,
+                         double gpu_time = 0.0, double remaining_iters = 1000.0) {
+  static std::vector<JobSpec>* specs = new std::vector<JobSpec>();
+  specs->push_back(JobSpec{id, ModelKind::kResNet18Cifar10, submit, requested_gpus, batch, false});
+
+  JobSnapshot snapshot;
+  snapshot.job_id = id;
+  snapshot.spec = &specs->back();
+  snapshot.profile = &GetModelProfile(ModelKind::kResNet18Cifar10);
+  snapshot.submit_time = submit;
+  snapshot.gpu_time = gpu_time;
+  snapshot.batch_size = batch;
+  snapshot.oracle_remaining_iterations = remaining_iters;
+
+  ThroughputParams params;
+  params.alpha_grad = 0.02;
+  params.beta_grad = 5e-4;
+  params.alpha_sync_local = 0.02;
+  params.beta_sync_local = 0.001;
+  params.alpha_sync_node = 0.08;
+  params.beta_sync_node = 0.004;
+  params.gamma = 2.0;
+  snapshot.agent.job_id = id;
+  snapshot.agent.model = GoodputModel(params, 1000.0, 128);
+  snapshot.agent.limits.min_batch = 128;
+  snapshot.agent.limits.max_batch_total = 8192;
+  snapshot.agent.limits.max_batch_per_gpu = 1024;
+  snapshot.agent.max_gpus_cap = 64;
+  return snapshot;
+}
+
+int RowTotal(const std::vector<int>& row) {
+  int total = 0;
+  for (int g : row) {
+    total += g;
+  }
+  return total;
+}
+
+TEST(TiresiasTest, QueueIndexFromAttainedService) {
+  TiresiasPolicy policy;
+  EXPECT_EQ(policy.QueueOf(0.0), 0);
+  EXPECT_EQ(policy.QueueOf(0.5 * 3600.0), 0);
+  EXPECT_EQ(policy.QueueOf(2.0 * 3600.0), 1);
+  EXPECT_EQ(policy.QueueOf(50.0 * 3600.0), 2);
+}
+
+TEST(TiresiasTest, GrantsExactlyRequestedGpus) {
+  TiresiasPolicy policy;
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(2, 4);
+  SchedulerContext context;
+  context.cluster = &cluster;
+  context.jobs.push_back(MakeSnapshot(1, 0.0, 3, 512));
+  context.jobs.push_back(MakeSnapshot(2, 10.0, 4, 512));
+  const auto rows = policy.Schedule(context);
+  EXPECT_EQ(RowTotal(rows.at(1)), 3);
+  EXPECT_EQ(RowTotal(rows.at(2)), 4);
+}
+
+TEST(TiresiasTest, LowServiceJobPreemptsHighService) {
+  TiresiasPolicy policy;
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(1, 4);
+  SchedulerContext context;
+  context.cluster = &cluster;
+  // Old job has consumed 5 GPU-hours (queue 1); newcomer is queue 0.
+  context.jobs.push_back(MakeSnapshot(1, 0.0, 4, 512, 5.0 * 3600.0));
+  context.jobs.push_back(MakeSnapshot(2, 100.0, 4, 512, 0.0));
+  const auto rows = policy.Schedule(context);
+  EXPECT_EQ(RowTotal(rows.at(1)), 0);  // Preempted.
+  EXPECT_EQ(RowTotal(rows.at(2)), 4);  // Newcomer runs.
+}
+
+TEST(TiresiasTest, FifoWithinQueue) {
+  TiresiasPolicy policy;
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(1, 4);
+  SchedulerContext context;
+  context.cluster = &cluster;
+  context.jobs.push_back(MakeSnapshot(1, 500.0, 4, 512));
+  context.jobs.push_back(MakeSnapshot(2, 100.0, 4, 512));
+  const auto rows = policy.Schedule(context);
+  EXPECT_EQ(RowTotal(rows.at(2)), 4);  // Earlier submit wins.
+  EXPECT_EQ(RowTotal(rows.at(1)), 0);
+}
+
+TEST(OptimusTest, RemainingTimeDecreasesWithinANode) {
+  const JobSnapshot job = MakeSnapshot(1, 0.0, 1, 1024);
+  double previous = OptimusPolicy::EstimatedRemainingTime(job, 1, 4);
+  for (int k = 2; k <= 4; ++k) {
+    const double t = OptimusPolicy::EstimatedRemainingTime(job, k, 4);
+    EXPECT_LT(t, previous) << "K=" << k;
+    previous = t;
+  }
+  // Two full nodes beat one for a large batch, even though the cross-node
+  // sync regime is slower per step.
+  EXPECT_LT(OptimusPolicy::EstimatedRemainingTime(job, 8, 4),
+            OptimusPolicy::EstimatedRemainingTime(job, 4, 4));
+  EXPECT_TRUE(std::isinf(OptimusPolicy::EstimatedRemainingTime(job, 0, 4)));
+}
+
+TEST(OptimusTest, AllJobsGetAtLeastMinimumGpus) {
+  OptimusPolicy policy;
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(4, 4);
+  SchedulerContext context;
+  context.cluster = &cluster;
+  // Batch 2048 with 1024 per GPU => minimum 2 GPUs.
+  context.jobs.push_back(MakeSnapshot(1, 0.0, 1, 2048));
+  context.jobs.push_back(MakeSnapshot(2, 10.0, 1, 512));
+  const auto rows = policy.Schedule(context);
+  EXPECT_GE(RowTotal(rows.at(1)), 2);
+  EXPECT_GE(RowTotal(rows.at(2)), 1);
+}
+
+TEST(OptimusTest, ShortJobFavoredUnderContention) {
+  // Optimus targets the average JCT, so under contention the job that is
+  // closest to finishing is admitted and grown first.
+  OptimusPolicy policy;
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(1, 4);
+  SchedulerContext context;
+  context.cluster = &cluster;
+  context.jobs.push_back(MakeSnapshot(1, 0.0, 1, 1024, 0.0, 1000000.0));
+  context.jobs.push_back(MakeSnapshot(2, 10.0, 1, 1024, 0.0, 1000.0));
+  const auto rows = policy.Schedule(context);
+  EXPECT_GE(RowTotal(rows.at(2)), RowTotal(rows.at(1)));
+  EXPECT_GT(RowTotal(rows.at(2)), 0);
+  EXPECT_LE(RowTotal(rows.at(1)) + RowTotal(rows.at(2)), cluster.TotalGpus());
+}
+
+TEST(OptimusTest, LongJobsShareInsteadOfRunningSequentially) {
+  // Two identical long jobs on a big cluster: the inverse-remaining-time
+  // weighted waterfilling should split the spare capacity roughly evenly.
+  OptimusPolicy policy;
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(4, 4);
+  SchedulerContext context;
+  context.cluster = &cluster;
+  context.jobs.push_back(MakeSnapshot(1, 0.0, 1, 1024, 0.0, 500000.0));
+  context.jobs.push_back(MakeSnapshot(2, 10.0, 1, 1024, 0.0, 500000.0));
+  const auto rows = policy.Schedule(context);
+  const int a = RowTotal(rows.at(1));
+  const int b = RowTotal(rows.at(2));
+  EXPECT_GT(a, 0);
+  EXPECT_GT(b, 0);
+  EXPECT_LE(std::abs(a - b), 4);
+}
+
+TEST(OptimusTest, EfficientGpuCountFindsScalingKnee) {
+  const JobSnapshot job = MakeSnapshot(1, 0.0, 1, 1024);
+  const int knee = OptimusPolicy::EfficientGpuCount(job, 4, 64, 0.5);
+  EXPECT_GT(knee, 1);
+  EXPECT_LT(knee, 64);
+  // A stricter floor can only shrink the knee.
+  EXPECT_LE(OptimusPolicy::EfficientGpuCount(job, 4, 64, 0.9), knee);
+}
+
+TEST(OptimusTest, UsesAllGpusWhenJobsScale) {
+  OptimusPolicy policy;
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(2, 4);
+  SchedulerContext context;
+  context.cluster = &cluster;
+  context.jobs.push_back(MakeSnapshot(1, 0.0, 1, 1024, 0.0, 50000.0));
+  const auto rows = policy.Schedule(context);
+  EXPECT_EQ(RowTotal(rows.at(1)), cluster.TotalGpus());
+}
+
+}  // namespace
+}  // namespace pollux

@@ -1,0 +1,76 @@
+#include "core/adascale.h"
+
+#include <gtest/gtest.h>
+
+#include "core/efficiency.h"
+
+namespace pollux {
+namespace {
+
+TEST(AdaScaleTest, GainIsOneAtBaseBatch) {
+  AdaScaleState state(128, 0.1);
+  state.Update({1280.0, 1.0}, 128);  // phi = 1280.
+  EXPECT_NEAR(state.GainAt(128), 1.0, 1e-12);
+  EXPECT_NEAR(state.LearningRateAt(128), 0.1, 1e-12);
+}
+
+TEST(AdaScaleTest, GainMatchesEqn5) {
+  AdaScaleState state(128, 0.1, 0.0);
+  state.Update({1280.0, 1.0}, 128);
+  const double phi = state.phi();
+  EXPECT_NEAR(phi, 1280.0, 1e-9);
+  for (long m : {256L, 512L, 4096L}) {
+    const double expected = (phi / 128.0 + 1.0) / (phi / static_cast<double>(m) + 1.0);
+    EXPECT_NEAR(state.GainAt(m), expected, 1e-12);
+    EXPECT_NEAR(state.LearningRateAt(m), 0.1 * expected, 1e-12);
+  }
+}
+
+TEST(AdaScaleTest, EfficiencyMatchesEqn7) {
+  AdaScaleState state(128, 0.1, 0.0);
+  state.Update({640.0, 1.0}, 128);
+  const double phi = state.phi();
+  for (long m : {128L, 512L, 2048L}) {
+    EXPECT_NEAR(state.EfficiencyAt(m),
+                StatisticalEfficiency(phi, 128.0, static_cast<double>(m)), 1e-12);
+  }
+}
+
+TEST(AdaScaleTest, ScaleInvariantIterationsAccumulateGains) {
+  AdaScaleState state(128, 0.1, 0.0);
+  double expected = 0.0;
+  for (int step = 0; step < 10; ++step) {
+    const double gain = state.Update({1280.0, 1.0}, 512);
+    expected += gain;
+    EXPECT_GT(gain, 1.0);
+    EXPECT_LE(gain, 4.0);
+  }
+  EXPECT_NEAR(state.scale_invariant_iterations(), expected, 1e-12);
+  EXPECT_EQ(state.steps(), 10);
+}
+
+TEST(AdaScaleTest, LargeBatchNeverBeatsProportionalScaling) {
+  AdaScaleState state(100, 1.0, 0.0);
+  state.Update({500.0, 1.0}, 100);
+  // r_t <= m / m0: one big-batch step can never beat m/m0 small steps.
+  for (long m : {200L, 400L, 1000L}) {
+    EXPECT_LE(state.GainAt(m), static_cast<double>(m) / 100.0 + 1e-12);
+    EXPECT_GE(state.GainAt(m), 1.0 - 1e-12);
+  }
+}
+
+TEST(AdaScaleTest, SmoothingReducesSampleNoiseImpact) {
+  AdaScaleState smooth(128, 0.1, 0.9);
+  AdaScaleState raw(128, 0.1, 0.0);
+  for (int i = 0; i < 20; ++i) {
+    smooth.Update({1000.0, 1.0}, 128);
+    raw.Update({1000.0, 1.0}, 128);
+  }
+  // One outlier sample.
+  smooth.Update({100000.0, 1.0}, 128);
+  raw.Update({100000.0, 1.0}, 128);
+  EXPECT_LT(smooth.phi(), raw.phi());
+}
+
+}  // namespace
+}  // namespace pollux

@@ -1,0 +1,178 @@
+#include "core/agent.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace pollux {
+namespace {
+
+ThroughputParams GroundTruth() {
+  ThroughputParams params;
+  params.alpha_grad = 0.03;
+  params.beta_grad = 5e-4;
+  params.alpha_sync_local = 0.02;
+  params.beta_sync_local = 0.001;
+  params.alpha_sync_node = 0.09;
+  params.beta_sync_node = 0.004;
+  params.gamma = 2.0;
+  return ThroughputParams(params);
+}
+
+BatchLimits TypicalLimits() {
+  BatchLimits limits;
+  limits.min_batch = 128;
+  limits.max_batch_total = 16384;
+  limits.max_batch_per_gpu = 1024;
+  return limits;
+}
+
+PolluxAgent MakeAgent(uint64_t id = 1) { return PolluxAgent(id, 128, 0.1, TypicalLimits()); }
+
+// Feeds the agent noiseless iteration-time observations from the ground
+// truth across the given placements and batch sizes.
+void FeedObservations(PolluxAgent& agent, const std::vector<Placement>& placements) {
+  const auto truth = GroundTruth();
+  for (const auto& placement : placements) {
+    agent.NotifyAllocation(placement);
+    for (long m : {128L, 256L, 512L, 1024L}) {
+      agent.RecordIteration(placement, m, IterTime(truth, placement, static_cast<double>(m)));
+    }
+  }
+}
+
+TEST(AgentTest, InitialReportCarriesPerfectScalingPrior) {
+  PolluxAgent agent = MakeAgent();
+  const AgentReport report = agent.MakeReport();
+  EXPECT_EQ(report.job_id, 1u);
+  // Never allocated yet: jobs must start on a single GPU (Sec. 3).
+  EXPECT_EQ(report.max_gpus_cap, 1);
+  agent.NotifyAllocation(Placement{1, 1});
+  EXPECT_EQ(agent.MakeReport().max_gpus_cap, 2);
+  // Prior: no sync overheads at all.
+  EXPECT_DOUBLE_EQ(report.model.params().alpha_sync_local, 0.0);
+  EXPECT_DOUBLE_EQ(report.model.params().alpha_sync_node, 0.0);
+}
+
+TEST(AgentTest, TracksLifetimeMaxima) {
+  PolluxAgent agent = MakeAgent();
+  agent.NotifyAllocation(Placement{4, 2});
+  agent.NotifyAllocation(Placement{2, 1});
+  EXPECT_EQ(agent.max_gpus_seen(), 4);
+  EXPECT_EQ(agent.max_nodes_seen(), 2);
+  EXPECT_EQ(agent.MakeReport().max_gpus_cap, 8);
+}
+
+TEST(AgentTest, IgnoresDegenerateObservations) {
+  PolluxAgent agent = MakeAgent();
+  agent.RecordIteration(Placement{0, 0}, 128, 1.0);
+  agent.RecordIteration(Placement{1, 1}, 0, 1.0);
+  agent.RecordIteration(Placement{1, 1}, 128, -1.0);
+  EXPECT_EQ(agent.distinct_configurations(), 0u);
+}
+
+TEST(AgentTest, DeduplicatesConfigurations) {
+  PolluxAgent agent = MakeAgent();
+  for (int i = 0; i < 10; ++i) {
+    agent.RecordIteration(Placement{1, 1}, 128, 0.1);
+  }
+  agent.RecordIteration(Placement{2, 1}, 128, 0.1);
+  // N regimes collapse: {4,2} and {4,3} are the same configuration.
+  agent.RecordIteration(Placement{4, 2}, 128, 0.1);
+  agent.RecordIteration(Placement{4, 3}, 128, 0.1);
+  EXPECT_EQ(agent.distinct_configurations(), 3u);
+}
+
+TEST(AgentTest, FittedModelPredictsHeldOutConfigs) {
+  PolluxAgent agent = MakeAgent();
+  FeedObservations(agent, {Placement{1, 1}, Placement{2, 1}, Placement{4, 1}, Placement{4, 2},
+                           Placement{8, 2}, Placement{16, 4}});
+  const AgentReport report = agent.MakeReport();
+  const auto truth = GroundTruth();
+  for (const auto& placement : {Placement{6, 2}, Placement{12, 3}}) {
+    const double predicted = IterTime(report.model.params(), placement, 768.0);
+    const double actual = IterTime(truth, placement, 768.0);
+    EXPECT_NEAR(predicted / actual, 1.0, 0.15);
+  }
+}
+
+TEST(AgentTest, PhiComesFromSmoothedSamples) {
+  PolluxAgent agent = MakeAgent();
+  for (int i = 0; i < 100; ++i) {
+    agent.RecordGradientStats({500.0, 1.0});
+  }
+  EXPECT_NEAR(agent.phi(), 500.0, 1e-6);
+  const AgentReport report = agent.MakeReport();
+  EXPECT_NEAR(report.model.phi(), 500.0, 1e-6);
+}
+
+TEST(AgentTest, TuneBatchSizeGrowsWithNoiseScale) {
+  PolluxAgent early = MakeAgent();
+  PolluxAgent late = MakeAgent();
+  FeedObservations(early, {Placement{1, 1}, Placement{4, 1}, Placement{8, 2}});
+  FeedObservations(late, {Placement{1, 1}, Placement{4, 1}, Placement{8, 2}});
+  for (int i = 0; i < 50; ++i) {
+    early.RecordGradientStats({200.0, 1.0});
+    late.RecordGradientStats({20000.0, 1.0});
+  }
+  early.MakeReport();
+  late.MakeReport();
+  const auto choice_early = early.TuneBatchSize(Placement{8, 2});
+  const auto choice_late = late.TuneBatchSize(Placement{8, 2});
+  EXPECT_LE(choice_early.batch_size, choice_late.batch_size);
+  EXPECT_GE(choice_early.batch_size, 128);
+}
+
+TEST(AgentTest, LearningRateFollowsAdaScale) {
+  PolluxAgent agent = MakeAgent();
+  for (int i = 0; i < 50; ++i) {
+    agent.RecordGradientStats({1280.0, 1.0});  // phi = 1280.
+  }
+  EXPECT_NEAR(agent.LearningRateAt(128), 0.1, 1e-9);
+  const double expected_gain = (1280.0 / 128.0 + 1.0) / (1280.0 / 512.0 + 1.0);
+  EXPECT_NEAR(agent.LearningRateAt(512), 0.1 * expected_gain, 1e-9);
+}
+
+TEST(AgentTest, RefitsOnlyWhenConfigurationsChange) {
+  // Feeding more samples of the same configurations must not change the
+  // fitted params (the fit is skipped), but a new configuration triggers a
+  // refit.
+  PolluxAgent agent = MakeAgent();
+  FeedObservations(agent, {Placement{1, 1}, Placement{2, 1}});
+  const auto params1 = agent.MakeReport().model.params();
+  FeedObservations(agent, {Placement{1, 1}, Placement{2, 1}});  // Same configs.
+  const auto params2 = agent.MakeReport().model.params();
+  EXPECT_DOUBLE_EQ(params1.alpha_grad, params2.alpha_grad);
+  EXPECT_DOUBLE_EQ(params1.beta_grad, params2.beta_grad);
+  FeedObservations(agent, {Placement{8, 2}});  // New config: refit.
+  const auto params3 = agent.MakeReport().model.params();
+  // After seeing multi-node data the node-sync parameters can become nonzero.
+  EXPECT_GE(params3.alpha_sync_node, 0.0);
+  EXPECT_EQ(agent.distinct_configurations(), 12u);
+}
+
+TEST(AgentTest, NoisyObservationsStillYieldUsableModel) {
+  PolluxAgent agent = MakeAgent();
+  Rng rng(99);
+  const auto truth = GroundTruth();
+  for (const auto& placement :
+       {Placement{1, 1}, Placement{2, 1}, Placement{4, 1}, Placement{8, 2}}) {
+    agent.NotifyAllocation(placement);
+    for (long m : {128L, 256L, 512L}) {
+      for (int rep = 0; rep < 20; ++rep) {
+        const double observed = IterTime(truth, placement, static_cast<double>(m)) *
+                                std::exp(rng.Normal(0.0, 0.05));
+        agent.RecordIteration(placement, m, observed);
+      }
+    }
+  }
+  const AgentReport report = agent.MakeReport();
+  const double predicted = IterTime(report.model.params(), Placement{8, 2}, 512.0);
+  const double actual = IterTime(truth, Placement{8, 2}, 512.0);
+  EXPECT_NEAR(predicted / actual, 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace pollux

@@ -1,0 +1,72 @@
+#include "core/allocation.h"
+
+#include <gtest/gtest.h>
+
+namespace pollux {
+namespace {
+
+TEST(ClusterSpecTest, HomogeneousTotals) {
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(16, 4);
+  EXPECT_EQ(cluster.NumNodes(), 16);
+  EXPECT_EQ(cluster.TotalGpus(), 64);
+  EXPECT_EQ(cluster.MaxGpusPerNode(), 4);
+}
+
+TEST(ClusterSpecTest, HeterogeneousTotals) {
+  ClusterSpec cluster;
+  cluster.gpus_per_node = {8, 2, 4};
+  EXPECT_EQ(cluster.NumNodes(), 3);
+  EXPECT_EQ(cluster.TotalGpus(), 14);
+  EXPECT_EQ(cluster.MaxGpusPerNode(), 8);
+}
+
+TEST(AllocationMatrixTest, StartsZeroed) {
+  const AllocationMatrix matrix(3, 4);
+  for (size_t j = 0; j < 3; ++j) {
+    for (size_t n = 0; n < 4; ++n) {
+      EXPECT_EQ(matrix.at(j, n), 0);
+    }
+  }
+  EXPECT_EQ(matrix.JobPlacement(0), (Placement{0, 0}));
+}
+
+TEST(AllocationMatrixTest, PlacementCountsGpusAndNodes) {
+  AllocationMatrix matrix(2, 3);
+  matrix.at(0, 0) = 2;
+  matrix.at(0, 2) = 1;
+  matrix.at(1, 1) = 4;
+  EXPECT_EQ(matrix.JobPlacement(0), (Placement{3, 2}));
+  EXPECT_EQ(matrix.JobPlacement(1), (Placement{4, 1}));
+  EXPECT_TRUE(matrix.IsDistributed(0));
+  EXPECT_FALSE(matrix.IsDistributed(1));
+}
+
+TEST(AllocationMatrixTest, RowRoundTrip) {
+  AllocationMatrix matrix(2, 3);
+  matrix.SetRow(1, {1, 0, 2});
+  EXPECT_EQ(matrix.Row(1), (std::vector<int>{1, 0, 2}));
+  // Short rows only set the provided prefix.
+  matrix.SetRow(0, {5});
+  EXPECT_EQ(matrix.Row(0), (std::vector<int>{5, 0, 0}));
+}
+
+TEST(AllocationMatrixTest, NodeUsageSumsColumns) {
+  AllocationMatrix matrix(2, 2);
+  matrix.at(0, 0) = 3;
+  matrix.at(1, 0) = 1;
+  matrix.at(1, 1) = 2;
+  EXPECT_EQ(matrix.NodeUsage(), (std::vector<int>{4, 2}));
+}
+
+TEST(AllocationMatrixTest, CapacityCheck) {
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(2, 4);
+  AllocationMatrix matrix(2, 2);
+  matrix.at(0, 0) = 3;
+  matrix.at(1, 0) = 1;
+  EXPECT_TRUE(matrix.WithinCapacity(cluster));
+  matrix.at(1, 0) = 2;
+  EXPECT_FALSE(matrix.WithinCapacity(cluster));
+}
+
+}  // namespace
+}  // namespace pollux

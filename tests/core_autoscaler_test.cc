@@ -1,0 +1,85 @@
+#include "core/autoscaler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pollux {
+namespace {
+
+AutoscaleConfig DefaultConfig() {
+  AutoscaleConfig config;
+  config.low_util_threshold = 0.4;
+  config.high_util_threshold = 0.8;
+  config.min_nodes = 1;
+  config.max_nodes = 16;
+  return config;
+}
+
+// A synthetic utility curve: total speedup saturates at `saturation`, so
+// utility(n) = min(n, saturation) / n, strictly decreasing past saturation.
+std::function<double(int)> SaturatingUtility(double saturation) {
+  return [saturation](int nodes) {
+    return std::min(static_cast<double>(nodes), saturation) / static_cast<double>(nodes);
+  };
+}
+
+TEST(AutoscalerTest, NoChangeInsideBand) {
+  const auto decision = DecideNodeCount(DefaultConfig(), 8, 0.6, SaturatingUtility(5.0));
+  EXPECT_FALSE(decision.changed);
+  EXPECT_EQ(decision.target_nodes, 8);
+  EXPECT_EQ(decision.probes, 0);
+}
+
+TEST(AutoscalerTest, ScalesOutWhenUtilityHigh) {
+  // Utility 1.0 at 4 nodes: the job saturates at ~10 nodes, so the search
+  // should grow the cluster toward the band midpoint (0.6).
+  const auto utility = SaturatingUtility(10.0);
+  const auto decision = DecideNodeCount(DefaultConfig(), 4, utility(4), utility);
+  EXPECT_TRUE(decision.changed);
+  EXPECT_GT(decision.target_nodes, 4);
+  // utility(16) = 0.625, closest to 0.6 among the searched sizes.
+  EXPECT_NEAR(utility(decision.target_nodes), 0.6, 0.15);
+  EXPECT_GT(decision.probes, 0);
+}
+
+TEST(AutoscalerTest, ScalesInWhenUtilityLow) {
+  const auto utility = SaturatingUtility(2.0);
+  const auto decision = DecideNodeCount(DefaultConfig(), 16, utility(16), utility);
+  EXPECT_TRUE(decision.changed);
+  EXPECT_LT(decision.target_nodes, 16);
+  EXPECT_NEAR(utility(decision.target_nodes), 0.6, 0.15);
+}
+
+TEST(AutoscalerTest, RespectsMinAndMaxNodes) {
+  AutoscaleConfig config = DefaultConfig();
+  config.min_nodes = 4;
+  config.max_nodes = 8;
+  // Utility extremely low: wants to shrink, but not below min_nodes.
+  const auto low = DecideNodeCount(config, 8, 0.01, [](int) { return 0.01; });
+  EXPECT_GE(low.target_nodes, 4);
+  // Utility extremely high: wants to grow, but not beyond max_nodes.
+  const auto high = DecideNodeCount(config, 4, 0.99, [](int) { return 0.99; });
+  EXPECT_LE(high.target_nodes, 8);
+}
+
+TEST(AutoscalerTest, ClampsCurrentIntoRange) {
+  AutoscaleConfig config = DefaultConfig();
+  config.min_nodes = 2;
+  config.max_nodes = 6;
+  const auto decision = DecideNodeCount(config, 10, 0.6, SaturatingUtility(4.0));
+  EXPECT_EQ(decision.target_nodes, 6);
+  EXPECT_TRUE(decision.changed);
+}
+
+TEST(AutoscalerTest, DegenerateRangeReturnsImmediately) {
+  AutoscaleConfig config = DefaultConfig();
+  config.min_nodes = 5;
+  config.max_nodes = 5;
+  const auto decision = DecideNodeCount(config, 5, 0.99, SaturatingUtility(100.0));
+  EXPECT_EQ(decision.target_nodes, 5);
+  EXPECT_FALSE(decision.changed);
+}
+
+}  // namespace
+}  // namespace pollux

@@ -1,0 +1,82 @@
+#include "core/efficiency.h"
+
+#include <gtest/gtest.h>
+
+namespace pollux {
+namespace {
+
+TEST(EfficiencyTest, GnsFromMoments) {
+  // phi = m0 * sigma^2 / mu^2.
+  EXPECT_DOUBLE_EQ(GradientNoiseScale(128.0, 4.0, 2.0), 256.0);
+  EXPECT_DOUBLE_EQ(GradientNoiseScale(128.0, 0.0, 2.0), 0.0);
+  // Degenerate squared norm clamps to zero instead of dividing by zero.
+  EXPECT_DOUBLE_EQ(GradientNoiseScale(128.0, 4.0, 0.0), 0.0);
+  // Negative variance estimates (possible from unbiased estimators) clamp.
+  EXPECT_DOUBLE_EQ(GradientNoiseScale(128.0, -1.0, 2.0), 0.0);
+}
+
+TEST(EfficiencyTest, UnityAtBaseBatch) {
+  EXPECT_DOUBLE_EQ(StatisticalEfficiency(1000.0, 128.0, 128.0), 1.0);
+  EXPECT_DOUBLE_EQ(AdaScaleGain(1000.0, 128.0, 128.0), 1.0);
+}
+
+TEST(EfficiencyTest, ZeroNoiseIsWorstCase) {
+  // With no gradient noise, a larger batch contributes nothing extra:
+  // efficiency = m0/m and gain stays 1.
+  EXPECT_DOUBLE_EQ(StatisticalEfficiency(0.0, 128.0, 512.0), 0.25);
+  EXPECT_DOUBLE_EQ(AdaScaleGain(0.0, 128.0, 512.0), 1.0);
+}
+
+TEST(EfficiencyTest, InfiniteNoiseLimit) {
+  // As phi -> inf, large batches become free: efficiency -> 1, gain -> m/m0.
+  EXPECT_NEAR(StatisticalEfficiency(1e12, 128.0, 512.0), 1.0, 1e-6);
+  EXPECT_NEAR(AdaScaleGain(1e12, 128.0, 512.0), 4.0, 1e-6);
+}
+
+TEST(EfficiencyTest, AppendixAIdentity) {
+  // EFFICIENCY(m) == r_t * m0 / m for all phi, m (Appendix A).
+  for (double phi : {0.0, 10.0, 500.0, 1e5}) {
+    for (double m : {128.0, 256.0, 1000.0, 8192.0}) {
+      const double m0 = 128.0;
+      EXPECT_NEAR(StatisticalEfficiency(phi, m0, m), AdaScaleGain(phi, m0, m) * m0 / m, 1e-12);
+    }
+  }
+}
+
+// Property sweep over noise scales: efficiency lies in (0, 1], decreases in
+// m, and the gain increases in m but never exceeds m/m0.
+class EfficiencySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EfficiencySweep, EfficiencyBoundsAndMonotonicity) {
+  const double phi = GetParam();
+  const double m0 = 128.0;
+  double previous_eff = 1.0 + 1e-12;
+  double previous_gain = 1.0 - 1e-12;
+  for (double m = m0; m <= 16384.0; m *= 2.0) {
+    const double eff = StatisticalEfficiency(phi, m0, m);
+    const double gain = AdaScaleGain(phi, m0, m);
+    EXPECT_GT(eff, 0.0);
+    EXPECT_LE(eff, 1.0);
+    EXPECT_LE(eff, previous_eff) << "m=" << m;
+    EXPECT_GE(gain, previous_gain) << "m=" << m;
+    EXPECT_GE(gain, 1.0 - 1e-12);
+    EXPECT_LE(gain, m / m0 + 1e-12);
+    previous_eff = eff;
+    previous_gain = gain;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseScales, EfficiencySweep,
+                         ::testing::Values(0.0, 1.0, 64.0, 128.0, 1024.0, 65536.0, 1e9));
+
+// Higher noise (later training) means higher efficiency at any fixed large
+// batch — the mechanism behind Fig. 2a's narrowing gap.
+TEST(EfficiencyTest, LaterTrainingToleratesLargerBatches) {
+  const double m0 = 128.0;
+  const double m = 4096.0;
+  EXPECT_LT(StatisticalEfficiency(100.0, m0, m), StatisticalEfficiency(1000.0, m0, m));
+  EXPECT_LT(StatisticalEfficiency(1000.0, m0, m), StatisticalEfficiency(10000.0, m0, m));
+}
+
+}  // namespace
+}  // namespace pollux

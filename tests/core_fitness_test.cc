@@ -1,0 +1,136 @@
+#include "core/fitness.h"
+
+#include <gtest/gtest.h>
+
+#include "core/speedup_table.h"
+
+namespace pollux {
+namespace {
+
+GoodputModel TypicalModel() {
+  ThroughputParams params;
+  params.alpha_grad = 0.05;
+  params.beta_grad = 2e-4;
+  params.alpha_sync_local = 0.03;
+  params.beta_sync_local = 0.002;
+  params.alpha_sync_node = 0.1;
+  params.beta_sync_node = 0.005;
+  params.gamma = 2.0;
+  return GoodputModel(params, 1000.0, 128);
+}
+
+BatchLimits TypicalLimits() {
+  BatchLimits limits;
+  limits.min_batch = 128;
+  limits.max_batch_total = 16384;
+  limits.max_batch_per_gpu = 1024;
+  return limits;
+}
+
+TEST(JobWeightTest, Eqn16Behaviour) {
+  const double threshold = 4.0 * 3600.0;
+  // At or below the threshold: weight 1.
+  EXPECT_DOUBLE_EQ(JobWeight(0.0, threshold, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(JobWeight(threshold, threshold, 0.5), 1.0);
+  // Above: decays as (thres/gpu_time)^lambda.
+  EXPECT_NEAR(JobWeight(4.0 * threshold, threshold, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(JobWeight(4.0 * threshold, threshold, 1.0), 0.25, 1e-12);
+  // lambda = 0 disables decay entirely.
+  EXPECT_DOUBLE_EQ(JobWeight(100.0 * threshold, threshold, 0.0), 1.0);
+}
+
+TEST(SpeedupTableTest, UnityAtOneGpu) {
+  const SpeedupTable table(TypicalModel(), TypicalLimits(), 16);
+  EXPECT_NEAR(table.At(1, 1), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(table.At(0, 0), 0.0);
+}
+
+TEST(SpeedupTableTest, MatchesDirectSpeedup) {
+  const GoodputModel model = TypicalModel();
+  const BatchLimits limits = TypicalLimits();
+  const SpeedupTable table(model, limits, 16);
+  for (int k : {2, 4, 8, 16}) {
+    EXPECT_NEAR(table.At(k, 1), Speedup(model, Placement{k, 1}, limits), 1e-9);
+    EXPECT_NEAR(table.At(k, 2), Speedup(model, Placement{k, 2}, limits), 1e-9);
+  }
+}
+
+TEST(SpeedupTableTest, ClampsBeyondTableMax) {
+  const SpeedupTable table(TypicalModel(), TypicalLimits(), 8);
+  EXPECT_DOUBLE_EQ(table.At(100, 2), table.At(8, 2));
+}
+
+TEST(SpeedupTableTest, BatchSizeLookups) {
+  const GoodputModel model = TypicalModel();
+  const BatchLimits limits = TypicalLimits();
+  const SpeedupTable table(model, limits, 8);
+  const auto direct = model.OptimizeBatchSize(Placement{4, 1}, limits);
+  EXPECT_EQ(table.BatchSizeAt(4, 1), direct.batch_size);
+  EXPECT_EQ(table.BatchSizeAt(0, 1), 0);
+}
+
+SchedJobInfo MakeJob(uint64_t id, int max_gpus = 16) {
+  SchedJobInfo info;
+  info.job_id = id;
+  info.speedups = SpeedupTable(TypicalModel(), TypicalLimits(), max_gpus);
+  info.max_gpus_cap = max_gpus;
+  return info;
+}
+
+TEST(FitnessTest, RestartPenaltyAppliesOnlyOnChange) {
+  SchedJobInfo job = MakeJob(1);
+  job.current_allocation = {2, 0};
+  AllocationMatrix same(1, 2);
+  same.at(0, 0) = 2;
+  AllocationMatrix moved(1, 2);
+  moved.at(0, 1) = 2;
+  const double unpenalized = PenalizedSpeedup(job, same, 0, 0.25);
+  const double penalized = PenalizedSpeedup(job, moved, 0, 0.25);
+  EXPECT_NEAR(unpenalized - penalized, 0.25, 1e-9);
+}
+
+TEST(FitnessTest, NoPenaltyForPreviouslyIdleJob) {
+  SchedJobInfo job = MakeJob(1);  // No current allocation.
+  AllocationMatrix matrix(1, 2);
+  matrix.at(0, 0) = 2;
+  EXPECT_NEAR(PenalizedSpeedup(job, matrix, 0, 0.25), job.speedups.At(2, 1), 1e-9);
+}
+
+TEST(FitnessTest, WeightedMean) {
+  std::vector<SchedJobInfo> jobs = {MakeJob(1), MakeJob(2)};
+  jobs[0].weight = 1.0;
+  jobs[1].weight = 3.0;
+  AllocationMatrix matrix(2, 2);
+  matrix.at(0, 0) = 1;  // Speedup 1.
+  matrix.at(1, 0) = 2;  // Speedup s2.
+  const double s2 = jobs[1].speedups.At(2, 1);
+  const double expected = (1.0 * 1.0 + 3.0 * s2) / 4.0;
+  EXPECT_NEAR(Fitness(jobs, matrix, 0.25), expected, 1e-9);
+}
+
+TEST(FitnessTest, EmptyJobsIsZero) {
+  EXPECT_DOUBLE_EQ(Fitness({}, AllocationMatrix(0, 2), 0.25), 0.0);
+}
+
+TEST(UtilityTest, Eqn17BoundsAndValues) {
+  std::vector<SchedJobInfo> jobs = {MakeJob(1), MakeJob(2)};
+  AllocationMatrix matrix(2, 2);
+  matrix.at(0, 0) = 1;
+  matrix.at(1, 1) = 1;
+  // Two jobs each with speedup 1 on an 8-GPU cluster.
+  EXPECT_NEAR(Utility(jobs, matrix, 8), 2.0 / 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Utility(jobs, matrix, 0), 0.0);
+}
+
+TEST(UtilityTest, NeverExceedsOne) {
+  std::vector<SchedJobInfo> jobs = {MakeJob(1), MakeJob(2)};
+  AllocationMatrix matrix(2, 2);
+  matrix.at(0, 0) = 4;
+  matrix.at(1, 1) = 4;
+  // Speedups are sublinear, so utility = sum(speedup)/8 < 1.
+  EXPECT_LE(Utility(jobs, matrix, 8), 1.0);
+  EXPECT_GT(Utility(jobs, matrix, 8), 0.0);
+}
+
+}  // namespace
+}  // namespace pollux

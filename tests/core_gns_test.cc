@@ -1,0 +1,163 @@
+#include "core/gns.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pollux {
+namespace {
+
+// Generates K replica gradients at total batch m: each replica gradient is
+// G + noise where the noise has total variance tr(Sigma)/(m/K), matching the
+// sampling distribution of a batch-(m/K) gradient estimate.
+std::vector<std::vector<double>> MakeReplicaGrads(Rng& rng, const std::vector<double>& true_grad,
+                                                  double cov_trace, int replicas,
+                                                  double total_batch) {
+  const double local_batch = total_batch / replicas;
+  const double per_dim_std =
+      std::sqrt(cov_trace / local_batch / static_cast<double>(true_grad.size()));
+  std::vector<std::vector<double>> grads(replicas);
+  for (auto& grad : grads) {
+    grad.resize(true_grad.size());
+    for (size_t i = 0; i < grad.size(); ++i) {
+      grad[i] = true_grad[i] + rng.Normal(0.0, per_dim_std);
+    }
+  }
+  return grads;
+}
+
+TEST(GnsReplicaEstimatorTest, RejectsDegenerateInput) {
+  std::vector<std::vector<double>> one = {{1.0, 2.0}};
+  EXPECT_FALSE(EstimateGnsFromReplicas(one, 64.0).has_value());
+  std::vector<std::vector<double>> mismatched = {{1.0, 2.0}, {1.0}};
+  EXPECT_FALSE(EstimateGnsFromReplicas(mismatched, 64.0).has_value());
+  std::vector<std::vector<double>> empty_dims = {{}, {}};
+  EXPECT_FALSE(EstimateGnsFromReplicas(empty_dims, 64.0).has_value());
+  std::vector<std::vector<double>> fine = {{1.0}, {1.0}};
+  EXPECT_FALSE(EstimateGnsFromReplicas(fine, 0.0).has_value());
+  EXPECT_TRUE(EstimateGnsFromReplicas(fine, 64.0).has_value());
+}
+
+TEST(GnsReplicaEstimatorTest, NoiselessGradientsGiveZeroVariance) {
+  const std::vector<double> g = {0.5, -1.0, 2.0};
+  std::vector<std::vector<double>> grads = {g, g, g, g};
+  const auto sample = EstimateGnsFromReplicas(grads, 256.0);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_NEAR(sample->cov_trace, 0.0, 1e-12);
+  EXPECT_NEAR(sample->grad_sqnorm, 0.25 + 1.0 + 4.0, 1e-12);
+}
+
+TEST(GnsReplicaEstimatorTest, UnbiasedOverManyTrials) {
+  Rng rng(101);
+  const std::vector<double> true_grad = {1.0, -0.5, 0.25, 2.0};
+  const double true_sqnorm = 1.0 + 0.25 + 0.0625 + 4.0;
+  const double true_cov_trace = 800.0;
+  const double total_batch = 256.0;
+  const int replicas = 4;
+  double cov_sum = 0.0;
+  double sqnorm_sum = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const auto grads = MakeReplicaGrads(rng, true_grad, true_cov_trace, replicas, total_batch);
+    const auto sample = EstimateGnsFromReplicas(grads, total_batch);
+    ASSERT_TRUE(sample.has_value());
+    cov_sum += sample->cov_trace;
+    sqnorm_sum += sample->grad_sqnorm;
+  }
+  EXPECT_NEAR(cov_sum / trials, true_cov_trace, 0.05 * true_cov_trace);
+  EXPECT_NEAR(sqnorm_sum / trials, true_sqnorm, 0.08 * true_sqnorm + 0.1);
+}
+
+TEST(GnsDifferencedEstimatorTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(EstimateGnsDifferenced({1.0}, {1.0, 2.0}, 64.0).has_value());
+  EXPECT_FALSE(EstimateGnsDifferenced({}, {}, 64.0).has_value());
+  EXPECT_FALSE(EstimateGnsDifferenced({1.0}, {1.0}, 0.0).has_value());
+}
+
+TEST(GnsDifferencedEstimatorTest, UnbiasedOverManyTrials) {
+  Rng rng(202);
+  const std::vector<double> true_grad = {1.0, -0.5, 0.25, 2.0};
+  const double true_sqnorm = 1.0 + 0.25 + 0.0625 + 4.0;
+  const double true_cov_trace = 400.0;
+  const double batch = 128.0;
+  const double per_dim_std = std::sqrt(true_cov_trace / batch / 4.0);
+  double cov_sum = 0.0;
+  double sqnorm_sum = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> previous(4);
+    std::vector<double> current(4);
+    for (size_t i = 0; i < 4; ++i) {
+      previous[i] = true_grad[i] + rng.Normal(0.0, per_dim_std);
+      current[i] = true_grad[i] + rng.Normal(0.0, per_dim_std);
+    }
+    const auto sample = EstimateGnsDifferenced(previous, current, batch);
+    ASSERT_TRUE(sample.has_value());
+    cov_sum += sample->cov_trace;
+    sqnorm_sum += sample->grad_sqnorm;
+  }
+  EXPECT_NEAR(cov_sum / trials, true_cov_trace, 0.05 * true_cov_trace);
+  EXPECT_NEAR(sqnorm_sum / trials, true_sqnorm, 0.08 * true_sqnorm + 0.1);
+}
+
+TEST(GnsTrackerTest, InvalidUntilFirstSample) {
+  GnsTracker tracker(0.9);
+  EXPECT_FALSE(tracker.valid());
+  EXPECT_DOUBLE_EQ(tracker.Phi(), 0.0);
+  tracker.AddSample({10.0, 2.0});
+  EXPECT_TRUE(tracker.valid());
+}
+
+TEST(GnsTrackerTest, ConstantSamplesConvergeToPhi) {
+  GnsTracker tracker(0.9);
+  for (int i = 0; i < 200; ++i) {
+    tracker.AddSample({300.0, 3.0});
+  }
+  EXPECT_NEAR(tracker.Phi(), 100.0, 1e-9);
+  EXPECT_NEAR(tracker.cov_trace(), 300.0, 1e-9);
+  EXPECT_NEAR(tracker.grad_sqnorm(), 3.0, 1e-9);
+}
+
+TEST(GnsTrackerTest, BiasCorrectionMakesFirstSampleExact) {
+  GnsTracker tracker(0.95);
+  tracker.AddSample({50.0, 5.0});
+  // Without bias correction the EMA would report 0.05 * the sample.
+  EXPECT_NEAR(tracker.cov_trace(), 50.0, 1e-12);
+  EXPECT_NEAR(tracker.Phi(), 10.0, 1e-12);
+}
+
+TEST(GnsTrackerTest, TracksShiftingNoise) {
+  GnsTracker tracker(0.5);
+  for (int i = 0; i < 50; ++i) {
+    tracker.AddSample({100.0, 10.0});
+  }
+  EXPECT_NEAR(tracker.Phi(), 10.0, 0.1);
+  // Noise scale grows 10x later in training.
+  for (int i = 0; i < 50; ++i) {
+    tracker.AddSample({1000.0, 10.0});
+  }
+  EXPECT_NEAR(tracker.Phi(), 100.0, 1.0);
+}
+
+TEST(GnsTrackerTest, DegenerateSqnormIsCapped) {
+  GnsTracker tracker(0.0);
+  tracker.AddSample({10.0, -1.0});
+  EXPECT_GT(tracker.Phi(), 1e6);
+  GnsTracker zero(0.0);
+  zero.AddSample({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(zero.Phi(), 0.0);
+}
+
+TEST(GnsTrackerTest, ResetClearsState) {
+  GnsTracker tracker(0.9);
+  tracker.AddSample({100.0, 1.0});
+  tracker.Reset();
+  EXPECT_FALSE(tracker.valid());
+  EXPECT_DOUBLE_EQ(tracker.Phi(), 0.0);
+}
+
+}  // namespace
+}  // namespace pollux

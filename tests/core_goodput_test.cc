@@ -1,0 +1,159 @@
+#include "core/goodput.h"
+
+#include <gtest/gtest.h>
+
+namespace pollux {
+namespace {
+
+ThroughputParams TypicalParams() {
+  ThroughputParams params;
+  params.alpha_grad = 0.05;
+  params.beta_grad = 2e-4;
+  params.alpha_sync_local = 0.03;
+  params.beta_sync_local = 0.002;
+  params.alpha_sync_node = 0.1;
+  params.beta_sync_node = 0.005;
+  params.gamma = 2.0;
+  return params;
+}
+
+BatchLimits TypicalLimits() {
+  BatchLimits limits;
+  limits.min_batch = 128;
+  limits.max_batch_total = 16384;
+  limits.max_batch_per_gpu = 1024;
+  return limits;
+}
+
+TEST(BatchLimitsTest, MaxFeasibleCombinesMemoryAndTotalCaps) {
+  const BatchLimits limits = TypicalLimits();
+  EXPECT_EQ(limits.MaxFeasible(1), 1024);
+  EXPECT_EQ(limits.MaxFeasible(8), 8192);
+  EXPECT_EQ(limits.MaxFeasible(64), 16384);  // Total cap binds.
+}
+
+TEST(BatchLimitsTest, MinBatchAlwaysFeasibleViaAccumulation) {
+  BatchLimits limits;
+  limits.min_batch = 4096;
+  limits.max_batch_total = 8192;
+  limits.max_batch_per_gpu = 512;
+  EXPECT_EQ(limits.MaxFeasible(1), 4096);
+  EXPECT_TRUE(limits.Feasible(1, 4096));
+}
+
+TEST(BatchLimitsTest, FeasibleChecksBothEnds) {
+  const BatchLimits limits = TypicalLimits();
+  EXPECT_FALSE(limits.Feasible(1, 64));
+  EXPECT_TRUE(limits.Feasible(1, 512));
+  EXPECT_FALSE(limits.Feasible(1, 2048));
+}
+
+TEST(GoodputModelTest, GoodputNeverExceedsThroughput) {
+  const GoodputModel model(TypicalParams(), 500.0, 128);
+  for (long m : {128L, 256L, 1024L, 4096L}) {
+    const Placement placement{4, 1};
+    EXPECT_LE(model.GoodputAt(placement, static_cast<double>(m)),
+              model.ThroughputAt(placement, static_cast<double>(m)) + 1e-9);
+  }
+}
+
+TEST(GoodputModelTest, GoodputEqualsThroughputAtBaseBatch) {
+  const GoodputModel model(TypicalParams(), 500.0, 128);
+  const Placement placement{2, 1};
+  EXPECT_NEAR(model.GoodputAt(placement, 128.0), model.ThroughputAt(placement, 128.0), 1e-9);
+}
+
+TEST(GoodputModelTest, OptimizeBatchSizeStaysInBounds) {
+  const GoodputModel model(TypicalParams(), 2000.0, 128);
+  const BatchLimits limits = TypicalLimits();
+  for (int k : {1, 2, 4, 8, 16}) {
+    const auto choice = model.OptimizeBatchSize(Placement{k, k > 4 ? 2 : 1}, limits);
+    EXPECT_GE(choice.batch_size, limits.min_batch);
+    EXPECT_LE(choice.batch_size, limits.MaxFeasible(k));
+    EXPECT_GT(choice.goodput, 0.0);
+    EXPECT_GT(choice.efficiency, 0.0);
+    EXPECT_LE(choice.efficiency, 1.0);
+  }
+}
+
+TEST(GoodputModelTest, EmptyPlacementYieldsZero) {
+  const GoodputModel model(TypicalParams(), 500.0, 128);
+  const auto choice = model.OptimizeBatchSize(Placement{0, 0}, TypicalLimits());
+  EXPECT_EQ(choice.batch_size, 0);
+  EXPECT_DOUBLE_EQ(choice.goodput, 0.0);
+}
+
+TEST(GoodputModelTest, HigherNoiseScalePrefersLargerBatches) {
+  // The Fig. 1b phenomenon: later in training (larger phi), the optimal batch
+  // size grows for the same allocation.
+  const BatchLimits limits = TypicalLimits();
+  const GoodputModel early(TypicalParams(), 200.0, 128);
+  const GoodputModel late(TypicalParams(), 20000.0, 128);
+  const Placement placement{16, 4};
+  EXPECT_LT(early.OptimizeBatchSize(placement, limits).batch_size,
+            late.OptimizeBatchSize(placement, limits).batch_size);
+}
+
+TEST(GoodputModelTest, MoreGpusPreferLargerBatches) {
+  const BatchLimits limits = TypicalLimits();
+  const GoodputModel model(TypicalParams(), 5000.0, 128);
+  const auto small = model.OptimizeBatchSize(Placement{2, 1}, limits);
+  const auto large = model.OptimizeBatchSize(Placement{16, 4}, limits);
+  EXPECT_LE(small.batch_size, large.batch_size);
+}
+
+TEST(SpeedupTest, SingleGpuIsUnity) {
+  const GoodputModel model(TypicalParams(), 1000.0, 128);
+  EXPECT_NEAR(Speedup(model, Placement{1, 1}, TypicalLimits()), 1.0, 1e-9);
+}
+
+TEST(SpeedupTest, EmptyPlacementIsZero) {
+  const GoodputModel model(TypicalParams(), 1000.0, 128);
+  EXPECT_DOUBLE_EQ(Speedup(model, Placement{0, 0}, TypicalLimits()), 0.0);
+}
+
+TEST(SpeedupTest, SublinearInGpus) {
+  const GoodputModel model(TypicalParams(), 1000.0, 128);
+  const BatchLimits limits = TypicalLimits();
+  for (int k : {2, 4, 8, 16}) {
+    const double speedup = Speedup(model, Placement{k, (k + 3) / 4}, limits);
+    EXPECT_GT(speedup, 1.0) << "K=" << k;
+    EXPECT_LT(speedup, static_cast<double>(k) + 1e-9) << "K=" << k;
+  }
+}
+
+TEST(SpeedupTest, CoLocatedBeatsSpread) {
+  const GoodputModel model(TypicalParams(), 1000.0, 128);
+  const BatchLimits limits = TypicalLimits();
+  EXPECT_GT(Speedup(model, Placement{4, 1}, limits), Speedup(model, Placement{4, 4}, limits));
+}
+
+// Property sweep: goodput must be unimodal in the batch size for a range of
+// noise scales (the assumption behind golden-section batch tuning).
+class GoodputUnimodalSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GoodputUnimodalSweep, UnimodalInBatchSize) {
+  const GoodputModel model(TypicalParams(), GetParam(), 128);
+  const Placement placement{8, 2};
+  int direction_changes = 0;
+  double previous = model.GoodputAt(placement, 128.0);
+  bool rising = true;
+  for (long m = 160; m <= 16384; m += 32) {
+    const double value = model.GoodputAt(placement, static_cast<double>(m));
+    if (rising && value < previous - 1e-9) {
+      rising = false;
+      ++direction_changes;
+    } else if (!rising && value > previous + 1e-9) {
+      rising = true;
+      ++direction_changes;
+    }
+    previous = value;
+  }
+  EXPECT_LE(direction_changes, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseScales, GoodputUnimodalSweep,
+                         ::testing::Values(0.0, 100.0, 1000.0, 10000.0, 1e6));
+
+}  // namespace
+}  // namespace pollux

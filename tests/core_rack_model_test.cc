@@ -1,0 +1,148 @@
+#include "core/rack_model.h"
+
+#include <gtest/gtest.h>
+
+namespace pollux {
+namespace {
+
+RackThroughputParams GroundTruth() {
+  RackThroughputParams params;
+  params.alpha_grad = 0.03;
+  params.beta_grad = 4e-4;
+  params.alpha_sync_local = 0.02;
+  params.beta_sync_local = 0.001;
+  params.alpha_sync_node = 0.08;
+  params.beta_sync_node = 0.004;
+  params.alpha_sync_rack = 0.20;
+  params.beta_sync_rack = 0.010;
+  params.gamma = 2.0;
+  return params;
+}
+
+TEST(RackModelTest, SyncRegimes) {
+  const auto params = GroundTruth();
+  EXPECT_DOUBLE_EQ(RackSyncTime(params, RackPlacement{1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(RackSyncTime(params, RackPlacement{4, 1, 1}),
+                   params.alpha_sync_local + 2.0 * params.beta_sync_local);
+  EXPECT_DOUBLE_EQ(RackSyncTime(params, RackPlacement{4, 2, 1}),
+                   params.alpha_sync_node + 2.0 * params.beta_sync_node);
+  EXPECT_DOUBLE_EQ(RackSyncTime(params, RackPlacement{4, 2, 2}),
+                   params.alpha_sync_rack + 2.0 * params.beta_sync_rack);
+}
+
+TEST(RackModelTest, LocalityOrdering) {
+  // Same GPUs, increasingly remote placements: throughput must not improve.
+  const auto params = GroundTruth();
+  const double co_located = RackModelThroughput(params, RackPlacement{8, 1, 1}, 1024.0);
+  const double same_rack = RackModelThroughput(params, RackPlacement{8, 2, 1}, 1024.0);
+  const double cross_rack = RackModelThroughput(params, RackPlacement{8, 2, 2}, 1024.0);
+  EXPECT_GT(co_located, same_rack);
+  EXPECT_GT(same_rack, cross_rack);
+  EXPECT_GT(cross_rack, 0.0);
+}
+
+TEST(RackModelTest, FlattenDropsRackDimension) {
+  const RackPlacement placement{8, 2, 2};
+  EXPECT_EQ(placement.Flatten(), (Placement{8, 2}));
+}
+
+TEST(RackModelTest, ReducesToTwoTierModelWithinOneRack) {
+  // With R = 1, the rack model must agree with the base Eqn. 10/11 model
+  // sharing the same non-rack parameters.
+  const auto rack_params = GroundTruth();
+  ThroughputParams base;
+  base.alpha_grad = rack_params.alpha_grad;
+  base.beta_grad = rack_params.beta_grad;
+  base.alpha_sync_local = rack_params.alpha_sync_local;
+  base.beta_sync_local = rack_params.beta_sync_local;
+  base.alpha_sync_node = rack_params.alpha_sync_node;
+  base.beta_sync_node = rack_params.beta_sync_node;
+  base.gamma = rack_params.gamma;
+  for (const RackPlacement placement :
+       {RackPlacement{1, 1, 1}, RackPlacement{4, 1, 1}, RackPlacement{8, 2, 1}}) {
+    EXPECT_NEAR(RackIterTime(rack_params, placement, 512.0),
+                IterTime(base, placement.Flatten(), 512.0), 1e-12);
+  }
+}
+
+TEST(RackModelTest, ZeroGpusZeroThroughput) {
+  EXPECT_DOUBLE_EQ(RackModelThroughput(GroundTruth(), RackPlacement{0, 0, 0}, 512.0), 0.0);
+  EXPECT_DOUBLE_EQ(RackModelThroughput(GroundTruth(), RackPlacement{1, 1, 1}, 0.0), 0.0);
+}
+
+TEST(RackModelTest, RmsleZeroForExactParams) {
+  const auto truth = GroundTruth();
+  std::vector<RackThroughputObservation> data;
+  for (const RackPlacement placement :
+       {RackPlacement{1, 1, 1}, RackPlacement{4, 1, 1}, RackPlacement{8, 2, 1},
+        RackPlacement{16, 4, 2}}) {
+    for (long m : {256L, 1024L}) {
+      data.push_back({placement, m, RackIterTime(truth, placement, static_cast<double>(m))});
+    }
+  }
+  EXPECT_NEAR(RackThroughputRmsle(truth, data), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(RackThroughputRmsle(truth, {}), 0.0);
+}
+
+TEST(RackFitTest, RecoversPredictionsAcrossAllThreeTiers) {
+  const auto truth = GroundTruth();
+  std::vector<RackThroughputObservation> data;
+  for (int k : {1, 2, 4, 8, 16}) {
+    for (const auto& [nodes, racks] : std::vector<std::pair<int, int>>{{1, 1}, {2, 1}, {4, 2}}) {
+      if (k < nodes) {
+        continue;
+      }
+      for (long m : {128L, 512L, 2048L}) {
+        const RackPlacement placement{k, nodes, racks};
+        data.push_back({placement, m, RackIterTime(truth, placement, static_cast<double>(m))});
+      }
+    }
+  }
+  RackFitOptions options;
+  options.max_gpus_seen = 16;
+  options.max_nodes_seen = 4;
+  options.max_racks_seen = 2;
+  const RackFitResult fit = FitRackThroughputParams(data, options);
+  EXPECT_LT(fit.rmsle, 0.05);
+  // Held-out predictions across all tiers.
+  for (const RackPlacement placement :
+       {RackPlacement{6, 1, 1}, RackPlacement{6, 2, 1}, RackPlacement{12, 3, 2}}) {
+    const double predicted = RackIterTime(fit.params, placement, 768.0);
+    const double actual = RackIterTime(truth, placement, 768.0);
+    EXPECT_NEAR(predicted / actual, 1.0, 0.15)
+        << "K=" << placement.num_gpus << " N=" << placement.num_nodes
+        << " R=" << placement.num_racks;
+  }
+}
+
+TEST(RackFitTest, PriorPinsRackParamsUntilMultiRackSeen) {
+  const auto truth = GroundTruth();
+  std::vector<RackThroughputObservation> data;
+  for (int k : {1, 2, 4}) {
+    const RackPlacement placement{k, k >= 2 ? 2 : 1, 1};
+    data.push_back({placement, 512, RackIterTime(truth, placement, 512.0)});
+  }
+  RackFitOptions options;
+  options.max_gpus_seen = 4;
+  options.max_nodes_seen = 2;
+  options.max_racks_seen = 1;
+  const RackFitResult fit = FitRackThroughputParams(data, options);
+  EXPECT_DOUBLE_EQ(fit.params.alpha_sync_rack, 0.0);
+  EXPECT_DOUBLE_EQ(fit.params.beta_sync_rack, 0.0);
+}
+
+TEST(RackFitTest, AllPinsForSingleGpuJob) {
+  std::vector<RackThroughputObservation> data = {
+      {RackPlacement{1, 1, 1}, 256, 0.15},
+      {RackPlacement{1, 1, 1}, 512, 0.25},
+  };
+  RackFitOptions options;  // Defaults: nothing beyond 1 GPU seen.
+  const RackFitResult fit = FitRackThroughputParams(data, options);
+  EXPECT_DOUBLE_EQ(fit.params.alpha_sync_local, 0.0);
+  EXPECT_DOUBLE_EQ(fit.params.alpha_sync_node, 0.0);
+  EXPECT_DOUBLE_EQ(fit.params.alpha_sync_rack, 0.0);
+  EXPECT_GT(fit.params.beta_grad, 0.0);
+}
+
+}  // namespace
+}  // namespace pollux

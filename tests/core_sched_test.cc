@@ -1,0 +1,121 @@
+#include "core/sched.h"
+
+#include <gtest/gtest.h>
+
+namespace pollux {
+namespace {
+
+GoodputModel TypicalModel(double phi = 1000.0) {
+  ThroughputParams params;
+  params.alpha_grad = 0.05;
+  params.beta_grad = 2e-4;
+  params.alpha_sync_local = 0.03;
+  params.beta_sync_local = 0.002;
+  params.alpha_sync_node = 0.1;
+  params.beta_sync_node = 0.005;
+  params.gamma = 2.0;
+  return GoodputModel(params, phi, 128);
+}
+
+SchedJobReport MakeReport(uint64_t id, double phi = 1000.0, int cap = 16,
+                          double gpu_time = 0.0) {
+  SchedJobReport report;
+  report.agent.job_id = id;
+  report.agent.model = TypicalModel(phi);
+  report.agent.limits.min_batch = 128;
+  report.agent.limits.max_batch_total = 16384;
+  report.agent.limits.max_batch_per_gpu = 1024;
+  report.agent.max_gpus_cap = cap;
+  report.gpu_time = gpu_time;
+  return report;
+}
+
+SchedConfig SmallConfig(uint64_t seed = 5) {
+  SchedConfig config;
+  config.ga.population_size = 20;
+  config.ga.generations = 15;
+  config.ga.seed = seed;
+  return config;
+}
+
+TEST(PolluxSchedTest, EmptyReportsProduceNothing) {
+  PolluxSched sched(ClusterSpec::Homogeneous(2, 4), SmallConfig());
+  EXPECT_TRUE(sched.Schedule({}).empty());
+  EXPECT_DOUBLE_EQ(sched.last_utility(), 0.0);
+}
+
+TEST(PolluxSchedTest, AllocationsRespectCapacityAndCaps) {
+  PolluxSched sched(ClusterSpec::Homogeneous(4, 4), SmallConfig());
+  std::vector<SchedJobReport> reports;
+  for (uint64_t id = 1; id <= 5; ++id) {
+    reports.push_back(MakeReport(id, 1000.0, static_cast<int>(id * 2)));
+  }
+  const auto allocations = sched.Schedule(reports);
+  ASSERT_EQ(allocations.size(), 5u);
+  std::vector<int> usage(4, 0);
+  for (const auto& [id, row] : allocations) {
+    ASSERT_EQ(row.size(), 4u);
+    int total = 0;
+    for (size_t n = 0; n < row.size(); ++n) {
+      EXPECT_GE(row[n], 0);
+      usage[n] += row[n];
+      total += row[n];
+    }
+    EXPECT_LE(total, static_cast<int>(id * 2)) << "job " << id;
+  }
+  for (int node_usage : usage) {
+    EXPECT_LE(node_usage, 4);
+  }
+}
+
+TEST(PolluxSchedTest, SingleJobObtainsGpus) {
+  PolluxSched sched(ClusterSpec::Homogeneous(2, 4), SmallConfig());
+  const auto allocations = sched.Schedule({MakeReport(7, 1e5, 8)});
+  int total = 0;
+  for (int g : allocations.at(7)) {
+    total += g;
+  }
+  EXPECT_GE(total, 4);
+  EXPECT_GT(sched.last_utility(), 0.0);
+  EXPECT_LE(sched.last_utility(), 1.0);
+}
+
+TEST(PolluxSchedTest, WeightDecayShiftsGpusTowardYoungJobs) {
+  // Two identical jobs, but job 1 already consumed 100 GPU-hours. With
+  // weight decay enabled, job 2 should get at least as many GPUs.
+  SchedConfig config = SmallConfig();
+  config.weight_lambda = 1.0;
+  config.ga.generations = 30;
+  PolluxSched sched(ClusterSpec::Homogeneous(2, 4), config);
+  std::vector<SchedJobReport> reports = {MakeReport(1, 1000.0, 16, 100.0 * 3600.0),
+                                         MakeReport(2, 1000.0, 16, 0.0)};
+  const auto allocations = sched.Schedule(reports);
+  auto total = [&](uint64_t id) {
+    int sum = 0;
+    for (int g : allocations.at(id)) {
+      sum += g;
+    }
+    return sum;
+  };
+  EXPECT_GE(total(2), total(1));
+}
+
+TEST(PolluxSchedTest, EvaluateUtilityDecreasesWithClusterSize) {
+  PolluxSched sched(ClusterSpec::Homogeneous(4, 4), SmallConfig());
+  std::vector<SchedJobReport> reports = {MakeReport(1, 1000.0, 8)};
+  const double small = sched.EvaluateUtilityAt(1, 4, reports);
+  const double large = sched.EvaluateUtilityAt(8, 4, reports);
+  EXPECT_GT(small, large);
+  EXPECT_DOUBLE_EQ(sched.EvaluateUtilityAt(0, 4, reports), 0.0);
+  EXPECT_DOUBLE_EQ(sched.EvaluateUtilityAt(4, 4, {}), 0.0);
+}
+
+TEST(PolluxSchedTest, SetClusterChangesMatrixWidth) {
+  PolluxSched sched(ClusterSpec::Homogeneous(2, 4), SmallConfig());
+  sched.SetCluster(ClusterSpec::Homogeneous(6, 4));
+  const auto allocations = sched.Schedule({MakeReport(1)});
+  EXPECT_EQ(allocations.at(1).size(), 6u);
+}
+
+}  // namespace
+}  // namespace pollux

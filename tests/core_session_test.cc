@@ -1,0 +1,144 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace pollux {
+namespace {
+
+SessionOptions MakeOptions(long report_every = 10) {
+  SessionOptions options;
+  options.job_id = 1;
+  options.base_batch_size = 64;
+  options.base_lr = 0.1;
+  options.limits.min_batch = 64;
+  options.limits.max_batch_total = 4096;
+  options.limits.max_batch_per_gpu = 512;
+  options.report_every_steps = report_every;
+  return options;
+}
+
+// K replica gradients with true |G|^2 = 1 and tr(Sigma) = phi.
+std::vector<std::vector<double>> MakeGrads(Rng& rng, double phi, int replicas, long batch) {
+  const size_t dim = 16;
+  const double per_dim_std =
+      std::sqrt(phi / (static_cast<double>(batch) / replicas) / static_cast<double>(dim));
+  const double mean = 1.0 / std::sqrt(static_cast<double>(dim));
+  std::vector<std::vector<double>> grads(static_cast<size_t>(replicas));
+  for (auto& grad : grads) {
+    grad.resize(dim);
+    for (double& g : grad) {
+      g = mean + rng.Normal(0.0, per_dim_std);
+    }
+  }
+  return grads;
+}
+
+TEST(SessionTest, LearningRateIsBaseAtBaseBatch) {
+  PolluxSession session(MakeOptions());
+  session.SetPlacement(Placement{2, 1});
+  Rng rng(3);
+  for (int step = 0; step < 5; ++step) {
+    const auto grads = MakeGrads(rng, 500.0, 2, 64);
+    const auto decision = session.EndStepWithDuration(grads, 64, 0.1);
+    EXPECT_NEAR(decision.learning_rate, 0.1, 1e-9);
+    EXPECT_NEAR(decision.gain, 1.0, 1e-9);
+  }
+  EXPECT_EQ(session.steps(), 5);
+}
+
+TEST(SessionTest, LargerBatchScalesLearningRate) {
+  PolluxSession session(MakeOptions());
+  session.SetPlacement(Placement{4, 1});
+  Rng rng(5);
+  PolluxSession::StepDecision decision;
+  for (int step = 0; step < 50; ++step) {
+    const auto grads = MakeGrads(rng, 640.0, 4, 256);
+    decision = session.EndStepWithDuration(grads, 256, 0.1);
+  }
+  EXPECT_GT(decision.gain, 1.0);
+  EXPECT_LE(decision.gain, 4.0 + 1e-9);
+  EXPECT_NEAR(decision.learning_rate, 0.1 * decision.gain, 1e-9);
+  EXPECT_GT(session.phi(), 0.0);
+}
+
+TEST(SessionTest, SingleReplicaFallsBackToDifferencedEstimator) {
+  PolluxSession session(MakeOptions());
+  session.SetPlacement(Placement{1, 1});
+  Rng rng(7);
+  for (int step = 0; step < 30; ++step) {
+    const auto grads = MakeGrads(rng, 320.0, 1, 64);
+    session.EndStepWithDuration(grads, 64, 0.1);
+  }
+  // First step has no previous gradient; the remaining 29 produce samples.
+  EXPECT_GT(session.adascale().tracker().sample_count(), 20u);
+  EXPECT_GT(session.phi(), 0.0);
+}
+
+TEST(SessionTest, PlacementChangeResetsDifferencing) {
+  PolluxSession session(MakeOptions());
+  session.SetPlacement(Placement{1, 1});
+  Rng rng(9);
+  auto grads = MakeGrads(rng, 320.0, 1, 64);
+  session.EndStepWithDuration(grads, 64, 0.1);
+  const size_t samples_before = session.adascale().tracker().sample_count();
+  session.SetPlacement(Placement{2, 1});
+  // Single-replica step right after a placement change: no differencing pair.
+  grads = MakeGrads(rng, 320.0, 1, 64);
+  session.EndStepWithDuration(grads, 64, 0.1);
+  EXPECT_EQ(session.adascale().tracker().sample_count(), samples_before);
+}
+
+TEST(SessionTest, PeriodicReportRefreshesRecommendedBatch) {
+  PolluxSession session(MakeOptions(/*report_every=*/10));
+  session.SetPlacement(Placement{4, 1});
+  Rng rng(11);
+  int reports = 0;
+  long last_recommendation = 0;
+  for (int step = 0; step < 40; ++step) {
+    const auto grads = MakeGrads(rng, 3200.0, 4, 128);
+    const auto decision = session.EndStepWithDuration(grads, 128, 0.05);
+    if (decision.reported) {
+      ++reports;
+    }
+    last_recommendation = decision.recommended_batch_size;
+  }
+  EXPECT_EQ(reports, 4);
+  // With a large noise scale and 4 GPUs, the goodput model recommends a batch
+  // beyond m0.
+  EXPECT_GT(last_recommendation, 64);
+  EXPECT_LE(last_recommendation, 2048);
+}
+
+TEST(SessionTest, ReportCarriesFittedModel) {
+  PolluxSession session(MakeOptions());
+  session.SetPlacement(Placement{2, 1});
+  Rng rng(13);
+  for (int step = 0; step < 20; ++step) {
+    const auto grads = MakeGrads(rng, 500.0, 2, 64);
+    session.EndStepWithDuration(grads, 64, 0.12);
+  }
+  const AgentReport report = session.Report();
+  EXPECT_EQ(report.job_id, 1u);
+  EXPECT_GT(report.model.phi(), 0.0);
+  // One configuration observed: (K=2, m=64) at ~0.12 s.
+  const double predicted = IterTime(report.model.params(), Placement{2, 1}, 64.0);
+  EXPECT_NEAR(predicted, 0.12, 0.03);
+}
+
+TEST(SessionTest, WallClockTimingPath) {
+  PolluxSession session(MakeOptions());
+  session.SetPlacement(Placement{1, 1});
+  Rng rng(17);
+  session.BeginStep();
+  const auto grads = MakeGrads(rng, 320.0, 1, 64);
+  const auto decision = session.EndStep(grads, 64);
+  EXPECT_GE(decision.learning_rate, 0.0);
+  EXPECT_GE(session.agent().distinct_configurations(), 0u);
+}
+
+}  // namespace
+}  // namespace pollux

@@ -1,0 +1,91 @@
+// Property tests for the SpeedupTable's geometric grid + interpolation: the
+// interpolated speedup must stay close to the exact (per-K optimized)
+// speedup everywhere, since scheduling quality depends on it.
+
+#include <gtest/gtest.h>
+
+#include "core/speedup_table.h"
+
+namespace pollux {
+namespace {
+
+GoodputModel MakeModel(double phi) {
+  ThroughputParams params;
+  params.alpha_grad = 0.04;
+  params.beta_grad = 3e-4;
+  params.alpha_sync_local = 0.02;
+  params.beta_sync_local = 0.001;
+  params.alpha_sync_node = 0.09;
+  params.beta_sync_node = 0.005;
+  params.gamma = 2.0;
+  return GoodputModel(params, phi, 128);
+}
+
+BatchLimits MakeLimits() { return BatchLimits{128, 32768, 1024}; }
+
+class SpeedupInterpolationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpeedupInterpolationSweep, CloseToExactEverywhere) {
+  const GoodputModel model = MakeModel(GetParam());
+  const BatchLimits limits = MakeLimits();
+  const SpeedupTable table(model, limits, 64);
+  for (int k = 1; k <= 64; ++k) {
+    for (int nodes : {1, 2}) {
+      const double exact = Speedup(model, Placement{k, nodes}, limits);
+      const double interpolated = table.At(k, nodes);
+      EXPECT_NEAR(interpolated, exact, 0.03 * exact + 1e-9)
+          << "K=" << k << " N=" << nodes << " phi=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseScales, SpeedupInterpolationSweep,
+                         ::testing::Values(0.0, 100.0, 1000.0, 20000.0, 1e6));
+
+TEST(SpeedupTableGridTest, GridPointsAreExact) {
+  const GoodputModel model = MakeModel(1000.0);
+  const BatchLimits limits = MakeLimits();
+  const SpeedupTable table(model, limits, 64);
+  // Dense region and max are always grid points.
+  for (int k : {1, 2, 3, 4, 5, 6, 7, 8, 64}) {
+    EXPECT_NEAR(table.At(k, 2), Speedup(model, Placement{k, 2}, limits), 1e-9) << k;
+  }
+}
+
+TEST(SpeedupTableGridTest, MonotoneInGpusForWellBehavedModel) {
+  // With zero retrogression slopes, speedup should be nondecreasing in K —
+  // and so should the interpolated table.
+  ThroughputParams params;
+  params.alpha_grad = 0.04;
+  params.beta_grad = 3e-4;
+  params.alpha_sync_local = 0.02;
+  params.alpha_sync_node = 0.09;
+  params.gamma = 2.0;
+  const GoodputModel model(params, 5000.0, 128);
+  const SpeedupTable table(model, MakeLimits(), 64);
+  double previous = 0.0;
+  for (int k = 1; k <= 64; ++k) {
+    const double speedup = table.At(k, 2);
+    EXPECT_GE(speedup, previous - 1e-9) << "K=" << k;
+    previous = speedup;
+  }
+}
+
+TEST(SpeedupTableGridTest, SmallMaxGpusIsDense) {
+  const GoodputModel model = MakeModel(1000.0);
+  const SpeedupTable table(model, MakeLimits(), 4);
+  EXPECT_EQ(table.max_gpus(), 4);
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(table.At(k, 1), Speedup(model, Placement{k, 1}, MakeLimits()), 1e-9);
+  }
+}
+
+TEST(SpeedupTableGridTest, EmptyTableBehaviour) {
+  SpeedupTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_DOUBLE_EQ(table.At(4, 1), 0.0);
+  EXPECT_EQ(table.BatchSizeAt(4, 1), 0);
+}
+
+}  // namespace
+}  // namespace pollux

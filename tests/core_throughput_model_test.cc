@@ -1,0 +1,142 @@
+#include "core/throughput_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pollux {
+namespace {
+
+ThroughputParams TypicalParams() {
+  ThroughputParams params;
+  params.alpha_grad = 0.05;
+  params.beta_grad = 2e-4;
+  params.alpha_sync_local = 0.03;
+  params.beta_sync_local = 0.002;
+  params.alpha_sync_node = 0.1;
+  params.beta_sync_node = 0.005;
+  params.gamma = 2.0;
+  return params;
+}
+
+TEST(ThroughputModelTest, SingleGpuHasNoSync) {
+  const auto params = TypicalParams();
+  EXPECT_DOUBLE_EQ(SyncTime(params, Placement{1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(IterTime(params, Placement{1, 1}, 100.0),
+                   GradTime(params, Placement{1, 1}, 100.0));
+}
+
+TEST(ThroughputModelTest, GradTimeScalesWithLocalBatch) {
+  const auto params = TypicalParams();
+  // Same per-GPU batch => same grad time.
+  EXPECT_DOUBLE_EQ(GradTime(params, Placement{1, 1}, 100.0),
+                   GradTime(params, Placement{4, 1}, 400.0));
+  // Doubling the global batch at fixed K doubles the variable part.
+  const double t1 = GradTime(params, Placement{2, 1}, 200.0);
+  const double t2 = GradTime(params, Placement{2, 1}, 400.0);
+  EXPECT_NEAR(t2 - t1, params.beta_grad * 100.0, 1e-12);
+}
+
+TEST(ThroughputModelTest, SyncRegimesAtKEquals2) {
+  const auto params = TypicalParams();
+  // K=2 on one node uses local parameters with zero retrogression term.
+  EXPECT_DOUBLE_EQ(SyncTime(params, Placement{2, 1}), params.alpha_sync_local);
+  // K=2 across two nodes uses node parameters.
+  EXPECT_DOUBLE_EQ(SyncTime(params, Placement{2, 2}), params.alpha_sync_node);
+  // Retrogression grows linearly in K - 2.
+  EXPECT_DOUBLE_EQ(SyncTime(params, Placement{6, 2}),
+                   params.alpha_sync_node + 4.0 * params.beta_sync_node);
+}
+
+TEST(ThroughputModelTest, CoLocatedSyncIsFaster) {
+  const auto params = TypicalParams();
+  EXPECT_LT(SyncTime(params, Placement{4, 1}), SyncTime(params, Placement{4, 2}));
+}
+
+TEST(ThroughputModelTest, GammaOneIsSum) {
+  auto params = TypicalParams();
+  params.gamma = 1.0;
+  const Placement placement{4, 2};
+  const double expected = GradTime(params, placement, 512.0) + SyncTime(params, placement);
+  EXPECT_NEAR(IterTime(params, placement, 512.0), expected, 1e-12);
+}
+
+TEST(ThroughputModelTest, LargeGammaApproachesMax) {
+  auto params = TypicalParams();
+  params.gamma = 500.0;
+  const Placement placement{4, 2};
+  const double grad = GradTime(params, placement, 512.0);
+  const double sync = SyncTime(params, placement);
+  EXPECT_NEAR(IterTime(params, placement, 512.0), std::max(grad, sync), 1e-3);
+}
+
+TEST(ThroughputModelTest, IterTimeBetweenMaxAndSum) {
+  const auto params = TypicalParams();
+  const Placement placement{8, 2};
+  const double grad = GradTime(params, placement, 1024.0);
+  const double sync = SyncTime(params, placement);
+  const double iter = IterTime(params, placement, 1024.0);
+  EXPECT_GE(iter, std::max(grad, sync));
+  EXPECT_LE(iter, grad + sync + 1e-12);
+}
+
+TEST(ThroughputModelTest, GammaBelowOneIsClampedToSum) {
+  auto params = TypicalParams();
+  params.gamma = 0.5;  // Invalid; model clamps to 1.
+  const Placement placement{4, 2};
+  const double expected = GradTime(params, placement, 512.0) + SyncTime(params, placement);
+  EXPECT_NEAR(IterTime(params, placement, 512.0), expected, 1e-12);
+}
+
+TEST(ThroughputModelTest, ZeroGpusYieldsZeroThroughput) {
+  const auto params = TypicalParams();
+  EXPECT_DOUBLE_EQ(ModelThroughput(params, Placement{0, 0}, 128.0), 0.0);
+  EXPECT_DOUBLE_EQ(ModelThroughput(params, Placement{1, 1}, 0.0), 0.0);
+}
+
+TEST(ThroughputModelTest, LargerBatchEnablesBetterScaling) {
+  // The Fig. 1a phenomenon: with a small batch, throughput saturates via
+  // Amdahl's law; a larger batch keeps scaling further.
+  const auto params = TypicalParams();
+  auto scaling = [&](double m) {
+    return ModelThroughput(params, Placement{16, 4}, m) /
+           ModelThroughput(params, Placement{1, 1}, m);
+  };
+  EXPECT_GT(scaling(2048.0), scaling(512.0));
+}
+
+// Property sweep: throughput is nondecreasing in K (fixed batch, single
+// node regime to isolate Amdahl behaviour) for a family of parameter sets
+// with zero retrogression.
+struct ScalingCase {
+  double alpha_grad;
+  double beta_grad;
+  double alpha_sync;
+  double gamma;
+};
+
+class ThroughputScalingSweep : public ::testing::TestWithParam<ScalingCase> {};
+
+TEST_P(ThroughputScalingSweep, MonotoneInGpus) {
+  const ScalingCase c = GetParam();
+  ThroughputParams params;
+  params.alpha_grad = c.alpha_grad;
+  params.beta_grad = c.beta_grad;
+  params.alpha_sync_local = c.alpha_sync;
+  params.gamma = c.gamma;
+  double previous = 0.0;
+  for (int k = 1; k <= 32; ++k) {
+    const double throughput = ModelThroughput(params, Placement{k, 1}, 1024.0);
+    EXPECT_GE(throughput, previous - 1e-9) << "K=" << k;
+    previous = throughput;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParamFamilies, ThroughputScalingSweep,
+                         ::testing::Values(ScalingCase{0.01, 1e-4, 0.02, 1.0},
+                                           ScalingCase{0.05, 5e-4, 0.05, 2.0},
+                                           ScalingCase{0.0, 1e-3, 0.1, 3.0},
+                                           ScalingCase{0.1, 1e-5, 0.0, 1.5}));
+
+}  // namespace
+}  // namespace pollux

@@ -1,0 +1,120 @@
+#include "minidl/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "minidl/dataset.h"
+#include "minidl/mlp.h"
+#include "minidl/trainer.h"
+
+namespace pollux {
+namespace {
+
+TEST(SgdOptimizerTest, PlainSgdMatchesDirectUpdate) {
+  SgdOptimizer sgd(2);
+  std::vector<double> params = {1.0, -2.0};
+  sgd.Step(params, {0.5, -0.25}, 0.1);
+  EXPECT_DOUBLE_EQ(params[0], 1.0 - 0.1 * 0.5);
+  EXPECT_DOUBLE_EQ(params[1], -2.0 + 0.1 * 0.25);
+}
+
+TEST(SgdOptimizerTest, MomentumAccumulatesVelocity) {
+  SgdOptions options;
+  options.momentum = 0.9;
+  SgdOptimizer sgd(1, options);
+  std::vector<double> params = {0.0};
+  // Two steps with constant gradient 1: v1 = 1, v2 = 1.9.
+  sgd.Step(params, {1.0}, 0.1);
+  EXPECT_NEAR(params[0], -0.1, 1e-12);
+  sgd.Step(params, {1.0}, 0.1);
+  EXPECT_NEAR(params[0], -0.1 - 0.19, 1e-12);
+  EXPECT_NEAR(sgd.velocity()[0], 1.9, 1e-12);
+}
+
+TEST(SgdOptimizerTest, NesterovLookahead) {
+  SgdOptions options;
+  options.momentum = 0.9;
+  options.nesterov = true;
+  SgdOptimizer sgd(1, options);
+  std::vector<double> params = {0.0};
+  sgd.Step(params, {1.0}, 0.1);
+  // v = 1; step along g + mu*v = 1.9.
+  EXPECT_NEAR(params[0], -0.19, 1e-12);
+}
+
+TEST(SgdOptimizerTest, WeightDecayShrinksParameters) {
+  SgdOptions options;
+  options.weight_decay = 0.1;
+  SgdOptimizer sgd(1, options);
+  std::vector<double> params = {2.0};
+  sgd.Step(params, {0.0}, 0.5);
+  EXPECT_NEAR(params[0], 2.0 - 0.5 * 0.1 * 2.0, 1e-12);
+}
+
+TEST(SgdOptimizerTest, ResetClearsVelocity) {
+  SgdOptions options;
+  options.momentum = 0.9;
+  SgdOptimizer sgd(1, options);
+  std::vector<double> params = {0.0};
+  sgd.Step(params, {1.0}, 0.1);
+  sgd.Reset();
+  EXPECT_DOUBLE_EQ(sgd.velocity()[0], 0.0);
+}
+
+TEST(StepDecayTest, DecaysAtMilestones) {
+  StepDecaySchedule schedule(1.0, {100, 200}, 0.1);
+  EXPECT_DOUBLE_EQ(schedule.LearningRateAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.LearningRateAt(99), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.LearningRateAt(100), 0.1);
+  EXPECT_NEAR(schedule.LearningRateAt(200), 0.01, 1e-15);
+  EXPECT_NEAR(schedule.LearningRateAt(100000), 0.01, 1e-15);
+}
+
+TEST(StepDecayTest, UnsortedMilestonesAreSorted) {
+  StepDecaySchedule schedule(1.0, {200, 100}, 0.5);
+  EXPECT_DOUBLE_EQ(schedule.LearningRateAt(150), 0.5);
+}
+
+TEST(TrainerScheduleTest, MomentumSgdStillConverges) {
+  const Dataset data = MakeSyntheticRegression(512, 6, 0, 0.05, 91);
+  Mlp model(6, 0, 93);
+  TrainerOptions options;
+  options.base_batch_size = 32;
+  options.base_lr = 0.02;
+  options.replicas = 2;
+  options.seed = 95;
+  options.sgd.momentum = 0.9;
+  DataParallelTrainer trainer(&model, &data, options);
+  const double initial = trainer.FullLoss();
+  for (int step = 0; step < 200; ++step) {
+    trainer.Step(32);
+  }
+  EXPECT_LT(trainer.FullLoss(), 0.25 * initial);
+}
+
+TEST(TrainerScheduleTest, LrScheduleAppliesThroughAdaScale) {
+  const Dataset data = MakeSyntheticRegression(256, 4, 0, 0.2, 97);
+  Mlp model(4, 0, 99);
+  TrainerOptions options;
+  options.base_batch_size = 32;
+  options.base_lr = 0.1;
+  options.replicas = 2;
+  options.seed = 101;
+  options.lr_milestones = {10};
+  options.lr_decay_factor = 0.1;
+  DataParallelTrainer trainer(&model, &data, options);
+  // After 9 steps the AdaScale step counter is 9 (< milestone 10).
+  for (int step = 0; step < 9; ++step) {
+    trainer.Step(32);
+  }
+  const double before_decay = trainer.last_learning_rate();
+  trainer.Step(32);
+  const double after_decay = trainer.last_learning_rate();
+  // The decay factor dominates any AdaScale gain movement at fixed m = m0
+  // (where the gain is identically 1).
+  EXPECT_NEAR(after_decay / before_decay, 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace pollux

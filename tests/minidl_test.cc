@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "minidl/dataset.h"
+#include "minidl/mlp.h"
+#include "minidl/tensor.h"
+#include "minidl/trainer.h"
+
+namespace pollux {
+namespace {
+
+TEST(TensorTest, MatMulKnownValues) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  for (size_t i = 0; i < 6; ++i) {
+    a.data[i] = static_cast<double>(i + 1);       // [[1,2,3],[4,5,6]]
+    b.data[i] = static_cast<double>(6 - i);       // [[6,5],[4,3],[2,1]]
+  }
+  const Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 20.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 14.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 56.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 41.0);
+}
+
+TEST(TensorTest, MatMulTransposedAgreesWithMatMul) {
+  Matrix a(2, 3);
+  Matrix bt(4, 3);
+  for (size_t i = 0; i < a.data.size(); ++i) {
+    a.data[i] = 0.1 * static_cast<double>(i) - 0.2;
+  }
+  for (size_t i = 0; i < bt.data.size(); ++i) {
+    bt.data[i] = 0.3 * static_cast<double>(i) - 1.0;
+  }
+  Matrix b(3, 4);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      b.at(i, j) = bt.at(j, i);
+    }
+  }
+  const Matrix via_t = MatMulTransposed(a, bt);
+  const Matrix direct = MatMul(a, b);
+  for (size_t i = 0; i < via_t.data.size(); ++i) {
+    EXPECT_NEAR(via_t.data[i], direct.data[i], 1e-12);
+  }
+}
+
+TEST(TensorTest, VectorHelpers) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  Axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(Dot(x, x), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(x), 5.0);
+  Scale(x, 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 6.0);
+}
+
+TEST(DatasetTest, SyntheticShapesAndDeterminism) {
+  const Dataset a = MakeSyntheticRegression(100, 8, 4, 0.1, 7);
+  const Dataset b = MakeSyntheticRegression(100, 8, 4, 0.1, 7);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a.dim(), 8u);
+  EXPECT_EQ(a.labels, b.labels);
+  const Dataset c = MakeSyntheticRegression(100, 8, 4, 0.1, 8);
+  EXPECT_NE(a.labels, c.labels);
+}
+
+TEST(DatasetTest, SamplerCoversEveryExampleEachEpoch) {
+  MinibatchSampler sampler(10, 3);
+  std::vector<int> counts(10, 0);
+  for (int step = 0; step < 5; ++step) {
+    for (size_t i : sampler.Next(2)) {
+      ++counts[i];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_EQ(c, 1);  // Exactly one epoch consumed.
+  }
+  sampler.Next(1);
+  EXPECT_EQ(sampler.epochs_completed(), 1u);
+}
+
+TEST(MlpTest, GradientMatchesFiniteDifferences) {
+  const Dataset data = MakeSyntheticRegression(16, 5, 3, 0.1, 11);
+  Mlp model(5, 4, 13);
+  std::vector<size_t> indices = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<double> gradient;
+  model.LossAndGradient(data, indices, &gradient);
+  std::vector<double> params = model.params();
+  const double h = 1e-6;
+  for (size_t i = 0; i < params.size(); i += 7) {  // Spot-check a subset.
+    std::vector<double> bumped = params;
+    bumped[i] += h;
+    Mlp plus = model;
+    plus.set_params(bumped);
+    bumped[i] -= 2.0 * h;
+    Mlp minus = model;
+    minus.set_params(bumped);
+    const double fd = (plus.Loss(data, indices) - minus.Loss(data, indices)) / (2.0 * h);
+    EXPECT_NEAR(gradient[i], fd, 1e-5) << "param " << i;
+  }
+}
+
+TEST(MlpTest, LinearGradientMatchesFiniteDifferences) {
+  const Dataset data = MakeSyntheticRegression(16, 4, 0, 0.1, 17);
+  Mlp model(4, 0, 19);
+  std::vector<size_t> indices = {1, 3, 5, 7};
+  std::vector<double> gradient;
+  model.LossAndGradient(data, indices, &gradient);
+  std::vector<double> params = model.params();
+  const double h = 1e-6;
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::vector<double> bumped = params;
+    bumped[i] += h;
+    Mlp plus = model;
+    plus.set_params(bumped);
+    bumped[i] -= 2.0 * h;
+    Mlp minus = model;
+    minus.set_params(bumped);
+    const double fd = (plus.Loss(data, indices) - minus.Loss(data, indices)) / (2.0 * h);
+    EXPECT_NEAR(gradient[i], fd, 1e-5);
+  }
+}
+
+TEST(TrainerTest, SgdReducesLoss) {
+  const Dataset data = MakeSyntheticRegression(512, 6, 0, 0.05, 23);
+  Mlp model(6, 0, 29);
+  TrainerOptions options;
+  options.base_batch_size = 32;
+  options.base_lr = 0.05;
+  options.replicas = 1;
+  options.seed = 31;
+  DataParallelTrainer trainer(&model, &data, options);
+  const double initial = trainer.FullLoss();
+  for (int step = 0; step < 200; ++step) {
+    trainer.Step(32);
+  }
+  EXPECT_LT(trainer.FullLoss(), 0.25 * initial);
+}
+
+TEST(TrainerTest, MultiReplicaEstimatesPositivePhi) {
+  const Dataset data = MakeSyntheticRegression(1024, 6, 0, 0.5, 37);
+  Mlp model(6, 0, 41);
+  TrainerOptions options;
+  options.base_batch_size = 32;
+  options.base_lr = 0.02;
+  options.replicas = 4;
+  options.seed = 43;
+  DataParallelTrainer trainer(&model, &data, options);
+  for (int step = 0; step < 100; ++step) {
+    trainer.Step(64);
+  }
+  EXPECT_GT(trainer.adascale().phi(), 0.0);
+  EXPECT_GE(trainer.last_gain(), 1.0);
+  EXPECT_LE(trainer.last_gain(), 2.0 + 1e-9);  // m/m0 = 2.
+}
+
+TEST(TrainerTest, SingleReplicaUsesDifferencedEstimator) {
+  const Dataset data = MakeSyntheticRegression(1024, 6, 0, 0.5, 47);
+  Mlp model(6, 0, 53);
+  TrainerOptions options;
+  options.base_batch_size = 32;
+  options.base_lr = 0.02;
+  options.replicas = 1;
+  options.seed = 59;
+  DataParallelTrainer trainer(&model, &data, options);
+  for (int step = 0; step < 100; ++step) {
+    trainer.Step(32);
+  }
+  // The differenced estimator (Sec. 3.1) kicks in from the second step.
+  EXPECT_GT(trainer.adascale().tracker().sample_count(), 50u);
+  EXPECT_GT(trainer.adascale().phi(), 0.0);
+}
+
+TEST(TrainerTest, ScaleInvariantIterationsTrackGains) {
+  const Dataset data = MakeSyntheticRegression(1024, 6, 0, 0.5, 61);
+  Mlp model(6, 0, 67);
+  TrainerOptions options;
+  options.base_batch_size = 32;
+  options.replicas = 4;
+  options.seed = 71;
+  DataParallelTrainer trainer(&model, &data, options);
+  for (int step = 0; step < 50; ++step) {
+    trainer.Step(128);
+  }
+  EXPECT_EQ(trainer.steps(), 50);
+  // Gains are in [1, 4], so progress is between 50 and 200 equivalent steps.
+  EXPECT_GE(trainer.ScaleInvariantIterations(), 50.0);
+  EXPECT_LE(trainer.ScaleInvariantIterations(), 200.0 + 1e-9);
+}
+
+TEST(TrainerTest, AdaScaleLargeBatchMatchesSmallBatchProgress) {
+  // Train two identical models: one at m0 for N steps, one at 4x m0 with
+  // AdaScale until it has accumulated the same scale-invariant progress.
+  // Their final losses should be comparable — the property that makes
+  // AdaScale's r_t a trustworthy progress measure (Sec. 2.2).
+  const Dataset data = MakeSyntheticRegression(2048, 8, 0, 0.3, 73);
+  Mlp small_model(8, 0, 79);
+  Mlp large_model = small_model;
+
+  TrainerOptions small_options;
+  small_options.base_batch_size = 32;
+  small_options.base_lr = 0.05;
+  small_options.replicas = 1;
+  small_options.seed = 83;
+  DataParallelTrainer small(&small_model, &data, small_options);
+
+  TrainerOptions large_options = small_options;
+  large_options.replicas = 4;
+  large_options.seed = 89;
+  DataParallelTrainer large(&large_model, &data, large_options);
+
+  for (int step = 0; step < 400; ++step) {
+    small.Step(32);
+  }
+  while (large.ScaleInvariantIterations() < 400.0) {
+    large.Step(128);
+  }
+  const double small_loss = small.FullLoss();
+  const double large_loss = large.FullLoss();
+  EXPECT_LT(large.steps(), 400);  // Fewer real steps at the larger batch.
+  EXPECT_NEAR(large_loss / small_loss, 1.0, 0.35);
+}
+
+}  // namespace
+}  // namespace pollux

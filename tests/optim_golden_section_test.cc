@@ -1,0 +1,105 @@
+#include "optim/golden_section.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pollux {
+namespace {
+
+TEST(GoldenSectionTest, FindsParabolaPeak) {
+  const auto result =
+      GoldenSectionMaximize([](double x) { return -(x - 3.0) * (x - 3.0); }, 0.0, 10.0, 1e-6);
+  EXPECT_NEAR(result.x, 3.0, 1e-4);
+  EXPECT_NEAR(result.value, 0.0, 1e-8);
+}
+
+TEST(GoldenSectionTest, HandlesSwappedBounds) {
+  const auto result =
+      GoldenSectionMaximize([](double x) { return -(x - 3.0) * (x - 3.0); }, 10.0, 0.0, 1e-6);
+  EXPECT_NEAR(result.x, 3.0, 1e-4);
+}
+
+TEST(GoldenSectionTest, MonotoneIncreasingPicksUpperEnd) {
+  const auto result = GoldenSectionMaximize([](double x) { return x; }, 0.0, 5.0, 1e-6);
+  EXPECT_NEAR(result.x, 5.0, 1e-3);
+}
+
+TEST(GoldenSectionTest, MonotoneDecreasingPicksLowerEnd) {
+  const auto result = GoldenSectionMaximize([](double x) { return -x; }, 0.0, 5.0, 1e-6);
+  EXPECT_NEAR(result.x, 0.0, 1e-3);
+}
+
+TEST(GoldenSectionTest, RespectsEvaluationBudget) {
+  int calls = 0;
+  GoldenSectionMaximize(
+      [&](double x) {
+        ++calls;
+        return -x * x;
+      },
+      -1.0, 1.0, 1e-12, 20);
+  EXPECT_LE(calls, 20);
+}
+
+TEST(GoldenSectionIntTest, ExhaustiveForSmallRange) {
+  const auto result = GoldenSectionMaximizeInt(
+      [](long x) { return -static_cast<double>((x - 4) * (x - 4)); }, 0, 10);
+  EXPECT_EQ(result.best_x, 4);
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+}
+
+TEST(GoldenSectionIntTest, SingletonRange) {
+  const auto result = GoldenSectionMaximizeInt([](long x) { return static_cast<double>(x); }, 7, 7);
+  EXPECT_EQ(result.best_x, 7);
+}
+
+// Property sweep: the integer golden-section search must recover the exact
+// peak of a shifted concave function across a variety of peak locations and
+// range sizes.
+class GoldenSectionPeakSweep : public ::testing::TestWithParam<long> {};
+
+TEST_P(GoldenSectionPeakSweep, FindsExactIntegerPeak) {
+  const long peak = GetParam();
+  const auto f = [peak](long x) {
+    const double d = static_cast<double>(x - peak);
+    return -d * d;
+  };
+  const auto result = GoldenSectionMaximizeInt(f, 1, 100000);
+  EXPECT_EQ(result.best_x, peak);
+}
+
+INSTANTIATE_TEST_SUITE_P(PeakLocations, GoldenSectionPeakSweep,
+                         ::testing::Values(1L, 2L, 17L, 999L, 50000L, 99998L, 100000L));
+
+// The goodput-vs-batch-size curve shape: increasing throughput saturating via
+// Amdahl, decreasing efficiency. The integer search must land on the true
+// argmax found by brute force.
+class GoodputShapeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GoodputShapeSweep, MatchesBruteForce) {
+  const double phi = GetParam();
+  const double m0 = 128.0;
+  const auto goodput = [&](long m) {
+    const double md = static_cast<double>(m);
+    const double throughput = md / (0.1 + 1e-4 * md);
+    const double efficiency = (phi + m0) / (phi + md);
+    return throughput * efficiency;
+  };
+  long best = 128;
+  double best_value = goodput(128);
+  for (long m = 128; m <= 8192; ++m) {
+    if (goodput(m) > best_value) {
+      best_value = goodput(m);
+      best = m;
+    }
+  }
+  const auto result = GoldenSectionMaximizeInt(goodput, 128, 8192);
+  EXPECT_NEAR(result.value, best_value, best_value * 1e-6);
+  EXPECT_NEAR(static_cast<double>(result.best_x), static_cast<double>(best), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseScales, GoodputShapeSweep,
+                         ::testing::Values(10.0, 100.0, 1000.0, 10000.0, 100000.0));
+
+}  // namespace
+}  // namespace pollux

@@ -1,0 +1,195 @@
+#include "sim/autoscale.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/or_policy.h"
+#include "sim/simulator.h"
+
+namespace pollux {
+namespace {
+
+JobSnapshot BigJobSnapshot() {
+  JobSnapshot snapshot;
+  snapshot.job_id = 0;
+  ThroughputParams params;
+  params.alpha_grad = 0.02;
+  params.beta_grad = 0.01;
+  params.alpha_sync_local = 0.08;
+  params.beta_sync_local = 0.004;
+  params.alpha_sync_node = 0.25;
+  params.beta_sync_node = 0.012;
+  params.gamma = 2.2;
+  snapshot.agent.job_id = 0;
+  snapshot.agent.model = GoodputModel(params, 2000.0, 200);
+  snapshot.agent.limits.min_batch = 200;
+  snapshot.agent.limits.max_batch_total = 32000;
+  snapshot.agent.limits.max_batch_per_gpu = 256;
+  snapshot.agent.max_gpus_cap = 64;
+  snapshot.batch_size = 200;
+  return snapshot;
+}
+
+SchedulerContext MakeContext(const ClusterSpec& cluster, const JobSnapshot& job) {
+  SchedulerContext context;
+  context.cluster = &cluster;
+  context.jobs.push_back(job);
+  return context;
+}
+
+TEST(ThroughputAutoscalerTest, EmptyClusterShrinksToMin) {
+  ThroughputAutoscaler autoscaler(2, 16, 0.5);
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(8, 4);
+  SchedulerContext context;
+  context.cluster = &cluster;
+  EXPECT_EQ(autoscaler.DecideNodes(context, 8, 4), 2);
+}
+
+TEST(ThroughputAutoscalerTest, ScalesOutForScalableJob) {
+  ThroughputAutoscaler autoscaler(1, 16, 0.5);
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(1, 4);
+  const auto context = MakeContext(cluster, BigJobSnapshot());
+  // A ResNet-50-like job at the throughput-maximizing batch scales well, so
+  // the throughput-only rule asks for many nodes immediately.
+  EXPECT_GT(autoscaler.DecideNodes(context, 1, 4), 4);
+}
+
+TEST(ThroughputAutoscalerTest, StricterThresholdRequestsFewerNodes) {
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(1, 4);
+  const auto context = MakeContext(cluster, BigJobSnapshot());
+  ThroughputAutoscaler loose(1, 16, 0.3);
+  ThroughputAutoscaler strict(1, 16, 0.9);
+  EXPECT_GE(loose.DecideNodes(context, 1, 4), strict.DecideNodes(context, 1, 4));
+}
+
+TEST(OrPolicyTest, UsesThroughputOnlyBatchRule) {
+  ThroughputOnlyPolicy policy(ClusterSpec::Homogeneous(2, 4), SchedConfig{});
+  EXPECT_TRUE(policy.adapts_batch_size());
+  EXPECT_TRUE(policy.throughput_only_batch());
+  EXPECT_STREQ(policy.name(), "or-et-al");
+}
+
+TEST(AutoscaleSimTest, OrPolicyRunsMaxFeasibleBatch) {
+  // Under the Or et al. policy, a running job's batch size must equal the
+  // largest feasible batch for its allocation.
+  JobSpec job;
+  job.job_id = 0;
+  job.model = ModelKind::kResNet18Cifar10;
+  job.batch_size = 128;
+  job.requested_gpus = 1;
+
+  SimOptions options;
+  options.cluster = ClusterSpec::Homogeneous(1, 4);
+  options.seed = 5;
+  SchedConfig sched_config;
+  sched_config.ga.population_size = 8;
+  sched_config.ga.generations = 4;
+  ThroughputOnlyPolicy policy(options.cluster, sched_config);
+  Simulator sim(options, {job}, &policy);
+  const SimResult result = sim.Run();
+  EXPECT_TRUE(result.jobs[0].completed);
+  // Max feasible batch for <= 4 GPUs (1024/GPU) appears in the timeline.
+  long max_batch = 0;
+  for (const auto& sample : result.timeline) {
+    max_batch = std::max(max_batch, sample.max_batch_size);
+  }
+  EXPECT_GE(max_batch, 2048);
+}
+
+TEST(AutoscaleSimTest, GoodputAutoscalerGrowsClusterOverTraining) {
+  JobSpec job;
+  job.job_id = 0;
+  job.model = ModelKind::kResNet50ImageNet;
+  job.batch_size = 200;
+  job.requested_gpus = 1;
+
+  SimOptions options;
+  options.cluster = ClusterSpec::Homogeneous(1, 4);
+  options.gpus_per_node = 4;
+  options.autoscale_interval = 300.0;
+  options.seed = 3;
+  SchedConfig sched_config;
+  sched_config.ga.population_size = 12;
+  sched_config.ga.generations = 6;
+  PolluxPolicy policy(options.cluster, sched_config);
+  AutoscaleConfig autoscale;
+  autoscale.min_nodes = 1;
+  autoscale.max_nodes = 8;
+  GoodputAutoscaler autoscaler(autoscale, &policy);
+  Simulator sim(options, {job}, &policy, &autoscaler);
+  const SimResult result = sim.Run();
+  ASSERT_TRUE(result.jobs[0].completed);
+
+  // Early cluster smaller than late cluster (phi grows over training).
+  int early_max = 0;
+  int late_max = 0;
+  for (const auto& sample : result.timeline) {
+    if (sample.time < 0.2 * result.makespan) {
+      early_max = std::max(early_max, sample.nodes);
+    } else if (sample.time > 0.7 * result.makespan) {
+      late_max = std::max(late_max, sample.nodes);
+    }
+  }
+  EXPECT_LT(early_max, late_max);
+  EXPECT_LE(late_max, 8);
+  // Elastic provisioning costs less than holding max_nodes throughout.
+  EXPECT_LT(result.node_seconds, result.makespan * 8.0);
+}
+
+TEST(AutoscaleSimTest, GoodputCheaperThanThroughputDriven) {
+  // The Fig. 10 headline at test scale: goodput-driven provisioning spends
+  // fewer node-seconds than throughput-driven for the same job.
+  JobSpec job;
+  job.job_id = 0;
+  job.model = ModelKind::kResNet50ImageNet;
+  job.batch_size = 200;
+  job.requested_gpus = 1;
+
+  auto run = [&](bool goodput) {
+    SimOptions options;
+    options.cluster = ClusterSpec::Homogeneous(1, 4);
+    options.gpus_per_node = 4;
+    options.autoscale_interval = 300.0;
+    options.seed = 9;
+    SchedConfig sched_config;
+    sched_config.ga.population_size = 12;
+    sched_config.ga.generations = 6;
+    if (goodput) {
+      PolluxPolicy policy(options.cluster, sched_config);
+      AutoscaleConfig autoscale;
+      autoscale.min_nodes = 1;
+      autoscale.max_nodes = 8;
+      GoodputAutoscaler autoscaler(autoscale, &policy);
+      return Simulator(options, {job}, &policy, &autoscaler).Run();
+    }
+    ThroughputOnlyPolicy policy(options.cluster, sched_config);
+    ThroughputAutoscaler autoscaler(1, 8, 0.5);
+    return Simulator(options, {job}, &policy, &autoscaler).Run();
+  };
+  const SimResult goodput = run(true);
+  const SimResult throughput = run(false);
+  ASSERT_TRUE(goodput.jobs[0].completed);
+  ASSERT_TRUE(throughput.jobs[0].completed);
+  EXPECT_LT(goodput.node_seconds, throughput.node_seconds);
+}
+
+TEST(UtilizationTest, BoundedAndPositiveOnBusyCluster) {
+  JobSpec job;
+  job.job_id = 0;
+  job.model = ModelKind::kResNet18Cifar10;
+  job.batch_size = 512;
+  job.requested_gpus = 4;
+
+  SimOptions options;
+  options.cluster = ClusterSpec::Homogeneous(1, 4);
+  options.seed = 2;
+  SchedConfig sched_config;
+  sched_config.ga.population_size = 8;
+  sched_config.ga.generations = 4;
+  PolluxPolicy policy(options.cluster, sched_config);
+  const SimResult result = Simulator(options, {job}, &policy).Run();
+  EXPECT_GT(result.AvgUtilization(), 0.1);
+  EXPECT_LE(result.AvgUtilization(), 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace pollux

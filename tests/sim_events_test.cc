@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/pollux_policy.h"
+#include "sim/simulator.h"
+
+namespace pollux {
+namespace {
+
+SimResult RunSmallWorkload() {
+  std::vector<JobSpec> trace;
+  for (uint64_t id = 0; id < 3; ++id) {
+    JobSpec job;
+    job.job_id = id;
+    job.model = ModelKind::kNeuMFMovieLens;
+    job.submit_time = 120.0 * static_cast<double>(id);
+    job.requested_gpus = 2;
+    job.batch_size = 2048;
+    trace.push_back(job);
+  }
+  SimOptions options;
+  options.cluster = ClusterSpec::Homogeneous(2, 4);
+  options.seed = 7;
+  SchedConfig sched_config;
+  sched_config.ga.population_size = 12;
+  sched_config.ga.generations = 6;
+  PolluxPolicy policy(options.cluster, sched_config);
+  return Simulator(options, trace, &policy).Run();
+}
+
+TEST(SimEventsTest, EveryJobHasSubmitStartComplete) {
+  const SimResult result = RunSmallWorkload();
+  std::map<uint64_t, int> submits;
+  std::map<uint64_t, int> starts;
+  std::map<uint64_t, int> completes;
+  for (const auto& event : result.events) {
+    switch (event.kind) {
+      case SimEventKind::kSubmit:
+        ++submits[event.job_id];
+        break;
+      case SimEventKind::kStart:
+        ++starts[event.job_id];
+        break;
+      case SimEventKind::kComplete:
+        ++completes[event.job_id];
+        break;
+      default:
+        break;
+    }
+  }
+  for (uint64_t id = 0; id < 3; ++id) {
+    EXPECT_EQ(submits[id], 1) << id;
+    EXPECT_EQ(starts[id], 1) << id;
+    EXPECT_EQ(completes[id], 1) << id;
+  }
+}
+
+TEST(SimEventsTest, EventsAreCausallyOrderedPerJob) {
+  const SimResult result = RunSmallWorkload();
+  std::map<uint64_t, double> submit_time;
+  std::map<uint64_t, double> start_time;
+  for (const auto& event : result.events) {
+    if (event.kind == SimEventKind::kSubmit) {
+      submit_time[event.job_id] = event.time;
+    } else if (event.kind == SimEventKind::kStart) {
+      start_time[event.job_id] = event.time;
+      EXPECT_GE(event.time, submit_time[event.job_id]);
+    } else if (event.kind == SimEventKind::kComplete) {
+      EXPECT_GE(event.time, start_time[event.job_id]);
+    }
+  }
+}
+
+TEST(SimEventsTest, ReallocationEventsCarryPlacements) {
+  const SimResult result = RunSmallWorkload();
+  int reallocations = 0;
+  for (const auto& event : result.events) {
+    if (event.kind == SimEventKind::kReallocate) {
+      ++reallocations;
+      EXPECT_GT(event.gpus, 0);
+      EXPECT_GT(event.nodes, 0);
+      EXPECT_GE(event.gpus, event.nodes);
+    }
+  }
+  EXPECT_GT(reallocations, 0);  // At least the initial placements.
+}
+
+TEST(SimEventsTest, KindNamesAreStable) {
+  EXPECT_STREQ(SimEventKindName(SimEventKind::kSubmit), "submit");
+  EXPECT_STREQ(SimEventKindName(SimEventKind::kStart), "start");
+  EXPECT_STREQ(SimEventKindName(SimEventKind::kReallocate), "reallocate");
+  EXPECT_STREQ(SimEventKindName(SimEventKind::kPreempt), "preempt");
+  EXPECT_STREQ(SimEventKindName(SimEventKind::kComplete), "complete");
+  EXPECT_STREQ(SimEventKindName(SimEventKind::kClusterResize), "cluster_resize");
+}
+
+}  // namespace
+}  // namespace pollux

@@ -1,0 +1,99 @@
+#include "sim/placement.h"
+
+#include <gtest/gtest.h>
+
+namespace pollux {
+namespace {
+
+int RowTotal(const std::vector<int>& row) {
+  int total = 0;
+  for (int g : row) {
+    total += g;
+  }
+  return total;
+}
+
+TEST(PlacementTest, ConsolidatesOntoSingleNodeWhenPossible) {
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(4, 4);
+  const auto rows = PlaceConsolidated(cluster, {{1, 4}, {2, 3}}, {});
+  EXPECT_EQ(RowTotal(rows.at(1)), 4);
+  EXPECT_EQ(RowTotal(rows.at(2)), 3);
+  // Each fits on one node.
+  int nodes1 = 0;
+  int nodes2 = 0;
+  for (size_t n = 0; n < 4; ++n) {
+    nodes1 += rows.at(1)[n] > 0 ? 1 : 0;
+    nodes2 += rows.at(2)[n] > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(nodes1, 1);
+  EXPECT_EQ(nodes2, 1);
+}
+
+TEST(PlacementTest, SpillsAcrossNodesWhenNeeded) {
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(4, 4);
+  const auto rows = PlaceConsolidated(cluster, {{1, 10}}, {});
+  EXPECT_EQ(RowTotal(rows.at(1)), 10);
+  int nodes = 0;
+  for (int g : rows.at(1)) {
+    EXPECT_LE(g, 4);
+    nodes += g > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(nodes, 3);  // 4 + 4 + 2 is the tightest packing.
+}
+
+TEST(PlacementTest, KeepsExistingPlacementWhenSizeMatches) {
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(3, 4);
+  std::map<uint64_t, std::vector<int>> current = {{1, {0, 2, 0}}};
+  const auto rows = PlaceConsolidated(cluster, {{1, 2}, {2, 4}}, current);
+  EXPECT_EQ(rows.at(1), (std::vector<int>{0, 2, 0}));
+  EXPECT_EQ(RowTotal(rows.at(2)), 4);
+}
+
+TEST(PlacementTest, ZeroRequestGivesZeroRow) {
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(2, 4);
+  const auto rows = PlaceConsolidated(cluster, {{1, 0}}, {});
+  EXPECT_EQ(RowTotal(rows.at(1)), 0);
+}
+
+TEST(PlacementTest, OverCapacityRequestWaits) {
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(2, 4);
+  const auto rows = PlaceConsolidated(cluster, {{1, 6}, {2, 6}}, {});
+  // Only one of the two 6-GPU requests fits an 8-GPU cluster.
+  const int placed = (RowTotal(rows.at(1)) > 0 ? 1 : 0) + (RowTotal(rows.at(2)) > 0 ? 1 : 0);
+  EXPECT_EQ(placed, 1);
+}
+
+TEST(PlacementTest, NeverExceedsNodeCapacity) {
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(4, 4);
+  std::map<uint64_t, std::vector<int>> current = {{1, {4, 0, 0, 0}}, {2, {0, 4, 0, 0}}};
+  const auto rows =
+      PlaceConsolidated(cluster, {{1, 4}, {2, 4}, {3, 4}, {4, 4}, {5, 2}}, current);
+  std::vector<int> usage(4, 0);
+  for (const auto& [id, row] : rows) {
+    for (size_t n = 0; n < 4; ++n) {
+      usage[n] += row[n];
+    }
+  }
+  for (int u : usage) {
+    EXPECT_LE(u, 4);
+  }
+  // The kept placements survive.
+  EXPECT_EQ(rows.at(1), (std::vector<int>{4, 0, 0, 0}));
+  EXPECT_EQ(rows.at(2), (std::vector<int>{0, 4, 0, 0}));
+}
+
+TEST(PlacementTest, ShrunkClusterDropsStaleRows) {
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(2, 2);
+  // Current row claims 4 GPUs on node 0, but nodes now have only 2.
+  std::map<uint64_t, std::vector<int>> current = {{1, {4, 0}}};
+  const auto rows = PlaceConsolidated(cluster, {{1, 4}}, current);
+  std::vector<int> usage(2, 0);
+  for (size_t n = 0; n < 2; ++n) {
+    usage[n] += rows.at(1)[n];
+    EXPECT_LE(usage[n], 2);
+  }
+  EXPECT_EQ(RowTotal(rows.at(1)), 4);  // Re-placed as 2 + 2.
+}
+
+}  // namespace
+}  // namespace pollux

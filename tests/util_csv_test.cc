@@ -1,0 +1,58 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pollux {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumnsAndPrintsAllRows) {
+  TablePrinter table({"policy", "jct"});
+  table.AddRow({"pollux", "1.2h"});
+  table.AddRow({"tiresias+tuned", "2.4h"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("policy"), std::string::npos);
+  EXPECT_NE(text.find("pollux"), std::string::npos);
+  EXPECT_NE(text.find("tiresias+tuned"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, ShortRowsPadToHeaderWidth) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({"x,y", "he said \"hi\"", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"x,y\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(FormatTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(7200.0), "2.00h");
+  EXPECT_EQ(FormatDuration(90.0), "1.5m");
+  EXPECT_EQ(FormatDuration(12.0), "12.0s");
+}
+
+}  // namespace
+}  // namespace pollux

@@ -1,0 +1,90 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace pollux {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  for (auto& s : storage) {
+    argv.push_back(s.data());
+  }
+  return argv;
+}
+
+FlagParser MakeParser() {
+  FlagParser parser;
+  parser.DefineInt("jobs", 160, "number of jobs");
+  parser.DefineDouble("load", 1.0, "relative load");
+  parser.DefineString("policy", "pollux", "scheduling policy");
+  parser.DefineBool("interference", false, "enable interference");
+  return parser;
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  FlagParser parser = MakeParser();
+  std::vector<std::string> args = {"prog"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.GetInt("jobs"), 160);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("load"), 1.0);
+  EXPECT_EQ(parser.GetString("policy"), "pollux");
+  EXPECT_FALSE(parser.GetBool("interference"));
+}
+
+TEST(FlagsTest, EqualsForm) {
+  FlagParser parser = MakeParser();
+  std::vector<std::string> args = {"prog", "--jobs=42", "--load=0.5", "--policy=tiresias"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.GetInt("jobs"), 42);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("load"), 0.5);
+  EXPECT_EQ(parser.GetString("policy"), "tiresias");
+}
+
+TEST(FlagsTest, SpaceSeparatedForm) {
+  FlagParser parser = MakeParser();
+  std::vector<std::string> args = {"prog", "--jobs", "7"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.GetInt("jobs"), 7);
+}
+
+TEST(FlagsTest, BooleanForms) {
+  FlagParser parser = MakeParser();
+  std::vector<std::string> args = {"prog", "--interference"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(parser.GetBool("interference"));
+
+  FlagParser parser2 = MakeParser();
+  std::vector<std::string> args2 = {"prog", "--interference=true", "--no-interference"};
+  auto argv2 = MakeArgv(args2);
+  ASSERT_TRUE(parser2.Parse(static_cast<int>(argv2.size()), argv2.data()));
+  EXPECT_FALSE(parser2.GetBool("interference"));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagParser parser = MakeParser();
+  std::vector<std::string> args = {"prog", "--bogus=1"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagsTest, HelpReturnsFalse) {
+  FlagParser parser = MakeParser();
+  std::vector<std::string> args = {"prog", "--help"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  FlagParser parser = MakeParser();
+  std::vector<std::string> args = {"prog", "--jobs"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+}  // namespace
+}  // namespace pollux

@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace pollux {
+namespace {
+
+// The logger writes to stderr; these tests cover the level gate and the
+// stream helper's formatting path (output content is not captured).
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  LogMessage(LogLevel::kDebug, "suppressed");
+  LogMessage(LogLevel::kInfo, "suppressed");
+  Log(LogLevel::kWarning) << "suppressed " << 42;
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamHelperFormatsMixedTypes) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // Keep test output quiet.
+  Log(LogLevel::kDebug) << "jobs=" << 3 << " util=" << 0.5 << " ok=" << true;
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmittedMessageAtThreshold) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  LogMessage(LogLevel::kError, "(expected test log line)");
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace pollux

@@ -1,0 +1,102 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pollux {
+namespace {
+
+TEST(StatsTest, MeanAndVariance) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  EXPECT_NEAR(Variance(values), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(values), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> values = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Median(values), 25.0);
+  // Out-of-range quantiles clamp.
+  EXPECT_DOUBLE_EQ(Percentile(values, -5.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 105.0), 40.0);
+}
+
+TEST(StatsTest, SummaryFields) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = Summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats running;
+  for (double v : values) {
+    running.Add(v);
+  }
+  EXPECT_EQ(running.count(), values.size());
+  EXPECT_NEAR(running.mean(), Mean(values), 1e-12);
+  EXPECT_NEAR(running.variance(), Variance(values), 1e-12);
+  EXPECT_DOUBLE_EQ(running.min(), 2.0);
+  EXPECT_DOUBLE_EQ(running.max(), 9.0);
+  EXPECT_NEAR(running.sum(), 40.0, 1e-12);
+}
+
+TEST(StatsTest, RunningStatsMerge) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 10; ++i) {
+    const double v = static_cast<double>(i * i);
+    (i < 4 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatsTest, RunningStatsMergeWithEmpty) {
+  RunningStats a;
+  RunningStats empty;
+  a.Add(5.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(StatsTest, HistogramBinsAndClamps) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(0.5);   // bin 0
+  hist.Add(3.0);   // bin 1
+  hist.Add(9.99);  // bin 4
+  hist.Add(-5.0);  // clamps to bin 0
+  hist.Add(42.0);  // clamps to bin 4
+  EXPECT_EQ(hist.total(), 5u);
+  EXPECT_EQ(hist.bin_count(0), 2u);
+  EXPECT_EQ(hist.bin_count(1), 1u);
+  EXPECT_EQ(hist.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(hist.bin_lo(1), 2.0);
+}
+
+}  // namespace
+}  // namespace pollux

@@ -1,0 +1,147 @@
+#include "workload/model_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace pollux {
+namespace {
+
+TEST(GnsCurveTest, MonotoneBetweenDecays) {
+  GnsCurve curve{100.0, 1000.0, {}, 1.0};
+  double previous = 0.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double phi = curve.PhiAt(p);
+    EXPECT_GE(phi, previous);
+    previous = phi;
+  }
+  EXPECT_NEAR(curve.PhiAt(0.0), 100.0, 1e-9);
+  EXPECT_NEAR(curve.PhiAt(1.0), 1000.0, 1e-6);
+}
+
+TEST(GnsCurveTest, DecayBoostsMultiply) {
+  GnsCurve curve{100.0, 100.0, {0.3, 0.6}, 3.0};
+  EXPECT_NEAR(curve.PhiAt(0.1), 100.0, 1e-9);
+  EXPECT_NEAR(curve.PhiAt(0.4), 300.0, 1e-9);
+  EXPECT_NEAR(curve.PhiAt(0.9), 900.0, 1e-9);
+}
+
+TEST(GnsCurveTest, ClampsProgress) {
+  GnsCurve curve{100.0, 1000.0, {0.5}, 2.0};
+  EXPECT_DOUBLE_EQ(curve.PhiAt(-1.0), curve.PhiAt(0.0));
+  EXPECT_DOUBLE_EQ(curve.PhiAt(2.0), curve.PhiAt(1.0));
+}
+
+TEST(ModelProfileTest, RegistryCoversAllFiveModels) {
+  EXPECT_EQ(AllModelKinds().size(), 5u);
+  for (ModelKind kind : AllModelKinds()) {
+    const ModelProfile& profile = GetModelProfile(kind);
+    EXPECT_EQ(profile.kind, kind);
+    EXPECT_FALSE(profile.name.empty());
+    EXPECT_GT(profile.base_batch_size, 0);
+    EXPECT_GT(profile.base_lr, 0.0);
+    EXPECT_GT(profile.TotalExamples(), 0.0);
+    EXPECT_GE(profile.max_batch_total, profile.base_batch_size);
+  }
+}
+
+TEST(ModelProfileTest, CategoriesMatchTable1) {
+  EXPECT_EQ(GetModelProfile(ModelKind::kResNet50ImageNet).category, JobCategory::kXLarge);
+  EXPECT_EQ(GetModelProfile(ModelKind::kYoloV3Voc).category, JobCategory::kLarge);
+  EXPECT_EQ(GetModelProfile(ModelKind::kDeepSpeech2).category, JobCategory::kMedium);
+  EXPECT_EQ(GetModelProfile(ModelKind::kResNet18Cifar10).category, JobCategory::kSmall);
+  EXPECT_EQ(GetModelProfile(ModelKind::kNeuMFMovieLens).category, JobCategory::kSmall);
+}
+
+// Single-GPU completion time (at the base batch size) must land inside each
+// model's GPU-time category band — this is what anchors the synthetic
+// workload to the Microsoft trace's job-size distribution.
+class CategoryTimeSweep : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(CategoryTimeSweep, SingleGpuTimeInCategoryBand) {
+  const ModelProfile& profile = GetModelProfile(GetParam());
+  const double throughput = profile.TrueThroughput(Placement{1, 1}, profile.base_batch_size);
+  ASSERT_GT(throughput, 0.0);
+  const double hours = profile.TotalExamples() / throughput / 3600.0;
+  switch (profile.category) {
+    case JobCategory::kSmall:
+      EXPECT_LE(hours, 1.0);
+      break;
+    case JobCategory::kMedium:
+      EXPECT_GT(hours, 1.0);
+      EXPECT_LE(hours, 10.0);
+      break;
+    case JobCategory::kLarge:
+      EXPECT_GT(hours, 10.0);
+      EXPECT_LE(hours, 100.0);
+      break;
+    case JobCategory::kXLarge:
+      EXPECT_GT(hours, 100.0);
+      EXPECT_LE(hours, 1000.0);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, CategoryTimeSweep,
+                         ::testing::ValuesIn(AllModelKinds()),
+                         [](const ::testing::TestParamInfo<ModelKind>& info) {
+                           std::string name = ModelKindName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+class ProfileSanitySweep : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ProfileSanitySweep, EfficiencyAndGoodputShapes) {
+  const ModelProfile& profile = GetModelProfile(GetParam());
+  // Efficiency at m0 is 1 and decreases with batch size at any progress.
+  for (double progress : {0.0, 0.5, 1.0}) {
+    EXPECT_NEAR(profile.TrueEfficiency(profile.base_batch_size, progress), 1.0, 1e-9);
+    const double eff_mid = profile.TrueEfficiency(2 * profile.base_batch_size, progress);
+    const double eff_big = profile.TrueEfficiency(8 * profile.base_batch_size, progress);
+    EXPECT_LT(eff_big, eff_mid);
+    EXPECT_GT(eff_big, 0.0);
+  }
+  // Later training tolerates large batches at least as well as early.
+  EXPECT_GE(profile.TrueEfficiency(8 * profile.base_batch_size, 0.95),
+            profile.TrueEfficiency(8 * profile.base_batch_size, 0.05));
+  // Goodput never exceeds throughput.
+  const Placement placement{4, 1};
+  const long m = 4 * profile.base_batch_size;
+  EXPECT_LE(profile.TrueGoodput(placement, m, 0.5),
+            profile.TrueThroughput(placement, m) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ProfileSanitySweep, ::testing::ValuesIn(AllModelKinds()),
+                         [](const ::testing::TestParamInfo<ModelKind>& info) {
+                           std::string name = ModelKindName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(ModelProfileTest, ResNet18MatchesFig1aShape) {
+  // Fig. 1a: at batch size 2048 ResNet18 keeps scaling to 16 GPUs, while at
+  // batch size 512 throughput saturates much earlier.
+  const ModelProfile& profile = GetModelProfile(ModelKind::kResNet18Cifar10);
+  auto scaling = [&](long m) {
+    return profile.TrueThroughput(Placement{16, 4}, m) /
+           profile.TrueThroughput(Placement{4, 1}, m);
+  };
+  EXPECT_GT(scaling(2048), 1.5 * scaling(512) / 1.5);  // Large batch scales better...
+  EXPECT_GT(scaling(2048), scaling(512));              // ...strictly.
+}
+
+TEST(ModelProfileTest, JobCategoryNames) {
+  EXPECT_STREQ(JobCategoryName(JobCategory::kSmall), "small");
+  EXPECT_STREQ(JobCategoryName(JobCategory::kXLarge), "xlarge");
+  EXPECT_STREQ(ModelKindName(ModelKind::kNeuMFMovieLens), "neumf-movielens");
+}
+
+}  // namespace
+}  // namespace pollux

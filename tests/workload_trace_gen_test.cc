@@ -1,0 +1,163 @@
+#include "workload/trace_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace pollux {
+namespace {
+
+TraceOptions DefaultOptions(uint64_t seed = 1) {
+  TraceOptions options;
+  options.num_jobs = 160;
+  options.seed = seed;
+  return options;
+}
+
+TEST(DiurnalTest, WindowPeaksAtFourthHourAtThreeTimesFirstHour) {
+  // Fig. 6: the sampled 8-hour window peaks in its fourth hour at 3x the
+  // rate of the first hour.
+  const double first = WindowHourWeight(0);
+  double peak = 0.0;
+  int peak_hour = 0;
+  for (int h = 0; h < 8; ++h) {
+    if (WindowHourWeight(h) > peak) {
+      peak = WindowHourWeight(h);
+      peak_hour = h;
+    }
+  }
+  EXPECT_EQ(peak_hour, 3);
+  EXPECT_NEAR(peak / first, 3.0, 0.01);
+}
+
+TEST(DiurnalTest, FullDayCurveIsPositiveAndWraps) {
+  for (int h = -24; h < 48; ++h) {
+    EXPECT_GT(DiurnalWeight24(h), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(DiurnalWeight24(0), DiurnalWeight24(24));
+}
+
+TEST(TraceGenTest, JobsSortedAndNumbered) {
+  const auto jobs = GenerateTrace(DefaultOptions());
+  ASSERT_EQ(jobs.size(), 160u);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].job_id, i);
+    if (i > 0) {
+      EXPECT_GE(jobs[i].submit_time, jobs[i - 1].submit_time);
+    }
+    EXPECT_GE(jobs[i].submit_time, 0.0);
+    EXPECT_LT(jobs[i].submit_time, 8.0 * 3600.0);
+  }
+}
+
+TEST(TraceGenTest, DeterministicGivenSeed) {
+  const auto a = GenerateTrace(DefaultOptions(42));
+  const auto b = GenerateTrace(DefaultOptions(42));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].model, b[i].model);
+    EXPECT_DOUBLE_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].requested_gpus, b[i].requested_gpus);
+    EXPECT_EQ(a[i].batch_size, b[i].batch_size);
+  }
+}
+
+TEST(TraceGenTest, LoadFactorScalesJobCount) {
+  TraceOptions options = DefaultOptions();
+  options.load_factor = 0.5;
+  EXPECT_EQ(GenerateTrace(options).size(), 80u);
+  options.load_factor = 2.0;
+  EXPECT_EQ(GenerateTrace(options).size(), 320u);
+}
+
+TEST(TraceGenTest, ModelMixMatchesTable1) {
+  TraceOptions options = DefaultOptions(3);
+  options.num_jobs = 4000;
+  const auto jobs = GenerateTrace(options);
+  std::map<ModelKind, int> counts;
+  for (const auto& job : jobs) {
+    ++counts[job.model];
+  }
+  const double n = static_cast<double>(jobs.size());
+  EXPECT_NEAR(counts[ModelKind::kResNet18Cifar10] / n, 0.38, 0.04);
+  EXPECT_NEAR(counts[ModelKind::kNeuMFMovieLens] / n, 0.38, 0.04);
+  EXPECT_NEAR(counts[ModelKind::kDeepSpeech2] / n, 0.17, 0.03);
+  EXPECT_NEAR(counts[ModelKind::kYoloV3Voc] / n, 0.05, 0.02);
+  EXPECT_NEAR(counts[ModelKind::kResNet50ImageNet] / n, 0.02, 0.01);
+}
+
+TEST(TraceGenTest, SubmissionRateFollowsDiurnalShape) {
+  TraceOptions options = DefaultOptions(5);
+  options.num_jobs = 8000;
+  const auto jobs = GenerateTrace(options);
+  std::vector<int> per_hour(8, 0);
+  for (const auto& job : jobs) {
+    ++per_hour[static_cast<size_t>(job.submit_time / 3600.0)];
+  }
+  // The peak (4th hour) should receive roughly 3x the first hour's jobs.
+  EXPECT_NEAR(static_cast<double>(per_hour[3]) / per_hour[0], 3.0, 0.6);
+}
+
+TEST(TraceGenTest, TunedConfigsAreValidAndEfficient) {
+  Rng rng(11);
+  for (ModelKind kind : AllModelKinds()) {
+    const ModelProfile& profile = GetModelProfile(kind);
+    for (int trial = 0; trial < 5; ++trial) {
+      const JobConfig config = SampleTunedConfig(profile, 4, 64, rng);
+      EXPECT_GE(config.num_gpus, 1);
+      EXPECT_LE(config.num_gpus, 64);
+      EXPECT_GE(config.batch_size, profile.base_batch_size);
+      EXPECT_LE(config.batch_size, profile.Limits().MaxFeasible(config.num_gpus));
+      if (config.num_gpus > 1) {
+        // Sec. 5.2: tuned jobs sit in the 50%-80% scaling-efficiency band.
+        const double speedup = TrueSpeedup(profile, config.num_gpus, 4, 0.4);
+        const double fraction = speedup / config.num_gpus;
+        EXPECT_GE(fraction, 0.45) << profile.name << " K=" << config.num_gpus;
+        EXPECT_LE(fraction, 0.85) << profile.name << " K=" << config.num_gpus;
+      }
+    }
+  }
+}
+
+TEST(TraceGenTest, UserConfigsSkewSmall) {
+  Rng rng(13);
+  const ModelProfile& profile = GetModelProfile(ModelKind::kResNet18Cifar10);
+  int singles = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    const JobConfig config = SampleUserConfig(profile, 4, 64, rng);
+    EXPECT_GE(config.num_gpus, 1);
+    EXPECT_LE(config.num_gpus, 16);
+    EXPECT_GE(config.batch_size, profile.base_batch_size);
+    EXPECT_LE(config.batch_size, profile.Limits().MaxFeasible(config.num_gpus));
+    if (config.num_gpus == 1) {
+      ++singles;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(singles) / trials, 0.70, 0.08);
+}
+
+TEST(TraceGenTest, UserConfiguredFractionIsRespected) {
+  TraceOptions options = DefaultOptions(17);
+  options.num_jobs = 2000;
+  options.user_configured_fraction = 1.0 / 3.0;
+  const auto jobs = GenerateTrace(options);
+  int user = 0;
+  for (const auto& job : jobs) {
+    if (job.user_configured) {
+      ++user;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(user) / jobs.size(), 1.0 / 3.0, 0.05);
+}
+
+TEST(TraceGenTest, TrueSpeedupReasonable) {
+  const ModelProfile& profile = GetModelProfile(ModelKind::kResNet50ImageNet);
+  EXPECT_NEAR(TrueSpeedup(profile, 1, 4, 0.4), 1.0, 1e-6);
+  const double speedup8 = TrueSpeedup(profile, 8, 4, 0.4);
+  EXPECT_GT(speedup8, 1.0);
+  EXPECT_LT(speedup8, 8.0);
+}
+
+}  // namespace
+}  // namespace pollux

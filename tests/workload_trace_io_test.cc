@@ -1,0 +1,106 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pollux {
+namespace {
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  TraceOptions options;
+  options.num_jobs = 50;
+  options.seed = 21;
+  options.user_configured_fraction = 0.5;
+  const auto original = GenerateTrace(options);
+
+  std::stringstream buffer;
+  WriteTraceCsv(buffer, original);
+  const auto parsed = ReadTraceCsv(buffer);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].job_id, original[i].job_id);
+    EXPECT_EQ((*parsed)[i].model, original[i].model);
+    EXPECT_NEAR((*parsed)[i].submit_time, original[i].submit_time, 1e-3);
+    EXPECT_EQ((*parsed)[i].requested_gpus, original[i].requested_gpus);
+    EXPECT_EQ((*parsed)[i].batch_size, original[i].batch_size);
+    EXPECT_EQ((*parsed)[i].user_configured, original[i].user_configured);
+  }
+}
+
+TEST(TraceIoTest, ModelKindNameRoundTrip) {
+  for (ModelKind kind : AllModelKinds()) {
+    const auto parsed = ModelKindFromName(ModelKindName(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ModelKindFromName("gpt-17").has_value());
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  std::stringstream buffer;
+  WriteTraceCsv(buffer, {});
+  const auto parsed = ReadTraceCsv(buffer);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(TraceIoTest, RejectsEmptyInput) {
+  std::istringstream empty("");
+  std::string error;
+  EXPECT_FALSE(ReadTraceCsv(empty, &error).has_value());
+  EXPECT_NE(error.find("empty"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsWrongHeader) {
+  std::istringstream bad("id,foo\n1,2\n");
+  std::string error;
+  EXPECT_FALSE(ReadTraceCsv(bad, &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsUnknownModel) {
+  std::istringstream bad(
+      "job_id,model,submit_time,requested_gpus,batch_size,user_configured\n"
+      "0,alexnet,0,1,128,0\n");
+  std::string error;
+  EXPECT_FALSE(ReadTraceCsv(bad, &error).has_value());
+  EXPECT_NE(error.find("unknown model"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsMalformedFields) {
+  const std::string header =
+      "job_id,model,submit_time,requested_gpus,batch_size,user_configured\n";
+  for (const std::string row : {
+           "x,resnet18-cifar10,0,1,128,0\n",     // Bad id.
+           "0,resnet18-cifar10,-5,1,128,0\n",    // Negative submit.
+           "0,resnet18-cifar10,0,0,128,0\n",     // Zero GPUs.
+           "0,resnet18-cifar10,0,1,abc,0\n",     // Bad batch.
+           "0,resnet18-cifar10,0,1,128,2\n",     // Bad flag.
+           "0,resnet18-cifar10,0,1,128\n",       // Missing field.
+       }) {
+    std::istringstream bad(header + row);
+    std::string error;
+    EXPECT_FALSE(ReadTraceCsv(bad, &error).has_value()) << row;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(TraceIoTest, ToleratesCarriageReturnsAndBlankLines) {
+  std::istringstream input(
+      "job_id,model,submit_time,requested_gpus,batch_size,user_configured\r\n"
+      "0,neumf-movielens,12.5,2,1024,1\r\n"
+      "\n"
+      "1,yolov3-voc,99,4,32,0\n");
+  const auto parsed = ReadTraceCsv(input);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].model, ModelKind::kNeuMFMovieLens);
+  EXPECT_TRUE((*parsed)[0].user_configured);
+  EXPECT_EQ((*parsed)[1].model, ModelKind::kYoloV3Voc);
+  EXPECT_EQ((*parsed)[1].requested_gpus, 4);
+}
+
+}  // namespace
+}  // namespace pollux
