@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fidelity.cc" "bench/CMakeFiles/bench_fidelity.dir/bench_fidelity.cc.o" "gcc" "bench/CMakeFiles/bench_fidelity.dir/bench_fidelity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pollux_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pollux_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pollux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pollux_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pollux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pollux_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pollux_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_autoscale.dir/bench_fig10_autoscale.cc.o"
+  "CMakeFiles/bench_fig10_autoscale.dir/bench_fig10_autoscale.cc.o.d"
+  "bench_fig10_autoscale"
+  "bench_fig10_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_realistic.dir/bench_fig7_realistic.cc.o"
+  "CMakeFiles/bench_fig7_realistic.dir/bench_fig7_realistic.cc.o.d"
+  "bench_fig7_realistic"
+  "bench_fig7_realistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_realistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rack_locality.dir/bench_rack_locality.cc.o"
+  "CMakeFiles/bench_rack_locality.dir/bench_rack_locality.cc.o.d"
+  "bench_rack_locality"
+  "bench_rack_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rack_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

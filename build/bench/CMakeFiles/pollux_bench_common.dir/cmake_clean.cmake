@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pollux_bench_common.dir/common.cc.o"
+  "CMakeFiles/pollux_bench_common.dir/common.cc.o.d"
+  "libpollux_bench_common.a"
+  "libpollux_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pollux_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

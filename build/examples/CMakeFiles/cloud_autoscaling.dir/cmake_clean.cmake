@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_autoscaling.dir/cloud_autoscaling.cpp.o"
+  "CMakeFiles/cloud_autoscaling.dir/cloud_autoscaling.cpp.o.d"
+  "cloud_autoscaling"
+  "cloud_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

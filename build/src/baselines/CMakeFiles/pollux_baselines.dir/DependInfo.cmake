@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fifo.cc" "src/baselines/CMakeFiles/pollux_baselines.dir/fifo.cc.o" "gcc" "src/baselines/CMakeFiles/pollux_baselines.dir/fifo.cc.o.d"
+  "/root/repo/src/baselines/fixed_batch_policy.cc" "src/baselines/CMakeFiles/pollux_baselines.dir/fixed_batch_policy.cc.o" "gcc" "src/baselines/CMakeFiles/pollux_baselines.dir/fixed_batch_policy.cc.o.d"
+  "/root/repo/src/baselines/optimus.cc" "src/baselines/CMakeFiles/pollux_baselines.dir/optimus.cc.o" "gcc" "src/baselines/CMakeFiles/pollux_baselines.dir/optimus.cc.o.d"
+  "/root/repo/src/baselines/or_policy.cc" "src/baselines/CMakeFiles/pollux_baselines.dir/or_policy.cc.o" "gcc" "src/baselines/CMakeFiles/pollux_baselines.dir/or_policy.cc.o.d"
+  "/root/repo/src/baselines/tiresias.cc" "src/baselines/CMakeFiles/pollux_baselines.dir/tiresias.cc.o" "gcc" "src/baselines/CMakeFiles/pollux_baselines.dir/tiresias.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pollux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pollux_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pollux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pollux_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pollux_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

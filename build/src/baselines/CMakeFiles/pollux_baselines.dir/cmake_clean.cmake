@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pollux_baselines.dir/fifo.cc.o"
+  "CMakeFiles/pollux_baselines.dir/fifo.cc.o.d"
+  "CMakeFiles/pollux_baselines.dir/fixed_batch_policy.cc.o"
+  "CMakeFiles/pollux_baselines.dir/fixed_batch_policy.cc.o.d"
+  "CMakeFiles/pollux_baselines.dir/optimus.cc.o"
+  "CMakeFiles/pollux_baselines.dir/optimus.cc.o.d"
+  "CMakeFiles/pollux_baselines.dir/or_policy.cc.o"
+  "CMakeFiles/pollux_baselines.dir/or_policy.cc.o.d"
+  "CMakeFiles/pollux_baselines.dir/tiresias.cc.o"
+  "CMakeFiles/pollux_baselines.dir/tiresias.cc.o.d"
+  "libpollux_baselines.a"
+  "libpollux_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pollux_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

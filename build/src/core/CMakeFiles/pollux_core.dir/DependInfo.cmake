@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adascale.cc" "src/core/CMakeFiles/pollux_core.dir/adascale.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/adascale.cc.o.d"
+  "/root/repo/src/core/agent.cc" "src/core/CMakeFiles/pollux_core.dir/agent.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/agent.cc.o.d"
+  "/root/repo/src/core/allocation.cc" "src/core/CMakeFiles/pollux_core.dir/allocation.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/allocation.cc.o.d"
+  "/root/repo/src/core/autoscaler.cc" "src/core/CMakeFiles/pollux_core.dir/autoscaler.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/autoscaler.cc.o.d"
+  "/root/repo/src/core/efficiency.cc" "src/core/CMakeFiles/pollux_core.dir/efficiency.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/efficiency.cc.o.d"
+  "/root/repo/src/core/fitness.cc" "src/core/CMakeFiles/pollux_core.dir/fitness.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/fitness.cc.o.d"
+  "/root/repo/src/core/genetic.cc" "src/core/CMakeFiles/pollux_core.dir/genetic.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/genetic.cc.o.d"
+  "/root/repo/src/core/gns.cc" "src/core/CMakeFiles/pollux_core.dir/gns.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/gns.cc.o.d"
+  "/root/repo/src/core/goodput.cc" "src/core/CMakeFiles/pollux_core.dir/goodput.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/goodput.cc.o.d"
+  "/root/repo/src/core/model_fitter.cc" "src/core/CMakeFiles/pollux_core.dir/model_fitter.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/model_fitter.cc.o.d"
+  "/root/repo/src/core/rack_model.cc" "src/core/CMakeFiles/pollux_core.dir/rack_model.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/rack_model.cc.o.d"
+  "/root/repo/src/core/sched.cc" "src/core/CMakeFiles/pollux_core.dir/sched.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/sched.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/pollux_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/session.cc.o.d"
+  "/root/repo/src/core/speedup_table.cc" "src/core/CMakeFiles/pollux_core.dir/speedup_table.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/speedup_table.cc.o.d"
+  "/root/repo/src/core/throughput_model.cc" "src/core/CMakeFiles/pollux_core.dir/throughput_model.cc.o" "gcc" "src/core/CMakeFiles/pollux_core.dir/throughput_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optim/CMakeFiles/pollux_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pollux_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pollux_core.dir/adascale.cc.o"
+  "CMakeFiles/pollux_core.dir/adascale.cc.o.d"
+  "CMakeFiles/pollux_core.dir/agent.cc.o"
+  "CMakeFiles/pollux_core.dir/agent.cc.o.d"
+  "CMakeFiles/pollux_core.dir/allocation.cc.o"
+  "CMakeFiles/pollux_core.dir/allocation.cc.o.d"
+  "CMakeFiles/pollux_core.dir/autoscaler.cc.o"
+  "CMakeFiles/pollux_core.dir/autoscaler.cc.o.d"
+  "CMakeFiles/pollux_core.dir/efficiency.cc.o"
+  "CMakeFiles/pollux_core.dir/efficiency.cc.o.d"
+  "CMakeFiles/pollux_core.dir/fitness.cc.o"
+  "CMakeFiles/pollux_core.dir/fitness.cc.o.d"
+  "CMakeFiles/pollux_core.dir/genetic.cc.o"
+  "CMakeFiles/pollux_core.dir/genetic.cc.o.d"
+  "CMakeFiles/pollux_core.dir/gns.cc.o"
+  "CMakeFiles/pollux_core.dir/gns.cc.o.d"
+  "CMakeFiles/pollux_core.dir/goodput.cc.o"
+  "CMakeFiles/pollux_core.dir/goodput.cc.o.d"
+  "CMakeFiles/pollux_core.dir/model_fitter.cc.o"
+  "CMakeFiles/pollux_core.dir/model_fitter.cc.o.d"
+  "CMakeFiles/pollux_core.dir/rack_model.cc.o"
+  "CMakeFiles/pollux_core.dir/rack_model.cc.o.d"
+  "CMakeFiles/pollux_core.dir/sched.cc.o"
+  "CMakeFiles/pollux_core.dir/sched.cc.o.d"
+  "CMakeFiles/pollux_core.dir/session.cc.o"
+  "CMakeFiles/pollux_core.dir/session.cc.o.d"
+  "CMakeFiles/pollux_core.dir/speedup_table.cc.o"
+  "CMakeFiles/pollux_core.dir/speedup_table.cc.o.d"
+  "CMakeFiles/pollux_core.dir/throughput_model.cc.o"
+  "CMakeFiles/pollux_core.dir/throughput_model.cc.o.d"
+  "libpollux_core.a"
+  "libpollux_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pollux_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpollux_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minidl/dataset.cc" "src/minidl/CMakeFiles/pollux_minidl.dir/dataset.cc.o" "gcc" "src/minidl/CMakeFiles/pollux_minidl.dir/dataset.cc.o.d"
+  "/root/repo/src/minidl/mlp.cc" "src/minidl/CMakeFiles/pollux_minidl.dir/mlp.cc.o" "gcc" "src/minidl/CMakeFiles/pollux_minidl.dir/mlp.cc.o.d"
+  "/root/repo/src/minidl/optimizer.cc" "src/minidl/CMakeFiles/pollux_minidl.dir/optimizer.cc.o" "gcc" "src/minidl/CMakeFiles/pollux_minidl.dir/optimizer.cc.o.d"
+  "/root/repo/src/minidl/tensor.cc" "src/minidl/CMakeFiles/pollux_minidl.dir/tensor.cc.o" "gcc" "src/minidl/CMakeFiles/pollux_minidl.dir/tensor.cc.o.d"
+  "/root/repo/src/minidl/trainer.cc" "src/minidl/CMakeFiles/pollux_minidl.dir/trainer.cc.o" "gcc" "src/minidl/CMakeFiles/pollux_minidl.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pollux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pollux_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pollux_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pollux_minidl.dir/dataset.cc.o"
+  "CMakeFiles/pollux_minidl.dir/dataset.cc.o.d"
+  "CMakeFiles/pollux_minidl.dir/mlp.cc.o"
+  "CMakeFiles/pollux_minidl.dir/mlp.cc.o.d"
+  "CMakeFiles/pollux_minidl.dir/optimizer.cc.o"
+  "CMakeFiles/pollux_minidl.dir/optimizer.cc.o.d"
+  "CMakeFiles/pollux_minidl.dir/tensor.cc.o"
+  "CMakeFiles/pollux_minidl.dir/tensor.cc.o.d"
+  "CMakeFiles/pollux_minidl.dir/trainer.cc.o"
+  "CMakeFiles/pollux_minidl.dir/trainer.cc.o.d"
+  "libpollux_minidl.a"
+  "libpollux_minidl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pollux_minidl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

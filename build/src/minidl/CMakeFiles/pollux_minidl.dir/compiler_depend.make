@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pollux_minidl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for pollux_minidl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pollux_optim.dir/golden_section.cc.o"
+  "CMakeFiles/pollux_optim.dir/golden_section.cc.o.d"
+  "CMakeFiles/pollux_optim.dir/lbfgsb.cc.o"
+  "CMakeFiles/pollux_optim.dir/lbfgsb.cc.o.d"
+  "libpollux_optim.a"
+  "libpollux_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pollux_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

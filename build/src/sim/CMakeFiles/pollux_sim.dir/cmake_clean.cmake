@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pollux_sim.dir/autoscale.cc.o"
+  "CMakeFiles/pollux_sim.dir/autoscale.cc.o.d"
+  "CMakeFiles/pollux_sim.dir/placement.cc.o"
+  "CMakeFiles/pollux_sim.dir/placement.cc.o.d"
+  "CMakeFiles/pollux_sim.dir/pollux_policy.cc.o"
+  "CMakeFiles/pollux_sim.dir/pollux_policy.cc.o.d"
+  "CMakeFiles/pollux_sim.dir/simulator.cc.o"
+  "CMakeFiles/pollux_sim.dir/simulator.cc.o.d"
+  "libpollux_sim.a"
+  "libpollux_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pollux_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

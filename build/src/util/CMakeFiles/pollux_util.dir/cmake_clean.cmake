@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pollux_util.dir/csv.cc.o"
+  "CMakeFiles/pollux_util.dir/csv.cc.o.d"
+  "CMakeFiles/pollux_util.dir/flags.cc.o"
+  "CMakeFiles/pollux_util.dir/flags.cc.o.d"
+  "CMakeFiles/pollux_util.dir/logging.cc.o"
+  "CMakeFiles/pollux_util.dir/logging.cc.o.d"
+  "CMakeFiles/pollux_util.dir/rng.cc.o"
+  "CMakeFiles/pollux_util.dir/rng.cc.o.d"
+  "CMakeFiles/pollux_util.dir/stats.cc.o"
+  "CMakeFiles/pollux_util.dir/stats.cc.o.d"
+  "libpollux_util.a"
+  "libpollux_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pollux_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/model_profile.cc" "src/workload/CMakeFiles/pollux_workload.dir/model_profile.cc.o" "gcc" "src/workload/CMakeFiles/pollux_workload.dir/model_profile.cc.o.d"
+  "/root/repo/src/workload/trace_gen.cc" "src/workload/CMakeFiles/pollux_workload.dir/trace_gen.cc.o" "gcc" "src/workload/CMakeFiles/pollux_workload.dir/trace_gen.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/pollux_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/pollux_workload.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pollux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pollux_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pollux_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pollux_workload.dir/model_profile.cc.o"
+  "CMakeFiles/pollux_workload.dir/model_profile.cc.o.d"
+  "CMakeFiles/pollux_workload.dir/trace_gen.cc.o"
+  "CMakeFiles/pollux_workload.dir/trace_gen.cc.o.d"
+  "CMakeFiles/pollux_workload.dir/trace_io.cc.o"
+  "CMakeFiles/pollux_workload.dir/trace_io.cc.o.d"
+  "libpollux_workload.a"
+  "libpollux_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pollux_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_fifo_test.cc" "tests/CMakeFiles/pollux_tests.dir/baselines_fifo_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/baselines_fifo_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/pollux_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/core_adascale_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_adascale_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_adascale_test.cc.o.d"
+  "/root/repo/tests/core_agent_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_agent_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_agent_test.cc.o.d"
+  "/root/repo/tests/core_allocation_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_allocation_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_allocation_test.cc.o.d"
+  "/root/repo/tests/core_autoscaler_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_autoscaler_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_autoscaler_test.cc.o.d"
+  "/root/repo/tests/core_efficiency_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_efficiency_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_efficiency_test.cc.o.d"
+  "/root/repo/tests/core_fitness_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_fitness_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_fitness_test.cc.o.d"
+  "/root/repo/tests/core_genetic_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_genetic_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_genetic_test.cc.o.d"
+  "/root/repo/tests/core_gns_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_gns_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_gns_test.cc.o.d"
+  "/root/repo/tests/core_goodput_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_goodput_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_goodput_test.cc.o.d"
+  "/root/repo/tests/core_model_fitter_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_model_fitter_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_model_fitter_test.cc.o.d"
+  "/root/repo/tests/core_rack_model_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_rack_model_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_rack_model_test.cc.o.d"
+  "/root/repo/tests/core_sched_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_sched_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_sched_test.cc.o.d"
+  "/root/repo/tests/core_session_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_session_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_session_test.cc.o.d"
+  "/root/repo/tests/core_speedup_table_interp_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_speedup_table_interp_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_speedup_table_interp_test.cc.o.d"
+  "/root/repo/tests/core_throughput_model_test.cc" "tests/CMakeFiles/pollux_tests.dir/core_throughput_model_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/core_throughput_model_test.cc.o.d"
+  "/root/repo/tests/minidl_optimizer_test.cc" "tests/CMakeFiles/pollux_tests.dir/minidl_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/minidl_optimizer_test.cc.o.d"
+  "/root/repo/tests/minidl_test.cc" "tests/CMakeFiles/pollux_tests.dir/minidl_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/minidl_test.cc.o.d"
+  "/root/repo/tests/optim_golden_section_test.cc" "tests/CMakeFiles/pollux_tests.dir/optim_golden_section_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/optim_golden_section_test.cc.o.d"
+  "/root/repo/tests/optim_lbfgsb_test.cc" "tests/CMakeFiles/pollux_tests.dir/optim_lbfgsb_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/optim_lbfgsb_test.cc.o.d"
+  "/root/repo/tests/sim_autoscale_test.cc" "tests/CMakeFiles/pollux_tests.dir/sim_autoscale_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/sim_autoscale_test.cc.o.d"
+  "/root/repo/tests/sim_events_test.cc" "tests/CMakeFiles/pollux_tests.dir/sim_events_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/sim_events_test.cc.o.d"
+  "/root/repo/tests/sim_integration_test.cc" "tests/CMakeFiles/pollux_tests.dir/sim_integration_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/sim_integration_test.cc.o.d"
+  "/root/repo/tests/sim_placement_test.cc" "tests/CMakeFiles/pollux_tests.dir/sim_placement_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/sim_placement_test.cc.o.d"
+  "/root/repo/tests/sim_property_test.cc" "tests/CMakeFiles/pollux_tests.dir/sim_property_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/sim_property_test.cc.o.d"
+  "/root/repo/tests/sim_simulator_test.cc" "tests/CMakeFiles/pollux_tests.dir/sim_simulator_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/sim_simulator_test.cc.o.d"
+  "/root/repo/tests/util_csv_test.cc" "tests/CMakeFiles/pollux_tests.dir/util_csv_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/util_csv_test.cc.o.d"
+  "/root/repo/tests/util_flags_test.cc" "tests/CMakeFiles/pollux_tests.dir/util_flags_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/util_flags_test.cc.o.d"
+  "/root/repo/tests/util_logging_test.cc" "tests/CMakeFiles/pollux_tests.dir/util_logging_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/util_logging_test.cc.o.d"
+  "/root/repo/tests/util_rng_test.cc" "tests/CMakeFiles/pollux_tests.dir/util_rng_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/util_rng_test.cc.o.d"
+  "/root/repo/tests/util_stats_test.cc" "tests/CMakeFiles/pollux_tests.dir/util_stats_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/util_stats_test.cc.o.d"
+  "/root/repo/tests/workload_model_profile_test.cc" "tests/CMakeFiles/pollux_tests.dir/workload_model_profile_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/workload_model_profile_test.cc.o.d"
+  "/root/repo/tests/workload_trace_gen_test.cc" "tests/CMakeFiles/pollux_tests.dir/workload_trace_gen_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/workload_trace_gen_test.cc.o.d"
+  "/root/repo/tests/workload_trace_io_test.cc" "tests/CMakeFiles/pollux_tests.dir/workload_trace_io_test.cc.o" "gcc" "tests/CMakeFiles/pollux_tests.dir/workload_trace_io_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/pollux_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pollux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidl/CMakeFiles/pollux_minidl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pollux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pollux_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pollux_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pollux_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pollux_simulate.dir/pollux_simulate.cc.o"
+  "CMakeFiles/pollux_simulate.dir/pollux_simulate.cc.o.d"
+  "pollux_simulate"
+  "pollux_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pollux_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
