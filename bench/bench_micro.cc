@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/eval_cache.h"
 #include "core/genetic.h"
 #include "core/gns.h"
 #include "core/goodput.h"
@@ -42,17 +43,33 @@ void BM_OptimizeBatchSize(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimizeBatchSize);
 
+// memo=1 measures the steady state PolluxSched sees on autoscaler utility
+// probes and unchanged-model rounds: the table is rebuilt for a model whose
+// fingerprint is already cached, so every golden-section search is replaced
+// by a hash probe.
 void BM_SpeedupTableBuild(benchmark::State& state) {
   const GoodputModel model = TypicalModel();
   const BatchLimits limits = TypicalLimits();
   const int max_gpus = static_cast<int>(state.range(0));
+  const bool memo = state.range(1) != 0;
+  EvalCache cache;
   for (auto _ : state) {
-    SpeedupTable table(model, limits, max_gpus);
+    SpeedupTable table(model, limits, max_gpus, memo ? &cache : nullptr,
+                       /*job_id=*/1, /*progress_bucket=*/0);
     benchmark::DoNotOptimize(table);
   }
+  state.counters["hit_rate"] = cache.Stats().HitRate();
 }
-BENCHMARK(BM_SpeedupTableBuild)->Arg(8)->Arg(64);
+BENCHMARK(BM_SpeedupTableBuild)
+    ->ArgNames({"gpus", "memo"})
+    ->Args({8, 0})
+    ->Args({64, 0})
+    ->Args({64, 1});
 
+// One GA scheduling round, parameterized over job count, worker threads, and
+// the speedup memoization cache. threads > 1 exercises the ThreadPool path
+// (same allocations, see core_genetic_determinism_test); hit_rate reports
+// how much of the speedup evaluation the cache absorbed.
 void BM_GeneticRound(benchmark::State& state) {
   const int num_jobs = static_cast<int>(state.range(0));
   std::vector<SchedJobInfo> jobs;
@@ -66,12 +83,24 @@ void BM_GeneticRound(benchmark::State& state) {
   GaOptions options;
   options.population_size = 40;
   options.generations = 1;  // Cost per generation.
+  options.threads = static_cast<int>(state.range(1));
+  options.memoize = state.range(2) != 0;
   GeneticOptimizer ga(ClusterSpec::Homogeneous(16, 4), options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ga.Optimize(jobs));
   }
+  state.counters["hit_rate"] = ga.cache_stats().HitRate();
 }
-BENCHMARK(BM_GeneticRound)->Arg(10)->Arg(40)->Arg(160);
+BENCHMARK(BM_GeneticRound)
+    ->ArgNames({"jobs", "threads", "memo"})
+    ->Args({10, 1, 1})
+    ->Args({40, 1, 1})
+    ->Args({160, 1, 0})
+    ->Args({160, 1, 1})
+    ->Args({160, 2, 1})
+    ->Args({160, 4, 1})
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void BM_ThroughputFit(benchmark::State& state) {
   ThroughputParams truth{0.04, 3e-4, 0.02, 0.001, 0.08, 0.004, 1.8};

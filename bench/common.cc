@@ -20,6 +20,7 @@ void AddCommonFlags(FlagParser& flags) {
   flags.DefineDouble("weight_lambda", 0.5, "job weight decay lambda (Eqn. 16)");
   flags.DefineInt("ga_pop", 40, "genetic algorithm population size");
   flags.DefineInt("ga_gens", 25, "genetic algorithm generations per round");
+  flags.DefineInt("threads", 1, "scheduler worker threads (0 = all hardware threads)");
   flags.DefineDouble("sched_interval", 60.0, "scheduling interval in seconds");
   flags.DefineDouble("restart_penalty", 0.25, "RESTART_PENALTY in the fitness function");
   flags.DefineDouble("tick", 1.0, "simulation clock step in seconds");
@@ -41,6 +42,7 @@ BenchSimConfig ConfigFromFlags(const FlagParser& flags) {
   config.weight_lambda = flags.GetDouble("weight_lambda");
   config.ga_population = static_cast<int>(flags.GetInt("ga_pop"));
   config.ga_generations = static_cast<int>(flags.GetInt("ga_gens"));
+  config.threads = static_cast<int>(flags.GetInt("threads"));
   config.sched_interval = flags.GetDouble("sched_interval");
   config.restart_penalty = flags.GetDouble("restart_penalty");
   config.tick = flags.GetDouble("tick");
@@ -77,12 +79,14 @@ SimResult RunImportedTrace(const std::string& policy, const BenchSimConfig& conf
   options.observation_noise = config.observation_noise;
   options.gns_noise = config.gns_noise;
   options.seed = config.seed;
+  options.sched_threads = config.threads;
   SchedConfig sched_config;
   sched_config.ga.population_size = config.ga_population;
   sched_config.ga.generations = config.ga_generations;
   sched_config.ga.interference_avoidance = config.interference_avoidance;
   sched_config.ga.restart_penalty = config.restart_penalty;
   sched_config.ga.seed = config.seed;
+  sched_config.ga.threads = options.sched_threads;
   sched_config.weight_lambda = config.weight_lambda;
   if (policy == "pollux") {
     PolluxPolicy pollux(options.cluster, sched_config);

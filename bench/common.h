@@ -29,6 +29,9 @@ struct BenchSimConfig {
   // minutes. Raise via --ga_pop/--ga_gens to match the paper exactly.
   int ga_population = 40;
   int ga_generations = 25;
+  // Scheduler worker threads (GaOptions::threads): 1 = serial, 0 = all
+  // hardware threads. Allocations are identical for every value.
+  int threads = 1;
   // Scheduling cadence and checkpoint-restart fitness penalty (Sec. 5.1
   // defaults; swept by bench_ablation).
   double sched_interval = 60.0;

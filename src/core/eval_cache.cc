@@ -1,0 +1,94 @@
+#include "core/eval_cache.h"
+
+namespace pollux {
+
+size_t EvalCache::ProbeFor(const Shard& shard, const Key& key, uint64_t hash) {
+  const size_t mask = shard.slots.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (shard.slots[i].used && !(shard.slots[i].key == key)) {
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void EvalCache::GrowIfNeeded(Shard& shard) {
+  if (shard.slots.empty()) {
+    shard.slots.resize(kInitialSlots);
+    return;
+  }
+  // Keep load below ~70% so linear probes stay short.
+  if ((shard.size + 1) * 10 < shard.slots.size() * 7) {
+    return;
+  }
+  std::vector<Slot> old = std::move(shard.slots);
+  shard.slots.assign(old.size() * 2, Slot{});
+  for (const Slot& slot : old) {
+    if (slot.used) {
+      shard.slots[ProbeFor(shard, slot.key, HashKey(slot.key))] = slot;
+    }
+  }
+}
+
+bool EvalCache::Lookup(const Key& key, Value* value) {
+  const uint64_t hash = HashKey(key);
+  Shard& shard = ShardFor(hash);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!shard.slots.empty()) {
+      const Slot& slot = shard.slots[ProbeFor(shard, key, hash)];
+      if (slot.used) {
+        *value = slot.value;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void EvalCache::Insert(const Key& key, const Value& value) {
+  const uint64_t hash = HashKey(key);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  // Epoch-style eviction: a full shard restarts empty. Values are pure
+  // functions of their key, so dropping entries only costs recomputation.
+  if (shard.size >= max_entries_per_shard_) {
+    shard.slots.clear();
+    shard.size = 0;
+  }
+  GrowIfNeeded(shard);
+  Slot& slot = shard.slots[ProbeFor(shard, key, hash)];
+  if (!slot.used) {
+    slot.used = true;
+    slot.key = key;
+    ++shard.size;
+  }
+  slot.value = value;
+}
+
+void EvalCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.slots.clear();
+    shard.size = 0;
+  }
+}
+
+void EvalCache::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+EvalCacheStats EvalCache::Stats() const {
+  EvalCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.entries += shard.size;
+  }
+  return stats;
+}
+
+}  // namespace pollux

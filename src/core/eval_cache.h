@@ -1,0 +1,166 @@
+// Sharded memoization cache for scheduler-side goodput/speedup evaluation.
+//
+// Two hot paths share this cache type (separate instances):
+//
+//  1. Speedup-table construction (PolluxSched::BuildJobInfos): every grid
+//     point runs a golden-section search over the batch size (Eqn. 13),
+//     ~50 goodput evaluations each. The cloud autoscaler's utility probes
+//     (EvaluateUtilityAt) rebuild every job's table once per probed cluster
+//     size with the *same* goodput model, so all probes after the first are
+//     pure cache hits; scheduling rounds whose models did not change between
+//     intervals reuse entries the same way. Keys carry an exact 64-bit
+//     fingerprint of (theta_sys, phi, m0, limits), so a re-fitted model can
+//     never be served values from a previous revision.
+//
+//  2. Genetic-algorithm fitness (GeneticOptimizer): each matrix evaluation
+//     reduces every job's row to its placement shape (K GPUs, N nodes) and
+//     looks SPEEDUP_j(K, N) up in the job's table. Distinct (job, K, N)
+//     shapes are few compared to the number of row evaluations per round, so
+//     repeats skip the table's binary search + interpolation. This instance
+//     is cleared at the start of every Optimize() call (tables are rebuilt
+//     per round), which makes cached values exact within a round.
+//
+// Shards are open-addressed flat tables (linear probing, power-of-two
+// capacity) rather than node-based maps: the hit path is one uncontended
+// mutex acquisition plus a short probe over contiguous slots. Keys are
+// stored verbatim — the hash only picks the shard and the starting slot, so
+// a hit can never alias a different evaluation. Each shard clears itself
+// when it reaches max_entries_per_shard (epoch-style eviction), which bounds
+// memory across arbitrarily long simulations; because a hit returns the
+// exact value the miss path would recompute, eviction timing can never
+// change scheduling results (asserted by core_genetic_determinism_test).
+//
+// Thread safety: lookups/inserts take a per-shard mutex, and the hit/miss
+// counters are relaxed atomics, so concurrent evaluation from ThreadPool
+// workers is safe.
+
+#ifndef POLLUX_CORE_EVAL_CACHE_H_
+#define POLLUX_CORE_EVAL_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace pollux {
+
+struct EvalCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t entries = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class EvalCache {
+ public:
+  static constexpr int kNumShards = 16;
+
+  // One evaluation shape. Every field is stored verbatim (no lossy packing),
+  // so equal keys always denote the same computation.
+  struct Key {
+    uint64_t job_id = 0;
+    // Fingerprint of the goodput model + batch limits the value was computed
+    // from (ModelFingerprint() in goodput.h); 0 for table-lookup entries,
+    // whose table is fixed for the cache's lifetime-between-Clear()s.
+    uint64_t model_fp = 0;
+    uint32_t replicas = 0;  // K: total GPUs of the placement.
+    uint16_t nodes = 0;     // N clamped to {0, 1, 2+}; the model only splits on that.
+    uint16_t progress_bucket = 0;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  // Cached result: the evaluated goodput/speedup plus one auxiliary long
+  // (the optimal batch size for table-construction entries; unused by the
+  // fitness path).
+  struct Value {
+    double value = 0.0;
+    long aux = 0;
+  };
+
+  explicit EvalCache(size_t max_entries_per_shard = kDefaultMaxEntriesPerShard)
+      : max_entries_per_shard_(max_entries_per_shard) {}
+
+  // True and fills `value` on a hit; counts the probe either way.
+  bool Lookup(const Key& key, Value* value);
+
+  // Records a computed value (last writer wins; all writers of one key hold
+  // the same deterministic value, so the race on "who inserts" is benign).
+  void Insert(const Key& key, const Value& value);
+
+  // Convenience wrapper: returns the cached value or computes-and-caches it.
+  template <typename ComputeFn>
+  Value GetOrCompute(const Key& key, const ComputeFn& compute) {
+    Value value;
+    if (Lookup(key, &value)) {
+      return value;
+    }
+    value = compute();
+    Insert(key, value);
+    return value;
+  }
+
+  // Drops all entries; counters keep accumulating across rounds unless
+  // ResetStats() is also called.
+  void Clear();
+  void ResetStats();
+
+  EvalCacheStats Stats() const;
+
+  size_t max_entries_per_shard() const { return max_entries_per_shard_; }
+
+ private:
+  // 16 shards x 8192 entries x ~48 bytes caps one cache at a few MiB.
+  static constexpr size_t kDefaultMaxEntriesPerShard = 8192;
+  static constexpr size_t kInitialSlots = 64;  // Power of two.
+
+  static uint64_t HashKey(const Key& key) {
+    // splitmix64-style mix over the packed fields.
+    uint64_t x = key.job_id ^ (key.model_fp * 0x9e3779b97f4a7c15ULL) ^
+                 (static_cast<uint64_t>(key.replicas) << 32) ^
+                 (static_cast<uint64_t>(key.nodes) << 16) ^ key.progress_bucket;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  struct Slot {
+    Key key;
+    Value value;
+    bool used = false;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Slot> slots;  // Empty or a power-of-two size.
+    size_t size = 0;
+  };
+
+  // Index of the slot holding `key`, or of the first free slot of its probe
+  // sequence. Requires the shard mutex and a non-empty slot array.
+  static size_t ProbeFor(const Shard& shard, const Key& key, uint64_t hash);
+
+  // Doubles the slot array when load exceeds ~70%. Requires the shard mutex.
+  void GrowIfNeeded(Shard& shard);
+
+  Shard& ShardFor(uint64_t hash) {
+    return shards_[hash % static_cast<uint64_t>(kNumShards)];
+  }
+
+  std::array<Shard, kNumShards> shards_;
+  size_t max_entries_per_shard_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_CORE_EVAL_CACHE_H_

@@ -12,10 +12,39 @@ double JobWeight(double gpu_time, double threshold, double lambda) {
   return std::pow(threshold / gpu_time, lambda);
 }
 
+namespace {
+
+// Raw SPEEDUP_j(K, N), memoized when a cache is supplied. N enters the key
+// clamped to {1, 2}: SpeedupTable only distinguishes single-node from
+// multi-node, so all N >= 2 shapes share one entry. Unallocated rows (the
+// majority when jobs outnumber GPUs) are answered without touching the cache.
+double RawSpeedup(const SchedJobInfo& job, const Placement& placement, EvalCache* cache) {
+  if (placement.num_gpus <= 0) {
+    return 0.0;
+  }
+  if (cache == nullptr) {
+    return job.speedups.At(placement.num_gpus, placement.num_nodes);
+  }
+  EvalCache::Key key;
+  key.job_id = job.job_id;
+  key.replicas = static_cast<uint32_t>(placement.num_gpus);
+  key.nodes = static_cast<uint16_t>(placement.num_nodes >= 2 ? 2 : 1);
+  key.progress_bucket = job.progress_bucket;
+  return cache
+      ->GetOrCompute(key,
+                     [&] {
+                       return EvalCache::Value{
+                           job.speedups.At(placement.num_gpus, placement.num_nodes), 0};
+                     })
+      .value;
+}
+
+}  // namespace
+
 double PenalizedSpeedup(const SchedJobInfo& job, const AllocationMatrix& matrix, size_t row,
-                        double restart_penalty) {
+                        double restart_penalty, EvalCache* cache) {
   const Placement placement = matrix.JobPlacement(row);
-  double speedup = job.speedups.At(placement.num_gpus, placement.num_nodes);
+  double speedup = RawSpeedup(job, placement, cache);
   if (!job.current_allocation.empty()) {
     bool changed = false;
     for (size_t n = 0; n < matrix.num_nodes(); ++n) {
@@ -34,11 +63,11 @@ double PenalizedSpeedup(const SchedJobInfo& job, const AllocationMatrix& matrix,
 }
 
 double Fitness(const std::vector<SchedJobInfo>& jobs, const AllocationMatrix& matrix,
-               double restart_penalty) {
+               double restart_penalty, EvalCache* cache) {
   double weighted = 0.0;
   double total_weight = 0.0;
   for (size_t j = 0; j < jobs.size(); ++j) {
-    weighted += jobs[j].weight * PenalizedSpeedup(jobs[j], matrix, j, restart_penalty);
+    weighted += jobs[j].weight * PenalizedSpeedup(jobs[j], matrix, j, restart_penalty, cache);
     total_weight += jobs[j].weight;
   }
   return total_weight > 0.0 ? weighted / total_weight : 0.0;

@@ -57,7 +57,15 @@ void GeneticOptimizer::SetCluster(ClusterSpec cluster) {
   last_job_ids_.clear();
 }
 
-void GeneticOptimizer::Mutate(AllocationMatrix& matrix) {
+void GeneticOptimizer::EnsurePool() {
+  if (!pool_) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads <= 0 ? -1 : options_.threads);
+  }
+}
+
+void GeneticOptimizer::Mutate(AllocationMatrix& matrix) { MutateWith(matrix, rng_); }
+
+void GeneticOptimizer::MutateWith(AllocationMatrix& matrix, Rng& rng) const {
   const size_t nodes = matrix.num_nodes();
   if (nodes == 0) {
     return;
@@ -67,26 +75,31 @@ void GeneticOptimizer::Mutate(AllocationMatrix& matrix) {
   // than N Bernoulli draws per job; Poisson(1) approximation for large N).
   for (size_t j = 0; j < matrix.num_jobs(); ++j) {
     int64_t mutations =
-        nodes <= 8 ? 0 : std::min<int64_t>(rng_.Poisson(1.0), static_cast<int64_t>(nodes));
+        nodes <= 8 ? 0 : std::min<int64_t>(rng.Poisson(1.0), static_cast<int64_t>(nodes));
     if (nodes <= 8) {
       for (size_t n = 0; n < nodes; ++n) {
-        if (rng_.Bernoulli(1.0 / static_cast<double>(nodes))) {
-          matrix.at(j, n) = static_cast<int>(rng_.UniformInt(0, cluster_.gpus_per_node[n]));
+        if (rng.Bernoulli(1.0 / static_cast<double>(nodes))) {
+          matrix.at(j, n) = static_cast<int>(rng.UniformInt(0, cluster_.gpus_per_node[n]));
         }
       }
       continue;
     }
     for (int64_t k = 0; k < mutations; ++k) {
-      const size_t n = static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(nodes) - 1));
-      matrix.at(j, n) = static_cast<int>(rng_.UniformInt(0, cluster_.gpus_per_node[n]));
+      const size_t n = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(nodes) - 1));
+      matrix.at(j, n) = static_cast<int>(rng.UniformInt(0, cluster_.gpus_per_node[n]));
     }
   }
 }
 
 AllocationMatrix GeneticOptimizer::Crossover(const AllocationMatrix& a, const AllocationMatrix& b) {
+  return CrossoverWith(a, b, rng_);
+}
+
+AllocationMatrix GeneticOptimizer::CrossoverWith(const AllocationMatrix& a,
+                                                 const AllocationMatrix& b, Rng& rng) const {
   AllocationMatrix child(a.num_jobs(), a.num_nodes());
   for (size_t j = 0; j < a.num_jobs(); ++j) {
-    const AllocationMatrix& parent = rng_.Bernoulli(0.5) ? a : b;
+    const AllocationMatrix& parent = rng.Bernoulli(0.5) ? a : b;
     for (size_t n = 0; n < a.num_nodes(); ++n) {
       child.at(j, n) = parent.at(j, n);
     }
@@ -95,6 +108,11 @@ AllocationMatrix GeneticOptimizer::Crossover(const AllocationMatrix& a, const Al
 }
 
 void GeneticOptimizer::Repair(AllocationMatrix& matrix, const std::vector<SchedJobInfo>& jobs) {
+  RepairWith(matrix, jobs, rng_);
+}
+
+void GeneticOptimizer::RepairWith(AllocationMatrix& matrix, const std::vector<SchedJobInfo>& jobs,
+                                  Rng& rng) const {
   const size_t num_jobs = matrix.num_jobs();
   const size_t num_nodes = matrix.num_nodes();
 
@@ -102,7 +120,7 @@ void GeneticOptimizer::Repair(AllocationMatrix& matrix, const std::vector<SchedJ
   for (size_t j = 0; j < num_jobs; ++j) {
     const int cap = std::max(1, jobs[j].max_gpus_cap);
     int total = matrix.JobPlacement(j).num_gpus;
-    while (total > cap && DecrementRandomPositiveInRow(matrix, j, rng_)) {
+    while (total > cap && DecrementRandomPositiveInRow(matrix, j, rng)) {
       --total;
     }
   }
@@ -114,7 +132,7 @@ void GeneticOptimizer::Repair(AllocationMatrix& matrix, const std::vector<SchedJ
       usage += matrix.at(j, n);
     }
     while (usage > cluster_.gpus_per_node[n] &&
-           DecrementRandomPositiveInColumn(matrix, n, rng_)) {
+           DecrementRandomPositiveInColumn(matrix, n, rng)) {
       --usage;
     }
   }
@@ -144,7 +162,7 @@ void GeneticOptimizer::Repair(AllocationMatrix& matrix, const std::vector<SchedJ
       for (size_t j = 0; j < num_jobs; ++j) {
         if (matrix.at(j, n) > 0 && nodes_of_job[j] >= 2) {
           ++distributed;
-          if (rng_.UniformInt(1, distributed) == 1) {
+          if (rng.UniformInt(1, distributed) == 1) {
             keep = j;
           }
         }
@@ -197,14 +215,14 @@ void GeneticOptimizer::SeedPopulation(const std::vector<SchedJobInfo>& jobs) {
 
   while (population_.size() < static_cast<size_t>(options_.population_size)) {
     AllocationMatrix matrix = incumbent;
-    Mutate(matrix);
+    MutateWith(matrix, rng_);
     population_.push_back(std::move(matrix));
   }
   if (population_.size() > static_cast<size_t>(options_.population_size)) {
     population_.resize(static_cast<size_t>(options_.population_size));
   }
   for (auto& matrix : population_) {
-    Repair(matrix, jobs);
+    RepairWith(matrix, jobs, rng_);
   }
   last_job_ids_.clear();
   for (const auto& job : jobs) {
@@ -212,11 +230,12 @@ void GeneticOptimizer::SeedPopulation(const std::vector<SchedJobInfo>& jobs) {
   }
 }
 
-size_t GeneticOptimizer::TournamentPick(const std::vector<double>& fitnesses) {
-  size_t best = static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(fitnesses.size()) - 1));
+size_t GeneticOptimizer::TournamentPickWith(const std::vector<double>& fitnesses,
+                                            Rng& rng) const {
+  size_t best = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(fitnesses.size()) - 1));
   for (int i = 1; i < options_.tournament_size; ++i) {
     const size_t candidate =
-        static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(fitnesses.size()) - 1));
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(fitnesses.size()) - 1));
     if (fitnesses[candidate] > fitnesses[best]) {
       best = candidate;
     }
@@ -232,23 +251,45 @@ GeneticOptimizer::Result GeneticOptimizer::Optimize(const std::vector<SchedJobIn
     return result;
   }
 
+  EnsurePool();
+  // Speedup tables are rebuilt from re-fitted models every round, so entries
+  // must not survive into this one.
+  cache_.Clear();
+  EvalCache* cache = options_.memoize ? &cache_ : nullptr;
+
   SeedPopulation(jobs);
   std::vector<double> fitnesses(population_.size());
-  for (size_t i = 0; i < population_.size(); ++i) {
-    fitnesses[i] = Fitness(jobs, population_[i], options_.restart_penalty);
-  }
+  pool_->ParallelFor(0, population_.size(), [&](size_t i) {
+    fitnesses[i] = Fitness(jobs, population_[i], options_.restart_penalty, cache);
+  });
 
+  const size_t brood = static_cast<size_t>(options_.population_size);
+  std::vector<Rng> streams;
+  streams.reserve(brood);
+  std::vector<AllocationMatrix> children(brood);
+  std::vector<double> child_fitnesses(brood);
   for (int gen = 0; gen < options_.generations; ++gen) {
     const size_t parents = population_.size();
-    for (size_t i = 0; i < static_cast<size_t>(options_.population_size); ++i) {
-      const size_t pa = TournamentPick(fitnesses);
-      const size_t pb = TournamentPick(fitnesses);
-      AllocationMatrix child = Crossover(population_[pa], population_[pb]);
-      Mutate(child);
-      Repair(child, jobs);
-      const double fitness = Fitness(jobs, child, options_.restart_penalty);
-      population_.push_back(std::move(child));
-      fitnesses.push_back(fitness);
+    // Fork one stream per offspring from the master generator, in index
+    // order, before any parallelism: offspring i's randomness then depends
+    // only on (seed, generation, i), never on which worker runs it.
+    streams.clear();
+    for (size_t i = 0; i < brood; ++i) {
+      streams.push_back(rng_.Fork());
+    }
+    pool_->ParallelFor(0, brood, [&](size_t i) {
+      Rng& rng = streams[i];
+      const size_t pa = TournamentPickWith(fitnesses, rng);
+      const size_t pb = TournamentPickWith(fitnesses, rng);
+      AllocationMatrix child = CrossoverWith(population_[pa], population_[pb], rng);
+      MutateWith(child, rng);
+      RepairWith(child, jobs, rng);
+      child_fitnesses[i] = Fitness(jobs, child, options_.restart_penalty, cache);
+      children[i] = std::move(child);
+    });
+    for (size_t i = 0; i < brood; ++i) {
+      population_.push_back(std::move(children[i]));
+      fitnesses.push_back(child_fitnesses[i]);
     }
     // Elitist survival: keep the best population_size individuals.
     std::vector<size_t> order(population_.size());

@@ -4,16 +4,27 @@
 // (node capacity, per-job exploration caps, and optionally the interference-
 // avoidance constraint), then keeps the fittest individuals. The population
 // is persisted across calls to bootstrap the next scheduling interval.
+//
+// Offspring are independent, so each generation's brood is produced and
+// evaluated in parallel on a ThreadPool. Every offspring draws from its own
+// Rng stream, forked from the master generator in a fixed order before the
+// parallel region, which makes results bit-identical for any worker count
+// (asserted by core_genetic_determinism_test). Fitness evaluation memoizes
+// raw SPEEDUP_j(K, N) lookups through a sharded EvalCache that is cleared at
+// the start of every round (speedup tables are rebuilt per round).
 
 #ifndef POLLUX_CORE_GENETIC_H_
 #define POLLUX_CORE_GENETIC_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/allocation.h"
+#include "core/eval_cache.h"
 #include "core/fitness.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace pollux {
 
@@ -25,6 +36,12 @@ struct GaOptions {
   // Disallow two multi-node jobs from sharing any node (Sec. 4.2.1).
   bool interference_avoidance = true;
   uint64_t seed = 42;
+  // Worker threads for offspring generation + fitness evaluation. 1 runs
+  // single-threaded; 0 or negative means std::thread::hardware_concurrency().
+  // The returned allocations are identical for every value.
+  int threads = 1;
+  // Memoize SPEEDUP_j(K, N) lookups per round (never changes results).
+  bool memoize = true;
 };
 
 class GeneticOptimizer {
@@ -48,6 +65,9 @@ class GeneticOptimizer {
 
   const ClusterSpec& cluster() const { return cluster_; }
 
+  // Cumulative speedup-memoization counters across all Optimize() calls.
+  EvalCacheStats cache_stats() const { return cache_.Stats(); }
+
   // Exposed for testing: enforces all feasibility constraints in place.
   void Repair(AllocationMatrix& matrix, const std::vector<SchedJobInfo>& jobs);
 
@@ -60,11 +80,23 @@ class GeneticOptimizer {
 
  private:
   void SeedPopulation(const std::vector<SchedJobInfo>& jobs);
-  size_t TournamentPick(const std::vector<double>& fitnesses);
+  void EnsurePool();
+
+  // Stream-explicit operators: everything an offspring needs runs against
+  // the Rng handed in, never against rng_, so offspring can be produced
+  // concurrently from pre-forked streams.
+  void MutateWith(AllocationMatrix& matrix, Rng& rng) const;
+  AllocationMatrix CrossoverWith(const AllocationMatrix& a, const AllocationMatrix& b,
+                                 Rng& rng) const;
+  void RepairWith(AllocationMatrix& matrix, const std::vector<SchedJobInfo>& jobs,
+                  Rng& rng) const;
+  size_t TournamentPickWith(const std::vector<double>& fitnesses, Rng& rng) const;
 
   ClusterSpec cluster_;
   GaOptions options_;
   Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;
+  EvalCache cache_;
   std::vector<uint64_t> last_job_ids_;
   std::vector<AllocationMatrix> population_;
 };

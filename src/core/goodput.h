@@ -53,6 +53,14 @@ class GoodputModel {
 // and SPEEDUP of an empty placement is 0.
 double Speedup(const GoodputModel& model, const Placement& placement, const BatchLimits& limits);
 
+// Order-dependent 64-bit hash over the exact bit patterns of
+// (theta_sys, phi_t, m0, limits). Two equal fingerprints identify (up to hash
+// collision, ~2^-64 per pair) the same goodput function, so memoized
+// OptimizeBatchSize results keyed by the fingerprint survive across
+// scheduling rounds and autoscaler probes without ever serving values from a
+// stale model revision (EvalCache::Key::model_fp).
+uint64_t ModelFingerprint(const GoodputModel& model, const BatchLimits& limits);
+
 }  // namespace pollux
 
 #endif  // POLLUX_CORE_GOODPUT_H_

@@ -1,8 +1,24 @@
 #include "core/sched.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace pollux {
+namespace {
+
+// Coarse log2 quantization of attained GPU-time (minutes doubling per
+// bucket). Only used to key the speedup memoization cache: two reports of
+// the same job in different buckets never share cache entries, so values
+// computed from an earlier model revision cannot leak forward.
+uint16_t ProgressBucket(double gpu_time) {
+  if (gpu_time <= 0.0) {
+    return 0;
+  }
+  const double bucket = std::floor(std::log2(1.0 + gpu_time / 60.0));
+  return static_cast<uint16_t>(std::min(bucket, 1023.0)) + 1;
+}
+
+}  // namespace
 
 PolluxSched::PolluxSched(ClusterSpec cluster, SchedConfig config)
     : config_(config), optimizer_(std::move(cluster), config.ga) {}
@@ -17,7 +33,11 @@ std::vector<SchedJobInfo> PolluxSched::BuildJobInfos(const std::vector<SchedJobR
     // The exploration cap bounds how many GPUs this job can receive, so the
     // speedup table never needs entries beyond it.
     const int table_gpus = std::min(max_gpus, std::max(1, report.agent.max_gpus_cap));
-    info.speedups = SpeedupTable(report.agent.model, report.agent.limits, table_gpus);
+    info.progress_bucket = ProgressBucket(report.gpu_time);
+    info.speedups =
+        SpeedupTable(report.agent.model, report.agent.limits, table_gpus,
+                     config_.memoize_tables ? &table_cache_ : nullptr, info.job_id,
+                     info.progress_bucket);
     info.weight = JobWeight(report.gpu_time, config_.gpu_time_threshold, config_.weight_lambda);
     info.current_allocation = report.current_allocation;
     info.max_gpus_cap = std::max(1, report.agent.max_gpus_cap);

@@ -15,6 +15,7 @@
 
 #include "core/agent.h"
 #include "core/allocation.h"
+#include "core/eval_cache.h"
 #include "core/genetic.h"
 
 namespace pollux {
@@ -25,6 +26,10 @@ struct SchedConfig {
   double gpu_time_threshold = 4.0 * 3600.0;
   // Weight decay exponent lambda (paper default 0.5; 0 disables weighting).
   double weight_lambda = 0.5;
+  // Memoize speedup-table construction across rounds and utility probes,
+  // keyed by each job's exact model fingerprint (see core/eval_cache.h).
+  // Results are bit-identical either way; false forces recomputation.
+  bool memoize_tables = true;
 };
 
 // Per-job information PolluxSched receives each interval.
@@ -59,12 +64,20 @@ class PolluxSched {
   const ClusterSpec& cluster() const { return optimizer_.cluster(); }
   const SchedConfig& config() const { return config_; }
 
+  // Hit/miss counters of the speedup-table construction cache.
+  EvalCacheStats table_cache_stats() const { return table_cache_.Stats(); }
+
  private:
   std::vector<SchedJobInfo> BuildJobInfos(const std::vector<SchedJobReport>& reports,
                                           int max_gpus) const;
 
   SchedConfig config_;
   GeneticOptimizer optimizer_;
+  // Memoized OptimizeBatchSize results for table construction; keys carry
+  // the model fingerprint, so entries from superseded fits are simply never
+  // hit again (and eventually evicted by the shard capacity bound). Mutable:
+  // the const utility probes (EvaluateUtilityAt) are its main beneficiary.
+  mutable EvalCache table_cache_;
   double last_utility_ = 0.0;
   double last_fitness_ = 0.0;
 };

@@ -4,7 +4,8 @@
 
 namespace pollux {
 
-SpeedupTable::SpeedupTable(const GoodputModel& model, const BatchLimits& limits, int max_gpus) {
+SpeedupTable::SpeedupTable(const GoodputModel& model, const BatchLimits& limits, int max_gpus,
+                           EvalCache* cache, uint64_t job_id, uint16_t progress_bucket) {
   if (max_gpus < 1) {
     return;
   }
@@ -18,18 +19,43 @@ SpeedupTable::SpeedupTable(const GoodputModel& model, const BatchLimits& limits,
     grid_.push_back(max_gpus);
   }
 
-  const auto reference = model.OptimizeBatchSize(Placement{1, 1}, limits);
+  // The batch-size optimization at one grid point depends only on the model,
+  // the limits, and (K, N) — not on the grid or max_gpus — so memoized
+  // results keyed by the model fingerprint are valid for any table size.
+  EvalCache::Key key;
+  if (cache != nullptr) {
+    key.job_id = job_id;
+    key.model_fp = ModelFingerprint(model, limits);
+    key.progress_bucket = progress_bucket;
+  }
+  const auto optimize = [&](int k, int n) -> GoodputModel::BatchChoice {
+    if (cache == nullptr) {
+      return model.OptimizeBatchSize(Placement{k, n}, limits);
+    }
+    key.replicas = static_cast<uint32_t>(k);
+    key.nodes = static_cast<uint16_t>(n);
+    const EvalCache::Value cached = cache->GetOrCompute(key, [&] {
+      const auto choice = model.OptimizeBatchSize(Placement{k, n}, limits);
+      return EvalCache::Value{choice.goodput, choice.batch_size};
+    });
+    GoodputModel::BatchChoice choice;
+    choice.goodput = cached.value;
+    choice.batch_size = cached.aux;
+    return choice;
+  };
+
+  const auto reference = optimize(1, 1);
   const double denom = reference.goodput;
   single_node_.resize(grid_.size());
   multi_node_.resize(grid_.size());
   for (size_t i = 0; i < grid_.size(); ++i) {
     const int k = grid_[i];
-    const auto single = model.OptimizeBatchSize(Placement{k, 1}, limits);
+    const auto single = optimize(k, 1);
     // Degenerate reference goodput (no single-GPU data yet) falls back to a
     // neutral speedup of 1 so the job can still be scheduled (see Speedup()).
     single_node_[i] = {denom > 0.0 ? single.goodput / denom : 1.0, single.batch_size};
     if (k >= 2) {
-      const auto multi = model.OptimizeBatchSize(Placement{k, 2}, limits);
+      const auto multi = optimize(k, 2);
       multi_node_[i] = {denom > 0.0 ? multi.goodput / denom : 1.0, multi.batch_size};
     } else {
       multi_node_[i] = single_node_[i];

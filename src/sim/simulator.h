@@ -37,6 +37,10 @@ struct SimOptions {
   double gns_noise = 0.10;             // Lognormal sigma on gradient moments.
   double max_time = 14.0 * 24.0 * 3600.0;
   uint64_t seed = 1;
+  // Worker threads the scheduling policy may use per round (Pollux policies
+  // forward this to GaOptions::threads; the simulated outcome is identical
+  // for every value). 1 = single-threaded, 0 = hardware concurrency.
+  int sched_threads = 1;
 
   // Cloud autoscaling (Fig. 10): when an autoscaler is attached, the cluster
   // is resized to its decision every autoscale_interval.

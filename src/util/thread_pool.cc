@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace pollux {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  const int workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ with a drained queue.
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures exceptions into its future.
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) {
+    return;
+  }
+  const size_t count = end - begin;
+  if (workers_.empty() || count == 1) {
+    for (size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  // One shared claim counter; each thread (workers + caller) pulls the next
+  // unclaimed index until the range is exhausted. Dynamic claiming keeps
+  // threads busy when per-index cost is uneven (e.g. GA repair loops).
+  auto next = std::make_shared<std::atomic<size_t>>(begin);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  std::mutex error_mutex;
+  std::exception_ptr stored_error;
+
+  const auto drain = [next, first_error, end, &fn, &error_mutex, &stored_error] {
+    for (;;) {
+      const size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= end || first_error->load(std::memory_order_relaxed)) {
+        return;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        first_error->store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!stored_error) {
+          stored_error = std::current_exception();
+        }
+        return;
+      }
+    }
+  };
+
+  // Never dispatch more helpers than indexes; Submit's futures double as the
+  // completion barrier.
+  const size_t helpers = std::min(workers_.size(), count - 1);
+  std::vector<std::future<void>> pending;
+  pending.reserve(helpers);
+  for (size_t w = 0; w < helpers; ++w) {
+    pending.push_back(Submit(drain));
+  }
+  drain();
+  for (auto& future : pending) {
+    future.get();  // drain() never throws; get() only synchronizes.
+  }
+  if (stored_error) {
+    std::rethrow_exception(stored_error);
+  }
+}
+
+}  // namespace pollux

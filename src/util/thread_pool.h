@@ -1,0 +1,84 @@
+// Fixed-size worker pool for CPU-bound fan-out (no work stealing).
+//
+// PolluxSched's genetic algorithm evaluates ~population_size independent
+// individuals per generation; ParallelFor() spreads such index ranges over a
+// fixed set of workers (the calling thread participates, so a pool of N
+// workers applies N+1 threads to a loop). Tasks must be independent: the
+// pool makes no ordering guarantees beyond "every index runs exactly once
+// and ParallelFor returns only after all of them finished". Exceptions
+// thrown by tasks are captured and rethrown on the calling thread (Submit()
+// propagates through the returned future, ParallelFor rethrows the first
+// one observed).
+//
+// Determinism contract: the pool itself introduces no randomness. Callers
+// that need bit-identical results across worker counts must make each index
+// self-contained (e.g. give each its own pre-forked Rng stream) — see
+// GeneticOptimizer for the pattern.
+
+#ifndef POLLUX_UTIL_THREAD_POOL_H_
+#define POLLUX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace pollux {
+
+class ThreadPool {
+ public:
+  // `num_threads` counts the calling thread: a pool constructed with 0 or 1
+  // spawns no workers and runs everything inline, so `ThreadPool(n)` applies
+  // exactly max(1, n) threads to a ParallelFor. Negative values mean "use
+  // std::thread::hardware_concurrency()".
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total threads a ParallelFor uses (workers + the calling thread), >= 1.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Enqueues a task; the future rethrows anything the task throws.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    if (workers_.empty()) {
+      (*task)();  // Inline mode: run on the caller.
+      return result;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  // Runs fn(i) for every i in [begin, end), spread over all threads via an
+  // atomic index counter; blocks until the whole range is done. The first
+  // exception thrown by any invocation is rethrown here (remaining indexes
+  // may or may not run once a task has thrown).
+  void ParallelFor(size_t begin, size_t end, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_UTIL_THREAD_POOL_H_

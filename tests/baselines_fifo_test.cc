@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "sim/simulator.h"
 #include "workload/model_profile.h"
 
@@ -10,7 +12,9 @@ namespace {
 
 JobSnapshot MakeSnapshot(uint64_t id, double submit, int gpus,
                          std::vector<int> allocation = {}) {
-  static std::vector<JobSpec>* specs = new std::vector<JobSpec>();
+  // deque: push_back never invalidates the spec pointers handed to earlier
+  // snapshots (a vector reallocation would leave them dangling).
+  static std::deque<JobSpec>* specs = new std::deque<JobSpec>();
   specs->push_back(JobSpec{id, ModelKind::kResNet18Cifar10, submit, gpus, 512, false});
   JobSnapshot snapshot;
   snapshot.job_id = id;

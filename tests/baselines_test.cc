@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <deque>
 
 #include "baselines/optimus.h"
 #include "baselines/tiresias.h"
@@ -11,7 +12,9 @@ namespace {
 
 JobSnapshot MakeSnapshot(uint64_t id, double submit, int requested_gpus, long batch,
                          double gpu_time = 0.0, double remaining_iters = 1000.0) {
-  static std::vector<JobSpec>* specs = new std::vector<JobSpec>();
+  // deque: push_back never invalidates the spec pointers handed to earlier
+  // snapshots (a vector reallocation would leave them dangling).
+  static std::deque<JobSpec>* specs = new std::deque<JobSpec>();
   specs->push_back(JobSpec{id, ModelKind::kResNet18Cifar10, submit, requested_gpus, batch, false});
 
   JobSnapshot snapshot;

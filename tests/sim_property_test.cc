@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "baselines/fixed_batch_policy.h"
 #include "baselines/optimus.h"
 #include "baselines/tiresias.h"
@@ -119,6 +121,70 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name + "_seed" + std::to_string(info.param.seed);
     });
+
+// Golden-trace regression: a fixed-seed end-to-end Pollux simulation must
+// produce byte-stable summary metrics (avg JCT, makespan, per-job finish
+// times) across repeated runs AND across scheduler thread counts — the
+// parallel GA and its memoization cache may not perturb a single bit of the
+// simulated outcome. EXPECT_EQ on doubles is exact (bitwise for non-NaN).
+class GoldenTraceTest : public ::testing::Test {
+ protected:
+  static SimResult RunGolden(int sched_threads, bool memoize = true) {
+    SimOptions options;
+    options.cluster = ClusterSpec::Homogeneous(2, 4);
+    options.seed = 1;
+    options.sched_threads = sched_threads;
+    SchedConfig sched_config;
+    sched_config.ga.population_size = 12;
+    sched_config.ga.generations = 6;
+    sched_config.ga.seed = 1;
+    sched_config.ga.threads = options.sched_threads;
+    sched_config.ga.memoize = memoize;
+    sched_config.memoize_tables = memoize;
+    PolluxPolicy policy(options.cluster, sched_config);
+    return Simulator(options, SweepTrace(1), &policy).Run();
+  }
+
+  static void ExpectIdentical(const SimResult& a, const SimResult& b, const char* label) {
+    EXPECT_EQ(a.JctSummary().mean, b.JctSummary().mean) << label;
+    EXPECT_EQ(a.JctSummary().p99, b.JctSummary().p99) << label;
+    EXPECT_EQ(a.makespan, b.makespan) << label;
+    ASSERT_EQ(a.jobs.size(), b.jobs.size()) << label;
+    for (size_t i = 0; i < a.jobs.size(); ++i) {
+      EXPECT_EQ(a.jobs[i].finish_time, b.jobs[i].finish_time) << label << " job " << i;
+      EXPECT_EQ(a.jobs[i].gpu_time, b.jobs[i].gpu_time) << label << " job " << i;
+      EXPECT_EQ(a.jobs[i].num_restarts, b.jobs[i].num_restarts) << label << " job " << i;
+    }
+    ASSERT_EQ(a.timeline.size(), b.timeline.size()) << label;
+    for (size_t i = 0; i < a.timeline.size(); ++i) {
+      EXPECT_EQ(a.timeline[i].gpus_in_use, b.timeline[i].gpus_in_use) << label << " t" << i;
+      EXPECT_EQ(a.timeline[i].utility, b.timeline[i].utility) << label << " t" << i;
+    }
+  }
+};
+
+TEST_F(GoldenTraceTest, SummaryMetricsByteStableAcrossRuns) {
+  const SimResult first = RunGolden(1);
+  const SimResult second = RunGolden(1);
+  ExpectIdentical(first, second, "rerun");
+  // Sanity: the golden run actually scheduled work.
+  EXPECT_FALSE(first.timed_out);
+  EXPECT_GT(first.JctSummary().mean, 0.0);
+  EXPECT_GT(first.makespan, 0.0);
+}
+
+TEST_F(GoldenTraceTest, SummaryMetricsByteStableAcrossThreadCounts) {
+  const SimResult serial = RunGolden(1);
+  for (int threads : {2, 4, 0 /* hardware concurrency */}) {
+    const SimResult parallel = RunGolden(threads);
+    ExpectIdentical(serial, parallel,
+                    ("threads=" + std::to_string(threads)).c_str());
+  }
+}
+
+TEST_F(GoldenTraceTest, SummaryMetricsByteStableWithoutMemoization) {
+  ExpectIdentical(RunGolden(4, /*memoize=*/true), RunGolden(4, /*memoize=*/false), "memo");
+}
 
 TEST(HeterogeneousClusterTest, PolluxHandlesUnevenNodes) {
   SimOptions options;

@@ -1,0 +1,137 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pollux {
+namespace {
+
+TEST(ThreadPoolTest, ZeroAndOneThreadRunInline) {
+  for (int n : {0, 1}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), 1) << "requested " << n;
+    int value = 0;
+    pool.Submit([&] { value = 42; }).get();
+    EXPECT_EQ(value, 42);
+  }
+}
+
+TEST(ThreadPoolTest, NegativeThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(-1);
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsTaskResult) {
+  ThreadPool pool(4);
+  auto future = pool.Submit([] { return 7 * 6; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(4);
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionsInline) {
+  ThreadPool pool(1);
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    ThreadPool pool(threads);
+    constexpr size_t kCount = 1000;
+    std::vector<std::atomic<int>> runs(kCount);
+    pool.ParallelFor(0, kCount, [&](size_t i) { runs[i].fetch_add(1); });
+    for (size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(runs[i].load(), 1) << "index " << i << ", threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRespectsNonZeroBegin) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> runs(10);
+  pool.ParallelFor(4, 10, [&](size_t i) { runs[i].fetch_add(1); });
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(runs[i].load(), i >= 4 ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndInvertedRangesAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](size_t) { ++calls; });
+  pool.ParallelFor(9, 3, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesWorkerExceptions) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.ParallelFor(0, 100,
+                                  [&](size_t i) {
+                                    if (i == 37) {
+                                      throw std::runtime_error("index 37");
+                                    }
+                                    ran.fetch_add(1);
+                                  }),
+                 std::runtime_error)
+        << "threads " << threads;
+    EXPECT_LE(ran.load(), 99);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCanBeReusedAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 8, [](size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(0, 8, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolTest, StressTenThousandSmallTasks) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 10000;
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); }));
+  }
+  for (auto& future : futures) {
+    future.get();
+  }
+  EXPECT_EQ(sum.load(), static_cast<long>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolTest, StressParallelForLargeRange) {
+  ThreadPool pool(4);
+  constexpr size_t kCount = 10000;
+  std::vector<double> out(kCount, 0.0);
+  pool.ParallelFor(0, kCount, [&](size_t i) { out[i] = static_cast<double>(i) * 0.5; });
+  double total = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 0.5 * static_cast<double>(kCount) * (kCount - 1) / 2.0);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after the queue drains.
+  EXPECT_EQ(done.load(), 64);
+}
+
+}  // namespace
+}  // namespace pollux
