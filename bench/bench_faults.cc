@@ -1,0 +1,63 @@
+// Fault-tolerance comparison: every scheduling policy under the "none",
+// "light", and "heavy" fault-injection profiles (node crashes, stragglers,
+// lost agent reports, failing checkpoint-restarts; see sim/fault_injector.h).
+//
+// The interesting shape: all policies degrade as faults intensify, but
+// Pollux's adaptive reallocation should degrade the most gracefully — evicted
+// jobs are re-queued and re-packed onto surviving nodes the next round, while
+// static policies strand capacity. No job is ever lost under any profile
+// (asserted by the invariant checker, enabled here for every run).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/csv.h"
+
+namespace pollux {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(flags);
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  BenchSimConfig config = ConfigFromFlags(flags);
+  config.check_invariants = true;
+
+  std::printf("=== Fault tolerance: avg JCT / evictions under fault profiles ===\n");
+  TablePrinter table({"policy", "profile", "avg JCT (h)", "completed", "evictions",
+                      "restart failures", "backoff (min)"});
+  for (const std::string policy : {"pollux", "optimus", "tiresias"}) {
+    for (const std::string profile : {"none", "light", "heavy"}) {
+      FaultProfileByName(profile, &config.faults);
+      const SimResult result = RunBenchPolicy(policy, config);
+      int completed = 0;
+      long evictions = 0;
+      long restart_failures = 0;
+      double backoff = 0.0;
+      for (const auto& job : result.jobs) {
+        completed += job.completed ? 1 : 0;
+        evictions += job.num_evictions;
+        restart_failures += job.num_restart_failures;
+        backoff += job.backoff_seconds;
+      }
+      table.AddRow({policy, profile, FormatDouble(result.JctSummary().mean / 3600.0, 2),
+                    std::to_string(completed) + "/" + std::to_string(result.jobs.size()),
+                    std::to_string(evictions), std::to_string(restart_failures),
+                    FormatDouble(backoff / 60.0, 1)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\nExpected shape: JCT grows none -> light -> heavy for every policy, with\n"
+              "Pollux degrading most gracefully (it re-packs evicted jobs onto the\n"
+              "surviving nodes); the completed count stays equal to the job count at\n"
+              "every profile because evicted jobs are re-queued, never lost.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pollux
+
+int main(int argc, char** argv) { return pollux::Main(argc, argv); }

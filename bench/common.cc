@@ -1,5 +1,7 @@
 #include "bench/common.h"
 
+#include <cstdio>
+
 #include "baselines/fifo.h"
 #include "baselines/fixed_batch_policy.h"
 #include "baselines/optimus.h"
@@ -27,6 +29,31 @@ void AddCommonFlags(FlagParser& flags) {
   flags.DefineDouble("obs_noise", 0.05, "lognormal sigma of profiled iteration times");
   flags.DefineDouble("gns_noise", 0.10, "lognormal sigma of gradient moment samples");
   flags.DefineInt("seed", 1, "base random seed");
+  flags.DefineString("fault-profile", "none",
+                     "fault injection preset: none | light | heavy "
+                     "(individual fault flags override the preset)");
+  flags.DefineDouble("mtbf-node", -1.0,
+                     "mean time between node failures in seconds (0 disables crashes; "
+                     "negative keeps the profile value)");
+  flags.DefineDouble("repair-time", -1.0,
+                     "mean node repair time in seconds (negative keeps the profile value)");
+  flags.DefineDouble("straggler-frac", -1.0,
+                     "fraction of nodes that are persistent stragglers "
+                     "(negative keeps the profile value)");
+  flags.DefineDouble("straggler-slowdown", -1.0,
+                     "iteration-time multiplier on straggler nodes "
+                     "(negative keeps the profile value)");
+  flags.DefineDouble("report-drop-rate", -1.0,
+                     "probability each 30s agent report is lost "
+                     "(negative keeps the profile value)");
+  flags.DefineDouble("restart-fail-rate", -1.0,
+                     "probability a checkpoint-restart attempt fails "
+                     "(negative keeps the profile value)");
+  flags.DefineBool("check-invariants", false,
+                   "verify simulator invariants every tick (abort on violation)");
+  flags.DefineDouble("sched-budget", 0.0,
+                     "wall-clock budget per Pollux scheduling round in seconds "
+                     "(0 = unlimited; overruns fall back to the projected allocation)");
 }
 
 BenchSimConfig ConfigFromFlags(const FlagParser& flags) {
@@ -49,6 +76,30 @@ BenchSimConfig ConfigFromFlags(const FlagParser& flags) {
   config.observation_noise = flags.GetDouble("obs_noise");
   config.gns_noise = flags.GetDouble("gns_noise");
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  if (!FaultProfileByName(flags.GetString("fault-profile"), &config.faults)) {
+    std::fprintf(stderr, "unknown --fault-profile \"%s\", using \"none\"\n",
+                 flags.GetString("fault-profile").c_str());
+  }
+  if (flags.GetDouble("mtbf-node") >= 0.0) {
+    config.faults.mtbf_node = flags.GetDouble("mtbf-node");
+  }
+  if (flags.GetDouble("repair-time") >= 0.0) {
+    config.faults.repair_time = flags.GetDouble("repair-time");
+  }
+  if (flags.GetDouble("straggler-frac") >= 0.0) {
+    config.faults.straggler_frac = flags.GetDouble("straggler-frac");
+  }
+  if (flags.GetDouble("straggler-slowdown") >= 0.0) {
+    config.faults.straggler_slowdown = flags.GetDouble("straggler-slowdown");
+  }
+  if (flags.GetDouble("report-drop-rate") >= 0.0) {
+    config.faults.report_drop_rate = flags.GetDouble("report-drop-rate");
+  }
+  if (flags.GetDouble("restart-fail-rate") >= 0.0) {
+    config.faults.restart_fail_rate = flags.GetDouble("restart-fail-rate");
+  }
+  config.check_invariants = flags.GetBool("check-invariants");
+  config.round_time_budget = flags.GetDouble("sched-budget");
   return config;
 }
 
@@ -80,6 +131,8 @@ SimResult RunImportedTrace(const std::string& policy, const BenchSimConfig& conf
   options.gns_noise = config.gns_noise;
   options.seed = config.seed;
   options.sched_threads = config.threads;
+  options.faults = config.faults;
+  options.check_invariants = config.check_invariants;
   SchedConfig sched_config;
   sched_config.ga.population_size = config.ga_population;
   sched_config.ga.generations = config.ga_generations;
@@ -88,6 +141,7 @@ SimResult RunImportedTrace(const std::string& policy, const BenchSimConfig& conf
   sched_config.ga.seed = config.seed;
   sched_config.ga.threads = options.sched_threads;
   sched_config.weight_lambda = config.weight_lambda;
+  sched_config.round_time_budget = config.round_time_budget;
   if (policy == "pollux") {
     PolluxPolicy pollux(options.cluster, sched_config);
     return Simulator(options, trace, &pollux).Run();

@@ -41,6 +41,15 @@ struct BenchSimConfig {
   double observation_noise = 0.05;
   double gns_noise = 0.10;
   uint64_t seed = 1;
+  // Fault injection (all off by default; see sim/fault_injector.h). The
+  // --fault-profile flag ("none" | "light" | "heavy") sets the whole block,
+  // then individual flags override.
+  FaultOptions faults;
+  // Cross-check simulator invariants every tick (capacity, job conservation,
+  // event-log monotonicity); aborts on violation.
+  bool check_invariants = false;
+  // Wall-clock budget per scheduling round, seconds (0 = unlimited).
+  double round_time_budget = 0.0;
 };
 
 // Registers the common --nodes/--jobs/--seed/... flags.

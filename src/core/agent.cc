@@ -6,6 +6,16 @@
 #include "core/efficiency.h"
 
 namespace pollux {
+namespace {
+
+bool ParamsFinite(const ThroughputParams& params) {
+  return std::isfinite(params.alpha_grad) && std::isfinite(params.beta_grad) &&
+         std::isfinite(params.alpha_sync_local) && std::isfinite(params.beta_sync_local) &&
+         std::isfinite(params.alpha_sync_node) && std::isfinite(params.beta_sync_node) &&
+         std::isfinite(params.gamma);
+}
+
+}  // namespace
 
 PolluxAgent::PolluxAgent(uint64_t job_id, long base_batch_size, double base_lr, BatchLimits limits,
                          AgentConfig config)
@@ -62,8 +72,24 @@ AgentReport PolluxAgent::MakeReport() {
     options.max_nodes_seen = std::max(1, max_nodes_seen_);
     options.multi_starts = config_.fit_multi_starts;
     options.seed = config_.seed + static_cast<uint64_t>(observations_.size());
+    if (config_.robust_fitting) {
+      options.outlier_mad_threshold = config_.outlier_mad_threshold;
+    }
     const FitResult fit = FitThroughputParams(data, options);
-    model_.set_params(fit.params);
+    outliers_rejected_ += fit.outliers_rejected;
+    // Divergence guard: a fit that went non-finite — or, in robust mode,
+    // one that cannot explain the data at all (straggler/corrupt telemetry)
+    // — must not replace a previously usable theta_sys.
+    bool diverged = !ParamsFinite(fit.params) || !std::isfinite(fit.rmsle);
+    if (config_.robust_fitting && config_.max_fit_rmsle > 0.0 &&
+        fit.rmsle > config_.max_fit_rmsle) {
+      diverged = true;
+    }
+    if (diverged) {
+      ++fits_rejected_;
+    } else {
+      model_.set_params(fit.params);
+    }
   }
   model_.set_phi(tracker_.Phi());
 

@@ -27,6 +27,13 @@ struct AgentConfig {
   double gns_smoothing = 0.95;
   int fit_multi_starts = 2;
   uint64_t seed = 1;
+  // Robust estimation for degraded clusters: MAD-reject straggler-inflated
+  // iteration-time observations before the RMSLE fit, and treat fits whose
+  // RMSLE exceeds max_fit_rmsle as diverged. Non-finite fits are always
+  // rejected; a rejected fit keeps the previous theta_sys.
+  bool robust_fitting = false;
+  double outlier_mad_threshold = 3.5;
+  double max_fit_rmsle = 1.5;
 };
 
 // The goodput function handed to PolluxSched: (theta_sys, phi_t, m0) plus the
@@ -71,6 +78,9 @@ class PolluxAgent {
 
   const GoodputModel& model() const { return model_; }
   double phi() const { return tracker_.Phi(); }
+  // Diagnostics for the robust-estimation path.
+  int fits_rejected() const { return fits_rejected_; }
+  int outliers_rejected() const { return outliers_rejected_; }
   const BatchLimits& limits() const { return limits_; }
   int max_gpus_seen() const { return max_gpus_seen_; }
   int max_nodes_seen() const { return max_nodes_seen_; }
@@ -104,6 +114,8 @@ class PolluxAgent {
   // Re-fitting is skipped while the set of observed configurations is
   // unchanged (the fit would barely move; phi is still refreshed every call).
   size_t last_fit_configs_ = 0;
+  int fits_rejected_ = 0;
+  int outliers_rejected_ = 0;
 };
 
 }  // namespace pollux

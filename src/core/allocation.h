@@ -36,6 +36,8 @@ struct ClusterSpec {
 
   // Homogeneous helper: `nodes` nodes with `gpus` GPUs each.
   static ClusterSpec Homogeneous(int nodes, int gpus);
+
+  bool operator==(const ClusterSpec&) const = default;
 };
 
 class AllocationMatrix {

@@ -84,12 +84,23 @@ double ThroughputRmsle(const ThroughputParams& params,
   return std::sqrt(total / static_cast<double>(observations.size()));
 }
 
-FitResult FitThroughputParams(const std::vector<ThroughputObservation>& observations,
-                              const FitOptions& options) {
-  FitResult result;
-  if (observations.empty()) {
-    return result;
+namespace {
+
+double MedianOf(std::vector<double> values) {
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid), values.end());
+  double median = values[mid];
+  if (values.size() % 2 == 0) {
+    const auto lower = std::max_element(values.begin(), values.begin() + static_cast<long>(mid));
+    median = 0.5 * (median + *lower);
   }
+  return median;
+}
+
+// One bounded multi-start L-BFGS fit over the given observations.
+FitResult FitOnce(const std::vector<ThroughputObservation>& observations,
+                  const FitOptions& options) {
+  FitResult result;
 
   // Index layout: [alpha_grad, beta_grad, alpha_loc, beta_loc, alpha_node,
   // beta_node, gamma].
@@ -147,6 +158,56 @@ FitResult FitThroughputParams(const std::vector<ThroughputObservation>& observat
   result.rmsle = fit.value;
   result.evaluations = fit.evaluations;
   return result;
+}
+
+}  // namespace
+
+FitResult FitThroughputParams(const std::vector<ThroughputObservation>& observations,
+                              const FitOptions& options) {
+  FitResult result;
+  if (observations.empty()) {
+    return result;
+  }
+  result = FitOnce(observations, options);
+  if (options.outlier_mad_threshold <= 0.0 || observations.size() < 4) {
+    return result;
+  }
+
+  // Robust pass: straggler-inflated samples sit far above the surface the
+  // bulk of the data agrees on. Reject by median absolute deviation of the
+  // log-residuals and refit on the survivors.
+  std::vector<double> residuals;
+  residuals.reserve(observations.size());
+  for (const auto& obs : observations) {
+    const double predicted =
+        IterTime(result.params, obs.placement, static_cast<double>(obs.batch_size));
+    residuals.push_back(std::log(obs.iter_time + kLogEpsilon) -
+                        std::log(predicted + kLogEpsilon));
+  }
+  const double median = MedianOf(residuals);
+  std::vector<double> deviations;
+  deviations.reserve(residuals.size());
+  for (double r : residuals) {
+    deviations.push_back(std::fabs(r - median));
+  }
+  const double mad_sigma = 1.4826 * MedianOf(deviations);
+  if (mad_sigma < 1e-9) {
+    return result;  // Residuals are essentially identical; nothing to reject.
+  }
+  std::vector<ThroughputObservation> kept;
+  kept.reserve(observations.size());
+  for (size_t i = 0; i < observations.size(); ++i) {
+    if (std::fabs(residuals[i] - median) <= options.outlier_mad_threshold * mad_sigma) {
+      kept.push_back(observations[i]);
+    }
+  }
+  if (kept.size() == observations.size() || kept.size() < 3) {
+    return result;
+  }
+  FitResult refit = FitOnce(kept, options);
+  refit.evaluations += result.evaluations;
+  refit.outliers_rejected = static_cast<int>(observations.size() - kept.size());
+  return refit;
 }
 
 }  // namespace pollux

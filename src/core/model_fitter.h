@@ -38,12 +38,19 @@ struct FitOptions {
   // Upper bounds for the alpha/beta parameters (seconds / seconds-per-example).
   double max_alpha = 100.0;
   double max_beta = 10.0;
+  // Robust fitting: after an initial fit, observations whose log-residual
+  // deviates from the residual median by more than this many MAD-sigmas
+  // (1.4826 * MAD) are discarded and the fit is re-run on the survivors —
+  // the defense against straggler-inflated T_iter samples. 0 disables.
+  double outlier_mad_threshold = 0.0;
 };
 
 struct FitResult {
   ThroughputParams params;
   double rmsle = 0.0;
   int evaluations = 0;
+  // Observations discarded by the MAD outlier pass (0 when disabled).
+  int outliers_rejected = 0;
 };
 
 // Root mean squared logarithmic error of `params` against the observations.

@@ -1,6 +1,7 @@
 #include "core/sched.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace pollux {
@@ -41,6 +42,15 @@ std::vector<SchedJobInfo> PolluxSched::BuildJobInfos(const std::vector<SchedJobR
     info.weight = JobWeight(report.gpu_time, config_.gpu_time_threshold, config_.weight_lambda);
     info.current_allocation = report.current_allocation;
     info.max_gpus_cap = std::max(1, report.agent.max_gpus_cap);
+    if (report.stale) {
+      // No fresh telemetry: hold the job at (at most) its current size
+      // rather than growing it on a goodput model we cannot trust.
+      int current = 0;
+      for (int gpus : report.current_allocation) {
+        current += gpus;
+      }
+      info.max_gpus_cap = std::max(1, std::min(info.max_gpus_cap, current));
+    }
     jobs.push_back(std::move(info));
   }
   return jobs;
@@ -54,6 +64,7 @@ std::map<uint64_t, std::vector<int>> PolluxSched::Schedule(
     last_fitness_ = 0.0;
     return allocations;
   }
+  const auto round_start = std::chrono::steady_clock::now();
   const std::vector<SchedJobInfo> jobs =
       BuildJobInfos(reports, optimizer_.cluster().TotalGpus());
   const GeneticOptimizer::Result result = optimizer_.Optimize(jobs);
@@ -61,6 +72,59 @@ std::map<uint64_t, std::vector<int>> PolluxSched::Schedule(
   last_fitness_ = result.fitness;
   for (size_t j = 0; j < jobs.size(); ++j) {
     allocations[jobs[j].job_id] = result.best.Row(j);
+  }
+  // Graceful degradation: never apply an allocation that overflows the
+  // (possibly fault-degraded) cluster, and never let one runaway GA round
+  // stall the whole scheduler past its budget — fall back to the last
+  // known-feasible allocation projected onto surviving nodes.
+  bool fallback = !AllocationsFeasible(optimizer_.cluster(), allocations);
+  if (!fallback && config_.round_time_budget > 0.0) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - round_start).count();
+    fallback = elapsed > config_.round_time_budget;
+  }
+  if (fallback) {
+    ++fallback_rounds_;
+    allocations = ProjectOntoCluster(reports);
+  }
+  return allocations;
+}
+
+bool PolluxSched::AllocationsFeasible(
+    const ClusterSpec& cluster, const std::map<uint64_t, std::vector<int>>& allocations) {
+  const size_t num_nodes = cluster.gpus_per_node.size();
+  std::vector<int> usage(num_nodes, 0);
+  for (const auto& [job_id, row] : allocations) {
+    if (row.size() > num_nodes) {
+      return false;
+    }
+    for (size_t n = 0; n < row.size(); ++n) {
+      if (row[n] < 0) {
+        return false;
+      }
+      usage[n] += row[n];
+      if (usage[n] > cluster.gpus_per_node[n]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::map<uint64_t, std::vector<int>> PolluxSched::ProjectOntoCluster(
+    const std::vector<SchedJobReport>& reports) const {
+  const ClusterSpec& cluster = optimizer_.cluster();
+  const size_t num_nodes = cluster.gpus_per_node.size();
+  std::vector<int> free = cluster.gpus_per_node;
+  std::map<uint64_t, std::vector<int>> allocations;
+  for (const auto& report : reports) {
+    std::vector<int> row = report.current_allocation;
+    row.resize(num_nodes, 0);
+    for (size_t n = 0; n < num_nodes; ++n) {
+      row[n] = std::clamp(row[n], 0, free[n]);
+      free[n] -= row[n];
+    }
+    allocations[report.agent.job_id] = std::move(row);
   }
   return allocations;
 }

@@ -30,6 +30,12 @@ struct SchedConfig {
   // keyed by each job's exact model fingerprint (see core/eval_cache.h).
   // Results are bit-identical either way; false forces recomputation.
   bool memoize_tables = true;
+  // Wall-clock budget for one scheduling round, seconds (0 = unlimited).
+  // A round that overruns it — or that somehow produced an allocation that
+  // is infeasible against the (possibly degraded) cluster — is discarded in
+  // favor of the last known-feasible allocation projected onto surviving
+  // nodes, instead of aborting or applying garbage.
+  double round_time_budget = 0.0;
 };
 
 // Per-job information PolluxSched receives each interval.
@@ -39,6 +45,12 @@ struct SchedJobReport {
   double gpu_time = 0.0;
   // GPUs per node the job currently holds; empty when not running.
   std::vector<int> current_allocation;
+  // Seconds since the report was produced and whether the caller considers
+  // it stale (agent reports can be lost in degraded clusters). A stale job
+  // is scheduled conservatively: its exploration cap is clamped to its
+  // current allocation, so the GA never *grows* a job on dead telemetry.
+  double report_age = 0.0;
+  bool stale = false;
 };
 
 class PolluxSched {
@@ -52,6 +64,21 @@ class PolluxSched {
   // Eqn. 17 of the most recently applied allocation matrix.
   double last_utility() const { return last_utility_; }
   double last_fitness() const { return last_fitness_; }
+
+  // Rounds whose GA result was discarded (budget overrun or infeasible) in
+  // favor of the projected fallback allocation.
+  uint64_t fallback_rounds() const { return fallback_rounds_; }
+
+  // True when every row fits the cluster: no over-committed node and no GPUs
+  // on zero-capacity (failed) nodes.
+  static bool AllocationsFeasible(const ClusterSpec& cluster,
+                                  const std::map<uint64_t, std::vector<int>>& allocations);
+
+  // The graceful-degradation fallback: each job keeps its current allocation
+  // projected onto surviving nodes (entries on zero-capacity nodes dropped,
+  // then trimmed to per-node capacity). Never returns an infeasible map.
+  std::map<uint64_t, std::vector<int>> ProjectOntoCluster(
+      const std::vector<SchedJobReport>& reports) const;
 
   // Evaluates the cluster utility the GA would achieve with `num_nodes`
   // homogeneous nodes (used by the cloud autoscaler's binary search). Does
@@ -80,6 +107,7 @@ class PolluxSched {
   mutable EvalCache table_cache_;
   double last_utility_ = 0.0;
   double last_fitness_ = 0.0;
+  uint64_t fallback_rounds_ = 0;
 };
 
 }  // namespace pollux

@@ -1,0 +1,135 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pollux {
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+// splitmix64-style mix so node streams depend only on (seed, creation index).
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool FaultProfileByName(const std::string& name, FaultOptions* options) {
+  FaultOptions result;
+  if (name.empty() || name == "none") {
+    *options = result;
+    return true;
+  }
+  if (name == "light") {
+    result.mtbf_node = 24.0 * 3600.0;
+    result.repair_time = 600.0;
+    result.straggler_frac = 0.0625;
+    result.straggler_slowdown = 1.3;
+    result.report_drop_rate = 0.02;
+    result.restart_fail_rate = 0.05;
+    *options = result;
+    return true;
+  }
+  if (name == "heavy") {
+    result.mtbf_node = 6.0 * 3600.0;
+    result.repair_time = 1800.0;
+    result.straggler_frac = 0.25;
+    result.straggler_slowdown = 1.75;
+    result.report_drop_rate = 0.10;
+    result.restart_fail_rate = 0.20;
+    *options = result;
+    return true;
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(FaultOptions options, int num_nodes, uint64_t seed)
+    : options_(options),
+      seed_(seed),
+      report_rng_(MixSeed(seed, 0xaaaaULL)),
+      restart_rng_(MixSeed(seed, 0xbbbbULL)) {
+  nodes_.reserve(static_cast<size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    nodes_.push_back(MakeNode(n, 0.0));
+  }
+}
+
+FaultInjector::NodeState FaultInjector::MakeNode(int index, double now) {
+  (void)index;
+  NodeState state;
+  state.rng = Rng(MixSeed(seed_, nodes_created_++));
+  state.straggler =
+      options_.straggler_frac > 0.0 && state.rng.Bernoulli(options_.straggler_frac);
+  state.next_transition = options_.mtbf_node > 0.0
+                              ? now + state.rng.Exponential(1.0 / options_.mtbf_node)
+                              : kNever;
+  return state;
+}
+
+std::vector<FaultInjector::NodeTransition> FaultInjector::Poll(double now) {
+  std::vector<NodeTransition> transitions;
+  if (options_.mtbf_node <= 0.0) {
+    return transitions;
+  }
+  // Replay every transition due by `now`, globally ordered by (time, node) so
+  // the emitted sequence does not depend on per-node scan order.
+  while (true) {
+    int due = -1;
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      if (nodes_[n].next_transition <= now &&
+          (due < 0 || nodes_[n].next_transition < nodes_[static_cast<size_t>(due)].next_transition)) {
+        due = static_cast<int>(n);
+      }
+    }
+    if (due < 0) {
+      break;
+    }
+    NodeState& node = nodes_[static_cast<size_t>(due)];
+    const double at = node.next_transition;
+    node.failed = !node.failed;
+    node.next_transition =
+        at + node.rng.Exponential(node.failed ? 1.0 / std::max(options_.repair_time, 1.0)
+                                              : 1.0 / options_.mtbf_node);
+    transitions.push_back(NodeTransition{due, node.failed});
+  }
+  return transitions;
+}
+
+void FaultInjector::OnClusterResize(int num_nodes, double now) {
+  const size_t target = static_cast<size_t>(num_nodes);
+  if (target < nodes_.size()) {
+    nodes_.resize(target);
+    return;
+  }
+  while (nodes_.size() < target) {
+    nodes_.push_back(MakeNode(static_cast<int>(nodes_.size()), now));
+  }
+}
+
+double FaultInjector::JobSlowdown(const std::vector<int>& alloc) const {
+  if (options_.straggler_frac <= 0.0 || options_.straggler_slowdown <= 1.0) {
+    return 1.0;
+  }
+  for (size_t n = 0; n < alloc.size() && n < nodes_.size(); ++n) {
+    if (alloc[n] > 0 && nodes_[n].straggler) {
+      return options_.straggler_slowdown;
+    }
+  }
+  return 1.0;
+}
+
+int FaultInjector::num_failed_nodes() const {
+  int failed = 0;
+  for (const auto& node : nodes_) {
+    failed += node.failed ? 1 : 0;
+  }
+  return failed;
+}
+
+}  // namespace pollux

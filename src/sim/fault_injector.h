@@ -1,0 +1,117 @@
+// Deterministic fault injection for the cluster simulator.
+//
+// The injector perturbs a simulated cluster with the failure modes a
+// production GPU fleet actually exhibits: whole-node crashes with exponential
+// inter-arrival and repair times, persistent per-node stragglers (one slow
+// GPU or NIC drags every replica placed there), lost PolluxAgent reports, and
+// checkpoint-restores that fail and must be retried with capped exponential
+// backoff. Every draw comes from dedicated Rng streams forked from a single
+// seed — per-node streams for crash/repair/straggler state, one stream for
+// report drops, one for restart failures — so runs are byte-reproducible per
+// seed and enabling one fault class never perturbs the draws of another.
+//
+// With every knob at zero (`FaultOptions::enabled()` false) the simulator
+// never constructs an injector, so fault-free traces are byte-identical to
+// pre-fault-subsystem behavior (asserted by sim_property_test's golden
+// traces).
+
+#ifndef POLLUX_SIM_FAULT_INJECTOR_H_
+#define POLLUX_SIM_FAULT_INJECTOR_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pollux {
+
+struct FaultOptions {
+  // Mean time between crashes of one node, seconds (exponential
+  // inter-arrival per node). 0 disables node crashes.
+  double mtbf_node = 0.0;
+  // Mean node repair time, seconds (exponential).
+  double repair_time = 600.0;
+  // Fraction of nodes that host a persistent straggler (slow GPU/link).
+  double straggler_frac = 0.0;
+  // Multiplier (>= 1) on the iteration time of any job with replicas on a
+  // straggler node; synchronous data-parallel training runs at the pace of
+  // its slowest replica.
+  double straggler_slowdown = 1.5;
+  // Probability an agent report is lost in transit to the scheduler.
+  double report_drop_rate = 0.0;
+  // Probability one checkpoint-restore attempt fails and is retried.
+  double restart_fail_rate = 0.0;
+  // First retry backoff and its cap; the backoff doubles per failed attempt.
+  double restart_backoff_init = 15.0;
+  double restart_backoff_cap = 240.0;
+
+  bool enabled() const {
+    return mtbf_node > 0.0 || straggler_frac > 0.0 || report_drop_rate > 0.0 ||
+           restart_fail_rate > 0.0;
+  }
+};
+
+// Named presets for --fault-profile. Returns true and fills `options` for
+// "none" | "light" | "heavy"; returns false for anything else.
+bool FaultProfileByName(const std::string& name, FaultOptions* options);
+
+class FaultInjector {
+ public:
+  // A node going down (failed=true) or coming back (failed=false).
+  struct NodeTransition {
+    int node = 0;
+    bool failed = false;
+  };
+
+  FaultInjector(FaultOptions options, int num_nodes, uint64_t seed);
+
+  // Advances injector time to `now`; returns the crash/repair transitions
+  // that fired since the previous Poll, in deterministic (time, node) order.
+  std::vector<NodeTransition> Poll(double now);
+
+  // Reshapes per-node state after an autoscaler resize. Surviving nodes keep
+  // their fault state and streams; new nodes start healthy with fresh
+  // deterministic streams.
+  void OnClusterResize(int num_nodes, double now);
+
+  bool NodeFailed(int node) const { return nodes_[static_cast<size_t>(node)].failed; }
+
+  // Iteration-time multiplier (>= 1) for a job with the given GPUs-per-node
+  // allocation: the worst straggler among the nodes it touches.
+  double JobSlowdown(const std::vector<int>& alloc) const;
+
+  // One Bernoulli draw from the report-loss stream.
+  bool DropReport() { return report_rng_.Bernoulli(options_.report_drop_rate); }
+
+  // One Bernoulli draw from the restart-failure stream. The probability is
+  // clamped below 1 so retry loops always terminate.
+  bool RestartFails() {
+    return restart_rng_.Bernoulli(std::min(options_.restart_fail_rate, 0.95));
+  }
+
+  const FaultOptions& options() const { return options_; }
+  int num_failed_nodes() const;
+
+ private:
+  struct NodeState {
+    Rng rng;
+    bool failed = false;
+    bool straggler = false;
+    double next_transition = 0.0;  // Next crash (healthy) or repair (failed).
+  };
+
+  NodeState MakeNode(int index, double now);
+
+  FaultOptions options_;
+  uint64_t seed_;
+  Rng report_rng_;
+  Rng restart_rng_;
+  std::vector<NodeState> nodes_;
+  // Monotone counter so nodes added by successive resizes get fresh streams.
+  uint64_t nodes_created_ = 0;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_SIM_FAULT_INJECTOR_H_

@@ -6,6 +6,12 @@ PolluxPolicy::PolluxPolicy(ClusterSpec cluster, SchedConfig config)
     : sched_(std::move(cluster), config) {}
 
 std::map<uint64_t, std::vector<int>> PolluxPolicy::Schedule(const SchedulerContext& context) {
+  // Track capacity changes the simulator applied between rounds (node
+  // failures/repairs mask capacity in-place rather than calling
+  // OnClusterChanged for every transition).
+  if (!(sched_.cluster() == *context.cluster)) {
+    sched_.SetCluster(*context.cluster);
+  }
   last_reports_.clear();
   last_reports_.reserve(context.jobs.size());
   for (const auto& snapshot : context.jobs) {
@@ -13,6 +19,8 @@ std::map<uint64_t, std::vector<int>> PolluxPolicy::Schedule(const SchedulerConte
     report.agent = snapshot.agent;
     report.gpu_time = snapshot.gpu_time;
     report.current_allocation = snapshot.allocation;
+    report.report_age = snapshot.report_age;
+    report.stale = snapshot.report_stale;
     last_reports_.push_back(std::move(report));
   }
   return sched_.Schedule(last_reports_);

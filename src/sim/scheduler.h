@@ -43,6 +43,11 @@ struct JobSnapshot {
   double oracle_single_gpu_remaining = 0.0;
   // The batch size the job currently trains with.
   long batch_size = 0;
+  // Seconds since the scheduler last received a fresh agent report for this
+  // job (grows past the report interval when reports are dropped), and
+  // whether the simulator considers the current report stale.
+  double report_age = 0.0;
+  bool report_stale = false;
 };
 
 struct SchedulerContext {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "sim/pollux_policy.h"
 #include "util/logging.h"
@@ -38,17 +40,27 @@ const char* SimEventKindName(SimEventKind kind) {
       return "complete";
     case SimEventKind::kClusterResize:
       return "cluster_resize";
+    case SimEventKind::kNodeFail:
+      return "node_fail";
+    case SimEventKind::kNodeRepair:
+      return "node_repair";
+    case SimEventKind::kEvict:
+      return "evict";
+    case SimEventKind::kRestartFailure:
+      return "restart_failure";
+    case SimEventKind::kReportDrop:
+      return "report_drop";
   }
   return "?";
 }
 
 struct Simulator::Job {
   Job(const JobSpec& job_spec, const ModelProfile& model_profile, bool adaptive_batch,
-      Rng job_rng)
+      Rng job_rng, AgentConfig agent_config)
       : spec(job_spec),
         profile(&model_profile),
         agent(job_spec.job_id, model_profile.base_batch_size, model_profile.base_lr,
-              model_profile.Limits()),
+              model_profile.Limits(), agent_config),
         rng(job_rng),
         batch(adaptive_batch ? model_profile.base_batch_size
                              : std::max(job_spec.batch_size, model_profile.base_batch_size)) {}
@@ -68,7 +80,12 @@ struct Simulator::Job {
   double finish_time = -1.0;
   double gpu_time = 0.0;
   int restarts = 0;
+  int evictions = 0;
+  int restart_failures = 0;
+  double backoff_seconds = 0.0;
   bool has_report = false;
+  // Time the scheduler last *received* a report (drops don't update it).
+  double last_report_time = -1.0;
   AgentReport report;
 
   // Time integrals while running.
@@ -90,21 +107,36 @@ Simulator::Simulator(SimOptions options, std::vector<JobSpec> trace, Scheduler* 
                      ClusterAutoscaler* autoscaler)
     : options_(std::move(options)),
       cluster_(options_.cluster),
+      base_cluster_(options_.cluster),
       scheduler_(scheduler),
       autoscaler_(autoscaler),
       rng_(options_.seed),
       trace_(std::move(trace)) {
   std::sort(trace_.begin(), trace_.end(),
             [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+  if (options_.faults.enabled()) {
+    // The injector draws from streams derived from (seed ^ salt), so the
+    // main simulation stream (job noise forks) is untouched.
+    faults_ = std::make_unique<FaultInjector>(options_.faults, cluster_.NumNodes(),
+                                              options_.seed ^ 0xFA017ULL);
+  }
 }
 
 Simulator::~Simulator() = default;
 
 void Simulator::ActivateSubmissions(double now) {
+  AgentConfig agent_config;
+  if (options_.faults.enabled()) {
+    // Under fault injection the agents run their robust-estimation path:
+    // straggler-inflated iteration times are MAD-rejected before the RMSLE
+    // fit and diverged fits keep the previous theta_sys.
+    agent_config.robust_fitting = true;
+  }
   while (next_submission_ < trace_.size() && trace_[next_submission_].submit_time <= now) {
     const JobSpec& spec = trace_[next_submission_];
     jobs_.push_back(std::make_unique<Job>(spec, GetModelProfile(spec.model),
-                                          scheduler_->adapts_batch_size(), rng_.Fork()));
+                                          scheduler_->adapts_batch_size(), rng_.Fork(),
+                                          agent_config));
     result_.events.push_back(
         SimEvent{spec.submit_time, SimEventKind::kSubmit, spec.job_id, 0, 0});
     ++next_submission_;
@@ -116,8 +148,20 @@ void Simulator::RefreshReports(double now) {
     if (job->finished) {
       continue;
     }
-    job->report = job->agent.MakeReport();
-    job->has_report = true;
+    // The agent always refreshes locally; the *delivery* to the scheduler
+    // can be lost. A dropped report leaves the scheduler holding the
+    // previous one, whose age keeps growing.
+    AgentReport fresh = job->agent.MakeReport();
+    const bool dropped = faults_ != nullptr && options_.faults.report_drop_rate > 0.0 &&
+                         faults_->DropReport();
+    if (dropped) {
+      result_.events.push_back(
+          SimEvent{now, SimEventKind::kReportDrop, job->spec.job_id, 0, 0});
+    } else {
+      job->report = std::move(fresh);
+      job->has_report = true;
+      job->last_report_time = now;
+    }
     if (scheduler_->adapts_batch_size() && job->placement.num_gpus > 0) {
       if (scheduler_->throughput_only_batch()) {
         // Or et al.: throughput increases with batch size, so the largest
@@ -131,7 +175,6 @@ void Simulator::RefreshReports(double now) {
       }
     }
   }
-  (void)now;
 }
 
 std::vector<JobSnapshot> Simulator::BuildSnapshots(double now) {
@@ -143,6 +186,7 @@ std::vector<JobSnapshot> Simulator::BuildSnapshots(double now) {
     if (!job->has_report) {
       job->report = job->agent.MakeReport();
       job->has_report = true;
+      job->last_report_time = now;
     }
     JobSnapshot snapshot;
     snapshot.job_id = job->spec.job_id;
@@ -163,9 +207,11 @@ std::vector<JobSnapshot> Simulator::BuildSnapshots(double now) {
     snapshot.oracle_single_gpu_remaining =
         snapshot.oracle_remaining_iterations *
         job->profile->TrueIterTime(Placement{1, 1}, job->batch);
+    snapshot.report_age = job->last_report_time >= 0.0 ? now - job->last_report_time : 0.0;
+    snapshot.report_stale =
+        options_.stale_report_age > 0.0 && snapshot.report_age > options_.stale_report_age;
     snapshots.push_back(std::move(snapshot));
   }
-  (void)now;
   return snapshots;
 }
 
@@ -187,7 +233,22 @@ void Simulator::ApplyAllocation(Job& job, const std::vector<int>& row, double no
   job.alloc = std::move(new_row);
   job.placement = new_placement;
   if (new_placement.num_gpus > 0) {
-    job.restart_until = now + options_.restart_delay;
+    double delay = options_.restart_delay;
+    if (faults_ != nullptr && options_.faults.restart_fail_rate > 0.0) {
+      // Checkpoint-restore attempts can fail; each failure costs the full
+      // restart delay plus a capped exponentially growing backoff before the
+      // retry. Drawn from a dedicated stream, so determinism per seed holds.
+      double backoff = options_.faults.restart_backoff_init;
+      while (faults_->RestartFails()) {
+        ++job.restart_failures;
+        result_.events.push_back(SimEvent{now, SimEventKind::kRestartFailure,
+                                          job.spec.job_id, job.restart_failures, 0});
+        job.backoff_seconds += backoff;
+        delay += backoff + options_.restart_delay;
+        backoff = std::min(2.0 * backoff, options_.faults.restart_backoff_cap);
+      }
+    }
+    job.restart_until = now + delay;
     job.agent.NotifyAllocation(new_placement);
     if (scheduler_->adapts_batch_size()) {
       if (scheduler_->throughput_only_batch()) {
@@ -232,7 +293,16 @@ void Simulator::RunAutoscaling(double now) {
   Log(LogLevel::kInfo) << "autoscale at t=" << now << ": " << current << " -> " << target
                        << " nodes";
   result_.events.push_back(SimEvent{now, SimEventKind::kClusterResize, 0, 0, target});
-  cluster_ = ClusterSpec::Homogeneous(target, options_.gpus_per_node);
+  base_cluster_ = ClusterSpec::Homogeneous(target, options_.gpus_per_node);
+  cluster_ = base_cluster_;
+  if (faults_ != nullptr) {
+    faults_->OnClusterResize(target, now);
+    for (int n = 0; n < target; ++n) {
+      if (faults_->NodeFailed(n)) {
+        cluster_.gpus_per_node[static_cast<size_t>(n)] = 0;
+      }
+    }
+  }
   scheduler_->OnClusterChanged(cluster_);
   for (auto& job : jobs_) {
     if (job->finished || job->alloc.empty()) {
@@ -252,6 +322,47 @@ void Simulator::RunAutoscaling(double now) {
       job->placement = Placement{};
       ++job->restarts;
     }
+  }
+}
+
+void Simulator::ProcessFaults(double now) {
+  if (faults_ == nullptr) {
+    return;
+  }
+  const auto transitions = faults_->Poll(now);
+  for (const auto& transition : transitions) {
+    const size_t node = static_cast<size_t>(transition.node);
+    if (node >= cluster_.gpus_per_node.size()) {
+      continue;  // Node was released by the autoscaler in the meantime.
+    }
+    if (transition.failed) {
+      result_.events.push_back(
+          SimEvent{now, SimEventKind::kNodeFail, 0, 0, transition.node});
+      cluster_.gpus_per_node[node] = 0;
+      // Synchronous data-parallel jobs cannot survive losing replicas: every
+      // job touching the node checkpoints (at its last 30 s checkpoint) and
+      // re-queues for the next scheduling round.
+      for (auto& job : jobs_) {
+        if (job->finished || node >= job->alloc.size() || job->alloc[node] <= 0) {
+          continue;
+        }
+        ++job->evictions;
+        job->alloc.assign(job->alloc.size(), 0);
+        job->placement = Placement{};
+        result_.events.push_back(SimEvent{now, SimEventKind::kEvict, job->spec.job_id, 0,
+                                          transition.node});
+      }
+    } else {
+      result_.events.push_back(
+          SimEvent{now, SimEventKind::kNodeRepair, 0, 0, transition.node});
+      cluster_.gpus_per_node[node] = base_cluster_.gpus_per_node[node];
+    }
+  }
+  if (!transitions.empty()) {
+    // Failed nodes are masked out of the schedulers' capacity model (the GA
+    // mutates/repairs against zero-capacity columns; consolidated placement
+    // sees zero free GPUs there).
+    scheduler_->OnClusterChanged(cluster_);
   }
 }
 
@@ -285,8 +396,12 @@ void Simulator::AdvanceJobs(double now, double dt) {
       result_.events.push_back(SimEvent{now, SimEventKind::kStart, job->spec.job_id,
                                         job->placement.num_gpus, job->placement.num_nodes});
     }
-    const double slow =
-        JobSuffersInterference(*job) ? 1.0 - options_.interference_slowdown : 1.0;
+    double slow = JobSuffersInterference(*job) ? 1.0 - options_.interference_slowdown : 1.0;
+    if (faults_ != nullptr) {
+      // A straggler node inflates the whole job's iteration time (synchronous
+      // training paces at the slowest replica).
+      slow /= faults_->JobSlowdown(job->alloc);
+    }
     const double iter_time = job->profile->TrueIterTime(job->placement, job->batch);
     if (iter_time <= 0.0) {
       continue;
@@ -356,6 +471,70 @@ void Simulator::RecordTimelineSample(double now) {
   result_.timeline.push_back(sample);
 }
 
+void Simulator::CheckInvariants(double now) {
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "simulator invariant violated at t=%.1f: %s\n", now, what);
+    std::abort();
+  };
+  // 1. GPU capacity: per-node usage never exceeds the effective (fault-
+  // masked) capacity, and no allocation survives on a failed node.
+  std::vector<long> usage(cluster_.gpus_per_node.size(), 0);
+  for (const auto& job : jobs_) {
+    if (job->finished) {
+      continue;
+    }
+    for (size_t n = 0; n < job->alloc.size(); ++n) {
+      if (job->alloc[n] < 0) {
+        fail("negative GPU allocation");
+      }
+      if (n < usage.size()) {
+        usage[n] += job->alloc[n];
+      } else if (job->alloc[n] > 0) {
+        fail("allocation on a node outside the cluster");
+      }
+    }
+  }
+  for (size_t n = 0; n < usage.size(); ++n) {
+    if (usage[n] > cluster_.gpus_per_node[n]) {
+      fail("node capacity exceeded");
+    }
+  }
+  // 2. No job lost or double-completed: every activated job is tracked, its
+  // progress is within bounds, and finished implies released resources.
+  for (const auto& job : jobs_) {
+    if (job->progress < -kProgressEpsilon ||
+        job->progress > job->TotalExamples() * (1.0 + 1e-9) + kProgressEpsilon) {
+      fail("job progress out of bounds");
+    }
+    if (job->finished && job->placement.num_gpus != 0) {
+      fail("finished job still holds GPUs");
+    }
+  }
+  // 3. Event log: monotone in time up to one tick of intra-step jitter
+  // (completions land mid-tick, submissions between ticks), and no job
+  // completes twice. Only events appended since the last check are scanned.
+  for (; checked_events_ < result_.events.size(); ++checked_events_) {
+    const SimEvent& event = result_.events[checked_events_];
+    if (event.time + options_.tick + 1e-9 < max_event_time_) {
+      fail("event log not monotone in time");
+    }
+    max_event_time_ = std::max(max_event_time_, event.time);
+    if (event.kind == SimEventKind::kComplete) {
+      for (const auto& job : jobs_) {
+        if (job->spec.job_id == event.job_id && !job->finished) {
+          fail("completion event for an unfinished job");
+        }
+      }
+      for (size_t e = 0; e < checked_events_; ++e) {
+        if (result_.events[e].kind == SimEventKind::kComplete &&
+            result_.events[e].job_id == event.job_id) {
+          fail("job completed twice");
+        }
+      }
+    }
+  }
+}
+
 bool Simulator::AllJobsFinished() const {
   if (next_submission_ < trace_.size()) {
     return false;
@@ -375,6 +554,7 @@ SimResult Simulator::Run() {
   double next_autoscale = options_.autoscale_interval;
   while (now < options_.max_time) {
     ActivateSubmissions(now);
+    ProcessFaults(now);
     if (now + 1e-9 >= next_report) {
       RefreshReports(now);
       next_report += options_.report_interval;
@@ -388,6 +568,9 @@ SimResult Simulator::Run() {
       RunAutoscaling(now);
       next_autoscale += options_.autoscale_interval;
     }
+    if (options_.check_invariants) {
+      CheckInvariants(now);
+    }
     if (AllJobsFinished()) {
       break;
     }
@@ -396,6 +579,9 @@ SimResult Simulator::Run() {
     now += options_.tick;
   }
 
+  if (options_.check_invariants) {
+    CheckInvariants(now);
+  }
   result_.timed_out = !AllJobsFinished();
   result_.makespan = 0.0;
   for (const auto& job : jobs_) {
@@ -408,6 +594,9 @@ SimResult Simulator::Run() {
     job_result.finish_time = job->finished ? job->finish_time : now;
     job_result.gpu_time = job->gpu_time;
     job_result.num_restarts = job->restarts;
+    job_result.num_evictions = job->evictions;
+    job_result.num_restart_failures = job->restart_failures;
+    job_result.backoff_seconds = job->backoff_seconds;
     job_result.completed = job->finished;
     if (job->run_seconds > 0.0) {
       job_result.avg_efficiency = job->eff_integral / job->run_seconds;

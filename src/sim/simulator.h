@@ -19,6 +19,7 @@
 
 #include "core/allocation.h"
 #include "sim/autoscale.h"
+#include "sim/fault_injector.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -46,6 +47,19 @@ struct SimOptions {
   // is resized to its decision every autoscale_interval.
   double autoscale_interval = 300.0;
   int gpus_per_node = 4;
+
+  // Fault injection (node crashes, stragglers, report loss, restart
+  // failures). All-zero knobs (the default) mean no injector is constructed
+  // and simulated traces are byte-identical to fault-free behavior.
+  FaultOptions faults;
+  // Reports older than this many seconds are flagged stale to the scheduler
+  // (JobSnapshot::report_age still carries the exact age). Only meaningful
+  // when report drops are enabled.
+  double stale_report_age = 150.0;
+  // Run the simulator's invariant checker (capacity conservation, no
+  // lost/double-completed jobs, near-monotone event log) every scheduling
+  // round; violations abort. Cheap, but off by default.
+  bool check_invariants = false;
 };
 
 struct JobResult {
@@ -57,6 +71,12 @@ struct JobResult {
   double finish_time = -1.0;
   double gpu_time = 0.0;
   int num_restarts = 0;
+  // Fault accounting: allocations lost to node crashes (disjoint from
+  // num_restarts' voluntary reallocations), failed checkpoint-restore
+  // attempts, and the total retry backoff the job sat through.
+  int num_evictions = 0;
+  int num_restart_failures = 0;
+  double backoff_seconds = 0.0;
   bool completed = false;
   // Time-averaged statistics while the job was running.
   double avg_efficiency = 0.0;
@@ -68,12 +88,17 @@ struct JobResult {
 
 // Structured lifecycle event, for post-hoc analysis and debugging.
 enum class SimEventKind {
-  kSubmit,         // Job arrived.
-  kStart,          // Job ran its first iteration.
-  kReallocate,     // Job's allocation changed (gpus/nodes = new placement).
-  kPreempt,        // Job's allocation dropped to zero.
-  kComplete,       // Job finished.
-  kClusterResize,  // Autoscaler changed the node count (nodes = new count).
+  kSubmit,          // Job arrived.
+  kStart,           // Job ran its first iteration.
+  kReallocate,      // Job's allocation changed (gpus/nodes = new placement).
+  kPreempt,         // Job's allocation dropped to zero.
+  kComplete,        // Job finished.
+  kClusterResize,   // Autoscaler changed the node count (nodes = new count).
+  kNodeFail,        // Node crashed (nodes = node index).
+  kNodeRepair,      // Node came back (nodes = node index).
+  kEvict,           // Job lost its allocation to a node crash.
+  kRestartFailure,  // One checkpoint-restore attempt failed (gpus = attempt).
+  kReportDrop,      // An agent report was lost in transit.
 };
 
 const char* SimEventKindName(SimEventKind kind);
@@ -136,21 +161,31 @@ class Simulator {
   void RefreshReports(double now);
   void RunSchedulingRound(double now);
   void RunAutoscaling(double now);
+  void ProcessFaults(double now);
   void AdvanceJobs(double now, double dt);
   void ApplyAllocation(Job& job, const std::vector<int>& row, double now);
   void RecordTimelineSample(double now);
+  void CheckInvariants(double now);
   bool AllJobsFinished() const;
   std::vector<JobSnapshot> BuildSnapshots(double now);
   bool JobSuffersInterference(const Job& job) const;
 
   SimOptions options_;
+  // The scheduler-visible cluster: crashed nodes have their capacity masked
+  // to zero until repaired. `base_cluster_` keeps the physical capacities.
   ClusterSpec cluster_;
+  ClusterSpec base_cluster_;
   Scheduler* scheduler_;
   ClusterAutoscaler* autoscaler_;
   Rng rng_;
+  std::unique_ptr<FaultInjector> faults_;
   std::vector<JobSpec> trace_;
   std::vector<std::unique_ptr<Job>> jobs_;
   size_t next_submission_ = 0;
+  // Invariant-checker cursor into result_.events (only new events are
+  // scanned each round) and per-job completion counts.
+  size_t checked_events_ = 0;
+  double max_event_time_ = 0.0;
   SimResult result_;
 };
 

@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -29,6 +30,43 @@ bool FlagParser::SetValue(const std::string& name, const std::string& value) {
   if (it == flags_.end()) {
     std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
     return false;
+  }
+  // Values are type-checked at parse time so a malformed value ("--seed=abc")
+  // fails loudly instead of silently becoming 0.
+  switch (it->second.type) {
+    case Type::kInt: {
+      char* end = nullptr;
+      errno = 0;
+      (void)std::strtoll(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "flag --%s expects an integer, got \"%s\"\n", name.c_str(),
+                     value.c_str());
+        return false;
+      }
+      break;
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      errno = 0;
+      (void)std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "flag --%s expects a number, got \"%s\"\n", name.c_str(),
+                     value.c_str());
+        return false;
+      }
+      break;
+    }
+    case Type::kBool: {
+      if (value != "true" && value != "false" && value != "1" && value != "0" && value != "yes" &&
+          value != "no") {
+        std::fprintf(stderr, "flag --%s expects a boolean (true/false/1/0/yes/no), got \"%s\"\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    }
+    case Type::kString:
+      break;
   }
   it->second.value = value;
   return true;

@@ -1,6 +1,7 @@
 // Tiny command-line flag parser used by the bench/example binaries.
 // Supports --key=value and --key value forms plus boolean --flag /
-// --no-flag. Unknown flags are an error so typos fail loudly.
+// --no-flag. Unknown flags and malformed values (e.g. --seed=abc) are
+// errors so typos fail loudly instead of silently becoming defaults.
 
 #ifndef POLLUX_UTIL_FLAGS_H_
 #define POLLUX_UTIL_FLAGS_H_

@@ -248,6 +248,51 @@ TEST(EvalCacheTest, CapacityBoundEvictsInsteadOfGrowing) {
   EXPECT_TRUE(cache.Lookup(last, &value));
 }
 
+TEST(EvalCacheTest, CapacityBoundHoldsUnderConcurrentMixedLoad) {
+  // Several threads hammer one small-capacity cache with interleaved inserts
+  // and lookups over overlapping key ranges. The capacity bound must hold
+  // throughout (epoch eviction under contention), every hit must return the
+  // value its key was inserted with, and the stats counters must account for
+  // every probe. Run under TSan (tools/run_sanitized_tests.sh) this also
+  // exercises the shard locking for data races.
+  constexpr size_t kPerShard = 64;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20000;
+  EvalCache cache(kPerShard);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Overlapping ranges: ~half the keys are shared across threads.
+        const uint64_t id = static_cast<uint64_t>(i % 512 + (i % 2 == 0 ? 0 : t * 512));
+        EvalCache::Key key{.job_id = id, .model_fp = 77};
+        if (i % 3 == 0) {
+          // The value is a pure function of the key, as in real use — so a
+          // concurrent hit can never observe a "wrong" value.
+          cache.Insert(key, {static_cast<double>(id) * 0.5, static_cast<long>(id)});
+        } else {
+          EvalCache::Value value;
+          if (cache.Lookup(key, &value)) {
+            EXPECT_EQ(value.value, static_cast<double>(id) * 0.5);
+            EXPECT_EQ(value.aux, static_cast<long>(id));
+          }
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  const EvalCacheStats stats = cache.Stats();
+  EXPECT_LE(stats.entries, kPerShard * EvalCache::kNumShards);
+  // Every lookup was counted as a hit or a miss.
+  const uint64_t lookups =
+      static_cast<uint64_t>(kThreads) * (kOpsPerThread - (kOpsPerThread + 2) / 3);
+  EXPECT_EQ(stats.hits + stats.misses, lookups);
+  EXPECT_GT(stats.hits, 0u);
+}
+
 // Sched-level checks: the construction-time memoization (SchedConfig::
 // memoize_tables) must be invisible in every scheduling output.
 

@@ -186,6 +186,54 @@ TEST_F(GoldenTraceTest, SummaryMetricsByteStableWithoutMemoization) {
   ExpectIdentical(RunGolden(4, /*memoize=*/true), RunGolden(4, /*memoize=*/false), "memo");
 }
 
+// Fault-injection sweep: across seeds and both Pollux and a static baseline,
+// the simulator's invariant checker (enabled here, aborts on violation) must
+// hold and no job may be lost — every submission appears in the result and
+// completes despite crashes, stragglers, report loss, and restart failures.
+class FaultSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultSweep, InvariantsHoldAndNoJobIsLost) {
+  const uint64_t seed = GetParam();
+  SimOptions options;
+  options.cluster = ClusterSpec::Homogeneous(2, 4);
+  options.seed = seed;
+  options.check_invariants = true;
+  options.faults.mtbf_node = 1800.0;
+  options.faults.repair_time = 120.0;
+  options.faults.straggler_frac = 0.25;
+  options.faults.straggler_slowdown = 1.5;
+  options.faults.report_drop_rate = 0.1;
+  options.faults.restart_fail_rate = 0.2;
+  const auto trace = SweepTrace(seed);
+  SchedConfig sched_config;
+  sched_config.ga.population_size = 12;
+  sched_config.ga.generations = 6;
+  sched_config.ga.seed = seed;
+  {
+    PolluxPolicy policy(options.cluster, sched_config);
+    const SimResult result = Simulator(options, trace, &policy).Run();
+    EXPECT_FALSE(result.timed_out);
+    ASSERT_EQ(result.jobs.size(), trace.size());
+    for (const auto& job : result.jobs) {
+      EXPECT_TRUE(job.completed) << "pollux job " << job.job_id;
+    }
+  }
+  {
+    TiresiasPolicy policy;
+    const SimResult result = Simulator(options, trace, &policy).Run();
+    EXPECT_FALSE(result.timed_out);
+    ASSERT_EQ(result.jobs.size(), trace.size());
+    for (const auto& job : result.jobs) {
+      EXPECT_TRUE(job.completed) << "tiresias job " << job.job_id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultSeeds, FaultSweep, ::testing::Values(1u, 2u, 3u),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 TEST(HeterogeneousClusterTest, PolluxHandlesUnevenNodes) {
   SimOptions options;
   options.cluster.gpus_per_node = {8, 2, 4};  // Uneven.

@@ -72,6 +72,52 @@ TEST(FlagsTest, UnknownFlagFails) {
   EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
 }
 
+TEST(FlagsTest, MalformedIntFails) {
+  FlagParser parser = MakeParser();
+  std::vector<std::string> args = {"prog", "--jobs=abc"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+
+  FlagParser parser2 = MakeParser();
+  std::vector<std::string> args2 = {"prog", "--jobs=12x"};
+  auto argv2 = MakeArgv(args2);
+  EXPECT_FALSE(parser2.Parse(static_cast<int>(argv2.size()), argv2.data()));
+
+  FlagParser parser3 = MakeParser();
+  std::vector<std::string> args3 = {"prog", "--jobs="};
+  auto argv3 = MakeArgv(args3);
+  EXPECT_FALSE(parser3.Parse(static_cast<int>(argv3.size()), argv3.data()));
+}
+
+TEST(FlagsTest, MalformedDoubleFails) {
+  FlagParser parser = MakeParser();
+  std::vector<std::string> args = {"prog", "--load=fast"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+
+  FlagParser parser2 = MakeParser();
+  std::vector<std::string> args2 = {"prog", "--load", "1.5.2"};
+  auto argv2 = MakeArgv(args2);
+  EXPECT_FALSE(parser2.Parse(static_cast<int>(argv2.size()), argv2.data()));
+}
+
+TEST(FlagsTest, MalformedBoolFails) {
+  FlagParser parser = MakeParser();
+  std::vector<std::string> args = {"prog", "--interference=maybe"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagsTest, WellFormedValuesStillParse) {
+  FlagParser parser = MakeParser();
+  std::vector<std::string> args = {"prog", "--jobs=-3", "--load=1e-2", "--interference=yes"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.GetInt("jobs"), -3);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("load"), 1e-2);
+  EXPECT_TRUE(parser.GetBool("interference"));
+}
+
 TEST(FlagsTest, HelpReturnsFalse) {
   FlagParser parser = MakeParser();
   std::vector<std::string> args = {"prog", "--help"};

@@ -93,14 +93,16 @@ int Main(int argc, char** argv) {
     std::ofstream out(flags.GetString("jobs_csv"));
     CsvWriter csv(out);
     csv.WriteRow({"job_id", "model", "category", "submit_s", "start_s", "finish_s", "jct_s",
-                  "gpu_seconds", "restarts", "avg_efficiency", "avg_throughput", "avg_goodput",
-                  "completed"});
+                  "gpu_seconds", "restarts", "evictions", "restart_failures", "backoff_s",
+                  "avg_efficiency", "avg_throughput", "avg_goodput", "completed"});
     for (const auto& job : result.jobs) {
       csv.WriteRow({std::to_string(job.job_id), ModelKindName(job.model),
                     JobCategoryName(job.category), FormatDouble(job.submit_time, 1),
                     FormatDouble(job.start_time, 1), FormatDouble(job.finish_time, 1),
                     FormatDouble(job.Jct(), 1), FormatDouble(job.gpu_time, 1),
-                    std::to_string(job.num_restarts), FormatDouble(job.avg_efficiency, 4),
+                    std::to_string(job.num_restarts), std::to_string(job.num_evictions),
+                    std::to_string(job.num_restart_failures),
+                    FormatDouble(job.backoff_seconds, 1), FormatDouble(job.avg_efficiency, 4),
                     FormatDouble(job.avg_throughput, 2), FormatDouble(job.avg_goodput, 2),
                     job.completed ? "1" : "0"});
     }
