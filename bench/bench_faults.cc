@@ -23,6 +23,7 @@ int Main(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
   BenchSimConfig config = ConfigFromFlags(flags);
   config.check_invariants = true;
 

@@ -20,6 +20,7 @@ int Main(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
   const BenchSimConfig base = ConfigFromFlags(flags);
 
   std::printf("=== Fidelity: Pollux avg JCT vs simulator clock resolution ===\n");

@@ -82,9 +82,11 @@ int Main(int argc, char** argv) {
   flags.DefineInt("seed", 1, "simulation seed");
   flags.DefineInt("ga_pop", 20, "GA population (single job: small is fine)");
   flags.DefineInt("ga_gens", 10, "GA generations");
+  AddObsFlags(flags);
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
   const int min_nodes = static_cast<int>(flags.GetInt("min_nodes"));
   const int max_nodes = static_cast<int>(flags.GetInt("max_nodes"));
   const int gpn = static_cast<int>(flags.GetInt("gpus_per_node"));

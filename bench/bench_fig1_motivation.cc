@@ -21,9 +21,11 @@ int Main(int argc, char** argv) {
   FlagParser flags;
   flags.DefineInt("max_gpus", 16, "largest GPU count to sweep");
   flags.DefineInt("gpus_per_node", 4, "GPUs per node");
+  AddObsFlags(flags);
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
   const int max_gpus = static_cast<int>(flags.GetInt("max_gpus"));
   const int gpus_per_node = static_cast<int>(flags.GetInt("gpus_per_node"));
   const ModelProfile& profile = GetModelProfile(ModelKind::kResNet18Cifar10);

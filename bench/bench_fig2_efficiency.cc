@@ -26,9 +26,11 @@ namespace {
 int Main(int argc, char** argv) {
   FlagParser flags;
   flags.DefineInt("seed", 1, "random seed for the estimator experiment");
+  AddObsFlags(flags);
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
   const ModelProfile& profile = GetModelProfile(ModelKind::kResNet50ImageNet);
   const double epochs = profile.target_epochs;
 

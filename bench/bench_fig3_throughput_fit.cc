@@ -24,9 +24,11 @@ int Main(int argc, char** argv) {
   flags.DefineInt("seed", 3, "measurement noise seed");
   flags.DefineDouble("noise", 0.05, "lognormal sigma of measurement noise");
   flags.DefineInt("gpus_per_node", 4, "GPUs per node");
+  AddObsFlags(flags);
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
   const ModelProfile& profile = GetModelProfile(ModelKind::kResNet50ImageNet);
   const int gpn = static_cast<int>(flags.GetInt("gpus_per_node"));
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));

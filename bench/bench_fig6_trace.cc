@@ -17,9 +17,11 @@ int Main(int argc, char** argv) {
   FlagParser flags;
   flags.DefineInt("jobs", 4000, "trace size used to estimate the distributions");
   flags.DefineInt("seed", 1, "trace seed");
+  AddObsFlags(flags);
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
 
   std::printf("=== Fig. 6: relative submission rate per hour of day ===\n");
   TablePrinter diurnal({"hour", "rate", "bar"});

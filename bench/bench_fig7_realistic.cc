@@ -19,6 +19,7 @@ int Main(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
   BenchSimConfig config = ConfigFromFlags(flags);
 
   std::printf("=== Fig. 7: normalized avg JCT vs ratio of user-configured jobs ===\n");

@@ -18,6 +18,7 @@ int Main(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
   BenchSimConfig config = ConfigFromFlags(flags);
 
   std::printf("=== Fig. 8: avg JCT (hours) vs relative job load ===\n");

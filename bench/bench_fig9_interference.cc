@@ -20,6 +20,7 @@ int Main(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
   BenchSimConfig config = ConfigFromFlags(flags);
 
   std::printf("=== Fig. 9: normalized avg JCT vs interference slowdown ===\n");

@@ -5,6 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
 #include "core/eval_cache.h"
 #include "core/genetic.h"
 #include "core/gns.h"
@@ -151,4 +156,31 @@ BENCHMARK(BM_TraceGeneration);
 }  // namespace
 }  // namespace pollux
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN(): google-benchmark rejects unknown flags, so
+// --metrics-out/--trace-out are peeled off argv before Initialize() and the
+// remaining flags are forwarded untouched.
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  std::string trace_out;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    char* arg = argv[i];
+    if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+    } else {
+      passthrough.push_back(arg);
+    }
+  }
+  pollux::ObsSession obs(metrics_out, trace_out);
+  int forwarded = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&forwarded, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(forwarded, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -38,9 +38,11 @@ int Main(int argc, char** argv) {
   FlagParser flags;
   flags.DefineInt("seed", 5, "measurement noise seed");
   flags.DefineDouble("noise", 0.05, "lognormal sigma of measurement noise");
+  AddObsFlags(flags);
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
   const auto truth = ResNet50RackTruth();
 
   std::printf("=== Three-tier sync model: throughput (imgs/sec) by placement locality ===\n");

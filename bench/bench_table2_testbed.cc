@@ -57,6 +57,7 @@ int Main(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
   const BenchSimConfig config = ConfigFromFlags(flags);
   const int seeds = static_cast<int>(flags.GetInt("seeds"));
 

@@ -18,6 +18,7 @@ int Main(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
   BenchSimConfig config = ConfigFromFlags(flags);
 
   std::printf("=== Table 3: JCT vs job-weight decay lambda (relative to lambda=0) ===\n");

@@ -1,11 +1,15 @@
 #include "bench/common.h"
 
 #include <cstdio>
+#include <fstream>
+#include <utility>
 
 #include "baselines/fifo.h"
 #include "baselines/fixed_batch_policy.h"
 #include "baselines/optimus.h"
 #include "baselines/tiresias.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/pollux_policy.h"
 
 namespace pollux {
@@ -54,6 +58,52 @@ void AddCommonFlags(FlagParser& flags) {
   flags.DefineDouble("sched-budget", 0.0,
                      "wall-clock budget per Pollux scheduling round in seconds "
                      "(0 = unlimited; overruns fall back to the projected allocation)");
+  AddObsFlags(flags);
+}
+
+void AddObsFlags(FlagParser& flags) {
+  flags.DefineString("metrics-out", "",
+                     "write the metrics registry as JSON to this file on exit "
+                     "(empty disables metrics collection entirely)");
+  flags.DefineString("trace-out", "",
+                     "write a Chrome/Perfetto trace-event JSON to this file on exit "
+                     "(empty disables trace recording entirely)");
+}
+
+ObsSession::ObsSession(std::string metrics_out, std::string trace_out)
+    : metrics_out_(std::move(metrics_out)), trace_out_(std::move(trace_out)) {
+  if (!metrics_out_.empty()) {
+    obs::MetricsRegistry::Global().SetEnabled(true);
+  }
+  if (!trace_out_.empty()) {
+    obs::TraceRecorder::Global().SetEnabled(true);
+  }
+}
+
+ObsSession::ObsSession(const FlagParser& flags)
+    : ObsSession(flags.GetString("metrics-out"), flags.GetString("trace-out")) {}
+
+ObsSession::~ObsSession() {
+  if (!metrics_out_.empty()) {
+    std::ofstream out(metrics_out_);
+    if (out) {
+      obs::MetricsRegistry::Global().WriteJson(out);
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_out_.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open metrics output file %s\n", metrics_out_.c_str());
+    }
+  }
+  if (!trace_out_.empty()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    std::ofstream out(trace_out_);
+    if (out) {
+      recorder.WriteJson(out);
+      std::fprintf(stderr, "wrote trace (%zu events%s) to %s\n", recorder.Snapshot().size(),
+                   recorder.dropped() > 0 ? ", buffer capped" : "", trace_out_.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open trace output file %s\n", trace_out_.c_str());
+    }
+  }
 }
 
 BenchSimConfig ConfigFromFlags(const FlagParser& flags) {

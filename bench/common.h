@@ -55,6 +55,29 @@ struct BenchSimConfig {
 // Registers the common --nodes/--jobs/--seed/... flags.
 void AddCommonFlags(FlagParser& flags);
 
+// Registers just --metrics-out/--trace-out (AddCommonFlags includes them;
+// benches with bespoke flag sets call this directly).
+void AddObsFlags(FlagParser& flags);
+
+// RAII observability session: enables the global metrics registry and/or
+// trace recorder when the respective output path is non-empty, and writes
+// the JSON files at scope exit. With both paths empty this is a no-op and
+// the binary's behavior is byte-identical to an uninstrumented build.
+class ObsSession {
+ public:
+  ObsSession(std::string metrics_out, std::string trace_out);
+  // Reads the paths from --metrics-out/--trace-out.
+  explicit ObsSession(const FlagParser& flags);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  std::string metrics_out_;
+  std::string trace_out_;
+};
+
 // Builds the config from parsed flags.
 BenchSimConfig ConfigFromFlags(const FlagParser& flags);
 

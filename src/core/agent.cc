@@ -4,9 +4,31 @@
 #include <cmath>
 
 #include "core/efficiency.h"
+#include "obs/metrics.h"
 
 namespace pollux {
 namespace {
+
+struct AgentMetrics {
+  obs::Counter* reports;
+  obs::Counter* fits;
+  obs::Counter* fits_rejected;
+  obs::Counter* outliers_rejected;
+
+  static const AgentMetrics& Get() {
+    static const AgentMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  AgentMetrics() {
+    auto& registry = obs::MetricsRegistry::Global();
+    reports = registry.GetCounter("agent.reports");
+    fits = registry.GetCounter("agent.fits");
+    fits_rejected = registry.GetCounter("agent.fits_rejected");
+    outliers_rejected = registry.GetCounter("agent.outliers_rejected");
+  }
+};
 
 bool ParamsFinite(const ThroughputParams& params) {
   return std::isfinite(params.alpha_grad) && std::isfinite(params.beta_grad) &&
@@ -56,6 +78,10 @@ void PolluxAgent::NotifyAllocation(const Placement& placement) {
 }
 
 AgentReport PolluxAgent::MakeReport() {
+  const bool observed = obs::MetricsRegistry::Global().enabled();
+  if (observed) {
+    AgentMetrics::Get().reports->Add();
+  }
   if (!observations_.empty() && observations_.size() != last_fit_configs_) {
     last_fit_configs_ = observations_.size();
     std::vector<ThroughputObservation> data;
@@ -77,6 +103,12 @@ AgentReport PolluxAgent::MakeReport() {
     }
     const FitResult fit = FitThroughputParams(data, options);
     outliers_rejected_ += fit.outliers_rejected;
+    if (observed) {
+      const AgentMetrics& metrics = AgentMetrics::Get();
+      metrics.fits->Add();
+      metrics.outliers_rejected->Add(
+          static_cast<uint64_t>(std::max(0, fit.outliers_rejected)));
+    }
     // Divergence guard: a fit that went non-finite — or, in robust mode,
     // one that cannot explain the data at all (straggler/corrupt telemetry)
     // — must not replace a previously usable theta_sys.
@@ -87,6 +119,9 @@ AgentReport PolluxAgent::MakeReport() {
     }
     if (diverged) {
       ++fits_rejected_;
+      if (observed) {
+        AgentMetrics::Get().fits_rejected->Add();
+      }
     } else {
       model_.set_params(fit.params);
     }

@@ -3,8 +3,34 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pollux {
 namespace {
+
+struct GaMetrics {
+  obs::Counter* rounds;
+  obs::Counter* generations;
+  obs::Counter* fitness_evals;
+  obs::Gauge* best_fitness;
+  obs::Histogram* gen_best_fitness;
+
+  static const GaMetrics& Get() {
+    static const GaMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  GaMetrics() {
+    auto& registry = obs::MetricsRegistry::Global();
+    rounds = registry.GetCounter("ga.rounds");
+    generations = registry.GetCounter("ga.generations");
+    fitness_evals = registry.GetCounter("ga.fitness_evals");
+    best_fitness = registry.GetGauge("ga.best_fitness");
+    gen_best_fitness = registry.GetHistogram("ga.gen_best_fitness");
+  }
+};
 
 // Decrements one positive cell of the given row, chosen uniformly at random
 // among positive cells (weighted sampling over a single scan, no allocation).
@@ -244,11 +270,16 @@ size_t GeneticOptimizer::TournamentPickWith(const std::vector<double>& fitnesses
 }
 
 GeneticOptimizer::Result GeneticOptimizer::Optimize(const std::vector<SchedJobInfo>& jobs) {
+  TRACE_SCOPE("ga_round");
   Result result;
   const size_t num_nodes = static_cast<size_t>(cluster_.NumNodes());
   if (jobs.empty() || num_nodes == 0) {
     result.best = AllocationMatrix(jobs.size(), num_nodes);
     return result;
+  }
+  const bool observed = obs::MetricsRegistry::Global().enabled();
+  if (observed) {
+    GaMetrics::Get().rounds->Add();
   }
 
   EnsurePool();
@@ -262,6 +293,9 @@ GeneticOptimizer::Result GeneticOptimizer::Optimize(const std::vector<SchedJobIn
   pool_->ParallelFor(0, population_.size(), [&](size_t i) {
     fitnesses[i] = Fitness(jobs, population_[i], options_.restart_penalty, cache);
   });
+  if (observed) {
+    GaMetrics::Get().fitness_evals->Add(population_.size());
+  }
 
   const size_t brood = static_cast<size_t>(options_.population_size);
   std::vector<Rng> streams;
@@ -305,11 +339,20 @@ GeneticOptimizer::Result GeneticOptimizer::Optimize(const std::vector<SchedJobIn
     }
     population_ = std::move(survivors);
     fitnesses = std::move(survivor_fitnesses);
+    if (observed) {
+      const GaMetrics& metrics = GaMetrics::Get();
+      metrics.generations->Add();
+      metrics.fitness_evals->Add(brood);
+      metrics.gen_best_fitness->Record(fitnesses.front());
+    }
   }
 
   result.best = population_.front();
   result.fitness = fitnesses.front();
   result.utility = Utility(jobs, result.best, cluster_.TotalGpus());
+  if (observed) {
+    GaMetrics::Get().best_fitness->Set(result.fitness);
+  }
   return result;
 }
 

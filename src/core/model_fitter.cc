@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/lbfgsb.h"
 #include "util/rng.h"
 
@@ -162,8 +164,31 @@ FitResult FitOnce(const std::vector<ThroughputObservation>& observations,
 
 }  // namespace
 
-FitResult FitThroughputParams(const std::vector<ThroughputObservation>& observations,
-                              const FitOptions& options) {
+namespace {
+
+struct FitMetrics {
+  obs::Counter* calls;
+  obs::Counter* evaluations;
+  obs::Counter* outliers_rejected;
+  obs::Histogram* rmsle;
+
+  static const FitMetrics& Get() {
+    static const FitMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  FitMetrics() {
+    auto& registry = obs::MetricsRegistry::Global();
+    calls = registry.GetCounter("fit.calls");
+    evaluations = registry.GetCounter("fit.evaluations");
+    outliers_rejected = registry.GetCounter("fit.outliers_rejected");
+    rmsle = registry.GetHistogram("fit.rmsle");
+  }
+};
+
+FitResult FitThroughputParamsImpl(const std::vector<ThroughputObservation>& observations,
+                                  const FitOptions& options) {
   FitResult result;
   if (observations.empty()) {
     return result;
@@ -208,6 +233,24 @@ FitResult FitThroughputParams(const std::vector<ThroughputObservation>& observat
   refit.evaluations += result.evaluations;
   refit.outliers_rejected = static_cast<int>(observations.size() - kept.size());
   return refit;
+}
+
+}  // namespace
+
+FitResult FitThroughputParams(const std::vector<ThroughputObservation>& observations,
+                              const FitOptions& options) {
+  TRACE_SCOPE("fit_throughput");
+  const FitResult result = FitThroughputParamsImpl(observations, options);
+  if (obs::MetricsRegistry::Global().enabled()) {
+    const FitMetrics& metrics = FitMetrics::Get();
+    metrics.calls->Add();
+    metrics.evaluations->Add(static_cast<uint64_t>(std::max(0, result.evaluations)));
+    metrics.outliers_rejected->Add(static_cast<uint64_t>(std::max(0, result.outliers_rejected)));
+    if (std::isfinite(result.rmsle)) {
+      metrics.rmsle->Record(result.rmsle);
+    }
+  }
+  return result;
 }
 
 }  // namespace pollux

@@ -4,8 +4,47 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pollux {
 namespace {
+
+// Handles resolved once; every per-round update is a relaxed atomic op.
+struct SchedMetrics {
+  obs::Counter* rounds;
+  obs::Counter* fallback_rounds;
+  obs::Histogram* round_time_s;
+  obs::Gauge* last_utility;
+  obs::Gauge* last_fitness;
+  obs::Gauge* table_cache_hits;
+  obs::Gauge* table_cache_misses;
+  obs::Gauge* table_cache_hit_rate;
+  obs::Gauge* eval_cache_hits;
+  obs::Gauge* eval_cache_misses;
+  obs::Gauge* eval_cache_hit_rate;
+
+  static const SchedMetrics& Get() {
+    static const SchedMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  SchedMetrics() {
+    auto& registry = obs::MetricsRegistry::Global();
+    rounds = registry.GetCounter("sched.rounds");
+    fallback_rounds = registry.GetCounter("sched.fallback_rounds");
+    round_time_s = registry.GetHistogram("sched.round_time_s");
+    last_utility = registry.GetGauge("sched.last_utility");
+    last_fitness = registry.GetGauge("sched.last_fitness");
+    table_cache_hits = registry.GetGauge("sched.table_cache.hits");
+    table_cache_misses = registry.GetGauge("sched.table_cache.misses");
+    table_cache_hit_rate = registry.GetGauge("sched.table_cache.hit_rate");
+    eval_cache_hits = registry.GetGauge("sched.eval_cache.hits");
+    eval_cache_misses = registry.GetGauge("sched.eval_cache.misses");
+    eval_cache_hit_rate = registry.GetGauge("sched.eval_cache.hit_rate");
+  }
+};
 
 // Coarse log2 quantization of attained GPU-time (minutes doubling per
 // bucket). Only used to key the speedup memoization cache: two reports of
@@ -64,6 +103,7 @@ std::map<uint64_t, std::vector<int>> PolluxSched::Schedule(
     last_fitness_ = 0.0;
     return allocations;
   }
+  TRACE_SCOPE("sched_round");
   const auto round_start = std::chrono::steady_clock::now();
   const std::vector<SchedJobInfo> jobs =
       BuildJobInfos(reports, optimizer_.cluster().TotalGpus());
@@ -78,14 +118,32 @@ std::map<uint64_t, std::vector<int>> PolluxSched::Schedule(
   // stall the whole scheduler past its budget — fall back to the last
   // known-feasible allocation projected onto surviving nodes.
   bool fallback = !AllocationsFeasible(optimizer_.cluster(), allocations);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - round_start).count();
   if (!fallback && config_.round_time_budget > 0.0) {
-    const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - round_start).count();
     fallback = elapsed > config_.round_time_budget;
   }
   if (fallback) {
     ++fallback_rounds_;
     allocations = ProjectOntoCluster(reports);
+  }
+  if (obs::MetricsRegistry::Global().enabled()) {
+    const SchedMetrics& metrics = SchedMetrics::Get();
+    metrics.rounds->Add();
+    if (fallback) {
+      metrics.fallback_rounds->Add();
+    }
+    metrics.round_time_s->Record(elapsed);
+    metrics.last_utility->Set(last_utility_);
+    metrics.last_fitness->Set(last_fitness_);
+    const EvalCacheStats tables = table_cache_.Stats();
+    metrics.table_cache_hits->Set(static_cast<double>(tables.hits));
+    metrics.table_cache_misses->Set(static_cast<double>(tables.misses));
+    metrics.table_cache_hit_rate->Set(tables.HitRate());
+    const EvalCacheStats evals = optimizer_.cache_stats();
+    metrics.eval_cache_hits->Set(static_cast<double>(evals.hits));
+    metrics.eval_cache_misses->Set(static_cast<double>(evals.misses));
+    metrics.eval_cache_hit_rate->Set(evals.HitRate());
   }
   return allocations;
 }

@@ -1,0 +1,240 @@
+#include "obs/json.h"
+
+#include <cctype>
+
+namespace pollux {
+namespace obs {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWhitespace();
+    if (!ParseValue()) {
+      Fail("invalid value");
+    } else {
+      SkipWhitespace();
+      if (!failed_ && pos_ != text_.size()) {
+        Fail("trailing characters after JSON value");
+      }
+    }
+    if (failed_ && error != nullptr) {
+      *error = "offset " + std::to_string(error_pos_) + ": " + error_message_;
+    }
+    return !failed_;
+  }
+
+ private:
+  void Fail(const char* message) {
+    if (!failed_) {
+      failed_ = true;
+      error_pos_ = pos_;
+      error_message_ = message;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+                        text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (Peek() != c) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return false;
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue() {
+    if (failed_ || depth_ > kMaxDepth) {
+      Fail("nesting too deep");
+      return false;
+    }
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return ConsumeLiteral("true");
+      case 'f':
+        return ConsumeLiteral("false");
+      case 'n':
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseObject() {
+    ++depth_;
+    Consume('{');
+    SkipWhitespace();
+    if (Consume('}')) {
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (!ParseString()) {
+        Fail("expected object key");
+        return false;
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        Fail("expected ':' in object");
+        return false;
+      }
+      SkipWhitespace();
+      if (!ParseValue()) {
+        Fail("invalid object value");
+        return false;
+      }
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        --depth_;
+        return true;
+      }
+      Fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++depth_;
+    Consume('[');
+    SkipWhitespace();
+    if (Consume(']')) {
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (!ParseValue()) {
+        Fail("invalid array element");
+        return false;
+      }
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        --depth_;
+        return true;
+      }
+      Fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool ParseString() {
+    if (!Consume('"')) {
+      return false;
+    }
+    while (!AtEnd()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+        return false;
+      }
+      if (c == '\\') {
+        if (AtEnd()) {
+          break;
+        }
+        const char escape = text_[pos_++];
+        if (escape == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd() || std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              Fail("bad \\u escape");
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (escape != '"' && escape != '\\' && escape != '/' && escape != 'b' &&
+                   escape != 'f' && escape != 'n' && escape != 'r' && escape != 't') {
+          Fail("bad escape character");
+          return false;
+        }
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    Consume('-');
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos_;
+      }
+    } else {
+      return false;
+    }
+    if (Consume('.')) {
+      if (std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        return false;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      if (std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        return false;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  bool failed_ = false;
+  size_t error_pos_ = 0;
+  std::string error_message_;
+};
+
+}  // namespace
+
+bool JsonParseOk(std::string_view text, std::string* error) {
+  return Parser(text).Run(error);
+}
+
+}  // namespace obs
+}  // namespace pollux

@@ -1,0 +1,24 @@
+// Minimal JSON well-formedness checker (no external dependency). Used by
+// the observability tests to assert that exported metrics/trace files are
+// parseable, and available to any tool that wants a cheap sanity check
+// before shipping a file to chrome://tracing / Perfetto.
+
+#ifndef POLLUX_OBS_JSON_H_
+#define POLLUX_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace pollux {
+namespace obs {
+
+// True iff `text` is exactly one valid JSON value (RFC 8259 grammar:
+// objects, arrays, strings with escapes, numbers, true/false/null) with
+// nothing but whitespace after it. On failure, fills `error` (if non-null)
+// with a byte offset + message.
+bool JsonParseOk(std::string_view text, std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace pollux
+
+#endif  // POLLUX_OBS_JSON_H_

@@ -1,0 +1,251 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace pollux {
+namespace obs {
+namespace {
+
+// Atomic min/max over doubles: bounded CAS loop that only retries while the
+// stored value is still beaten by `v`.
+void AtomicMin(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v < current &&
+         !target.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v > current &&
+         !target.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Doubles must serialize to valid JSON: no NaN/Inf tokens.
+void AppendJsonDouble(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "0";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", v);
+  out << buffer;
+}
+
+}  // namespace
+
+Histogram::Histogram(const std::atomic<bool>* enabled)
+    : enabled_(enabled),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t Histogram::BucketIndex(double v) {
+  if (!(v > 0.0)) {
+    return 0;  // Non-positive and NaN samples land in the lowest bucket.
+  }
+  const double position = kSubBucketsPerOctave * (std::log2(v) - kMinLog2);
+  if (position <= 0.0) {
+    return 0;
+  }
+  const size_t index = static_cast<size_t>(position);
+  return index < kNumBuckets ? index : kNumBuckets - 1;
+}
+
+double Histogram::BucketMidpoint(size_t index) {
+  const double log2_mid =
+      kMinLog2 + (static_cast<double>(index) + 0.5) / kSubBucketsPerOctave;
+  return std::exp2(log2_mid);
+}
+
+void Histogram::Record(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) {
+    return;
+  }
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  AtomicMin(min_, v);
+  AtomicMax(max_, v);
+}
+
+double Histogram::min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  // Snapshot the buckets so the walk is consistent even under concurrent
+  // Record()s (counts may lag count_ slightly; the snapshot total is
+  // authoritative for the walk).
+  std::vector<uint64_t> snapshot(kNumBuckets);
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t seen = 0;
+  size_t index = kNumBuckets - 1;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += snapshot[i];
+    if (seen >= rank) {
+      index = i;
+      break;
+    }
+  }
+  double value = BucketMidpoint(index);
+  // The bucket midpoint can fall slightly outside the observed range; clamp
+  // so quantiles are always within [min, max].
+  const double lo = min();
+  const double hi = max();
+  if (value < lo) {
+    value = lo;
+  }
+  if (value > hi) {
+    value = hi;
+  }
+  return value;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instruments resolved into function-local statics must
+  // outlive every other static destructor (e.g. thread pools flushing tasks
+  // during teardown).
+  static MetricsRegistry* const global = new MetricsRegistry();
+  return *global;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+    std::fprintf(stderr, "metric \"%s\" already registered as a different kind\n", name.c_str());
+    std::abort();
+  }
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot.reset(new Counter(&enabled_));
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    std::fprintf(stderr, "metric \"%s\" already registered as a different kind\n", name.c_str());
+    std::abort();
+  }
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot.reset(new Gauge(&enabled_));
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    std::fprintf(stderr, "metric \"%s\" already registered as a different kind\n", name.c_str());
+    std::abort();
+  }
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot.reset(new Histogram(&enabled_));
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << counter->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": ";
+    AppendJsonDouble(out, gauge->value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": " << histogram->count()
+        << ", \"sum\": ";
+    AppendJsonDouble(out, histogram->sum());
+    out << ", \"min\": ";
+    AppendJsonDouble(out, histogram->min());
+    out << ", \"max\": ";
+    AppendJsonDouble(out, histogram->max());
+    out << ", \"mean\": ";
+    AppendJsonDouble(out, histogram->mean());
+    out << ", \"p50\": ";
+    AppendJsonDouble(out, histogram->Quantile(0.50));
+    out << ", \"p95\": ";
+    AppendJsonDouble(out, histogram->Quantile(0.95));
+    out << ", \"p99\": ";
+    AppendJsonDouble(out, histogram->Quantile(0.99));
+    out << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream out;
+  WriteJson(out);
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace pollux

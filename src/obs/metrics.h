@@ -1,0 +1,167 @@
+// Process-global metrics registry: named counters, gauges, and bounded
+// log-bucketed histograms with quantile export.
+//
+// Design goals, in order:
+//
+//  1. Zero cost when disabled. The registry starts disabled; every handle
+//     checks one relaxed atomic bool before touching anything, so a
+//     zero-knob run performs no clock reads, no stores, and no allocation
+//     beyond the handles themselves. Simulated results are observe-only
+//     either way — instruments never feed back into scheduling — so
+//     enabling metrics cannot change any simulation output (asserted by
+//     obs_trace_test's golden-identity test).
+//
+//  2. Lock-free hot path. Handles are resolved once (registry mutex +
+//     map lookup) and cached by the instrumented code, typically in a
+//     function-local static; after that, Counter::Add and
+//     Histogram::Record are a relaxed-atomic fetch_add, safe from any
+//     thread (ThreadPool workers included).
+//
+//  3. Bounded memory. Histograms use a fixed array of log-spaced buckets
+//     (8 per octave over ~2^-30 .. 2^34, i.e. nanoseconds to hours when
+//     recording seconds) instead of storing samples, so arbitrarily long
+//     simulations stay at a few KiB per histogram. Quantiles are read from
+//     the bucket boundaries, accurate to ~9% — plenty for regression
+//     gating.
+//
+// Export is a single JSON object (see WriteJson) diffed by
+// tools/check_bench_regression.py in CI.
+
+#ifndef POLLUX_OBS_METRICS_H_
+#define POLLUX_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace pollux {
+namespace obs {
+
+class MetricsRegistry;
+
+// Monotone event count. Add() is a relaxed fetch_add when the owning
+// registry is enabled, a single relaxed load otherwise.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) {
+      return;
+    }
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written value (e.g. cache hit rate after a round, queue depth).
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) {
+      return;
+    }
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-size log-bucketed histogram: count/sum/min/max plus quantiles read
+// from 8-per-octave buckets. Record() is wait-free (one fetch_add per
+// atomic; min/max use a bounded CAS loop that only runs on new extremes).
+class Histogram {
+ public:
+  static constexpr int kSubBucketsPerOctave = 8;
+  static constexpr int kMinLog2 = -30;  // ~9.3e-10
+  static constexpr int kMaxLog2 = 34;   // ~1.7e10
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>((kMaxLog2 - kMinLog2) * kSubBucketsPerOctave);
+
+  void Record(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // 0 when empty.
+  double max() const;  // 0 when empty.
+  double mean() const;
+  // q in [0, 1]. Returns the geometric midpoint of the bucket holding the
+  // q-th sample, clamped into [min, max]; 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const std::atomic<bool>* enabled);
+  void Reset();
+  static size_t BucketIndex(double v);
+  static double BucketMidpoint(size_t index);
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+};
+
+// Name -> instrument map. Handles are created on first Get* and live for
+// the process lifetime (the global registry is intentionally leaked so
+// instruments stay valid during static destruction, e.g. thread-pool
+// teardown).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Returns the instrument registered under `name`, creating it on first
+  // use. Pointers are stable for the registry's lifetime; a name denotes
+  // one instrument kind only (requesting it as another kind aborts).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Zeroes every instrument in place (handles stay valid). For tests.
+  void Reset();
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  // min, max, mean, p50, p95, p99}}}
+  void WriteJson(std::ostream& out) const;
+  std::string ToJson() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace pollux
+
+#endif  // POLLUX_OBS_METRICS_H_

@@ -1,0 +1,188 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace pollux {
+namespace obs {
+namespace {
+
+void AppendEscaped(std::ostream& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out << buffer;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void AppendJsonDouble(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "0";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", v);
+  out << buffer;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked for the same static-destruction-order reason as MetricsRegistry.
+  static TraceRecorder* const global = new TraceRecorder();
+  return *global;
+}
+
+double TraceRecorder::NowUs() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+uint64_t CurrentThreadTrack() {
+  static std::atomic<uint64_t> next_track{1};
+  thread_local uint64_t track = next_track.fetch_add(1, std::memory_order_relaxed);
+  return track;
+}
+
+void TraceRecorder::Push(Event event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::EmitComplete(std::string name, double start_us, double dur_us) {
+  if (!enabled()) {
+    return;
+  }
+  Event event;
+  event.name = std::move(name);
+  event.phase = 'X';
+  event.pid = kWallPid;
+  event.tid = CurrentThreadTrack();
+  event.ts_us = start_us;
+  event.dur_us = dur_us;
+  Push(std::move(event));
+}
+
+void TraceRecorder::EmitSimSpan(std::string name, uint64_t track, double start_s,
+                                double duration_s) {
+  if (!enabled()) {
+    return;
+  }
+  Event event;
+  event.name = std::move(name);
+  event.phase = 'X';
+  event.pid = kSimPid;
+  event.tid = track;
+  event.ts_us = start_s * 1e6;
+  event.dur_us = duration_s * 1e6;
+  Push(std::move(event));
+}
+
+void TraceRecorder::EmitSimInstant(std::string name, uint64_t track, double time_s) {
+  if (!enabled()) {
+    return;
+  }
+  Event event;
+  event.name = std::move(name);
+  event.phase = 'i';
+  event.pid = kSimPid;
+  event.tid = track;
+  event.ts_us = time_s * 1e6;
+  Push(std::move(event));
+}
+
+void TraceRecorder::SetTrackName(uint64_t pid, uint64_t tid, std::string name) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  track_names_[{pid, tid}] = std::move(name);
+}
+
+void TraceRecorder::SetMaxEvents(size_t max_events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_events_ = max_events;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  track_names_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceRecorder::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  const auto separator = [&] {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+  };
+  // Process + track metadata so Perfetto shows meaningful names.
+  separator();
+  out << R"j({"name": "process_name", "ph": "M", "pid": 1, "tid": 0, )j"
+      << R"j("args": {"name": "pollux (wall clock)"}})j";
+  separator();
+  out << R"j({"name": "process_name", "ph": "M", "pid": 2, "tid": 0, )j"
+      << R"j("args": {"name": "cluster (simulated time)"}})j";
+  for (const auto& [track, name] : track_names_) {
+    separator();
+    out << R"j({"name": "thread_name", "ph": "M", "pid": )j" << track.first << ", \"tid\": "
+        << track.second << ", \"args\": {\"name\": \"";
+    AppendEscaped(out, name);
+    out << "\"}}";
+  }
+  for (const auto& event : events_) {
+    separator();
+    out << "{\"name\": \"";
+    AppendEscaped(out, event.name);
+    out << "\", \"cat\": \"pollux\", \"ph\": \"" << event.phase << "\", \"pid\": " << event.pid
+        << ", \"tid\": " << event.tid << ", \"ts\": ";
+    AppendJsonDouble(out, event.ts_us);
+    if (event.phase == 'X') {
+      out << ", \"dur\": ";
+      AppendJsonDouble(out, event.dur_us);
+    } else if (event.phase == 'i') {
+      out << ", \"s\": \"t\"";
+    }
+    out << "}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace obs
+}  // namespace pollux

@@ -1,0 +1,137 @@
+// Trace-event recorder emitting Chrome chrome://tracing / Perfetto
+// compatible JSON ("trace event format", complete/instant/metadata events).
+//
+// Two clock domains share one trace, separated by pid:
+//
+//   pid 1 "pollux (wall clock)" — real time spent inside the scheduler
+//     implementation (GA rounds, model fits, thread-pool tasks). Spans are
+//     recorded with TRACE_SCOPE("name") on whichever thread runs them; each
+//     thread gets its own track (tid).
+//
+//   pid 2 "cluster (simulated time)" — simulated time, 1 simulated second
+//     rendered as 1 second. The simulator emits one span per job lifetime
+//     (per-job tracks) plus instant events for faults/evictions, so a
+//     Perfetto timeline shows the whole cluster schedule at a glance.
+//
+// Disabled (the default), TRACE_SCOPE compiles to one relaxed atomic load —
+// no clock reads, no allocation — so zero-knob runs are unaffected. The
+// event buffer is bounded (dropped events are counted), keeping memory
+// finite on arbitrarily long runs.
+
+#ifndef POLLUX_OBS_TRACE_H_
+#define POLLUX_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pollux {
+namespace obs {
+
+class TraceRecorder {
+ public:
+  static constexpr uint64_t kWallPid = 1;
+  static constexpr uint64_t kSimPid = 2;
+
+  struct Event {
+    std::string name;
+    char phase = 'X';  // 'X' complete, 'i' instant.
+    uint64_t pid = kWallPid;
+    uint64_t tid = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;  // Complete events only.
+  };
+
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  static TraceRecorder& Global();
+
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Microseconds of wall clock since the recorder was constructed.
+  double NowUs() const;
+
+  // Wall-clock complete event on the calling thread's track.
+  void EmitComplete(std::string name, double start_us, double dur_us);
+
+  // Simulated-time span/instant on an explicit track of the sim process
+  // (track = job id or node index; times in simulated seconds).
+  void EmitSimSpan(std::string name, uint64_t track, double start_s, double duration_s);
+  void EmitSimInstant(std::string name, uint64_t track, double time_s);
+
+  // Names a (pid, tid) track in the exported metadata.
+  void SetTrackName(uint64_t pid, uint64_t tid, std::string name);
+
+  // Bounded buffer: events beyond the cap are dropped (and counted).
+  void SetMaxEvents(size_t max_events);
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Drops all buffered events and track names; keeps the enabled state.
+  void Clear();
+
+  std::vector<Event> Snapshot() const;
+
+  // {"traceEvents": [...], "displayTimeUnit": "ms"} — loadable by
+  // chrome://tracing and ui.perfetto.dev.
+  void WriteJson(std::ostream& out) const;
+
+ private:
+  void Push(Event event);
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::map<std::pair<uint64_t, uint64_t>, std::string> track_names_;
+  size_t max_events_ = 1 << 20;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+// Stable per-thread track id (assigned 1, 2, ... in first-use order).
+uint64_t CurrentThreadTrack();
+
+// RAII wall-clock span: records steady_clock at construction and emits a
+// complete event at destruction. All work is skipped while tracing is
+// disabled.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    TraceRecorder& recorder = TraceRecorder::Global();
+    if (recorder.enabled()) {
+      name_ = name;
+      start_us_ = recorder.NowUs();
+      active_ = true;
+    }
+  }
+  ~TraceScope() {
+    if (active_) {
+      TraceRecorder& recorder = TraceRecorder::Global();
+      recorder.EmitComplete(name_, start_us_, recorder.NowUs() - start_us_);
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+#define POLLUX_TRACE_CONCAT_INNER(a, b) a##b
+#define POLLUX_TRACE_CONCAT(a, b) POLLUX_TRACE_CONCAT_INNER(a, b)
+#define TRACE_SCOPE(name) \
+  ::pollux::obs::TraceScope POLLUX_TRACE_CONCAT(pollux_trace_scope_, __LINE__)(name)
+
+}  // namespace obs
+}  // namespace pollux
+
+#endif  // POLLUX_OBS_TRACE_H_

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/pollux_policy.h"
 #include "util/logging.h"
 
@@ -12,6 +14,53 @@ namespace pollux {
 namespace {
 
 constexpr double kProgressEpsilon = 1e-6;
+
+// Sim-time trace tracks (pid kSimPid): jobs use their job id, nodes are
+// offset so the two id spaces can't collide.
+constexpr uint64_t kNodeTrackBase = uint64_t{1} << 40;
+
+struct SimMetrics {
+  obs::Counter* ticks;
+  obs::Counter* events_by_kind[11];
+  obs::Gauge* failed_nodes;
+  obs::Gauge* masked_gpus;
+  obs::Gauge* avg_goodput;
+  obs::Gauge* avg_throughput;
+  obs::Gauge* avg_efficiency;
+  obs::Gauge* avg_jct_s;
+  obs::Gauge* makespan_s;
+
+  static const SimMetrics& Get() {
+    static const SimMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  SimMetrics() {
+    auto& registry = obs::MetricsRegistry::Global();
+    ticks = registry.GetCounter("sim.ticks");
+    for (int kind = 0; kind <= static_cast<int>(SimEventKind::kReportDrop); ++kind) {
+      events_by_kind[kind] = registry.GetCounter(
+          std::string("sim.events.") + SimEventKindName(static_cast<SimEventKind>(kind)));
+    }
+    failed_nodes = registry.GetGauge("sim.failed_nodes");
+    masked_gpus = registry.GetGauge("sim.masked_gpus");
+    avg_goodput = registry.GetGauge("sim.avg_goodput");
+    avg_throughput = registry.GetGauge("sim.avg_throughput");
+    avg_efficiency = registry.GetGauge("sim.avg_efficiency");
+    avg_jct_s = registry.GetGauge("sim.avg_jct_s");
+    makespan_s = registry.GetGauge("sim.makespan_s");
+  }
+};
+
+// Every lifecycle event flows through here so the structured log and the
+// per-kind counters can never disagree.
+void AppendEvent(SimResult& result, SimEvent event) {
+  if (obs::MetricsRegistry::Global().enabled()) {
+    SimMetrics::Get().events_by_kind[static_cast<int>(event.kind)]->Add();
+  }
+  result.events.push_back(event);
+}
 
 Placement PlacementOf(const std::vector<int>& row) {
   Placement placement;
@@ -137,13 +186,13 @@ void Simulator::ActivateSubmissions(double now) {
     jobs_.push_back(std::make_unique<Job>(spec, GetModelProfile(spec.model),
                                           scheduler_->adapts_batch_size(), rng_.Fork(),
                                           agent_config));
-    result_.events.push_back(
-        SimEvent{spec.submit_time, SimEventKind::kSubmit, spec.job_id, 0, 0});
+    AppendEvent(result_, SimEvent{spec.submit_time, SimEventKind::kSubmit, spec.job_id, 0, 0});
     ++next_submission_;
   }
 }
 
 void Simulator::RefreshReports(double now) {
+  TRACE_SCOPE("sim.refresh_reports");
   for (auto& job : jobs_) {
     if (job->finished) {
       continue;
@@ -155,8 +204,7 @@ void Simulator::RefreshReports(double now) {
     const bool dropped = faults_ != nullptr && options_.faults.report_drop_rate > 0.0 &&
                          faults_->DropReport();
     if (dropped) {
-      result_.events.push_back(
-          SimEvent{now, SimEventKind::kReportDrop, job->spec.job_id, 0, 0});
+      AppendEvent(result_, SimEvent{now, SimEventKind::kReportDrop, job->spec.job_id, 0, 0});
     } else {
       job->report = std::move(fresh);
       job->has_report = true;
@@ -227,7 +275,7 @@ void Simulator::ApplyAllocation(Job& job, const std::vector<int>& row, double no
   if (job.placement.num_gpus > 0) {
     ++job.restarts;  // Had resources: must checkpoint before moving.
   }
-  result_.events.push_back(SimEvent{
+  AppendEvent(result_, SimEvent{
       now, new_placement.num_gpus > 0 ? SimEventKind::kReallocate : SimEventKind::kPreempt,
       job.spec.job_id, new_placement.num_gpus, new_placement.num_nodes});
   job.alloc = std::move(new_row);
@@ -241,8 +289,8 @@ void Simulator::ApplyAllocation(Job& job, const std::vector<int>& row, double no
       double backoff = options_.faults.restart_backoff_init;
       while (faults_->RestartFails()) {
         ++job.restart_failures;
-        result_.events.push_back(SimEvent{now, SimEventKind::kRestartFailure,
-                                          job.spec.job_id, job.restart_failures, 0});
+        AppendEvent(result_, SimEvent{now, SimEventKind::kRestartFailure, job.spec.job_id,
+                                      job.restart_failures, 0});
         job.backoff_seconds += backoff;
         delay += backoff + options_.restart_delay;
         backoff = std::min(2.0 * backoff, options_.faults.restart_backoff_cap);
@@ -264,6 +312,7 @@ void Simulator::ApplyAllocation(Job& job, const std::vector<int>& row, double no
 }
 
 void Simulator::RunSchedulingRound(double now) {
+  TRACE_SCOPE("sim.sched_round");
   SchedulerContext context;
   context.now = now;
   context.cluster = &cluster_;
@@ -292,7 +341,7 @@ void Simulator::RunAutoscaling(double now) {
   }
   Log(LogLevel::kInfo) << "autoscale at t=" << now << ": " << current << " -> " << target
                        << " nodes";
-  result_.events.push_back(SimEvent{now, SimEventKind::kClusterResize, 0, 0, target});
+  AppendEvent(result_, SimEvent{now, SimEventKind::kClusterResize, 0, 0, target});
   base_cluster_ = ClusterSpec::Homogeneous(target, options_.gpus_per_node);
   cluster_ = base_cluster_;
   if (faults_ != nullptr) {
@@ -336,8 +385,9 @@ void Simulator::ProcessFaults(double now) {
       continue;  // Node was released by the autoscaler in the meantime.
     }
     if (transition.failed) {
-      result_.events.push_back(
-          SimEvent{now, SimEventKind::kNodeFail, 0, 0, transition.node});
+      AppendEvent(result_, SimEvent{now, SimEventKind::kNodeFail, 0, 0, transition.node});
+      obs::TraceRecorder::Global().EmitSimInstant(
+          "node_fail", kNodeTrackBase + static_cast<uint64_t>(transition.node), now);
       cluster_.gpus_per_node[node] = 0;
       // Synchronous data-parallel jobs cannot survive losing replicas: every
       // job touching the node checkpoints (at its last 30 s checkpoint) and
@@ -349,14 +399,22 @@ void Simulator::ProcessFaults(double now) {
         ++job->evictions;
         job->alloc.assign(job->alloc.size(), 0);
         job->placement = Placement{};
-        result_.events.push_back(SimEvent{now, SimEventKind::kEvict, job->spec.job_id, 0,
-                                          transition.node});
+        AppendEvent(result_,
+                    SimEvent{now, SimEventKind::kEvict, job->spec.job_id, 0, transition.node});
+        obs::TraceRecorder::Global().EmitSimInstant("evict", job->spec.job_id, now);
       }
     } else {
-      result_.events.push_back(
-          SimEvent{now, SimEventKind::kNodeRepair, 0, 0, transition.node});
+      AppendEvent(result_, SimEvent{now, SimEventKind::kNodeRepair, 0, 0, transition.node});
+      obs::TraceRecorder::Global().EmitSimInstant(
+          "node_repair", kNodeTrackBase + static_cast<uint64_t>(transition.node), now);
       cluster_.gpus_per_node[node] = base_cluster_.gpus_per_node[node];
     }
+  }
+  if (obs::MetricsRegistry::Global().enabled() && faults_ != nullptr) {
+    const SimMetrics& metrics = SimMetrics::Get();
+    metrics.failed_nodes->Set(static_cast<double>(faults_->num_failed_nodes()));
+    metrics.masked_gpus->Set(
+        static_cast<double>(base_cluster_.TotalGpus() - cluster_.TotalGpus()));
   }
   if (!transitions.empty()) {
     // Failed nodes are masked out of the schedulers' capacity model (the GA
@@ -393,8 +451,8 @@ void Simulator::AdvanceJobs(double now, double dt) {
     }
     if (job->start_time < 0.0) {
       job->start_time = now;
-      result_.events.push_back(SimEvent{now, SimEventKind::kStart, job->spec.job_id,
-                                        job->placement.num_gpus, job->placement.num_nodes});
+      AppendEvent(result_, SimEvent{now, SimEventKind::kStart, job->spec.job_id,
+                                    job->placement.num_gpus, job->placement.num_nodes});
     }
     double slow = JobSuffersInterference(*job) ? 1.0 - options_.interference_slowdown : 1.0;
     if (faults_ != nullptr) {
@@ -441,8 +499,8 @@ void Simulator::AdvanceJobs(double now, double dt) {
       job->finish_time = now + step;
       job->alloc.assign(job->alloc.size(), 0);
       job->placement = Placement{};
-      result_.events.push_back(
-          SimEvent{job->finish_time, SimEventKind::kComplete, job->spec.job_id, 0, 0});
+      AppendEvent(result_,
+                  SimEvent{job->finish_time, SimEventKind::kComplete, job->spec.job_id, 0, 0});
     }
   }
 }
@@ -577,6 +635,7 @@ SimResult Simulator::Run() {
     AdvanceJobs(now, options_.tick);
     result_.node_seconds += cluster_.NumNodes() * options_.tick;
     now += options_.tick;
+    SimMetrics::Get().ticks->Add();
   }
 
   if (options_.check_invariants) {
@@ -605,6 +664,30 @@ SimResult Simulator::Run() {
     }
     result_.makespan = std::max(result_.makespan, job_result.finish_time);
     result_.jobs.push_back(job_result);
+  }
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  if (recorder.enabled()) {
+    // One sim-time span per job lifetime (start -> finish, or the horizon
+    // for unfinished jobs), each on its own track.
+    for (const auto& job : result_.jobs) {
+      if (job.start_time < 0.0) {
+        continue;
+      }
+      const uint64_t track = job.job_id;
+      recorder.SetTrackName(obs::TraceRecorder::kSimPid, track,
+                            "job " + std::to_string(job.job_id));
+      recorder.EmitSimSpan(std::string(ModelKindName(job.model)) +
+                               (job.completed ? "" : " (unfinished)"),
+                           track, job.start_time, job.finish_time - job.start_time);
+    }
+  }
+  if (obs::MetricsRegistry::Global().enabled()) {
+    const SimMetrics& metrics = SimMetrics::Get();
+    metrics.avg_goodput->Set(result_.AvgJobGoodput());
+    metrics.avg_throughput->Set(result_.AvgJobThroughput());
+    metrics.avg_efficiency->Set(result_.AvgClusterEfficiency());
+    metrics.avg_jct_s->Set(result_.JctSummary().mean);
+    metrics.makespan_s->Set(result_.makespan);
   }
   return result_;
 }

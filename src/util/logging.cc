@@ -1,11 +1,15 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace pollux {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+// Atomic so worker threads (ThreadPool tasks, instrumented hot paths) can
+// log while another thread adjusts the level; relaxed ordering is enough
+// for a monotone filter threshold.
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,12 +27,12 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) {
     return;
   }
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());

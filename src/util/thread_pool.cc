@@ -1,8 +1,34 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pollux {
+namespace {
+
+struct PoolMetrics {
+  obs::Counter* tasks;
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_latency_s;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  PoolMetrics() {
+    auto& registry = obs::MetricsRegistry::Global();
+    tasks = registry.GetCounter("threadpool.tasks");
+    queue_depth = registry.GetGauge("threadpool.queue_depth");
+    task_latency_s = registry.GetHistogram("threadpool.task_latency_s");
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 0) {
@@ -26,6 +52,12 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::NoteEnqueued(size_t depth) {
+  if (obs::MetricsRegistry::Global().enabled()) {
+    PoolMetrics::Get().queue_depth->Set(static_cast<double>(depth));
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -38,7 +70,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();  // packaged_task captures exceptions into its future.
+    if (obs::MetricsRegistry::Global().enabled()) {
+      const PoolMetrics& metrics = PoolMetrics::Get();
+      metrics.tasks->Add();
+      TRACE_SCOPE("pool_task");
+      const auto start = std::chrono::steady_clock::now();
+      task();  // packaged_task captures exceptions into its future.
+      metrics.task_latency_s->Record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+    } else {
+      task();  // packaged_task captures exceptions into its future.
+    }
   }
 }
 

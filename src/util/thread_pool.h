@@ -58,6 +58,7 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       queue_.push([task] { (*task)(); });
+      NoteEnqueued(queue_.size());
     }
     cv_.notify_one();
     return result;
@@ -71,6 +72,8 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  // Observability hook (metrics queue-depth gauge); called with mutex_ held.
+  static void NoteEnqueued(size_t depth);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

@@ -1,0 +1,55 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pollux {
+namespace obs {
+namespace {
+
+TEST(JsonParseOkTest, AcceptsValidDocuments) {
+  EXPECT_TRUE(JsonParseOk("{}"));
+  EXPECT_TRUE(JsonParseOk("[]"));
+  EXPECT_TRUE(JsonParseOk("  {\"a\": [1, 2.5, -3e-2], \"b\": {\"c\": null}}  "));
+  EXPECT_TRUE(JsonParseOk("\"lone string\""));
+  EXPECT_TRUE(JsonParseOk("[true, false, null]"));
+  EXPECT_TRUE(JsonParseOk("{\"esc\": \"a\\\"b\\\\c\\u00e9\\n\"}"));
+}
+
+TEST(JsonParseOkTest, RejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(JsonParseOk("", &error));
+  EXPECT_FALSE(JsonParseOk("{", &error));
+  EXPECT_FALSE(JsonParseOk("{\"a\": }", &error));
+  EXPECT_FALSE(JsonParseOk("{\"a\": 1,}", &error));
+  EXPECT_FALSE(JsonParseOk("[1 2]", &error));
+  EXPECT_FALSE(JsonParseOk("{'a': 1}", &error));
+  EXPECT_FALSE(JsonParseOk("nan", &error));
+  EXPECT_FALSE(JsonParseOk("{\"a\": 01}", &error));
+  EXPECT_FALSE(JsonParseOk("{} trailing", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonParseOkTest, RejectsUnterminatedStringAndBadEscape) {
+  EXPECT_FALSE(JsonParseOk("\"abc"));
+  EXPECT_FALSE(JsonParseOk("\"\\x\""));
+  EXPECT_FALSE(JsonParseOk("\"\\u12\""));
+}
+
+TEST(JsonParseOkTest, BoundsRecursionDepth) {
+  std::string deep;
+  for (int i = 0; i < 1000; ++i) {
+    deep += "[";
+  }
+  for (int i = 0; i < 1000; ++i) {
+    deep += "]";
+  }
+  std::string error;
+  EXPECT_FALSE(JsonParseOk(deep, &error));
+  EXPECT_NE(error.find("deep"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pollux

@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace pollux {
+namespace obs {
+namespace {
+
+// Each test works on its own registry instance so it never depends on (or
+// disturbs) what instrumented library code did to the global one.
+TEST(MetricsTest, DisabledInstrumentsAreNoOps) {
+  MetricsRegistry registry;
+  ASSERT_FALSE(registry.enabled());
+  Counter* counter = registry.GetCounter("c");
+  Gauge* gauge = registry.GetGauge("g");
+  Histogram* histogram = registry.GetHistogram("h");
+  counter->Add(7);
+  gauge->Set(3.5);
+  histogram->Record(0.25);
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(gauge->value(), 0.0);
+  EXPECT_EQ(histogram->count(), 0u);
+  EXPECT_EQ(histogram->min(), 0.0);
+  EXPECT_EQ(histogram->Quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, HandlesAreStableAndKindChecked) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("sched.rounds");
+  EXPECT_EQ(counter, registry.GetCounter("sched.rounds"));
+  EXPECT_NE(counter, registry.GetCounter("sched.other"));
+  EXPECT_DEATH(registry.GetGauge("sched.rounds"), "sched.rounds");
+}
+
+TEST(MetricsTest, ConcurrentCounterIncrementsSumExactly) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Counter* counter = registry.GetCounter("c");
+  Histogram* histogram = registry.GetHistogram("h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter, histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add();
+        histogram->Record(1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(histogram->sum(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, GaugeKeepsLastValue) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Gauge* gauge = registry.GetGauge("g");
+  gauge->Set(1.0);
+  gauge->Set(-2.5);
+  EXPECT_EQ(gauge->value(), -2.5);
+}
+
+TEST(MetricsTest, HistogramTracksExtremesAndMean) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Histogram* histogram = registry.GetHistogram("h");
+  histogram->Record(0.001);
+  histogram->Record(0.01);
+  histogram->Record(10.0);
+  EXPECT_EQ(histogram->count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram->min(), 0.001);
+  EXPECT_DOUBLE_EQ(histogram->max(), 10.0);
+  EXPECT_NEAR(histogram->mean(), 10.011 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, HistogramQuantilesWithinBucketResolution) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Histogram* histogram = registry.GetHistogram("h");
+  // 1..1000 ms: p50 ~ 0.5 s, p99 ~ 0.99 s. Log buckets with 8 per octave
+  // give ~9% worst-case relative error.
+  for (int i = 1; i <= 1000; ++i) {
+    histogram->Record(i * 1e-3);
+  }
+  EXPECT_NEAR(histogram->Quantile(0.5), 0.5, 0.5 * 0.10);
+  EXPECT_NEAR(histogram->Quantile(0.95), 0.95, 0.95 * 0.10);
+  EXPECT_NEAR(histogram->Quantile(0.99), 0.99, 0.99 * 0.10);
+  // Quantiles are clamped into [min, max].
+  EXPECT_GE(histogram->Quantile(0.0), histogram->min());
+  EXPECT_LE(histogram->Quantile(1.0), histogram->max());
+}
+
+TEST(MetricsTest, HistogramSingleSampleQuantilesAreExact) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Histogram* histogram = registry.GetHistogram("h");
+  histogram->Record(0.125);
+  // Clamping to [min, max] collapses every quantile onto the one sample.
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.99), 0.125);
+}
+
+TEST(MetricsTest, ResetZeroesInstrumentsButKeepsHandles) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Counter* counter = registry.GetCounter("c");
+  Histogram* histogram = registry.GetHistogram("h");
+  counter->Add(5);
+  histogram->Record(2.0);
+  registry.Reset();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(histogram->count(), 0u);
+  EXPECT_EQ(histogram->min(), 0.0);
+  counter->Add();
+  EXPECT_EQ(counter->value(), 1u);
+  EXPECT_EQ(counter, registry.GetCounter("c"));
+}
+
+TEST(MetricsTest, JsonExportParsesAndContainsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  registry.GetCounter("sched.rounds")->Add(3);
+  registry.GetGauge("sched.last_utility")->Set(0.75);
+  Histogram* histogram = registry.GetHistogram("sched.round_time_s");
+  histogram->Record(0.001);
+  histogram->Record(0.004);
+  const std::string json = registry.ToJson();
+  std::string error;
+  EXPECT_TRUE(JsonParseOk(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"sched.rounds\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sched.last_utility\""), std::string::npos);
+  EXPECT_NE(json.find("\"sched.round_time_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsTest, JsonEscapesNonFiniteGaugesToZero) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  registry.GetGauge("g")->Set(std::nan(""));
+  const std::string json = registry.ToJson();
+  std::string error;
+  EXPECT_TRUE(JsonParseOk(json, &error)) << error << "\n" << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pollux

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark drift.
+
+Compares a metrics.json produced by --metrics-out against a checked-in
+baseline (BENCH_BASELINE.json) and exits non-zero when any tracked metric
+drifts beyond its per-metric relative tolerance, or when a tracked metric is
+missing from the run.
+
+Baseline format:
+
+    {
+      "command": "<how the metrics file was produced, for humans>",
+      "metrics": {
+        "sim.avg_goodput":        {"value": 16067.37, "rel_tol": 0.05},
+        "sched.round_time_s.p50": {"value": 0.0009,   "rel_tol": 5.0}
+      }
+    }
+
+Metric keys resolve against metrics.json in this order: counters, gauges,
+then histograms. Histogram fields are addressed with a dotted suffix, e.g.
+"sched.round_time_s.p50" reads field "p50" of histogram "sched.round_time_s"
+(fields: count, sum, min, max, mean, p50, p95, p99).
+
+Deterministic simulation metrics (goodput, JCT, event counts) should carry a
+tight tolerance — they only move when scheduling behavior changes. Wall-time
+metrics are noisy on shared CI runners and need a loose one.
+
+Usage: check_bench_regression.py METRICS_JSON BASELINE_JSON
+"""
+
+import json
+import sys
+
+HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
+
+
+def resolve(metrics, key):
+    """Returns the numeric value for a dotted baseline key, or None."""
+    for section in ("counters", "gauges"):
+        value = metrics.get(section, {}).get(key)
+        if value is not None:
+            return value
+    histograms = metrics.get("histograms", {})
+    if "." in key:
+        name, field = key.rsplit(".", 1)
+        if field in HISTOGRAM_FIELDS and name in histograms:
+            return histograms[name].get(field)
+    return None
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        metrics = json.load(f)
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+
+    tracked = baseline.get("metrics", {})
+    if not tracked:
+        print("baseline tracks no metrics", file=sys.stderr)
+        return 2
+
+    failures = 0
+    width = max(len(k) for k in tracked)
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'actual':>12}  {'drift':>8}  {'tol':>6}")
+    for key in sorted(tracked):
+        spec = tracked[key]
+        base = float(spec["value"])
+        tol = float(spec.get("rel_tol", 0.05))
+        actual = resolve(metrics, key)
+        if actual is None:
+            print(f"{key:<{width}}  {base:>12.6g}  {'MISSING':>12}")
+            failures += 1
+            continue
+        actual = float(actual)
+        denom = abs(base) if base != 0.0 else 1.0
+        drift = abs(actual - base) / denom
+        verdict = "" if drift <= tol else "  <-- REGRESSION"
+        if drift > tol:
+            failures += 1
+        print(f"{key:<{width}}  {base:>12.6g}  {actual:>12.6g}  {drift:>7.1%}  {tol:>6.0%}{verdict}")
+
+    if failures:
+        print(f"\n{failures} metric(s) breached tolerance", file=sys.stderr)
+        return 1
+    print("\nall tracked metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

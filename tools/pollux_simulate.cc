@@ -31,6 +31,7 @@ int Main(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ObsSession obs(flags);
   const BenchSimConfig config = ConfigFromFlags(flags);
   const std::string& policy = flags.GetString("policy");
 
