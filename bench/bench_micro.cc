@@ -1,11 +1,10 @@
 // Microbenchmarks (google-benchmark) for the hot paths that bound
 // PolluxSched's 60-second scheduling budget: goodput evaluation, batch-size
-// optimization, speedup-table construction, genetic-algorithm rounds, and
-// online model fitting.
+// optimization, speedup-table construction, genetic-algorithm rounds, online
+// model fitting, and the event-queue engine primitives.
 
 #include <benchmark/benchmark.h>
 
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -16,6 +15,7 @@
 #include "core/goodput.h"
 #include "core/model_fitter.h"
 #include "core/speedup_table.h"
+#include "sim/engine/event_queue.h"
 #include "util/rng.h"
 #include "workload/trace_gen.h"
 
@@ -143,6 +143,66 @@ void BM_GnsEstimate(benchmark::State& state) {
 }
 BENCHMARK(BM_GnsEstimate);
 
+// Event-queue primitives: bulk heap throughput over a random event schedule.
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(123);
+  std::vector<double> times(static_cast<size_t>(n));
+  for (double& t : times) {
+    t = rng.Uniform(0.0, 86400.0);
+  }
+  for (auto _ : state) {
+    EventQueue<int> queue;
+    for (int i = 0; i < n; ++i) {
+      queue.Push(times[static_cast<size_t>(i)], i % 5, i);
+    }
+    double last = -1.0;
+    while (!queue.empty()) {
+      last = queue.Pop().time;
+    }
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(100000);
+
+// Steady state of the simulator loop: recurring timers pop and immediately
+// re-arm, so the queue stays small while churn is constant.
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  EventQueue<int> queue;
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    queue.Push(rng.Uniform(0.0, 60.0), i % 5, i);
+  }
+  for (auto _ : state) {
+    const auto entry = queue.Pop();
+    queue.Push(entry.time + rng.Uniform(1.0, 60.0), entry.priority, entry.payload);
+    benchmark::DoNotOptimize(queue.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueSteadyState);
+
+// Whole-run engine comparison on a scheduler-light policy, where engine
+// overhead (ticking through idle spans vs. integrating across them)
+// dominates the wall clock. event: 0 = legacy ticked loop, 1 = event queue.
+void BM_SimFifoTrace(benchmark::State& state) {
+  BenchSimConfig config;
+  config.engine = state.range(0) != 0 ? SimEngine::kEvent : SimEngine::kTicked;
+  config.nodes = 4;
+  config.gpus_per_node = 4;
+  config.jobs = 20;
+  config.duration_hours = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunBenchPolicy("fifo", config));
+  }
+}
+BENCHMARK(BM_SimFifoTrace)
+    ->ArgNames({"event"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TraceGeneration(benchmark::State& state) {
   TraceOptions options;
   options.num_jobs = 160;
@@ -160,24 +220,10 @@ BENCHMARK(BM_TraceGeneration);
 // --metrics-out/--trace-out are peeled off argv before Initialize() and the
 // remaining flags are forwarded untouched.
 int main(int argc, char** argv) {
-  std::string metrics_out;
-  std::string trace_out;
-  std::vector<char*> passthrough;
-  passthrough.reserve(static_cast<size_t>(argc));
-  for (int i = 0; i < argc; ++i) {
-    char* arg = argv[i];
-    if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
-      metrics_out = arg + 14;
-    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
-      trace_out = arg + 12;
-    } else {
-      passthrough.push_back(arg);
-    }
-  }
-  pollux::ObsSession obs(metrics_out, trace_out);
-  int forwarded = static_cast<int>(passthrough.size());
-  benchmark::Initialize(&forwarded, passthrough.data());
-  if (benchmark::ReportUnrecognizedArguments(forwarded, passthrough.data())) {
+  const pollux::ObsFlagValues obs_paths = pollux::ExtractObsFlagsFromArgv(&argc, argv);
+  pollux::ObsSession obs(obs_paths.metrics_out, obs_paths.trace_out);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();

@@ -1,6 +1,7 @@
 #include "bench/common.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <utility>
 
@@ -15,6 +16,9 @@
 namespace pollux {
 
 void AddCommonFlags(FlagParser& flags) {
+  flags.DefineString("engine", "event",
+                     "simulation engine: event (deterministic event queue) | "
+                     "ticked (legacy fixed-tick loop)");
   flags.DefineInt("nodes", 16, "number of cluster nodes");
   flags.DefineInt("gpus_per_node", 4, "GPUs per node");
   flags.DefineInt("jobs", 160, "job submissions in the trace window");
@@ -70,6 +74,23 @@ void AddObsFlags(FlagParser& flags) {
                      "(empty disables trace recording entirely)");
 }
 
+ObsFlagValues ExtractObsFlagsFromArgv(int* argc, char** argv) {
+  ObsFlagValues values;
+  int kept = 0;
+  for (int i = 0; i < *argc; ++i) {
+    char* arg = argv[i];
+    if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      values.metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      values.trace_out = arg + 12;
+    } else {
+      argv[kept++] = arg;
+    }
+  }
+  *argc = kept;
+  return values;
+}
+
 ObsSession::ObsSession(std::string metrics_out, std::string trace_out)
     : metrics_out_(std::move(metrics_out)), trace_out_(std::move(trace_out)) {
   if (!metrics_out_.empty()) {
@@ -108,6 +129,10 @@ ObsSession::~ObsSession() {
 
 BenchSimConfig ConfigFromFlags(const FlagParser& flags) {
   BenchSimConfig config;
+  if (!SimEngineByName(flags.GetString("engine"), &config.engine)) {
+    std::fprintf(stderr, "unknown --engine \"%s\", using \"%s\"\n",
+                 flags.GetString("engine").c_str(), SimEngineName(config.engine));
+  }
   config.nodes = static_cast<int>(flags.GetInt("nodes"));
   config.gpus_per_node = static_cast<int>(flags.GetInt("gpus_per_node"));
   config.jobs = static_cast<int>(flags.GetInt("jobs"));
@@ -172,6 +197,7 @@ SimResult RunBenchPolicy(const std::string& policy, const BenchSimConfig& config
 SimResult RunImportedTrace(const std::string& policy, const BenchSimConfig& config,
                            const std::vector<JobSpec>& trace) {
   SimOptions options;
+  options.engine = config.engine;
   options.cluster = ClusterSpec::Homogeneous(config.nodes, config.gpus_per_node);
   options.gpus_per_node = config.gpus_per_node;
   options.interference_slowdown = config.interference_slowdown;

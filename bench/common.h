@@ -15,6 +15,9 @@
 namespace pollux {
 
 struct BenchSimConfig {
+  // Simulation engine: the event-driven engine (default) or the legacy
+  // fixed-tick loop (--engine=ticked). Results agree to within one tick.
+  SimEngine engine = SimEngine::kEvent;
   int nodes = 16;
   int gpus_per_node = 4;
   int jobs = 160;
@@ -58,6 +61,16 @@ void AddCommonFlags(FlagParser& flags);
 // Registers just --metrics-out/--trace-out (AddCommonFlags includes them;
 // benches with bespoke flag sets call this directly).
 void AddObsFlags(FlagParser& flags);
+
+// Peels --metrics-out=/--trace-out= out of argv for binaries whose flag
+// parser rejects unknown flags (e.g. google-benchmark): matching arguments
+// are removed in place, *argc is updated, and the extracted paths are
+// returned for an ObsSession.
+struct ObsFlagValues {
+  std::string metrics_out;
+  std::string trace_out;
+};
+ObsFlagValues ExtractObsFlagsFromArgv(int* argc, char** argv);
 
 // RAII observability session: enables the global metrics registry and/or
 // trace recorder when the respective output path is non-empty, and writes

@@ -1,0 +1,46 @@
+#include "sim/engine/progress_integrator.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pollux {
+
+double SolveCompletionTime(const ModelProfile& profile, long batch_size, double throughput,
+                           double progress, double max_step) {
+  const double total = profile.TotalExamples();
+  double remaining = total - progress;
+  if (remaining <= 0.0 || throughput <= 0.0 || max_step <= 0.0) {
+    return 0.0;
+  }
+  double elapsed = 0.0;
+  // A piece per decay point plus the final stretch; the bound is a safety
+  // net against degenerate curves, far above any Table-1 profile.
+  for (int piece = 0; piece < 64 && remaining > 0.0; ++piece) {
+    const double fraction = std::clamp(progress / total, 0.0, 1.0);
+    const double rate = throughput * profile.TrueEfficiency(batch_size, fraction);
+    if (rate <= 0.0) {
+      return max_step;
+    }
+    // Next LR-decay breakpoint strictly ahead of the current fraction. phi
+    // picks up its decay_boost exactly at the breakpoint (PhiAt tests
+    // p >= point), so evaluating the next piece at the boundary is correct.
+    double next_boundary = std::numeric_limits<double>::infinity();
+    for (double point : profile.gns.decay_points) {
+      if (point > fraction && point < next_boundary) {
+        next_boundary = point;
+      }
+    }
+    const double to_boundary = next_boundary * total - progress;
+    if (remaining <= to_boundary) {
+      elapsed += remaining / rate;
+      remaining = 0.0;
+      break;
+    }
+    elapsed += to_boundary / rate;
+    progress = next_boundary * total;
+    remaining -= to_boundary;
+  }
+  return std::clamp(elapsed, 0.0, max_step);
+}
+
+}  // namespace pollux

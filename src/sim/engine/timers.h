@@ -1,0 +1,59 @@
+// Recurring-timer helper reproducing the legacy tick loop's periodic-handler
+// semantics on top of the event queue.
+//
+// The ticked loop ran, once per tick:
+//
+//   if (now + 1e-9 >= next_fire) { Handler(now); next_fire += interval; }
+//
+// which has two consequences the event engine must preserve bit-for-bit:
+//   1. Handlers fire at the first *tick boundary* at or after the threshold
+//      (with 1e-9 slack), not at the raw threshold.
+//   2. The threshold advances by `interval` per firing, not to `now`; when
+//      interval < tick the threshold lags behind the clock and the handler
+//      fires at most once per tick, every tick.
+// NextFireTime encodes both rules.
+
+#ifndef POLLUX_SIM_ENGINE_TIMERS_H_
+#define POLLUX_SIM_ENGINE_TIMERS_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/engine/sim_clock.h"
+
+namespace pollux {
+
+class RecurringTimer {
+ public:
+  // First firing threshold `start`, then every `interval` seconds.
+  RecurringTimer(double start, double interval) : threshold_(start), interval_(interval) {}
+
+  // The grid time of the next firing: the first tick boundary at or after
+  // the threshold, but never the boundary the timer last fired on (the
+  // ticked loop tested each threshold once per tick).
+  double NextFireTime(const SimClock& clock) const {
+    double at = clock.GridCeilSlack(threshold_);
+    if (last_fire_ >= 0.0) {
+      at = std::max(at, last_fire_ + clock.tick());
+    }
+    return at;
+  }
+
+  // Records a firing at grid time `now` and advances the threshold.
+  void Fired(double now) {
+    last_fire_ = now;
+    threshold_ += interval_;
+  }
+
+  double threshold() const { return threshold_; }
+  double interval() const { return interval_; }
+
+ private:
+  double threshold_;
+  double interval_;
+  double last_fire_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_SIM_ENGINE_TIMERS_H_

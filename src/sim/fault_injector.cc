@@ -101,6 +101,17 @@ std::vector<FaultInjector::NodeTransition> FaultInjector::Poll(double now) {
   return transitions;
 }
 
+double FaultInjector::NextTransitionTime() const {
+  double next = kNever;
+  if (options_.mtbf_node <= 0.0) {
+    return next;
+  }
+  for (const auto& node : nodes_) {
+    next = std::min(next, node.next_transition);
+  }
+  return next;
+}
+
 void FaultInjector::OnClusterResize(int num_nodes, double now) {
   const size_t target = static_cast<size_t>(num_nodes);
   if (target < nodes_.size()) {

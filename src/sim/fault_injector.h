@@ -70,6 +70,13 @@ class FaultInjector {
   // that fired since the previous Poll, in deterministic (time, node) order.
   std::vector<NodeTransition> Poll(double now);
 
+  // Earliest pending crash/repair time across all nodes, +inf when node
+  // crashes are disabled. Lets the event engine schedule fault polls lazily
+  // instead of polling every tick: Poll draws RNG only when transitions
+  // actually fire, so calling it exactly at (the tick grid point covering)
+  // this time replays the same draw sequence as per-tick polling.
+  double NextTransitionTime() const;
+
   // Reshapes per-node state after an autoscaler resize. Surviving nodes keep
   // their fault state and streams; new nodes start healthy with fresh
   // deterministic streams.

@@ -1,12 +1,18 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/engine/event_queue.h"
+#include "sim/engine/progress_integrator.h"
+#include "sim/engine/sim_clock.h"
+#include "sim/engine/timers.h"
 #include "sim/pollux_policy.h"
 #include "util/logging.h"
 
@@ -21,6 +27,9 @@ constexpr uint64_t kNodeTrackBase = uint64_t{1} << 40;
 
 struct SimMetrics {
   obs::Counter* ticks;
+  obs::Counter* engine_events;
+  obs::Gauge* engine_events_per_s;
+  obs::Gauge* run_wall_s;
   obs::Counter* events_by_kind[11];
   obs::Gauge* failed_nodes;
   obs::Gauge* masked_gpus;
@@ -39,6 +48,9 @@ struct SimMetrics {
   SimMetrics() {
     auto& registry = obs::MetricsRegistry::Global();
     ticks = registry.GetCounter("sim.ticks");
+    engine_events = registry.GetCounter("sim.engine.events");
+    engine_events_per_s = registry.GetGauge("sim.engine.events_per_s");
+    run_wall_s = registry.GetGauge("sim.run_wall_s");
     for (int kind = 0; kind <= static_cast<int>(SimEventKind::kReportDrop); ++kind) {
       events_by_kind[kind] = registry.GetCounter(
           std::string("sim.events.") + SimEventKindName(static_cast<SimEventKind>(kind)));
@@ -74,6 +86,22 @@ Placement PlacementOf(const std::vector<int>& row) {
 }
 
 }  // namespace
+
+bool SimEngineByName(const std::string& name, SimEngine* engine) {
+  if (name.empty() || name == "event") {
+    *engine = SimEngine::kEvent;
+    return true;
+  }
+  if (name == "ticked") {
+    *engine = SimEngine::kTicked;
+    return true;
+  }
+  return false;
+}
+
+const char* SimEngineName(SimEngine engine) {
+  return engine == SimEngine::kTicked ? "ticked" : "event";
+}
 
 const char* SimEventKindName(SimEventKind kind) {
   switch (kind) {
@@ -173,6 +201,31 @@ Simulator::Simulator(SimOptions options, std::vector<JobSpec> trace, Scheduler* 
 
 Simulator::~Simulator() = default;
 
+void Simulator::Emit(SimEvent event) {
+  if (event_mode_) {
+    // The event engine advances jobs one at a time across a span, so raw
+    // emission order interleaves jobs arbitrarily; events are buffered and
+    // flushed sorted by time once per queue dispatch, which keeps the log
+    // strictly monotone (the tightened invariant) and preserves the ticked
+    // engine's same-instant ordering (stable sort keeps insertion order).
+    pending_events_.push_back(event);
+    return;
+  }
+  AppendEvent(result_, event);
+}
+
+void Simulator::FlushPendingEvents() {
+  if (pending_events_.empty()) {
+    return;
+  }
+  std::stable_sort(pending_events_.begin(), pending_events_.end(),
+                   [](const SimEvent& a, const SimEvent& b) { return a.time < b.time; });
+  for (SimEvent& event : pending_events_) {
+    AppendEvent(result_, event);
+  }
+  pending_events_.clear();
+}
+
 void Simulator::ActivateSubmissions(double now) {
   AgentConfig agent_config;
   if (options_.faults.enabled()) {
@@ -186,7 +239,7 @@ void Simulator::ActivateSubmissions(double now) {
     jobs_.push_back(std::make_unique<Job>(spec, GetModelProfile(spec.model),
                                           scheduler_->adapts_batch_size(), rng_.Fork(),
                                           agent_config));
-    AppendEvent(result_, SimEvent{spec.submit_time, SimEventKind::kSubmit, spec.job_id, 0, 0});
+    Emit(SimEvent{spec.submit_time, SimEventKind::kSubmit, spec.job_id, 0, 0});
     ++next_submission_;
   }
 }
@@ -204,7 +257,7 @@ void Simulator::RefreshReports(double now) {
     const bool dropped = faults_ != nullptr && options_.faults.report_drop_rate > 0.0 &&
                          faults_->DropReport();
     if (dropped) {
-      AppendEvent(result_, SimEvent{now, SimEventKind::kReportDrop, job->spec.job_id, 0, 0});
+      Emit(SimEvent{now, SimEventKind::kReportDrop, job->spec.job_id, 0, 0});
     } else {
       job->report = std::move(fresh);
       job->has_report = true;
@@ -275,7 +328,7 @@ void Simulator::ApplyAllocation(Job& job, const std::vector<int>& row, double no
   if (job.placement.num_gpus > 0) {
     ++job.restarts;  // Had resources: must checkpoint before moving.
   }
-  AppendEvent(result_, SimEvent{
+  Emit(SimEvent{
       now, new_placement.num_gpus > 0 ? SimEventKind::kReallocate : SimEventKind::kPreempt,
       job.spec.job_id, new_placement.num_gpus, new_placement.num_nodes});
   job.alloc = std::move(new_row);
@@ -289,7 +342,7 @@ void Simulator::ApplyAllocation(Job& job, const std::vector<int>& row, double no
       double backoff = options_.faults.restart_backoff_init;
       while (faults_->RestartFails()) {
         ++job.restart_failures;
-        AppendEvent(result_, SimEvent{now, SimEventKind::kRestartFailure, job.spec.job_id,
+        Emit(SimEvent{now, SimEventKind::kRestartFailure, job.spec.job_id,
                                       job.restart_failures, 0});
         job.backoff_seconds += backoff;
         delay += backoff + options_.restart_delay;
@@ -341,7 +394,7 @@ void Simulator::RunAutoscaling(double now) {
   }
   Log(LogLevel::kInfo) << "autoscale at t=" << now << ": " << current << " -> " << target
                        << " nodes";
-  AppendEvent(result_, SimEvent{now, SimEventKind::kClusterResize, 0, 0, target});
+  Emit(SimEvent{now, SimEventKind::kClusterResize, 0, 0, target});
   base_cluster_ = ClusterSpec::Homogeneous(target, options_.gpus_per_node);
   cluster_ = base_cluster_;
   if (faults_ != nullptr) {
@@ -385,7 +438,7 @@ void Simulator::ProcessFaults(double now) {
       continue;  // Node was released by the autoscaler in the meantime.
     }
     if (transition.failed) {
-      AppendEvent(result_, SimEvent{now, SimEventKind::kNodeFail, 0, 0, transition.node});
+      Emit(SimEvent{now, SimEventKind::kNodeFail, 0, 0, transition.node});
       obs::TraceRecorder::Global().EmitSimInstant(
           "node_fail", kNodeTrackBase + static_cast<uint64_t>(transition.node), now);
       cluster_.gpus_per_node[node] = 0;
@@ -399,12 +452,12 @@ void Simulator::ProcessFaults(double now) {
         ++job->evictions;
         job->alloc.assign(job->alloc.size(), 0);
         job->placement = Placement{};
-        AppendEvent(result_,
+        Emit(
                     SimEvent{now, SimEventKind::kEvict, job->spec.job_id, 0, transition.node});
         obs::TraceRecorder::Global().EmitSimInstant("evict", job->spec.job_id, now);
       }
     } else {
-      AppendEvent(result_, SimEvent{now, SimEventKind::kNodeRepair, 0, 0, transition.node});
+      Emit(SimEvent{now, SimEventKind::kNodeRepair, 0, 0, transition.node});
       obs::TraceRecorder::Global().EmitSimInstant(
           "node_repair", kNodeTrackBase + static_cast<uint64_t>(transition.node), now);
       cluster_.gpus_per_node[node] = base_cluster_.gpus_per_node[node];
@@ -451,7 +504,7 @@ void Simulator::AdvanceJobs(double now, double dt) {
     }
     if (job->start_time < 0.0) {
       job->start_time = now;
-      AppendEvent(result_, SimEvent{now, SimEventKind::kStart, job->spec.job_id,
+      Emit(SimEvent{now, SimEventKind::kStart, job->spec.job_id,
                                     job->placement.num_gpus, job->placement.num_nodes});
     }
     double slow = JobSuffersInterference(*job) ? 1.0 - options_.interference_slowdown : 1.0;
@@ -469,6 +522,7 @@ void Simulator::AdvanceJobs(double now, double dt) {
         job->profile->TrueEfficiency(job->batch, job->ProgressFraction());
     const double rate = throughput * efficiency;
     const double remaining = job->TotalExamples() - job->progress;
+    const double progress_before = job->progress;
     double step = dt;
     bool completes = false;
     if (rate * dt >= remaining - kProgressEpsilon) {
@@ -496,12 +550,114 @@ void Simulator::AdvanceJobs(double now, double dt) {
 
     if (completes) {
       job->finished = true;
-      job->finish_time = now + step;
+      double final_step = step;
+      if (options_.engine == SimEngine::kEvent) {
+        // Exact completion time: re-solve the last step across any GNS
+        // breakpoints it crosses. Progress/integral accounting above stays
+        // on the Euler step so both engines accumulate identical state;
+        // only the recorded completion instant is refined.
+        final_step =
+            SolveCompletionTime(*job->profile, job->batch, throughput, progress_before, dt);
+      }
+      job->finish_time = now + final_step;
       job->alloc.assign(job->alloc.size(), 0);
       job->placement = Placement{};
-      AppendEvent(result_,
-                  SimEvent{job->finish_time, SimEventKind::kComplete, job->spec.job_id, 0, 0});
+      Emit(SimEvent{job->finish_time, SimEventKind::kComplete, job->spec.job_id, 0, 0});
     }
+  }
+}
+
+void Simulator::AdvanceJobSpan(Job& job, double from, double to) {
+  if (job.finished || job.placement.num_gpus <= 0) {
+    return;
+  }
+  const double tick = options_.tick;
+  double now = from;
+  if (job.restart_until > now) {
+    // Skip the checkpoint-restart wait entirely: the job resumes at the
+    // first tick boundary at or after restart_until (the ticked loop's
+    // exact `now >= restart_until` comparison).
+    const double resume = SimClock(tick).GridCeil(job.restart_until);
+    if (resume >= to) {
+      return;
+    }
+    now = std::max(now, resume);
+  }
+  if (job.start_time < 0.0) {
+    job.start_time = now;
+    Emit(SimEvent{now, SimEventKind::kStart, job.spec.job_id, job.placement.num_gpus,
+                  job.placement.num_nodes});
+  }
+  // Placement, batch, and fault state are all event-bound, so these factors
+  // are invariant across the span and hoisted out of the per-tick loop.
+  // Interference is not (it reads other jobs' state mid-tick): this path is
+  // only taken when interference injection is off.
+  double slow = 1.0;
+  if (faults_ != nullptr) {
+    slow /= faults_->JobSlowdown(job.alloc);
+  }
+  const double iter_time = job.profile->TrueIterTime(job.placement, job.batch);
+  if (iter_time <= 0.0) {
+    return;
+  }
+  const double throughput = static_cast<double>(job.batch) / iter_time * slow;
+  const double observed_base = iter_time / slow;
+  const int num_gpus = job.placement.num_gpus;
+  for (; now < to; now += tick) {
+    const double efficiency = job.profile->TrueEfficiency(job.batch, job.ProgressFraction());
+    const double rate = throughput * efficiency;
+    const double remaining = job.TotalExamples() - job.progress;
+    const double progress_before = job.progress;
+    double step = tick;
+    bool completes = false;
+    if (rate * tick >= remaining - kProgressEpsilon) {
+      step = remaining / rate;
+      completes = true;
+    }
+    job.progress += rate * step;
+    job.gpu_time += num_gpus * step;
+    job.run_seconds += step;
+    job.eff_integral += efficiency * step;
+    job.tput_integral += throughput * step;
+    job.goodput_integral += rate * step;
+
+    const double observed_iter =
+        observed_base * std::exp(job.rng.Normal(0.0, options_.observation_noise));
+    job.agent.RecordIteration(job.placement, job.batch, observed_iter);
+    const double phi = job.profile->gns.PhiAt(job.ProgressFraction());
+    GnsSample sample;
+    sample.cov_trace = phi * std::exp(job.rng.Normal(0.0, options_.gns_noise));
+    sample.grad_sqnorm = std::exp(job.rng.Normal(0.0, options_.gns_noise));
+    job.agent.RecordGradientStats(sample);
+
+    if (completes) {
+      job.finished = true;
+      const double final_step =
+          SolveCompletionTime(*job.profile, job.batch, throughput, progress_before, tick);
+      job.finish_time = now + final_step;
+      job.alloc.assign(job.alloc.size(), 0);
+      job.placement = Placement{};
+      Emit(SimEvent{job.finish_time, SimEventKind::kComplete, job.spec.job_id, 0, 0});
+      return;
+    }
+  }
+}
+
+void Simulator::AdvanceSpan(double from, double to) {
+  if (to <= from) {
+    return;
+  }
+  if (options_.interference_slowdown > 0.0) {
+    // Interference couples jobs within a tick (a completion mid-tick speeds
+    // up its node neighbors the same tick), so the jobs must advance
+    // interleaved, exactly like the ticked loop.
+    for (double now = from; now < to; now += options_.tick) {
+      AdvanceJobs(now, options_.tick);
+    }
+    return;
+  }
+  for (auto& job : jobs_) {
+    AdvanceJobSpan(*job, from, to);
   }
 }
 
@@ -568,12 +724,17 @@ void Simulator::CheckInvariants(double now) {
       fail("finished job still holds GPUs");
     }
   }
-  // 3. Event log: monotone in time up to one tick of intra-step jitter
-  // (completions land mid-tick, submissions between ticks), and no job
-  // completes twice. Only events appended since the last check are scanned.
+  // 3. Event log monotonicity, and no job completes twice. The event engine
+  // flushes its log sorted by time, so it is held to strict (non-decreasing)
+  // order; the legacy ticked loop appends completions mid-tick and
+  // submissions between ticks in handler order, so it keeps its historical
+  // one-tick jitter allowance. Only events appended since the last check are
+  // scanned.
+  const double monotone_slack =
+      (options_.engine == SimEngine::kTicked ? options_.tick : 0.0) + 1e-9;
   for (; checked_events_ < result_.events.size(); ++checked_events_) {
     const SimEvent& event = result_.events[checked_events_];
-    if (event.time + options_.tick + 1e-9 < max_event_time_) {
+    if (event.time + monotone_slack < max_event_time_) {
       fail("event log not monotone in time");
     }
     max_event_time_ = std::max(max_event_time_, event.time);
@@ -605,7 +766,7 @@ bool Simulator::AllJobsFinished() const {
   return true;
 }
 
-SimResult Simulator::Run() {
+double Simulator::RunTicked() {
   double now = 0.0;
   double next_report = 0.0;
   double next_sched = 0.0;
@@ -637,6 +798,145 @@ SimResult Simulator::Run() {
     now += options_.tick;
     SimMetrics::Get().ticks->Add();
   }
+  return now;
+}
+
+double Simulator::RunEvent() {
+  event_mode_ = true;
+  const SimClock clock(options_.tick);
+  // Queue priorities replay the ticked loop's intra-tick handler order for
+  // same-instant events.
+  enum : int {
+    kSubmission = 0,
+    kFaultPoll = 1,
+    kReport = 2,
+    kSched = 3,
+    kAutoscale = 4,
+  };
+  EventQueue<int> queue;
+  RecurringTimer report_timer(0.0, options_.report_interval);
+  RecurringTimer sched_timer(0.0, options_.sched_interval);
+  RecurringTimer autoscale_timer(options_.autoscale_interval, options_.autoscale_interval);
+  queue.Push(report_timer.NextFireTime(clock), kReport, kReport);
+  queue.Push(sched_timer.NextFireTime(clock), kSched, kSched);
+  if (autoscaler_ != nullptr) {
+    queue.Push(autoscale_timer.NextFireTime(clock), kAutoscale, kAutoscale);
+  }
+  for (const auto& spec : trace_) {
+    queue.Push(clock.GridCeil(spec.submit_time), kSubmission, kSubmission);
+  }
+  // Fault polls are armed lazily at the grid point covering the injector's
+  // earliest pending transition. Poll only draws RNG when a transition
+  // actually fires, so polling at exactly those instants replays the ticked
+  // engine's per-tick draw sequence. Stale queued polls (re-armed earlier
+  // by a resize) are harmless no-ops.
+  double armed_fault_poll = std::numeric_limits<double>::infinity();
+  const auto arm_fault_poll = [&] {
+    if (faults_ == nullptr) {
+      return;
+    }
+    const double at = clock.GridCeil(faults_->NextTransitionTime());
+    if (std::isfinite(at) && at < armed_fault_poll) {
+      queue.Push(at, kFaultPoll, kFaultPoll);
+      armed_fault_poll = at;
+    }
+  };
+  arm_fault_poll();
+
+  uint64_t dispatched = 0;
+  const auto dispatch_at = [&](double t) {
+    while (!queue.empty() && queue.Top().time == t) {
+      const int what = queue.Pop().payload;
+      ++dispatched;
+      switch (what) {
+        case kSubmission:
+          ActivateSubmissions(t);
+          break;
+        case kFaultPoll:
+          if (t >= armed_fault_poll) {
+            armed_fault_poll = std::numeric_limits<double>::infinity();
+          }
+          ProcessFaults(t);
+          arm_fault_poll();
+          break;
+        case kReport:
+          RefreshReports(t);
+          report_timer.Fired(t);
+          queue.Push(report_timer.NextFireTime(clock), kReport, kReport);
+          break;
+        case kSched:
+          RunSchedulingRound(t);
+          RecordTimelineSample(t);
+          sched_timer.Fired(t);
+          queue.Push(sched_timer.NextFireTime(clock), kSched, kSched);
+          break;
+        case kAutoscale:
+          RunAutoscaling(t);
+          // The resize may have added nodes whose first transition precedes
+          // the currently armed poll.
+          arm_fault_poll();
+          autoscale_timer.Fired(t);
+          queue.Push(autoscale_timer.NextFireTime(clock), kAutoscale, kAutoscale);
+          break;
+        default:
+          break;
+      }
+    }
+  };
+
+  double advanced_to = 0.0;
+  double final_now = -1.0;
+  while (!queue.empty()) {
+    const double t = queue.Top().time;
+    if (t >= options_.max_time) {
+      break;  // The ticked loop only runs handlers while now < max_time.
+    }
+    const double span_start = advanced_to;
+    AdvanceSpan(span_start, t);
+    advanced_to = t;
+    if (AllJobsFinished()) {
+      // The ticked loop breaks at the first tick boundary after the last
+      // completion, right after running any handlers due at that instant;
+      // node_seconds only counts ticks before it.
+      double t_end = span_start;
+      for (const auto& job : jobs_) {
+        t_end = std::max(t_end, clock.GridCeil(job->finish_time));
+      }
+      result_.node_seconds += cluster_.NumNodes() * (t_end - span_start);
+      if (t_end == t) {
+        dispatch_at(t);
+      }
+      FlushPendingEvents();
+      final_now = t_end;
+      break;
+    }
+    result_.node_seconds += cluster_.NumNodes() * (t - span_start);
+    dispatch_at(t);
+    FlushPendingEvents();
+    if (options_.check_invariants) {
+      CheckInvariants(t);
+    }
+  }
+  if (final_now < 0.0) {
+    // Horizon reached (or, defensively, an empty queue): advance the
+    // remaining span exactly as the ticked loop would before stopping.
+    const double t_final = clock.GridCeil(options_.max_time);
+    AdvanceSpan(advanced_to, t_final);
+    result_.node_seconds += cluster_.NumNodes() * (t_final - advanced_to);
+    FlushPendingEvents();
+    final_now = t_final;
+  }
+  engine_events_ = dispatched;
+  SimMetrics::Get().engine_events->Add(dispatched);
+  event_mode_ = false;
+  return final_now;
+}
+
+SimResult Simulator::Run() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double now = options_.engine == SimEngine::kEvent ? RunEvent() : RunTicked();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
   if (options_.check_invariants) {
     CheckInvariants(now);
@@ -688,6 +988,10 @@ SimResult Simulator::Run() {
     metrics.avg_efficiency->Set(result_.AvgClusterEfficiency());
     metrics.avg_jct_s->Set(result_.JctSummary().mean);
     metrics.makespan_s->Set(result_.makespan);
+    metrics.run_wall_s->Set(wall_seconds);
+    if (options_.engine == SimEngine::kEvent && wall_seconds > 0.0) {
+      metrics.engine_events_per_s->Set(static_cast<double>(engine_events_) / wall_seconds);
+    }
   }
   return result_;
 }

@@ -1,7 +1,12 @@
-// Discrete-time cluster simulator (Sec. 5.3).
+// Discrete-event cluster simulator (Sec. 5.3).
 //
-// The simulator advances a fixed-increment clock over a trace of job
-// submissions. Each job's actual speed comes from its model profile's hidden
+// The simulator replays a trace of job submissions under one of two control
+// loops (SimEngine): the legacy fixed-increment tick loop, or the default
+// discrete-event engine that jumps between scheduled events (reports,
+// scheduling rounds, autoscaling, fault transitions, submissions) and
+// advances job progress across the spans in between — same trajectories,
+// without paying per-tick overhead during inactivity. Each job's actual
+// speed comes from its model profile's hidden
 // ground truth (throughput params + GNS trajectory); its PolluxAgent only
 // sees noisy observations and must model the job online, exactly as in a
 // real deployment. Reproduced system effects, matching the paper's
@@ -15,6 +20,7 @@
 #define POLLUX_SIM_SIMULATOR_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/allocation.h"
@@ -27,8 +33,30 @@
 
 namespace pollux {
 
+// Which control loop drives the simulation.
+//
+// kTicked is the legacy fixed-increment loop: one pass of every handler per
+// tick, O(max_time / tick) iterations regardless of activity. kEvent is the
+// discrete-event engine (src/sim/engine/): handlers run only at scheduled
+// event times and job progress is advanced across the idle spans in between,
+// with completion times solved from the progress integral. Both engines
+// produce the same trajectories — per-job completion times agree to within
+// one tick (exactly, absent GNS breakpoints in the final step) and event
+// kind counts match — which sim_engine_equivalence_test asserts.
+enum class SimEngine {
+  kTicked,
+  kEvent,
+};
+
+// "ticked" | "event" -> engine; returns false for anything else.
+bool SimEngineByName(const std::string& name, SimEngine* engine);
+const char* SimEngineName(SimEngine engine);
+
 struct SimOptions {
   ClusterSpec cluster;
+  // Control loop. The event engine is the default; kTicked keeps the legacy
+  // per-tick loop selectable (--engine=ticked) for equivalence testing.
+  SimEngine engine = SimEngine::kEvent;
   double tick = 1.0;                   // Simulation step, seconds.
   double sched_interval = 60.0;        // PolluxSched cadence (Sec. 5.1).
   double report_interval = 30.0;       // PolluxAgent cadence (Sec. 5.1).
@@ -170,6 +198,24 @@ class Simulator {
   std::vector<JobSnapshot> BuildSnapshots(double now);
   bool JobSuffersInterference(const Job& job) const;
 
+  // Control loops. Both return the final simulation time (the clock value the
+  // shared finalization uses for unfinished jobs). RunTicked is the legacy
+  // fixed-increment loop; RunEvent drives the handlers above from the
+  // deterministic event queue in src/sim/engine/ (see DESIGN.md §10).
+  double RunTicked();
+  double RunEvent();
+  // Event-engine job advancement over the handler-free span [from, to):
+  // per-job with span-invariant factors hoisted, or tick-interleaved across
+  // jobs when interference couples them. Completions inside the span are
+  // discovered here and their exact times solved from the progress integral.
+  void AdvanceSpan(double from, double to);
+  void AdvanceJobSpan(Job& job, double from, double to);
+  // Routes a lifecycle event to the log. The event engine buffers between
+  // queue dispatches and flushes in time order so the log stays monotone
+  // even though jobs are advanced one at a time.
+  void Emit(SimEvent event);
+  void FlushPendingEvents();
+
   SimOptions options_;
   // The scheduler-visible cluster: crashed nodes have their capacity masked
   // to zero until repaired. `base_cluster_` keeps the physical capacities.
@@ -186,6 +232,11 @@ class Simulator {
   // scanned each round) and per-job completion counts.
   size_t checked_events_ = 0;
   double max_event_time_ = 0.0;
+  // Event-engine state: buffered lifecycle events awaiting an in-time-order
+  // flush, and the count of queue entries dispatched (sim.engine.events).
+  bool event_mode_ = false;
+  std::vector<SimEvent> pending_events_;
+  uint64_t engine_events_ = 0;
   SimResult result_;
 };
 

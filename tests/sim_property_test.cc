@@ -186,6 +186,22 @@ TEST_F(GoldenTraceTest, SummaryMetricsByteStableWithoutMemoization) {
   ExpectIdentical(RunGolden(4, /*memoize=*/true), RunGolden(4, /*memoize=*/false), "memo");
 }
 
+// The event engine (the default) is byte-deterministic per seed down to the
+// full event log: times, kinds, and payloads — not just summary metrics.
+TEST_F(GoldenTraceTest, EventEngineEventLogByteStableAcrossRuns) {
+  const SimResult a = RunGolden(1);
+  const SimResult b = RunGolden(1);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time, b.events[i].time) << "event " << i;
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind) << "event " << i;
+    EXPECT_EQ(a.events[i].job_id, b.events[i].job_id) << "event " << i;
+    EXPECT_EQ(a.events[i].gpus, b.events[i].gpus) << "event " << i;
+    EXPECT_EQ(a.events[i].nodes, b.events[i].nodes) << "event " << i;
+  }
+  EXPECT_EQ(a.node_seconds, b.node_seconds);
+}
+
 // Fault-injection sweep: across seeds and both Pollux and a static baseline,
 // the simulator's invariant checker (enabled here, aborts on violation) must
 // hold and no job may be lost — every submission appears in the result and

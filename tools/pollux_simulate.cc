@@ -59,23 +59,9 @@ int Main(int argc, char** argv) {
     std::printf("wrote %zu jobs to %s\n", trace.size(), flags.GetString("save_trace").c_str());
   }
 
-  // Run. (Imported traces bypass MakeBenchTrace, so run the simulator
-  // directly with the same knobs RunBenchPolicy uses.)
-  BenchSimConfig run_config = config;
-  SimResult result;
-  if (flags.GetString("trace").empty()) {
-    result = RunBenchPolicy(policy, run_config);
-  } else {
-    // Reuse RunBenchPolicy's wiring by writing the imported trace through a
-    // custom path: easiest is to temporarily mirror its logic here.
-    SimOptions options;
-    options.cluster = ClusterSpec::Homogeneous(config.nodes, config.gpus_per_node);
-    options.gpus_per_node = config.gpus_per_node;
-    options.interference_slowdown = config.interference_slowdown;
-    options.sched_interval = config.sched_interval;
-    options.seed = config.seed;
-    result = RunImportedTrace(policy, run_config, trace);
-  }
+  // Run: RunImportedTrace applies every config knob (RunBenchPolicy is the
+  // same call over a synthesized trace), so both paths share one wiring.
+  const SimResult result = RunImportedTrace(policy, config, trace);
 
   const Summary jct = result.JctSummary();
   TablePrinter table({"metric", "value"});
