@@ -1,8 +1,11 @@
 #include "bench/common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "baselines/fifo.h"
@@ -11,7 +14,9 @@
 #include "baselines/tiresias.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/checkpoint.h"
 #include "sim/pollux_policy.h"
+#include "workload/trace_io.h"
 
 namespace pollux {
 
@@ -57,6 +62,20 @@ void AddCommonFlags(FlagParser& flags) {
   flags.DefineDouble("restart-fail-rate", -1.0,
                      "probability a checkpoint-restart attempt fails "
                      "(negative keeps the profile value)");
+  flags.DefineDouble("mtbf-sched", -1.0,
+                     "mean time between scheduler-process crashes in seconds "
+                     "(0 disables; negative keeps the profile value)");
+  flags.DefineString("sched-recovery", "warm",
+                     "scheduler crash recovery: warm (lossless control-plane "
+                     "snapshot reload) | cold (agents refit, queues rebuilt)");
+  flags.DefineDouble("checkpoint-every", 0.0,
+                     "write a crash-consistent state snapshot every N sim-seconds "
+                     "(0 disables; requires --checkpoint-dir)");
+  flags.DefineString("checkpoint-dir", "",
+                     "directory for state snapshots (required with --checkpoint-every)");
+  flags.DefineDouble("halt-after", 0.0,
+                     "stop after the first snapshot at or past this sim time "
+                     "(0 = run to completion; emulates a crash for resume testing)");
   flags.DefineBool("check-invariants", false,
                    "verify simulator invariants every tick (abort on violation)");
   flags.DefineDouble("sched-budget", 0.0,
@@ -173,8 +192,19 @@ BenchSimConfig ConfigFromFlags(const FlagParser& flags) {
   if (flags.GetDouble("restart-fail-rate") >= 0.0) {
     config.faults.restart_fail_rate = flags.GetDouble("restart-fail-rate");
   }
+  if (flags.GetDouble("mtbf-sched") >= 0.0) {
+    config.faults.mtbf_sched = flags.GetDouble("mtbf-sched");
+  }
+  if (!SchedRecoveryByName(flags.GetString("sched-recovery"), &config.faults.sched_recovery)) {
+    std::fprintf(stderr, "unknown --sched-recovery \"%s\", using \"%s\"\n",
+                 flags.GetString("sched-recovery").c_str(),
+                 SchedRecoveryName(config.faults.sched_recovery));
+  }
   config.check_invariants = flags.GetBool("check-invariants");
   config.round_time_budget = flags.GetDouble("sched-budget");
+  config.checkpoint_every = flags.GetDouble("checkpoint-every");
+  config.checkpoint_dir = flags.GetString("checkpoint-dir");
+  config.halt_after_checkpoint = flags.GetDouble("halt-after");
   return config;
 }
 
@@ -194,8 +224,9 @@ SimResult RunBenchPolicy(const std::string& policy, const BenchSimConfig& config
   return RunImportedTrace(policy, config, MakeBenchTrace(config));
 }
 
-SimResult RunImportedTrace(const std::string& policy, const BenchSimConfig& config,
-                           const std::vector<JobSpec>& trace) {
+namespace {
+
+SimOptions SimOptionsFromBenchConfig(const BenchSimConfig& config) {
   SimOptions options;
   options.engine = config.engine;
   options.cluster = ClusterSpec::Homogeneous(config.nodes, config.gpus_per_node);
@@ -209,33 +240,307 @@ SimResult RunImportedTrace(const std::string& policy, const BenchSimConfig& conf
   options.sched_threads = config.threads;
   options.faults = config.faults;
   options.check_invariants = config.check_invariants;
+  options.checkpoint_every = config.checkpoint_every;
+  options.checkpoint_dir = config.checkpoint_dir;
+  options.halt_after_checkpoint = config.halt_after_checkpoint;
+  return options;
+}
+
+SchedConfig SchedConfigFromBenchConfig(const BenchSimConfig& config) {
   SchedConfig sched_config;
   sched_config.ga.population_size = config.ga_population;
   sched_config.ga.generations = config.ga_generations;
   sched_config.ga.interference_avoidance = config.interference_avoidance;
   sched_config.ga.restart_penalty = config.restart_penalty;
   sched_config.ga.seed = config.seed;
-  sched_config.ga.threads = options.sched_threads;
+  sched_config.ga.threads = config.threads;
   sched_config.weight_lambda = config.weight_lambda;
   sched_config.round_time_budget = config.round_time_budget;
+  return sched_config;
+}
+
+// Constructs the named policy on the stack (unknown names fall back to
+// Tiresias, matching the historical RunImportedTrace behavior) and invokes
+// `run` with it. Shared between the fresh-run and the snapshot-resume paths
+// so both build byte-identical policy objects.
+template <typename Fn>
+SimResult WithBenchPolicy(const std::string& policy, const BenchSimConfig& config, Fn&& run) {
+  const ClusterSpec cluster = ClusterSpec::Homogeneous(config.nodes, config.gpus_per_node);
   if (policy == "pollux") {
-    PolluxPolicy pollux(options.cluster, sched_config);
-    return Simulator(options, trace, &pollux).Run();
+    PolluxPolicy pollux(cluster, SchedConfigFromBenchConfig(config));
+    return run(&pollux);
   }
   if (policy == "pollux-fixed-batch") {
-    FixedBatchPolluxPolicy fixed(options.cluster, sched_config);
-    return Simulator(options, trace, &fixed).Run();
+    FixedBatchPolluxPolicy fixed(cluster, SchedConfigFromBenchConfig(config));
+    return run(&fixed);
   }
   if (policy == "optimus") {
     OptimusPolicy optimus(OptimusConfig{config.gpus_per_node});
-    return Simulator(options, trace, &optimus).Run();
+    return run(&optimus);
   }
   if (policy == "fifo") {
     FifoPolicy fifo;
-    return Simulator(options, trace, &fifo).Run();
+    return run(&fifo);
   }
   TiresiasPolicy tiresias;
-  return Simulator(options, trace, &tiresias).Run();
+  return run(&tiresias);
+}
+
+// Embeds everything a resume needs to rebuild this run: the policy name, the
+// serialized config, and the exact trace (WriteTraceCsv round-trips doubles
+// bit-exactly at precision 17).
+SnapshotExtra MakeSnapshotExtra(const std::string& policy, const BenchSimConfig& config,
+                                const std::vector<JobSpec>& trace) {
+  SnapshotExtra extra;
+  extra.policy = policy;
+  extra.driver_config = EncodeBenchSimConfig(config);
+  std::ostringstream trace_csv;
+  WriteTraceCsv(trace_csv, trace);
+  extra.trace_csv = trace_csv.str();
+  return extra;
+}
+
+bool CheckpointingEnabled(const BenchSimConfig& config) {
+  return config.checkpoint_every > 0.0 && !config.checkpoint_dir.empty();
+}
+
+}  // namespace
+
+SimResult RunImportedTrace(const std::string& policy, const BenchSimConfig& config,
+                           const std::vector<JobSpec>& trace) {
+  const SimOptions options = SimOptionsFromBenchConfig(config);
+  return WithBenchPolicy(policy, config, [&](Scheduler* scheduler) {
+    Simulator sim(options, trace, scheduler);
+    if (CheckpointingEnabled(config)) {
+      std::error_code ec;
+      std::filesystem::create_directories(config.checkpoint_dir, ec);
+      sim.SetSnapshotExtra(MakeSnapshotExtra(policy, config, trace));
+    }
+    return sim.Run();
+  });
+}
+
+namespace {
+
+void PutConfigDouble(std::ostringstream& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << key << '=' << buf << '\n';
+}
+
+bool ParseConfigDouble(const std::string& text, double* value) {
+  char* end = nullptr;
+  *value = std::strtod(text.c_str(), &end);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool ParseConfigInt(const std::string& text, int* value) {
+  char* end = nullptr;
+  const long parsed = std::strtol(text.c_str(), &end, 10);
+  *value = static_cast<int>(parsed);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool ParseConfigU64(const std::string& text, uint64_t* value) {
+  char* end = nullptr;
+  *value = std::strtoull(text.c_str(), &end, 10);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool ParseConfigBool(const std::string& text, bool* value) {
+  if (text == "0" || text == "1") {
+    *value = text == "1";
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EncodeBenchSimConfig(const BenchSimConfig& config) {
+  std::ostringstream out;
+  out << "engine=" << SimEngineName(config.engine) << '\n';
+  out << "nodes=" << config.nodes << '\n';
+  out << "gpus_per_node=" << config.gpus_per_node << '\n';
+  out << "jobs=" << config.jobs << '\n';
+  PutConfigDouble(out, "duration_hours", config.duration_hours);
+  PutConfigDouble(out, "load", config.load);
+  PutConfigDouble(out, "user_frac", config.user_configured_fraction);
+  PutConfigDouble(out, "interference", config.interference_slowdown);
+  out << "avoidance=" << (config.interference_avoidance ? 1 : 0) << '\n';
+  PutConfigDouble(out, "weight_lambda", config.weight_lambda);
+  out << "ga_pop=" << config.ga_population << '\n';
+  out << "ga_gens=" << config.ga_generations << '\n';
+  out << "threads=" << config.threads << '\n';
+  PutConfigDouble(out, "sched_interval", config.sched_interval);
+  PutConfigDouble(out, "restart_penalty", config.restart_penalty);
+  PutConfigDouble(out, "tick", config.tick);
+  PutConfigDouble(out, "obs_noise", config.observation_noise);
+  PutConfigDouble(out, "gns_noise", config.gns_noise);
+  out << "seed=" << config.seed << '\n';
+  PutConfigDouble(out, "mtbf_node", config.faults.mtbf_node);
+  PutConfigDouble(out, "repair_time", config.faults.repair_time);
+  PutConfigDouble(out, "straggler_frac", config.faults.straggler_frac);
+  PutConfigDouble(out, "straggler_slowdown", config.faults.straggler_slowdown);
+  PutConfigDouble(out, "report_drop_rate", config.faults.report_drop_rate);
+  PutConfigDouble(out, "restart_fail_rate", config.faults.restart_fail_rate);
+  PutConfigDouble(out, "restart_backoff_init", config.faults.restart_backoff_init);
+  PutConfigDouble(out, "restart_backoff_cap", config.faults.restart_backoff_cap);
+  PutConfigDouble(out, "mtbf_sched", config.faults.mtbf_sched);
+  out << "sched_recovery=" << SchedRecoveryName(config.faults.sched_recovery) << '\n';
+  out << "check_invariants=" << (config.check_invariants ? 1 : 0) << '\n';
+  PutConfigDouble(out, "sched_budget", config.round_time_budget);
+  return out.str();
+}
+
+bool DecodeBenchSimConfig(const std::string& text, BenchSimConfig* config) {
+  BenchSimConfig parsed;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return false;
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    bool ok = true;
+    if (key == "engine") {
+      ok = SimEngineByName(value, &parsed.engine);
+    } else if (key == "nodes") {
+      ok = ParseConfigInt(value, &parsed.nodes);
+    } else if (key == "gpus_per_node") {
+      ok = ParseConfigInt(value, &parsed.gpus_per_node);
+    } else if (key == "jobs") {
+      ok = ParseConfigInt(value, &parsed.jobs);
+    } else if (key == "duration_hours") {
+      ok = ParseConfigDouble(value, &parsed.duration_hours);
+    } else if (key == "load") {
+      ok = ParseConfigDouble(value, &parsed.load);
+    } else if (key == "user_frac") {
+      ok = ParseConfigDouble(value, &parsed.user_configured_fraction);
+    } else if (key == "interference") {
+      ok = ParseConfigDouble(value, &parsed.interference_slowdown);
+    } else if (key == "avoidance") {
+      ok = ParseConfigBool(value, &parsed.interference_avoidance);
+    } else if (key == "weight_lambda") {
+      ok = ParseConfigDouble(value, &parsed.weight_lambda);
+    } else if (key == "ga_pop") {
+      ok = ParseConfigInt(value, &parsed.ga_population);
+    } else if (key == "ga_gens") {
+      ok = ParseConfigInt(value, &parsed.ga_generations);
+    } else if (key == "threads") {
+      ok = ParseConfigInt(value, &parsed.threads);
+    } else if (key == "sched_interval") {
+      ok = ParseConfigDouble(value, &parsed.sched_interval);
+    } else if (key == "restart_penalty") {
+      ok = ParseConfigDouble(value, &parsed.restart_penalty);
+    } else if (key == "tick") {
+      ok = ParseConfigDouble(value, &parsed.tick);
+    } else if (key == "obs_noise") {
+      ok = ParseConfigDouble(value, &parsed.observation_noise);
+    } else if (key == "gns_noise") {
+      ok = ParseConfigDouble(value, &parsed.gns_noise);
+    } else if (key == "seed") {
+      ok = ParseConfigU64(value, &parsed.seed);
+    } else if (key == "mtbf_node") {
+      ok = ParseConfigDouble(value, &parsed.faults.mtbf_node);
+    } else if (key == "repair_time") {
+      ok = ParseConfigDouble(value, &parsed.faults.repair_time);
+    } else if (key == "straggler_frac") {
+      ok = ParseConfigDouble(value, &parsed.faults.straggler_frac);
+    } else if (key == "straggler_slowdown") {
+      ok = ParseConfigDouble(value, &parsed.faults.straggler_slowdown);
+    } else if (key == "report_drop_rate") {
+      ok = ParseConfigDouble(value, &parsed.faults.report_drop_rate);
+    } else if (key == "restart_fail_rate") {
+      ok = ParseConfigDouble(value, &parsed.faults.restart_fail_rate);
+    } else if (key == "restart_backoff_init") {
+      ok = ParseConfigDouble(value, &parsed.faults.restart_backoff_init);
+    } else if (key == "restart_backoff_cap") {
+      ok = ParseConfigDouble(value, &parsed.faults.restart_backoff_cap);
+    } else if (key == "mtbf_sched") {
+      ok = ParseConfigDouble(value, &parsed.faults.mtbf_sched);
+    } else if (key == "sched_recovery") {
+      ok = SchedRecoveryByName(value, &parsed.faults.sched_recovery);
+    } else if (key == "check_invariants") {
+      ok = ParseConfigBool(value, &parsed.check_invariants);
+    } else if (key == "sched_budget") {
+      ok = ParseConfigDouble(value, &parsed.round_time_budget);
+    } else {
+      ok = false;  // Unknown key: written by an incompatible (newer) driver.
+    }
+    if (!ok) {
+      return false;
+    }
+  }
+  *config = parsed;
+  return true;
+}
+
+bool ResumeBenchFromSnapshot(const std::string& path_or_dir, const BenchResumeOptions& resume,
+                             SimResult* result, std::string* policy, std::string* error) {
+  const std::string path = ResolveSnapshotPath(path_or_dir, error);
+  if (path.empty()) {
+    return false;
+  }
+  SnapshotExtra extra;
+  if (!ReadSnapshotExtra(path, &extra, error)) {
+    return false;
+  }
+  BenchSimConfig config;
+  if (!DecodeBenchSimConfig(extra.driver_config, &config)) {
+    if (error != nullptr) {
+      *error = "snapshot's embedded run configuration is unreadable "
+               "(written by an incompatible driver version?)";
+    }
+    return false;
+  }
+  std::istringstream trace_in(extra.trace_csv);
+  std::string trace_error;
+  const std::optional<std::vector<JobSpec>> trace = ReadTraceCsv(trace_in, &trace_error);
+  if (!trace.has_value()) {
+    if (error != nullptr) {
+      *error = "snapshot's embedded trace is unreadable: " + trace_error;
+    }
+    return false;
+  }
+  // Checkpoint knobs are run-local: the resumed run uses the caller's, not
+  // whatever the interrupted run was configured with.
+  config.checkpoint_every = resume.checkpoint_every;
+  config.checkpoint_dir = resume.checkpoint_dir;
+  config.halt_after_checkpoint = resume.halt_after_checkpoint;
+  const SimOptions options = SimOptionsFromBenchConfig(config);
+  bool loaded = true;
+  const SimResult run =
+      WithBenchPolicy(extra.policy, config, [&](Scheduler* scheduler) -> SimResult {
+        Simulator sim(options, *trace, scheduler);
+        if (CheckpointingEnabled(config)) {
+          std::error_code ec;
+          std::filesystem::create_directories(config.checkpoint_dir, ec);
+          sim.SetSnapshotExtra(extra);  // Keep follow-on snapshots resumable too.
+        }
+        std::string load_error;
+        if (!sim.LoadSnapshot(path, &load_error)) {
+          loaded = false;
+          if (error != nullptr) {
+            *error = load_error;
+          }
+          return SimResult{};
+        }
+        return sim.Run();
+      });
+  if (!loaded) {
+    return false;
+  }
+  *result = run;
+  if (policy != nullptr) {
+    *policy = extra.policy;
+  }
+  return true;
 }
 
 PolicyAverages RunBenchPolicySeeds(const std::string& policy, BenchSimConfig config, int seeds) {

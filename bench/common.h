@@ -53,6 +53,16 @@ struct BenchSimConfig {
   bool check_invariants = false;
   // Wall-clock budget per scheduling round, seconds (0 = unlimited).
   double round_time_budget = 0.0;
+  // Crash-consistent checkpointing (sim/checkpoint.h). Snapshots are written
+  // every checkpoint_every sim-seconds into checkpoint_dir; both must be set
+  // for checkpointing to engage. halt_after_checkpoint > 0 stops the run
+  // after the first snapshot at or past that sim time (used by the CI
+  // crash-resume smoke test to emulate a crash). These knobs are run-local
+  // and deliberately excluded from EncodeBenchSimConfig so a resumed run
+  // does not inherit the original's halt point.
+  double checkpoint_every = 0.0;
+  std::string checkpoint_dir;
+  double halt_after_checkpoint = 0.0;
 };
 
 // Registers the common --nodes/--jobs/--seed/... flags.
@@ -106,6 +116,29 @@ SimResult RunBenchPolicy(const std::string& policy, const BenchSimConfig& config
 // instead of a synthesized one.
 SimResult RunImportedTrace(const std::string& policy, const BenchSimConfig& config,
                            const std::vector<JobSpec>& trace);
+
+// Serializes the run-defining subset of the config (everything except the
+// checkpoint knobs) as key=value lines. Stored in each snapshot's "extra"
+// section so --resume-from can rebuild the exact run configuration.
+std::string EncodeBenchSimConfig(const BenchSimConfig& config);
+bool DecodeBenchSimConfig(const std::string& text, BenchSimConfig* config);
+
+// Run-local overrides applied on top of a snapshot's embedded config when
+// resuming (a resumed run may checkpoint into a different directory, or not
+// at all).
+struct BenchResumeOptions {
+  double checkpoint_every = 0.0;
+  std::string checkpoint_dir;
+  double halt_after_checkpoint = 0.0;
+};
+
+// Resumes a run from a snapshot file (or the newest valid snapshot in a
+// directory): rebuilds the policy and trace from the snapshot's embedded
+// config, restores the simulator state, and runs to completion. On success
+// fills *result and *policy (the policy name the run was started with) and
+// returns true; on failure fills *error and returns false.
+bool ResumeBenchFromSnapshot(const std::string& path_or_dir, const BenchResumeOptions& resume,
+                             SimResult* result, std::string* policy, std::string* error);
 
 // Convenience wrapper that averages a metric over `seeds` trace seeds.
 struct PolicyAverages {

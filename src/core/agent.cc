@@ -136,6 +136,46 @@ AgentReport PolluxAgent::MakeReport() {
   return report;
 }
 
+PolluxAgent::State PolluxAgent::GetState() const {
+  State state;
+  state.observations.reserve(observations_.size());
+  for (const auto& [key, stats] : observations_) {
+    State::Observation obs;
+    obs.gpus = std::get<0>(key);
+    obs.node_regime = std::get<1>(key);
+    obs.batch_bucket = std::get<2>(key);
+    obs.iter_time = stats.iter_time.GetState();
+    obs.batch_size = stats.batch_size.GetState();
+    state.observations.push_back(obs);
+  }
+  state.tracker = tracker_.GetState();
+  state.model_params = model_.params();
+  state.model_phi = model_.phi();
+  state.model_base_batch = model_.base_batch_size();
+  state.max_gpus_seen = max_gpus_seen_;
+  state.max_nodes_seen = max_nodes_seen_;
+  state.last_fit_configs = last_fit_configs_;
+  state.fits_rejected = fits_rejected_;
+  state.outliers_rejected = outliers_rejected_;
+  return state;
+}
+
+void PolluxAgent::SetState(const State& state) {
+  observations_.clear();
+  for (const auto& obs : state.observations) {
+    ConfigStats& stats = observations_[{obs.gpus, obs.node_regime, obs.batch_bucket}];
+    stats.iter_time.SetState(obs.iter_time);
+    stats.batch_size.SetState(obs.batch_size);
+  }
+  tracker_.SetState(state.tracker);
+  model_ = GoodputModel(state.model_params, state.model_phi, state.model_base_batch);
+  max_gpus_seen_ = state.max_gpus_seen;
+  max_nodes_seen_ = state.max_nodes_seen;
+  last_fit_configs_ = state.last_fit_configs;
+  fits_rejected_ = state.fits_rejected;
+  outliers_rejected_ = state.outliers_rejected;
+}
+
 GoodputModel::BatchChoice PolluxAgent::TuneBatchSize(const Placement& placement) const {
   return model_.OptimizeBatchSize(placement, limits_);
 }

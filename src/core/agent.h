@@ -76,6 +76,33 @@ class PolluxAgent {
   // AdaScale learning rate (Eqn. 5) at the given batch size.
   double LearningRateAt(long batch_size) const;
 
+  // Full mutable agent state for checkpoint/restore: the profiled
+  // observation table, the smoothed GNS moments, the currently fitted
+  // goodput model, and the exploration/refit bookkeeping. Construction
+  // parameters (job id, limits, config) are not part of the state — a
+  // restored agent must be constructed with the same arguments first.
+  struct State {
+    struct Observation {
+      int gpus = 0;
+      int node_regime = 0;
+      long batch_bucket = 0;
+      RunningStats::State iter_time;
+      RunningStats::State batch_size;
+    };
+    std::vector<Observation> observations;
+    GnsTracker::State tracker;
+    ThroughputParams model_params;
+    double model_phi = 0.0;
+    long model_base_batch = 1;
+    int max_gpus_seen = 0;
+    int max_nodes_seen = 0;
+    size_t last_fit_configs = 0;
+    int fits_rejected = 0;
+    int outliers_rejected = 0;
+  };
+  State GetState() const;
+  void SetState(const State& state);
+
   const GoodputModel& model() const { return model_; }
   double phi() const { return tracker_.Phi(); }
   // Diagnostics for the robust-estimation path.

@@ -68,6 +68,30 @@ class GeneticOptimizer {
   // Cumulative speedup-memoization counters across all Optimize() calls.
   EvalCacheStats cache_stats() const { return cache_.Stats(); }
 
+  // Search state for checkpoint/restore: the master Rng cursor plus the
+  // persisted population and the job ids it was bred for. Restore after any
+  // SetCluster call (SetCluster clears the population). The memo cache is
+  // deliberately excluded — results are bit-identical with or without it.
+  struct State {
+    Rng::State rng;
+    std::vector<uint64_t> last_job_ids;
+    std::vector<AllocationMatrix> population;
+  };
+  State GetState() const { return State{rng_.GetState(), last_job_ids_, population_}; }
+  void SetState(const State& state) {
+    rng_.SetState(state.rng);
+    last_job_ids_ = state.last_job_ids;
+    population_ = state.population;
+  }
+
+  // Cold recovery: forget the persisted population and re-seed the master
+  // Rng from configuration, as a freshly restarted scheduler process would.
+  void ResetSearchState() {
+    rng_ = Rng(options_.seed);
+    last_job_ids_.clear();
+    population_.clear();
+  }
+
   // Exposed for testing: enforces all feasibility constraints in place.
   void Repair(AllocationMatrix& matrix, const std::vector<SchedJobInfo>& jobs);
 

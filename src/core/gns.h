@@ -65,6 +65,22 @@ class GnsTracker {
   // sample arrives.
   double Phi() const;
 
+  // EMA state, for checkpoint/restore (the smoothing factor is configuration
+  // and is not part of the state).
+  struct State {
+    double cov_ema = 0.0;
+    double sqnorm_ema = 0.0;
+    double weight = 0.0;
+    size_t count = 0;
+  };
+  State GetState() const { return State{cov_ema_, sqnorm_ema_, weight_, count_}; }
+  void SetState(const State& state) {
+    cov_ema_ = state.cov_ema;
+    sqnorm_ema_ = state.sqnorm_ema;
+    weight_ = state.weight;
+    count_ = state.count;
+  }
+
  private:
   double smoothing_;
   double cov_ema_ = 0.0;

@@ -94,6 +94,34 @@ class PolluxSched {
   // Hit/miss counters of the speedup-table construction cache.
   EvalCacheStats table_cache_stats() const { return table_cache_.Stats(); }
 
+  // Scheduler state for checkpoint/restore: the GA search state plus the
+  // last-round diagnostics and the cumulative fallback counter. The table
+  // cache is excluded (memoization never changes results).
+  struct State {
+    GeneticOptimizer::State ga;
+    double last_utility = 0.0;
+    double last_fitness = 0.0;
+    uint64_t fallback_rounds = 0;
+  };
+  State GetState() const {
+    return State{optimizer_.GetState(), last_utility_, last_fitness_, fallback_rounds_};
+  }
+  void SetState(const State& state) {
+    optimizer_.SetState(state.ga);
+    last_utility_ = state.last_utility;
+    last_fitness_ = state.last_fitness;
+    fallback_rounds_ = state.fallback_rounds;
+  }
+
+  // Cold recovery: drop the persisted GA population and diagnostics, as a
+  // freshly restarted scheduler process would. The cumulative fallback
+  // counter survives — it is run-level accounting, not process state.
+  void ResetSearchState() {
+    optimizer_.ResetSearchState();
+    last_utility_ = 0.0;
+    last_fitness_ = 0.0;
+  }
+
  private:
   std::vector<SchedJobInfo> BuildJobInfos(const std::vector<SchedJobReport>& reports,
                                           int max_gpus) const;

@@ -47,6 +47,14 @@ class RecurringTimer {
 
   double threshold() const { return threshold_; }
   double interval() const { return interval_; }
+  double last_fire() const { return last_fire_; }
+
+  // Restores (threshold, last_fire) from a checkpoint so a resumed event loop
+  // continues the exact firing schedule of the interrupted run.
+  void RestoreState(double threshold, double last_fire) {
+    threshold_ = threshold;
+    last_fire_ = last_fire;
+  }
 
  private:
   double threshold_;

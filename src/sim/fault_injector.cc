@@ -20,6 +20,22 @@ uint64_t MixSeed(uint64_t seed, uint64_t stream) {
 
 }  // namespace
 
+bool SchedRecoveryByName(const std::string& name, SchedRecovery* recovery) {
+  if (name.empty() || name == "warm") {
+    *recovery = SchedRecovery::kWarm;
+    return true;
+  }
+  if (name == "cold") {
+    *recovery = SchedRecovery::kCold;
+    return true;
+  }
+  return false;
+}
+
+const char* SchedRecoveryName(SchedRecovery recovery) {
+  return recovery == SchedRecovery::kCold ? "cold" : "warm";
+}
+
 bool FaultProfileByName(const std::string& name, FaultOptions* options) {
   FaultOptions result;
   if (name.empty() || name == "none") {
@@ -53,7 +69,11 @@ FaultInjector::FaultInjector(FaultOptions options, int num_nodes, uint64_t seed)
     : options_(options),
       seed_(seed),
       report_rng_(MixSeed(seed, 0xaaaaULL)),
-      restart_rng_(MixSeed(seed, 0xbbbbULL)) {
+      restart_rng_(MixSeed(seed, 0xbbbbULL)),
+      sched_rng_(MixSeed(seed, 0xccccULL)) {
+  next_sched_crash_ = options_.mtbf_sched > 0.0
+                          ? sched_rng_.Exponential(1.0 / options_.mtbf_sched)
+                          : kNever;
   nodes_.reserve(static_cast<size_t>(num_nodes));
   for (int n = 0; n < num_nodes; ++n) {
     nodes_.push_back(MakeNode(n, 0.0));
@@ -83,7 +103,8 @@ std::vector<FaultInjector::NodeTransition> FaultInjector::Poll(double now) {
     int due = -1;
     for (size_t n = 0; n < nodes_.size(); ++n) {
       if (nodes_[n].next_transition <= now &&
-          (due < 0 || nodes_[n].next_transition < nodes_[static_cast<size_t>(due)].next_transition)) {
+          (due < 0 ||
+           nodes_[n].next_transition < nodes_[static_cast<size_t>(due)].next_transition)) {
         due = static_cast<int>(n);
       }
     }
@@ -102,7 +123,7 @@ std::vector<FaultInjector::NodeTransition> FaultInjector::Poll(double now) {
 }
 
 double FaultInjector::NextTransitionTime() const {
-  double next = kNever;
+  double next = next_sched_crash_;
   if (options_.mtbf_node <= 0.0) {
     return next;
   }
@@ -110,6 +131,15 @@ double FaultInjector::NextTransitionTime() const {
     next = std::min(next, node.next_transition);
   }
   return next;
+}
+
+int FaultInjector::PollSchedulerCrashes(double now) {
+  int crashes = 0;
+  while (next_sched_crash_ <= now) {
+    ++crashes;
+    next_sched_crash_ += sched_rng_.Exponential(1.0 / options_.mtbf_sched);
+  }
+  return crashes;
 }
 
 void FaultInjector::OnClusterResize(int num_nodes, double now) {
@@ -133,6 +163,43 @@ double FaultInjector::JobSlowdown(const std::vector<int>& alloc) const {
     }
   }
   return 1.0;
+}
+
+FaultInjector::State FaultInjector::GetState() const {
+  State state;
+  state.report_rng = report_rng_.GetState();
+  state.restart_rng = restart_rng_.GetState();
+  state.sched_rng = sched_rng_.GetState();
+  state.next_sched_crash = next_sched_crash_;
+  state.nodes.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    State::Node saved;
+    saved.rng = node.rng.GetState();
+    saved.failed = node.failed;
+    saved.straggler = node.straggler;
+    saved.next_transition = node.next_transition;
+    state.nodes.push_back(saved);
+  }
+  state.nodes_created = nodes_created_;
+  return state;
+}
+
+void FaultInjector::SetState(const State& state) {
+  report_rng_.SetState(state.report_rng);
+  restart_rng_.SetState(state.restart_rng);
+  sched_rng_.SetState(state.sched_rng);
+  next_sched_crash_ = state.next_sched_crash;
+  nodes_.clear();
+  nodes_.reserve(state.nodes.size());
+  for (const auto& saved : state.nodes) {
+    NodeState node;
+    node.rng.SetState(saved.rng);
+    node.failed = saved.failed;
+    node.straggler = saved.straggler;
+    node.next_transition = saved.next_transition;
+    nodes_.push_back(node);
+  }
+  nodes_created_ = state.nodes_created;
 }
 
 int FaultInjector::num_failed_nodes() const {

@@ -26,6 +26,23 @@
 
 namespace pollux {
 
+// How the simulator recovers from an injected scheduler-process crash.
+//   kWarm: reload the latest in-memory snapshot of the control-plane state;
+//          recovery is lossless and the run is byte-identical to one without
+//          the crash.
+//   kCold: the restarted process has no snapshot. Per-job agents lose their
+//          fitted models and refit from fresh reports; the scheduler rebuilds
+//          its queues/population from the surviving job state. A measured
+//          graceful-degradation path (sim.recovery.* metrics).
+enum class SchedRecovery {
+  kWarm,
+  kCold,
+};
+
+// "warm" | "cold" -> mode; returns false for anything else.
+bool SchedRecoveryByName(const std::string& name, SchedRecovery* recovery);
+const char* SchedRecoveryName(SchedRecovery recovery);
+
 struct FaultOptions {
   // Mean time between crashes of one node, seconds (exponential
   // inter-arrival per node). 0 disables node crashes.
@@ -45,10 +62,16 @@ struct FaultOptions {
   // First retry backoff and its cap; the backoff doubles per failed attempt.
   double restart_backoff_init = 15.0;
   double restart_backoff_cap = 240.0;
+  // Mean time between scheduler-process crashes, seconds (exponential
+  // inter-arrival). 0 disables the scheduler_crash fault class. Crashes are
+  // drawn from a dedicated stream, so enabling them never perturbs the other
+  // fault classes' draws.
+  double mtbf_sched = 0.0;
+  SchedRecovery sched_recovery = SchedRecovery::kWarm;
 
   bool enabled() const {
     return mtbf_node > 0.0 || straggler_frac > 0.0 || report_drop_rate > 0.0 ||
-           restart_fail_rate > 0.0;
+           restart_fail_rate > 0.0 || mtbf_sched > 0.0;
   }
 };
 
@@ -70,12 +93,17 @@ class FaultInjector {
   // that fired since the previous Poll, in deterministic (time, node) order.
   std::vector<NodeTransition> Poll(double now);
 
-  // Earliest pending crash/repair time across all nodes, +inf when node
-  // crashes are disabled. Lets the event engine schedule fault polls lazily
-  // instead of polling every tick: Poll draws RNG only when transitions
-  // actually fire, so calling it exactly at (the tick grid point covering)
-  // this time replays the same draw sequence as per-tick polling.
+  // Earliest pending transition time across all nodes and the scheduler-
+  // crash stream, +inf when both fault classes are disabled. Lets the event
+  // engine schedule fault polls lazily instead of polling every tick: Poll /
+  // PollSchedulerCrashes draw RNG only when transitions actually fire, so
+  // calling them exactly at (the tick grid point covering) this time replays
+  // the same draw sequence as per-tick polling.
   double NextTransitionTime() const;
+
+  // Number of scheduler-process crashes due by `now`; each one redraws the
+  // next crash time from the dedicated stream. 0 when mtbf_sched is 0.
+  int PollSchedulerCrashes(double now);
 
   // Reshapes per-node state after an autoscaler resize. Surviving nodes keep
   // their fault state and streams; new nodes start healthy with fresh
@@ -100,6 +128,27 @@ class FaultInjector {
   const FaultOptions& options() const { return options_; }
   int num_failed_nodes() const;
 
+  // Full injector state for checkpoint/restore: every Rng stream cursor,
+  // per-node fault state and armed transition times, the armed scheduler
+  // crash, and the stream-derivation counter. Options/seed are construction
+  // parameters and not part of the state.
+  struct State {
+    struct Node {
+      Rng::State rng;
+      bool failed = false;
+      bool straggler = false;
+      double next_transition = 0.0;
+    };
+    Rng::State report_rng;
+    Rng::State restart_rng;
+    Rng::State sched_rng;
+    double next_sched_crash = 0.0;
+    std::vector<Node> nodes;
+    uint64_t nodes_created = 0;
+  };
+  State GetState() const;
+  void SetState(const State& state);
+
  private:
   struct NodeState {
     Rng rng;
@@ -114,6 +163,10 @@ class FaultInjector {
   uint64_t seed_;
   Rng report_rng_;
   Rng restart_rng_;
+  // Scheduler-crash stream and its armed next crash time (+inf when the
+  // class is disabled).
+  Rng sched_rng_;
+  double next_sched_crash_ = 0.0;
   std::vector<NodeState> nodes_;
   // Monotone counter so nodes added by successive resizes get fresh streams.
   uint64_t nodes_created_ = 0;

@@ -1,5 +1,7 @@
 #include "sim/pollux_policy.h"
 
+#include "sim/checkpoint.h"
+
 namespace pollux {
 
 PolluxPolicy::PolluxPolicy(ClusterSpec cluster, SchedConfig config)
@@ -27,5 +29,96 @@ std::map<uint64_t, std::vector<int>> PolluxPolicy::Schedule(const SchedulerConte
 }
 
 void PolluxPolicy::OnClusterChanged(const ClusterSpec& cluster) { sched_.SetCluster(cluster); }
+
+void PolluxPolicy::SaveState(std::string* blob) const {
+  BinWriter out;
+  out.PutIntVec(sched_.cluster().gpus_per_node);
+  const PolluxSched::State state = sched_.GetState();
+  PutRngState(out, state.ga.rng);
+  out.PutU64(state.ga.last_job_ids.size());
+  for (uint64_t job_id : state.ga.last_job_ids) {
+    out.PutU64(job_id);
+  }
+  out.PutU64(state.ga.population.size());
+  for (const AllocationMatrix& matrix : state.ga.population) {
+    out.PutU64(matrix.num_jobs());
+    out.PutU64(matrix.num_nodes());
+    for (size_t job = 0; job < matrix.num_jobs(); ++job) {
+      for (size_t node = 0; node < matrix.num_nodes(); ++node) {
+        out.PutI64(matrix.at(job, node));
+      }
+    }
+  }
+  out.PutDouble(state.last_utility);
+  out.PutDouble(state.last_fitness);
+  out.PutU64(state.fallback_rounds);
+  out.PutU64(last_reports_.size());
+  for (const SchedJobReport& report : last_reports_) {
+    PutAgentReport(out, report.agent);
+    out.PutDouble(report.gpu_time);
+    out.PutIntVec(report.current_allocation);
+    out.PutDouble(report.report_age);
+    out.PutBool(report.stale);
+  }
+  *blob = out.str();
+}
+
+bool PolluxPolicy::LoadState(const std::string& blob) {
+  BinReader in(blob);
+  ClusterSpec cluster;
+  cluster.gpus_per_node = in.GetIntVec();
+  if (!in.ok()) {
+    return false;
+  }
+  // The cluster must be restored before the GA state: SetCluster clears the
+  // persisted population (matrix shapes change with the cluster).
+  sched_.SetCluster(cluster);
+  PolluxSched::State state;
+  state.ga.rng = GetRngState(in);
+  const uint64_t job_ids = in.GetU64();
+  for (uint64_t i = 0; i < job_ids && in.ok(); ++i) {
+    state.ga.last_job_ids.push_back(in.GetU64());
+  }
+  const uint64_t population = in.GetU64();
+  for (uint64_t i = 0; i < population && in.ok(); ++i) {
+    const uint64_t num_jobs = in.GetU64();
+    const uint64_t num_nodes = in.GetU64();
+    if (!in.ok() || num_jobs > (uint64_t{1} << 20) || num_nodes > (uint64_t{1} << 20)) {
+      return false;
+    }
+    AllocationMatrix matrix(static_cast<size_t>(num_jobs), static_cast<size_t>(num_nodes));
+    for (size_t job = 0; job < matrix.num_jobs(); ++job) {
+      for (size_t node = 0; node < matrix.num_nodes(); ++node) {
+        matrix.at(job, node) = static_cast<int>(in.GetI64());
+      }
+    }
+    state.ga.population.push_back(std::move(matrix));
+  }
+  state.last_utility = in.GetDouble();
+  state.last_fitness = in.GetDouble();
+  state.fallback_rounds = in.GetU64();
+  const uint64_t reports = in.GetU64();
+  std::vector<SchedJobReport> restored_reports;
+  for (uint64_t i = 0; i < reports && in.ok(); ++i) {
+    SchedJobReport report;
+    report.agent = GetAgentReport(in);
+    report.gpu_time = in.GetDouble();
+    report.current_allocation = in.GetIntVec();
+    report.report_age = in.GetDouble();
+    report.stale = in.GetBool();
+    restored_reports.push_back(std::move(report));
+  }
+  if (!in.ok() || !in.AtEnd()) {
+    return false;
+  }
+  sched_.SetState(state);
+  last_reports_ = std::move(restored_reports);
+  return true;
+}
+
+void PolluxPolicy::ResetControlState() {
+  sched_.ResetSearchState();
+  last_reports_.clear();
+}
 
 }  // namespace pollux

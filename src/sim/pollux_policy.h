@@ -17,6 +17,15 @@ class PolluxPolicy : public Scheduler {
   void OnClusterChanged(const ClusterSpec& cluster) override;
   const char* name() const override { return "pollux"; }
 
+  // Checkpoint/restore of the full control-plane state: the sched's cluster
+  // view, GA search state, diagnostics, and the cached reports. LoadState
+  // restores the cluster before the GA state (SetCluster clears the persisted
+  // population), so a restored policy's next round is byte-identical to the
+  // interrupted run's.
+  void SaveState(std::string* blob) const override;
+  bool LoadState(const std::string& blob) override;
+  void ResetControlState() override;
+
   PolluxSched& sched() { return sched_; }
   const PolluxSched& sched() const { return sched_; }
 

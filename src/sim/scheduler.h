@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/agent.h"
@@ -75,6 +76,18 @@ class Scheduler {
 
   // Notification that the autoscaler changed the cluster shape.
   virtual void OnClusterChanged(const ClusterSpec& cluster) { (void)cluster; }
+
+  // Control-plane state serialization for crash-consistent checkpoints
+  // (sim/checkpoint.h). SaveState appends an opaque blob; LoadState must
+  // accept exactly what SaveState produced and returns false on a malformed
+  // blob. The default implementations cover stateless policies (FIFO,
+  // Tiresias, Optimus): empty blob out, only an empty blob accepted back.
+  virtual void SaveState(std::string* blob) const { blob->clear(); }
+  virtual bool LoadState(const std::string& blob) { return blob.empty(); }
+
+  // Cold crash recovery: drop all internal state, as a freshly restarted
+  // scheduler process with no snapshot would.
+  virtual void ResetControlState() {}
 
   virtual const char* name() const = 0;
 };

@@ -22,15 +22,17 @@ namespace {
 constexpr double kProgressEpsilon = 1e-6;
 
 // Sim-time trace tracks (pid kSimPid): jobs use their job id, nodes are
-// offset so the two id spaces can't collide.
+// offset so the two id spaces can't collide; the scheduler control plane gets
+// its own track above both.
 constexpr uint64_t kNodeTrackBase = uint64_t{1} << 40;
+constexpr uint64_t kSchedTrack = kNodeTrackBase * 2;
 
 struct SimMetrics {
   obs::Counter* ticks;
   obs::Counter* engine_events;
   obs::Gauge* engine_events_per_s;
   obs::Gauge* run_wall_s;
-  obs::Counter* events_by_kind[11];
+  obs::Counter* events_by_kind[12];
   obs::Gauge* failed_nodes;
   obs::Gauge* masked_gpus;
   obs::Gauge* avg_goodput;
@@ -38,6 +40,12 @@ struct SimMetrics {
   obs::Gauge* avg_efficiency;
   obs::Gauge* avg_jct_s;
   obs::Gauge* makespan_s;
+  obs::Counter* checkpoint_writes;
+  obs::Counter* checkpoint_resumes;
+  obs::Counter* sched_crashes;
+  obs::Counter* warm_restores;
+  obs::Counter* cold_resets;
+  obs::Counter* agents_reset;
 
   static const SimMetrics& Get() {
     static const SimMetrics metrics;
@@ -51,7 +59,7 @@ struct SimMetrics {
     engine_events = registry.GetCounter("sim.engine.events");
     engine_events_per_s = registry.GetGauge("sim.engine.events_per_s");
     run_wall_s = registry.GetGauge("sim.run_wall_s");
-    for (int kind = 0; kind <= static_cast<int>(SimEventKind::kReportDrop); ++kind) {
+    for (int kind = 0; kind <= static_cast<int>(SimEventKind::kSchedCrash); ++kind) {
       events_by_kind[kind] = registry.GetCounter(
           std::string("sim.events.") + SimEventKindName(static_cast<SimEventKind>(kind)));
     }
@@ -62,6 +70,12 @@ struct SimMetrics {
     avg_efficiency = registry.GetGauge("sim.avg_efficiency");
     avg_jct_s = registry.GetGauge("sim.avg_jct_s");
     makespan_s = registry.GetGauge("sim.makespan_s");
+    checkpoint_writes = registry.GetCounter("sim.checkpoint.writes");
+    checkpoint_resumes = registry.GetCounter("sim.checkpoint.resumes");
+    sched_crashes = registry.GetCounter("sim.recovery.scheduler_crashes");
+    warm_restores = registry.GetCounter("sim.recovery.warm_restores");
+    cold_resets = registry.GetCounter("sim.recovery.cold_resets");
+    agents_reset = registry.GetCounter("sim.recovery.agents_reset");
   }
 };
 
@@ -127,6 +141,8 @@ const char* SimEventKindName(SimEventKind kind) {
       return "restart_failure";
     case SimEventKind::kReportDrop:
       return "report_drop";
+    case SimEventKind::kSchedCrash:
+      return "sched_crash";
   }
   return "?";
 }
@@ -431,6 +447,14 @@ void Simulator::ProcessFaults(double now) {
   if (faults_ == nullptr) {
     return;
   }
+  if (options_.faults.mtbf_sched > 0.0) {
+    // Scheduler crashes are polled before node transitions so both engines
+    // (per-tick and lazy event polls) replay the same recovery order.
+    const int crashes = faults_->PollSchedulerCrashes(now);
+    for (int crash = 0; crash < crashes; ++crash) {
+      RecoverScheduler(now);
+    }
+  }
   const auto transitions = faults_->Poll(now);
   for (const auto& transition : transitions) {
     const size_t node = static_cast<size_t>(transition.node);
@@ -475,6 +499,66 @@ void Simulator::ProcessFaults(double now) {
     // sees zero free GPUs there).
     scheduler_->OnClusterChanged(cluster_);
   }
+}
+
+void Simulator::RecoverScheduler(double now) {
+  const bool warm = options_.faults.sched_recovery == SchedRecovery::kWarm;
+  Emit(SimEvent{now, SimEventKind::kSchedCrash, 0, 0, 0});
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  if (recorder.enabled()) {
+    recorder.SetTrackName(obs::TraceRecorder::kSimPid, kSchedTrack, "scheduler");
+    recorder.EmitSimInstant(warm ? "sched_crash (warm)" : "sched_crash (cold)", kSchedTrack,
+                            now);
+  }
+  const bool metrics_on = obs::MetricsRegistry::Global().enabled();
+  if (metrics_on) {
+    SimMetrics::Get().sched_crashes->Add();
+  }
+  if (warm) {
+    // Warm recovery: the restarted scheduler process reloads the latest
+    // control-plane snapshot — in simulation, an in-memory round trip through
+    // the same serialization the on-disk checkpoints use. Lossless, so the
+    // run continues byte-identically to one without the crash.
+    std::string blob;
+    scheduler_->SaveState(&blob);
+    if (!scheduler_->LoadState(blob)) {
+      Log(LogLevel::kError) << "warm scheduler recovery rejected its own state at t=" << now;
+    }
+    if (metrics_on) {
+      SimMetrics::Get().warm_restores->Add();
+    }
+    return;
+  }
+  // Cold recovery: no snapshot survives the crash. The scheduler rebuilds its
+  // queues/population from scratch and every unfinished job's agent process
+  // restarts with no fitted model or observation history — jobs keep running
+  // on their current allocation and batch size while the models refit.
+  scheduler_->ResetControlState();
+  AgentConfig agent_config;
+  if (options_.faults.enabled()) {
+    agent_config.robust_fitting = true;
+  }
+  uint64_t reset = 0;
+  for (auto& job : jobs_) {
+    if (job->finished) {
+      continue;
+    }
+    job->agent = PolluxAgent(job->spec.job_id, job->profile->base_batch_size,
+                             job->profile->base_lr, job->profile->Limits(), agent_config);
+    if (job->placement.num_gpus > 0) {
+      job->agent.NotifyAllocation(job->placement);
+    }
+    job->has_report = false;
+    job->last_report_time = -1.0;
+    job->report = AgentReport{};
+    ++reset;
+  }
+  if (metrics_on) {
+    SimMetrics::Get().cold_resets->Add();
+    SimMetrics::Get().agents_reset->Add(reset);
+  }
+  Log(LogLevel::kInfo) << "scheduler crash at t=" << now << ": cold recovery reset " << reset
+                       << " agents";
 }
 
 bool Simulator::JobSuffersInterference(const Job& job) const {
@@ -767,29 +851,65 @@ bool Simulator::AllJobsFinished() const {
 }
 
 double Simulator::RunTicked() {
+  constexpr double kNever = std::numeric_limits<double>::infinity();
+  const bool checkpointing =
+      options_.checkpoint_every > 0.0 && !options_.checkpoint_dir.empty();
   double now = 0.0;
   double next_report = 0.0;
   double next_sched = 0.0;
   double next_autoscale = options_.autoscale_interval;
+  double next_checkpoint = checkpointing ? options_.checkpoint_every : kNever;
+  bool skip_handlers = false;
+  if (loop_.valid) {
+    // Resuming: the snapshot was written right after the handler block of the
+    // tick at loop_.now, so the first iteration skips straight to the
+    // completion check and job advancement.
+    now = loop_.now;
+    next_report = loop_.next_report;
+    next_sched = loop_.next_sched;
+    next_autoscale = loop_.next_autoscale;
+    next_checkpoint = checkpointing ? loop_.next_checkpoint : kNever;
+    loop_.valid = false;
+    skip_handlers = true;
+  }
   while (now < options_.max_time) {
-    ActivateSubmissions(now);
-    ProcessFaults(now);
-    if (now + 1e-9 >= next_report) {
-      RefreshReports(now);
-      next_report += options_.report_interval;
+    if (!skip_handlers) {
+      ActivateSubmissions(now);
+      ProcessFaults(now);
+      if (now + 1e-9 >= next_report) {
+        RefreshReports(now);
+        next_report += options_.report_interval;
+      }
+      if (now + 1e-9 >= next_sched) {
+        RunSchedulingRound(now);
+        RecordTimelineSample(now);
+        next_sched += options_.sched_interval;
+      }
+      if (autoscaler_ != nullptr && now + 1e-9 >= next_autoscale) {
+        RunAutoscaling(now);
+        next_autoscale += options_.autoscale_interval;
+      }
+      if (options_.check_invariants) {
+        CheckInvariants(now);
+      }
+      if (now + 1e-9 >= next_checkpoint) {
+        next_checkpoint += options_.checkpoint_every;
+        loop_.valid = true;
+        loop_.now = now;
+        loop_.next_report = next_report;
+        loop_.next_sched = next_sched;
+        loop_.next_autoscale = next_autoscale;
+        loop_.next_checkpoint = next_checkpoint;
+        WritePeriodicSnapshot(now);
+        loop_.valid = false;
+        if (options_.halt_after_checkpoint > 0.0 &&
+            now + 1e-9 >= options_.halt_after_checkpoint) {
+          result_.halted = true;
+          return now;
+        }
+      }
     }
-    if (now + 1e-9 >= next_sched) {
-      RunSchedulingRound(now);
-      RecordTimelineSample(now);
-      next_sched += options_.sched_interval;
-    }
-    if (autoscaler_ != nullptr && now + 1e-9 >= next_autoscale) {
-      RunAutoscaling(now);
-      next_autoscale += options_.autoscale_interval;
-    }
-    if (options_.check_invariants) {
-      CheckInvariants(now);
-    }
+    skip_handlers = false;
     if (AllJobsFinished()) {
       break;
     }
@@ -812,18 +932,41 @@ double Simulator::RunEvent() {
     kReport = 2,
     kSched = 3,
     kAutoscale = 4,
+    kCheckpoint = 5,
   };
   EventQueue<int> queue;
   RecurringTimer report_timer(0.0, options_.report_interval);
   RecurringTimer sched_timer(0.0, options_.sched_interval);
   RecurringTimer autoscale_timer(options_.autoscale_interval, options_.autoscale_interval);
+  const bool checkpointing =
+      options_.checkpoint_every > 0.0 && !options_.checkpoint_dir.empty();
+  RecurringTimer ckpt_timer(options_.checkpoint_every, options_.checkpoint_every);
+  double resume_from = 0.0;
+  uint64_t dispatched = 0;
+  if (loop_.valid) {
+    // Resuming: restore every timer's (threshold, last_fire) so the handler
+    // schedule continues exactly where the interrupted run left off, and the
+    // dispatch count so sim.engine.events covers the whole logical run.
+    resume_from = loop_.now;
+    report_timer.RestoreState(loop_.report_threshold, loop_.report_last);
+    sched_timer.RestoreState(loop_.sched_threshold, loop_.sched_last);
+    autoscale_timer.RestoreState(loop_.autoscale_threshold, loop_.autoscale_last);
+    ckpt_timer.RestoreState(loop_.ckpt_threshold, loop_.ckpt_last);
+    dispatched = loop_.engine_events;
+    loop_.valid = false;
+  }
   queue.Push(report_timer.NextFireTime(clock), kReport, kReport);
   queue.Push(sched_timer.NextFireTime(clock), kSched, kSched);
   if (autoscaler_ != nullptr) {
     queue.Push(autoscale_timer.NextFireTime(clock), kAutoscale, kAutoscale);
   }
-  for (const auto& spec : trace_) {
-    queue.Push(clock.GridCeil(spec.submit_time), kSubmission, kSubmission);
+  if (checkpointing) {
+    queue.Push(ckpt_timer.NextFireTime(clock), kCheckpoint, kCheckpoint);
+  }
+  // Fresh runs enqueue the whole trace (next_submission_ is 0); resumed runs
+  // only the not-yet-activated suffix.
+  for (size_t i = next_submission_; i < trace_.size(); ++i) {
+    queue.Push(clock.GridCeil(trace_[i].submit_time), kSubmission, kSubmission);
   }
   // Fault polls are armed lazily at the grid point covering the injector's
   // earliest pending transition. Poll only draws RNG when a transition
@@ -843,10 +986,20 @@ double Simulator::RunEvent() {
   };
   arm_fault_poll();
 
-  uint64_t dispatched = 0;
+  bool checkpoint_due = false;
   const auto dispatch_at = [&](double t) {
     while (!queue.empty() && queue.Top().time == t) {
       const int what = queue.Pop().payload;
+      if (what == kCheckpoint) {
+        // Checkpoints are invisible to the simulation: excluded from the
+        // dispatch count (so sim.engine.events matches a run without them)
+        // and deferred until after this instant's flush/invariants so the
+        // snapshot captures a consistent post-dispatch state.
+        checkpoint_due = true;
+        ckpt_timer.Fired(t);
+        queue.Push(ckpt_timer.NextFireTime(clock), kCheckpoint, kCheckpoint);
+        continue;
+      }
       ++dispatched;
       switch (what) {
         case kSubmission:
@@ -884,7 +1037,7 @@ double Simulator::RunEvent() {
     }
   };
 
-  double advanced_to = 0.0;
+  double advanced_to = resume_from;
   double final_now = -1.0;
   while (!queue.empty()) {
     const double t = queue.Top().time;
@@ -916,6 +1069,30 @@ double Simulator::RunEvent() {
     if (options_.check_invariants) {
       CheckInvariants(t);
     }
+    if (checkpoint_due) {
+      checkpoint_due = false;
+      loop_.valid = true;
+      loop_.now = t;
+      loop_.report_threshold = report_timer.threshold();
+      loop_.report_last = report_timer.last_fire();
+      loop_.sched_threshold = sched_timer.threshold();
+      loop_.sched_last = sched_timer.last_fire();
+      loop_.autoscale_threshold = autoscale_timer.threshold();
+      loop_.autoscale_last = autoscale_timer.last_fire();
+      loop_.ckpt_threshold = ckpt_timer.threshold();
+      loop_.ckpt_last = ckpt_timer.last_fire();
+      loop_.engine_events = dispatched;
+      WritePeriodicSnapshot(t);
+      loop_.valid = false;
+      if (options_.halt_after_checkpoint > 0.0 &&
+          t + 1e-9 >= options_.halt_after_checkpoint) {
+        engine_events_ = dispatched;
+        SimMetrics::Get().engine_events->Add(dispatched);
+        event_mode_ = false;
+        result_.halted = true;
+        return t;
+      }
+    }
   }
   if (final_now < 0.0) {
     // Horizon reached (or, defensively, an empty queue): advance the
@@ -930,6 +1107,428 @@ double Simulator::RunEvent() {
   SimMetrics::Get().engine_events->Add(dispatched);
   event_mode_ = false;
   return final_now;
+}
+
+namespace {
+
+void PutAgentState(BinWriter& out, const PolluxAgent::State& state) {
+  out.PutU64(state.observations.size());
+  for (const auto& observation : state.observations) {
+    out.PutI64(observation.gpus);
+    out.PutI64(observation.node_regime);
+    out.PutI64(observation.batch_bucket);
+    PutRunningStats(out, observation.iter_time);
+    PutRunningStats(out, observation.batch_size);
+  }
+  out.PutDouble(state.tracker.cov_ema);
+  out.PutDouble(state.tracker.sqnorm_ema);
+  out.PutDouble(state.tracker.weight);
+  out.PutU64(state.tracker.count);
+  const ThroughputParams& params = state.model_params;
+  out.PutDouble(params.alpha_grad);
+  out.PutDouble(params.beta_grad);
+  out.PutDouble(params.alpha_sync_local);
+  out.PutDouble(params.beta_sync_local);
+  out.PutDouble(params.alpha_sync_node);
+  out.PutDouble(params.beta_sync_node);
+  out.PutDouble(params.gamma);
+  out.PutDouble(state.model_phi);
+  out.PutI64(state.model_base_batch);
+  out.PutI64(state.max_gpus_seen);
+  out.PutI64(state.max_nodes_seen);
+  out.PutU64(state.last_fit_configs);
+  out.PutI64(state.fits_rejected);
+  out.PutI64(state.outliers_rejected);
+}
+
+PolluxAgent::State GetAgentState(BinReader& in) {
+  PolluxAgent::State state;
+  const uint64_t observations = in.GetU64();
+  if (!in.ok()) {
+    return state;
+  }
+  state.observations.reserve(static_cast<size_t>(observations));
+  for (uint64_t i = 0; i < observations && in.ok(); ++i) {
+    PolluxAgent::State::Observation observation;
+    observation.gpus = static_cast<int>(in.GetI64());
+    observation.node_regime = static_cast<int>(in.GetI64());
+    observation.batch_bucket = static_cast<long>(in.GetI64());
+    observation.iter_time = GetRunningStats(in);
+    observation.batch_size = GetRunningStats(in);
+    state.observations.push_back(observation);
+  }
+  state.tracker.cov_ema = in.GetDouble();
+  state.tracker.sqnorm_ema = in.GetDouble();
+  state.tracker.weight = in.GetDouble();
+  state.tracker.count = static_cast<size_t>(in.GetU64());
+  ThroughputParams params;
+  params.alpha_grad = in.GetDouble();
+  params.beta_grad = in.GetDouble();
+  params.alpha_sync_local = in.GetDouble();
+  params.beta_sync_local = in.GetDouble();
+  params.alpha_sync_node = in.GetDouble();
+  params.beta_sync_node = in.GetDouble();
+  params.gamma = in.GetDouble();
+  state.model_params = params;
+  state.model_phi = in.GetDouble();
+  state.model_base_batch = static_cast<long>(in.GetI64());
+  state.max_gpus_seen = static_cast<int>(in.GetI64());
+  state.max_nodes_seen = static_cast<int>(in.GetI64());
+  state.last_fit_configs = static_cast<size_t>(in.GetU64());
+  state.fits_rejected = static_cast<int>(in.GetI64());
+  state.outliers_rejected = static_cast<int>(in.GetI64());
+  return state;
+}
+
+bool LoadFail(std::string* error, const std::string& path, const std::string& message) {
+  if (error != nullptr) {
+    *error = path + ": " + message;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Simulator::SaveSnapshot(const std::string& path, std::string* error) {
+  std::map<uint32_t, std::string> sections;
+  sections[kTagExtra] = EncodeSnapshotExtra(snapshot_extra_);
+  {
+    // Core scalars plus a config echo validated on load: a snapshot resumed
+    // under a different engine, seed, tick, or trace cannot silently produce
+    // a diverged run.
+    BinWriter out;
+    out.PutU32(options_.engine == SimEngine::kEvent ? 1 : 0);
+    out.PutU64(options_.seed);
+    out.PutDouble(options_.tick);
+    out.PutU64(trace_.size());
+    out.PutIntVec(cluster_.gpus_per_node);
+    out.PutIntVec(base_cluster_.gpus_per_node);
+    PutRngState(out, rng_.GetState());
+    out.PutU64(next_submission_);
+    out.PutU64(checked_events_);
+    out.PutDouble(max_event_time_);
+    sections[kTagSimCore] = out.str();
+  }
+  {
+    BinWriter out;
+    out.PutU64(jobs_.size());
+    for (const auto& job : jobs_) {
+      out.PutU64(job->spec.job_id);
+      PutAgentState(out, job->agent.GetState());
+      PutRngState(out, job->rng.GetState());
+      out.PutIntVec(job->alloc);
+      out.PutI64(job->batch);
+      out.PutDouble(job->progress);
+      out.PutBool(job->finished);
+      out.PutDouble(job->restart_until);
+      out.PutDouble(job->start_time);
+      out.PutDouble(job->finish_time);
+      out.PutDouble(job->gpu_time);
+      out.PutI64(job->restarts);
+      out.PutI64(job->evictions);
+      out.PutI64(job->restart_failures);
+      out.PutDouble(job->backoff_seconds);
+      out.PutBool(job->has_report);
+      out.PutDouble(job->last_report_time);
+      PutAgentReport(out, job->report);
+      out.PutDouble(job->run_seconds);
+      out.PutDouble(job->eff_integral);
+      out.PutDouble(job->tput_integral);
+      out.PutDouble(job->goodput_integral);
+    }
+    sections[kTagJobs] = out.str();
+  }
+  {
+    BinWriter out;
+    out.PutBool(faults_ != nullptr);
+    if (faults_ != nullptr) {
+      const FaultInjector::State state = faults_->GetState();
+      PutRngState(out, state.report_rng);
+      PutRngState(out, state.restart_rng);
+      PutRngState(out, state.sched_rng);
+      out.PutDouble(state.next_sched_crash);
+      out.PutU64(state.nodes.size());
+      for (const auto& node : state.nodes) {
+        PutRngState(out, node.rng);
+        out.PutBool(node.failed);
+        out.PutBool(node.straggler);
+        out.PutDouble(node.next_transition);
+      }
+      out.PutU64(state.nodes_created);
+    }
+    sections[kTagFaults] = out.str();
+  }
+  {
+    std::string blob;
+    scheduler_->SaveState(&blob);
+    sections[kTagScheduler] = std::move(blob);
+  }
+  {
+    BinWriter out;
+    out.PutU64(result_.events.size());
+    for (const auto& event : result_.events) {
+      out.PutDouble(event.time);
+      out.PutU32(static_cast<uint32_t>(event.kind));
+      out.PutU64(event.job_id);
+      out.PutI64(event.gpus);
+      out.PutI64(event.nodes);
+    }
+    out.PutU64(result_.timeline.size());
+    for (const auto& sample : result_.timeline) {
+      out.PutDouble(sample.time);
+      out.PutI64(sample.nodes);
+      out.PutI64(sample.total_gpus);
+      out.PutI64(sample.gpus_in_use);
+      out.PutI64(sample.running_jobs);
+      out.PutDouble(sample.mean_efficiency);
+      out.PutDouble(sample.utility);
+      out.PutI64(sample.max_batch_size);
+    }
+    out.PutDouble(result_.node_seconds);
+    sections[kTagResult] = out.str();
+  }
+  {
+    BinWriter out;
+    out.PutBool(loop_.valid);
+    out.PutDouble(loop_.now);
+    out.PutDouble(loop_.next_report);
+    out.PutDouble(loop_.next_sched);
+    out.PutDouble(loop_.next_autoscale);
+    out.PutDouble(loop_.next_checkpoint);
+    out.PutDouble(loop_.report_threshold);
+    out.PutDouble(loop_.report_last);
+    out.PutDouble(loop_.sched_threshold);
+    out.PutDouble(loop_.sched_last);
+    out.PutDouble(loop_.autoscale_threshold);
+    out.PutDouble(loop_.autoscale_last);
+    out.PutDouble(loop_.ckpt_threshold);
+    out.PutDouble(loop_.ckpt_last);
+    out.PutU64(loop_.engine_events);
+    sections[kTagLoop] = out.str();
+  }
+
+  SnapshotMeta meta;
+  meta.sim_time = loop_.now;
+  meta.engine = SimEngineName(options_.engine);
+  meta.policy = snapshot_extra_.policy;
+  meta.seed = options_.seed;
+  meta.jobs_submitted = jobs_.size();
+  for (const auto& job : jobs_) {
+    meta.jobs_finished += job->finished ? 1 : 0;
+  }
+  meta.events = result_.events.size();
+  if (!WriteSnapshotFile(path, sections, meta, error)) {
+    return false;
+  }
+  if (obs::MetricsRegistry::Global().enabled()) {
+    SimMetrics::Get().checkpoint_writes->Add();
+  }
+  return true;
+}
+
+bool Simulator::LoadSnapshot(const std::string& path, std::string* error) {
+  std::map<uint32_t, std::string> sections;
+  if (!ReadSnapshotFile(path, &sections, error)) {
+    return false;
+  }
+  for (const uint32_t tag :
+       {kTagSimCore, kTagJobs, kTagFaults, kTagScheduler, kTagResult, kTagLoop}) {
+    if (sections.find(tag) == sections.end()) {
+      return LoadFail(error, path, "missing section " + std::to_string(tag));
+    }
+  }
+
+  {
+    BinReader in(sections[kTagSimCore]);
+    const uint32_t engine = in.GetU32();
+    const uint64_t seed = in.GetU64();
+    const double tick = in.GetDouble();
+    const uint64_t trace_size = in.GetU64();
+    if (!in.ok() || engine != (options_.engine == SimEngine::kEvent ? 1u : 0u) ||
+        seed != options_.seed || tick != options_.tick || trace_size != trace_.size()) {
+      return LoadFail(error, path,
+                      "snapshot was written under an incompatible run configuration "
+                      "(engine/seed/tick/trace mismatch)");
+    }
+    cluster_.gpus_per_node = in.GetIntVec();
+    base_cluster_.gpus_per_node = in.GetIntVec();
+    rng_.SetState(GetRngState(in));
+    next_submission_ = static_cast<size_t>(in.GetU64());
+    checked_events_ = static_cast<size_t>(in.GetU64());
+    max_event_time_ = in.GetDouble();
+    if (!in.ok() || !in.AtEnd() || next_submission_ > trace_.size()) {
+      return LoadFail(error, path, "malformed core section");
+    }
+  }
+
+  {
+    BinReader in(sections[kTagJobs]);
+    const uint64_t count = in.GetU64();
+    if (!in.ok() || count != next_submission_) {
+      return LoadFail(error, path, "job count does not match the submission cursor");
+    }
+    AgentConfig agent_config;
+    if (options_.faults.enabled()) {
+      agent_config.robust_fitting = true;
+    }
+    jobs_.clear();
+    for (uint64_t i = 0; i < count && in.ok(); ++i) {
+      const uint64_t job_id = in.GetU64();
+      const JobSpec& spec = trace_[static_cast<size_t>(i)];
+      if (spec.job_id != job_id) {
+        return LoadFail(error, path, "job order does not match the trace");
+      }
+      auto job = std::make_unique<Job>(spec, GetModelProfile(spec.model),
+                                       scheduler_->adapts_batch_size(), Rng(0), agent_config);
+      job->agent.SetState(GetAgentState(in));
+      job->rng.SetState(GetRngState(in));
+      job->alloc = in.GetIntVec();
+      job->placement = PlacementOf(job->alloc);
+      job->batch = static_cast<long>(in.GetI64());
+      job->progress = in.GetDouble();
+      job->finished = in.GetBool();
+      job->restart_until = in.GetDouble();
+      job->start_time = in.GetDouble();
+      job->finish_time = in.GetDouble();
+      job->gpu_time = in.GetDouble();
+      job->restarts = static_cast<int>(in.GetI64());
+      job->evictions = static_cast<int>(in.GetI64());
+      job->restart_failures = static_cast<int>(in.GetI64());
+      job->backoff_seconds = in.GetDouble();
+      job->has_report = in.GetBool();
+      job->last_report_time = in.GetDouble();
+      job->report = GetAgentReport(in);
+      job->run_seconds = in.GetDouble();
+      job->eff_integral = in.GetDouble();
+      job->tput_integral = in.GetDouble();
+      job->goodput_integral = in.GetDouble();
+      jobs_.push_back(std::move(job));
+    }
+    if (!in.ok() || !in.AtEnd()) {
+      return LoadFail(error, path, "malformed job section");
+    }
+  }
+
+  {
+    BinReader in(sections[kTagFaults]);
+    const bool present = in.GetBool();
+    if (present != (faults_ != nullptr)) {
+      return LoadFail(error, path, "fault-injection configuration mismatch");
+    }
+    if (present) {
+      FaultInjector::State state;
+      state.report_rng = GetRngState(in);
+      state.restart_rng = GetRngState(in);
+      state.sched_rng = GetRngState(in);
+      state.next_sched_crash = in.GetDouble();
+      const uint64_t nodes = in.GetU64();
+      if (!in.ok() || nodes > (uint64_t{1} << 20)) {
+        return LoadFail(error, path, "malformed fault section");
+      }
+      for (uint64_t n = 0; n < nodes && in.ok(); ++n) {
+        FaultInjector::State::Node node;
+        node.rng = GetRngState(in);
+        node.failed = in.GetBool();
+        node.straggler = in.GetBool();
+        node.next_transition = in.GetDouble();
+        state.nodes.push_back(node);
+      }
+      state.nodes_created = in.GetU64();
+      if (!in.ok() || !in.AtEnd()) {
+        return LoadFail(error, path, "malformed fault section");
+      }
+      faults_->SetState(state);
+    }
+  }
+
+  if (!scheduler_->LoadState(sections[kTagScheduler])) {
+    return LoadFail(error, path,
+                    std::string("scheduler '") + scheduler_->name() +
+                        "' rejected the snapshot's control-plane state");
+  }
+
+  {
+    BinReader in(sections[kTagResult]);
+    const uint64_t events = in.GetU64();
+    result_.events.clear();
+    for (uint64_t i = 0; i < events && in.ok(); ++i) {
+      SimEvent event;
+      event.time = in.GetDouble();
+      const uint32_t kind = in.GetU32();
+      if (kind > static_cast<uint32_t>(SimEventKind::kSchedCrash)) {
+        return LoadFail(error, path, "unknown event kind in snapshot");
+      }
+      event.kind = static_cast<SimEventKind>(kind);
+      event.job_id = in.GetU64();
+      event.gpus = static_cast<int>(in.GetI64());
+      event.nodes = static_cast<int>(in.GetI64());
+      result_.events.push_back(event);
+    }
+    const uint64_t samples = in.GetU64();
+    result_.timeline.clear();
+    for (uint64_t i = 0; i < samples && in.ok(); ++i) {
+      ClusterSample sample;
+      sample.time = in.GetDouble();
+      sample.nodes = static_cast<int>(in.GetI64());
+      sample.total_gpus = static_cast<int>(in.GetI64());
+      sample.gpus_in_use = static_cast<int>(in.GetI64());
+      sample.running_jobs = static_cast<int>(in.GetI64());
+      sample.mean_efficiency = in.GetDouble();
+      sample.utility = in.GetDouble();
+      sample.max_batch_size = static_cast<long>(in.GetI64());
+      result_.timeline.push_back(sample);
+    }
+    result_.node_seconds = in.GetDouble();
+    if (!in.ok() || !in.AtEnd()) {
+      return LoadFail(error, path, "malformed result section");
+    }
+  }
+
+  {
+    BinReader in(sections[kTagLoop]);
+    loop_.valid = in.GetBool();
+    loop_.now = in.GetDouble();
+    loop_.next_report = in.GetDouble();
+    loop_.next_sched = in.GetDouble();
+    loop_.next_autoscale = in.GetDouble();
+    loop_.next_checkpoint = in.GetDouble();
+    loop_.report_threshold = in.GetDouble();
+    loop_.report_last = in.GetDouble();
+    loop_.sched_threshold = in.GetDouble();
+    loop_.sched_last = in.GetDouble();
+    loop_.autoscale_threshold = in.GetDouble();
+    loop_.autoscale_last = in.GetDouble();
+    loop_.ckpt_threshold = in.GetDouble();
+    loop_.ckpt_last = in.GetDouble();
+    loop_.engine_events = in.GetU64();
+    if (!in.ok() || !in.AtEnd()) {
+      return LoadFail(error, path, "malformed loop section");
+    }
+  }
+
+  if (obs::MetricsRegistry::Global().enabled()) {
+    // Replay the restored event log into the per-kind counters so the final
+    // sim.events.* exports cover the whole logical run, not just the portion
+    // after the resume.
+    const SimMetrics& metrics = SimMetrics::Get();
+    for (const auto& event : result_.events) {
+      metrics.events_by_kind[static_cast<int>(event.kind)]->Add();
+    }
+    metrics.checkpoint_resumes->Add();
+  }
+  Log(LogLevel::kInfo) << "resumed from snapshot " << path << " at t=" << loop_.now << " ("
+                       << jobs_.size() << " jobs, " << result_.events.size() << " events)";
+  return true;
+}
+
+void Simulator::WritePeriodicSnapshot(double now) {
+  const std::string path = options_.checkpoint_dir + "/" + SnapshotFileName(now);
+  std::string error;
+  if (!SaveSnapshot(path, &error)) {
+    // A missed checkpoint is not fatal; the previous snapshot (if any) still
+    // bounds the replay on recovery.
+    Log(LogLevel::kWarning) << "checkpoint write failed at t=" << now << ": " << error;
+  }
 }
 
 SimResult Simulator::Run() {

@@ -25,6 +25,7 @@
 
 #include "core/allocation.h"
 #include "sim/autoscale.h"
+#include "sim/checkpoint.h"
 #include "sim/fault_injector.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
@@ -88,6 +89,18 @@ struct SimOptions {
   // lost/double-completed jobs, near-monotone event log) every scheduling
   // round; violations abort. Cheap, but off by default.
   bool check_invariants = false;
+
+  // Crash-consistent checkpointing (DESIGN.md §11): every checkpoint_every
+  // simulated seconds, a full snapshot of the run state is written to
+  // checkpoint_dir (ckpt-<ms>.bin + .json sidecar). 0 disables. Resuming from
+  // a snapshot continues the run byte-identically to an uninterrupted one.
+  double checkpoint_every = 0.0;
+  std::string checkpoint_dir;
+  // Deterministic kill switch for crash-resume testing: stop the run (with
+  // SimResult::halted set) right after the first snapshot written at or past
+  // this simulated time. 0 disables. Never persisted into snapshots, so a
+  // resumed run does not re-halt.
+  double halt_after_checkpoint = 0.0;
 };
 
 struct JobResult {
@@ -127,6 +140,7 @@ enum class SimEventKind {
   kEvict,           // Job lost its allocation to a node crash.
   kRestartFailure,  // One checkpoint-restore attempt failed (gpus = attempt).
   kReportDrop,      // An agent report was lost in transit.
+  kSchedCrash,      // Scheduler process crashed and recovered (warm or cold).
 };
 
 const char* SimEventKindName(SimEventKind kind);
@@ -158,6 +172,9 @@ struct SimResult {
   double makespan = 0.0;
   double node_seconds = 0.0;  // For cloud cost accounting.
   bool timed_out = false;
+  // The run stopped early at SimOptions::halt_after_checkpoint (the snapshot
+  // on disk carries the state to resume from).
+  bool halted = false;
 
   Summary JctSummary() const;
   // Time-weighted average of ClusterSample::mean_efficiency over samples with
@@ -181,6 +198,23 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   SimResult Run();
+
+  // Driver payload embedded in every snapshot (policy name, driver config
+  // serialization, trace CSV) so a resume can rebuild the run without the
+  // original command line. Set before Run() when checkpointing is enabled.
+  void SetSnapshotExtra(SnapshotExtra extra) { snapshot_extra_ = std::move(extra); }
+
+  // Writes a full crash-consistent snapshot of the current run state. Returns
+  // false (with `error` set) on I/O failure. Call either between Run()s via
+  // LoadSnapshot, or rely on SimOptions::checkpoint_every for periodic writes.
+  bool SaveSnapshot(const std::string& path, std::string* error);
+
+  // Restores the run state captured by SaveSnapshot. Must be called before
+  // Run(), on a simulator constructed with the same configuration, trace, and
+  // scheduler type as the one that wrote the snapshot. Returns false (with
+  // `error` set) for torn/corrupt/mismatched snapshots; the simulator is not
+  // safe to Run() after a failed load.
+  bool LoadSnapshot(const std::string& path, std::string* error);
 
  private:
   struct Job;
@@ -216,6 +250,16 @@ class Simulator {
   void Emit(SimEvent event);
   void FlushPendingEvents();
 
+  // Injected scheduler-process crash (sim/fault_injector's scheduler_crash
+  // class): warm recovery reloads the control-plane state losslessly; cold
+  // recovery resets the scheduler and every job's agent to a freshly
+  // restarted process with no snapshot.
+  void RecoverScheduler(double now);
+
+  // Periodic checkpoint write into options_.checkpoint_dir; failures are
+  // logged and the run continues (a missed checkpoint is not fatal).
+  void WritePeriodicSnapshot(double now);
+
   SimOptions options_;
   // The scheduler-visible cluster: crashed nodes have their capacity masked
   // to zero until repaired. `base_cluster_` keeps the physical capacities.
@@ -238,6 +282,28 @@ class Simulator {
   std::vector<SimEvent> pending_events_;
   uint64_t engine_events_ = 0;
   SimResult result_;
+
+  // Control-loop cursors captured at the snapshot point so a resumed run
+  // continues the exact handler schedule of the interrupted one. `valid`
+  // marks a pending resume (set by LoadSnapshot, consumed by the engines).
+  struct LoopState {
+    bool valid = false;
+    double now = 0.0;
+    // Ticked-loop thresholds.
+    double next_report = 0.0;
+    double next_sched = 0.0;
+    double next_autoscale = 0.0;
+    double next_checkpoint = 0.0;
+    // Event-engine RecurringTimer states (threshold, last_fire) and the
+    // dispatch count feeding sim.engine.events.
+    double report_threshold = 0.0, report_last = 0.0;
+    double sched_threshold = 0.0, sched_last = 0.0;
+    double autoscale_threshold = 0.0, autoscale_last = 0.0;
+    double ckpt_threshold = 0.0, ckpt_last = 0.0;
+    uint64_t engine_events = 0;
+  };
+  LoopState loop_;
+  SnapshotExtra snapshot_extra_;
 };
 
 }  // namespace pollux

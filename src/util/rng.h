@@ -78,6 +78,20 @@ class Rng {
   // its own stream so adding components does not perturb others.
   Rng Fork();
 
+  // Full generator state, for checkpoint/restore. Restoring a saved state
+  // resumes the exact draw sequence, including the cached Box-Muller normal.
+  struct State {
+    std::array<uint64_t, 4> words = {};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State GetState() const { return State{state_, cached_normal_, has_cached_normal_}; }
+  void SetState(const State& state) {
+    state_ = state.words;
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
+
  private:
   std::array<uint64_t, 4> state_;
   double cached_normal_ = 0.0;

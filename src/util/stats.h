@@ -57,6 +57,24 @@ class RunningStats {
   double max() const { return count_ ? max_ : 0.0; }
   double sum() const { return mean_ * static_cast<double>(count_); }
 
+  // Accumulator state, for checkpoint/restore (min/max are +/-inf while
+  // empty; serializers must preserve the bit patterns).
+  struct State {
+    size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  State GetState() const { return State{count_, mean_, m2_, min_, max_}; }
+  void SetState(const State& state) {
+    count_ = state.count;
+    mean_ = state.mean;
+    m2_ = state.m2;
+    min_ = state.min;
+    max_ = state.max;
+  }
+
  private:
   size_t count_ = 0;
   double mean_ = 0.0;

@@ -1,5 +1,7 @@
 #include "workload/trace_io.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <istream>
 #include <ostream>
@@ -25,14 +27,19 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
 
 bool ParseDouble(const std::string& text, double* value) {
   char* end = nullptr;
+  errno = 0;
   *value = std::strtod(text.c_str(), &end);
-  return end != text.c_str() && *end == '\0';
+  // Overflowing values (errno ERANGE) are rejected rather than silently
+  // clamped to HUGE_VAL/0; NaN/inf literals are rejected by the callers'
+  // range checks via std::isfinite.
+  return end != text.c_str() && *end == '\0' && errno != ERANGE;
 }
 
 bool ParseLong(const std::string& text, long* value) {
   char* end = nullptr;
+  errno = 0;
   *value = std::strtol(text.c_str(), &end, 10);
-  return end != text.c_str() && *end == '\0';
+  return end != text.c_str() && *end == '\0' && errno != ERANGE;
 }
 
 bool Fail(std::string* error, const std::string& message) {
@@ -55,7 +62,10 @@ std::optional<ModelKind> ModelKindFromName(const std::string& name) {
 
 void WriteTraceCsv(std::ostream& out, const std::vector<JobSpec>& jobs) {
   out << kHeader << '\n';
-  out.precision(12);  // Submission times are seconds; keep millisecond fidelity.
+  // max_digits10: written traces round-trip doubles bit-exactly, which the
+  // snapshot-embedded traces (sim/checkpoint.h) rely on for byte-identical
+  // resumes.
+  out.precision(17);
   for (const auto& job : jobs) {
     out << job.job_id << ',' << ModelKindName(job.model) << ',' << job.submit_time << ','
         << job.requested_gpus << ',' << job.batch_size << ','
@@ -109,7 +119,7 @@ std::optional<std::vector<JobSpec>> ReadTraceCsv(std::istream& in, std::string* 
       Fail(error, where + ": unknown model '" + fields[1] + "'");
       return std::nullopt;
     }
-    if (!ParseDouble(fields[2], &submit) || submit < 0.0) {
+    if (!ParseDouble(fields[2], &submit) || !std::isfinite(submit) || submit < 0.0) {
       Fail(error, where + ": bad submit_time");
       return std::nullopt;
     }

@@ -1,0 +1,546 @@
+// Crash-consistent checkpoint/restore and scheduler-failover recovery:
+// warm resumes are byte-identical to uninterrupted runs across every
+// (policy x engine x fault-profile x seed) combination, snapshots round-trip
+// through save -> load -> save bit-exactly, torn/corrupt/future-version
+// snapshots are detected with clear errors and fall back to the previous
+// snapshot, cold scheduler recovery completes every job, and the bench-config
+// codec embedded in each snapshot round-trips every run-defining knob.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "obs/metrics.h"
+#include "sim/checkpoint.h"
+#include "sim/pollux_policy.h"
+#include "sim/simulator.h"
+#include "workload/trace_gen.h"
+
+namespace pollux {
+namespace {
+
+std::vector<JobSpec> SmallTrace(uint64_t seed) {
+  TraceOptions options;
+  options.num_jobs = 10;
+  options.duration = 1800.0;
+  options.max_gpus = 8;
+  options.seed = seed;
+  auto jobs = GenerateTrace(options);
+  for (auto& job : jobs) {
+    // Keep the sweep fast: long-running models become small ones.
+    if (job.model != ModelKind::kResNet18Cifar10 && job.model != ModelKind::kNeuMFMovieLens) {
+      job.model = ModelKind::kNeuMFMovieLens;
+      job.batch_size = 2048;
+      job.requested_gpus = std::min(job.requested_gpus, 4);
+    }
+  }
+  return jobs;
+}
+
+BenchSimConfig SmallConfig(SimEngine engine, const char* fault_profile, uint64_t seed) {
+  BenchSimConfig config;
+  config.engine = engine;
+  config.nodes = 2;
+  config.gpus_per_node = 4;
+  config.ga_population = 12;
+  config.ga_generations = 6;
+  config.seed = seed;
+  config.check_invariants = true;
+  EXPECT_TRUE(FaultProfileByName(fault_profile, &config.faults));
+  if (config.faults.enabled()) {
+    // The profiles' day-scale MTBFs never fire inside a short trace; shrink
+    // them so the sweep actually exercises crash/repair around resumes.
+    config.faults.mtbf_node = 1800.0;
+    config.faults.repair_time = 120.0;
+  }
+  return config;
+}
+
+// Exact textual fingerprint of a run: every job field, every event, every
+// timeline sample, and the summary scalars at full double precision. Two
+// runs with equal fingerprints are byte-identical for every exported CSV.
+std::string FormatResult(const SimResult& result, bool skip_sched_crash_events = false) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "makespan=" << result.makespan << " node_seconds=" << result.node_seconds
+      << " timed_out=" << result.timed_out << '\n';
+  for (const auto& job : result.jobs) {
+    out << job.job_id << ' ' << ModelKindName(job.model) << ' ' << JobCategoryName(job.category)
+        << ' ' << job.submit_time << ' ' << job.start_time << ' ' << job.finish_time << ' '
+        << job.gpu_time << ' ' << job.num_restarts << ' ' << job.num_evictions << ' '
+        << job.num_restart_failures << ' ' << job.backoff_seconds << ' ' << job.avg_efficiency
+        << ' ' << job.avg_throughput << ' ' << job.avg_goodput << ' ' << job.completed << '\n';
+  }
+  for (const auto& event : result.events) {
+    if (skip_sched_crash_events && event.kind == SimEventKind::kSchedCrash) {
+      continue;
+    }
+    out << event.time << ' ' << SimEventKindName(event.kind) << ' ' << event.job_id << ' '
+        << event.gpus << ' ' << event.nodes << '\n';
+  }
+  for (const auto& sample : result.timeline) {
+    out << sample.time << ' ' << sample.nodes << ' ' << sample.total_gpus << ' '
+        << sample.gpus_in_use << ' ' << sample.running_jobs << ' ' << sample.mean_efficiency
+        << ' ' << sample.utility << ' ' << sample.max_batch_size << '\n';
+  }
+  return out.str();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/pollux_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Warm-resume determinism sweep.
+// ---------------------------------------------------------------------------
+
+struct CheckpointCase {
+  const char* policy;
+  const char* engine;  // "event" | "ticked"
+  const char* faults;  // "none" | "light"
+  uint64_t seed;
+};
+
+class CheckpointResumeSweep : public ::testing::TestWithParam<CheckpointCase> {};
+
+TEST_P(CheckpointResumeSweep, ResumeIsByteIdenticalToUninterruptedRun) {
+  const CheckpointCase c = GetParam();
+  SimEngine engine = SimEngine::kEvent;
+  ASSERT_TRUE(SimEngineByName(c.engine, &engine));
+  const BenchSimConfig config = SmallConfig(engine, c.faults, c.seed);
+  const std::vector<JobSpec> trace = SmallTrace(c.seed);
+
+  const SimResult full = RunImportedTrace(c.policy, config, trace);
+  ASSERT_FALSE(full.timed_out);
+  ASSERT_FALSE(full.halted);
+
+  const std::string dir = FreshDir(std::string("ckpt_") + c.policy + "_" + c.engine + "_" +
+                                   c.faults + "_" + std::to_string(c.seed));
+  BenchSimConfig halted_config = config;
+  halted_config.checkpoint_every = 300.0;
+  halted_config.checkpoint_dir = dir;
+  halted_config.halt_after_checkpoint = 600.0;
+  const SimResult halted = RunImportedTrace(c.policy, halted_config, trace);
+  ASSERT_TRUE(halted.halted);
+  ASSERT_FALSE(ListSnapshotFiles(dir).empty());
+
+  SimResult resumed;
+  std::string policy;
+  std::string error;
+  ASSERT_TRUE(ResumeBenchFromSnapshot(dir, BenchResumeOptions{}, &resumed, &policy, &error))
+      << error;
+  EXPECT_EQ(policy, c.policy);
+  EXPECT_FALSE(resumed.halted);
+  EXPECT_EQ(FormatResult(resumed), FormatResult(full));
+  std::filesystem::remove_all(dir);
+}
+
+std::string CaseName(const ::testing::TestParamInfo<CheckpointCase>& info) {
+  std::string name = std::string(info.param.policy) + "_" + info.param.engine + "_" +
+                     info.param.faults + "_seed" + std::to_string(info.param.seed);
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(PolicyEngineFaultSeed, CheckpointResumeSweep,
+                         ::testing::Values(CheckpointCase{"pollux", "event", "none", 1},
+                                           CheckpointCase{"pollux", "ticked", "none", 1},
+                                           CheckpointCase{"pollux", "event", "light", 2},
+                                           CheckpointCase{"pollux", "ticked", "light", 2},
+                                           CheckpointCase{"pollux-fixed-batch", "event", "none", 3},
+                                           CheckpointCase{"tiresias", "event", "light", 1},
+                                           CheckpointCase{"tiresias", "ticked", "none", 2},
+                                           CheckpointCase{"fifo", "event", "none", 2},
+                                           CheckpointCase{"optimus", "event", "light", 3},
+                                           CheckpointCase{"optimus", "ticked", "none", 1}),
+                         CaseName);
+
+// ---------------------------------------------------------------------------
+// Snapshot format round trip.
+// ---------------------------------------------------------------------------
+
+SchedConfig SmallSchedConfig(uint64_t seed) {
+  SchedConfig sched_config;
+  sched_config.ga.population_size = 12;
+  sched_config.ga.generations = 6;
+  sched_config.ga.seed = seed;
+  return sched_config;
+}
+
+TEST(SnapshotRoundTripTest, SaveLoadSaveIsByteIdentical) {
+  const uint64_t seed = 5;
+  const std::vector<JobSpec> trace = SmallTrace(seed);
+  const std::string dir = FreshDir("ckpt_roundtrip");
+  std::filesystem::create_directories(dir);
+  SimOptions options;
+  options.engine = SimEngine::kEvent;
+  options.cluster = ClusterSpec::Homogeneous(2, 4);
+  options.seed = seed;
+  ASSERT_TRUE(FaultProfileByName("light", &options.faults));
+  options.faults.mtbf_node = 1800.0;
+  options.faults.repair_time = 120.0;
+  options.checkpoint_every = 600.0;
+  options.checkpoint_dir = dir;
+  options.halt_after_checkpoint = 600.0;
+  {
+    PolluxPolicy policy(options.cluster, SmallSchedConfig(seed));
+    const SimResult halted = Simulator(options, trace, &policy).Run();
+    ASSERT_TRUE(halted.halted);
+  }
+  std::string error;
+  const std::string path = ResolveSnapshotPath(dir, &error);
+  ASSERT_FALSE(path.empty()) << error;
+
+  SimOptions resume_options = options;
+  resume_options.checkpoint_every = 0.0;
+  resume_options.checkpoint_dir.clear();
+  resume_options.halt_after_checkpoint = 0.0;
+  PolluxPolicy policy(options.cluster, SmallSchedConfig(seed));
+  Simulator sim(resume_options, trace, &policy);
+  ASSERT_TRUE(sim.LoadSnapshot(path, &error)) << error;
+  const std::string resaved = dir + "/resaved.bin";
+  ASSERT_TRUE(sim.SaveSnapshot(resaved, &error)) << error;
+  EXPECT_EQ(ReadFileBytes(resaved), ReadFileBytes(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotRoundTripTest, LoadRejectsMismatchedRunConfiguration) {
+  const uint64_t seed = 6;
+  const std::vector<JobSpec> trace = SmallTrace(seed);
+  const std::string dir = FreshDir("ckpt_mismatch");
+  std::filesystem::create_directories(dir);
+  SimOptions options;
+  options.engine = SimEngine::kEvent;
+  options.cluster = ClusterSpec::Homogeneous(2, 4);
+  options.seed = seed;
+  options.checkpoint_every = 600.0;
+  options.checkpoint_dir = dir;
+  options.halt_after_checkpoint = 600.0;
+  {
+    PolluxPolicy policy(options.cluster, SmallSchedConfig(seed));
+    ASSERT_TRUE(Simulator(options, trace, &policy).Run().halted);
+  }
+  std::string error;
+  const std::string path = ResolveSnapshotPath(dir, &error);
+  ASSERT_FALSE(path.empty()) << error;
+
+  // A different seed is an incompatible run configuration.
+  SimOptions other = options;
+  other.seed = seed + 1;
+  PolluxPolicy policy(options.cluster, SmallSchedConfig(seed));
+  Simulator sim(other, trace, &policy);
+  EXPECT_FALSE(sim.LoadSnapshot(path, &error));
+  EXPECT_NE(error.find("incompatible run configuration"), std::string::npos) << error;
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Torn / corrupt / future-version snapshots.
+// ---------------------------------------------------------------------------
+
+// Produces a directory with two valid snapshots (t=300 and t=600) plus the
+// uninterrupted reference result for the same run.
+struct CorruptFixture {
+  std::string dir;
+  std::vector<std::string> snapshots;  // Sorted ascending by time.
+  SimResult full;
+};
+
+CorruptFixture MakeCorruptFixture(const std::string& name) {
+  CorruptFixture fixture;
+  const uint64_t seed = 7;
+  const BenchSimConfig config = SmallConfig(SimEngine::kEvent, "none", seed);
+  const std::vector<JobSpec> trace = SmallTrace(seed);
+  fixture.full = RunImportedTrace("pollux", config, trace);
+  fixture.dir = FreshDir(name);
+  BenchSimConfig halted_config = config;
+  halted_config.checkpoint_every = 300.0;
+  halted_config.checkpoint_dir = fixture.dir;
+  halted_config.halt_after_checkpoint = 600.0;
+  EXPECT_TRUE(RunImportedTrace("pollux", halted_config, trace).halted);
+  fixture.snapshots = ListSnapshotFiles(fixture.dir);
+  EXPECT_EQ(fixture.snapshots.size(), 2u);
+  return fixture;
+}
+
+uint64_t CorruptCount() {
+  return obs::MetricsRegistry::Global().GetCounter("sim.checkpoint.corrupt")->value();
+}
+
+TEST(CorruptSnapshotTest, TruncatedSnapshotFallsBackToPreviousOne) {
+  const CorruptFixture fixture = MakeCorruptFixture("ckpt_truncated");
+  const std::string& newest = fixture.snapshots.back();
+  const std::string bytes = ReadFileBytes(newest);
+  WriteFileBytes(newest, bytes.substr(0, bytes.size() / 2));
+
+  obs::MetricsRegistry::Global().SetEnabled(true);
+  const uint64_t corrupt_before = CorruptCount();
+  SimResult resumed;
+  std::string policy;
+  std::string error;
+  ASSERT_TRUE(ResumeBenchFromSnapshot(fixture.dir, BenchResumeOptions{}, &resumed, &policy,
+                                      &error))
+      << error;
+  EXPECT_GE(CorruptCount(), corrupt_before + 1);
+  obs::MetricsRegistry::Global().SetEnabled(false);
+  // The fallback snapshot still reproduces the uninterrupted run exactly.
+  EXPECT_EQ(FormatResult(resumed), FormatResult(fixture.full));
+  std::filesystem::remove_all(fixture.dir);
+}
+
+TEST(CorruptSnapshotTest, FlippedCrcByteIsDetectedAndFallsBack) {
+  const CorruptFixture fixture = MakeCorruptFixture("ckpt_badcrc");
+  const std::string& newest = fixture.snapshots.back();
+  std::string bytes = ReadFileBytes(newest);
+  ASSERT_GT(bytes.size(), 4u);
+  bytes[bytes.size() - 1] = static_cast<char>(bytes[bytes.size() - 1] ^ 0xFF);
+  WriteFileBytes(newest, bytes);
+
+  // Direct-file resume reports the CRC failure instead of loading garbage.
+  SimResult resumed;
+  std::string policy;
+  std::string error;
+  EXPECT_FALSE(
+      ResumeBenchFromSnapshot(newest, BenchResumeOptions{}, &resumed, &policy, &error));
+  EXPECT_NE(error.find("CRC mismatch"), std::string::npos) << error;
+
+  // Directory resume skips it and falls back to the previous snapshot.
+  obs::MetricsRegistry::Global().SetEnabled(true);
+  const uint64_t corrupt_before = CorruptCount();
+  error.clear();
+  ASSERT_TRUE(ResumeBenchFromSnapshot(fixture.dir, BenchResumeOptions{}, &resumed, &policy,
+                                      &error))
+      << error;
+  EXPECT_GE(CorruptCount(), corrupt_before + 1);
+  obs::MetricsRegistry::Global().SetEnabled(false);
+  EXPECT_EQ(FormatResult(resumed), FormatResult(fixture.full));
+  std::filesystem::remove_all(fixture.dir);
+}
+
+TEST(CorruptSnapshotTest, AllSnapshotsCorruptIsAClearError) {
+  const CorruptFixture fixture = MakeCorruptFixture("ckpt_allbad");
+  for (const std::string& path : fixture.snapshots) {
+    const std::string bytes = ReadFileBytes(path);
+    WriteFileBytes(path, bytes.substr(0, 16));  // Keep the magic, lose the rest.
+  }
+  SimResult resumed;
+  std::string policy;
+  std::string error;
+  EXPECT_FALSE(
+      ResumeBenchFromSnapshot(fixture.dir, BenchResumeOptions{}, &resumed, &policy, &error));
+  EXPECT_NE(error.find("torn or corrupt"), std::string::npos) << error;
+  std::filesystem::remove_all(fixture.dir);
+}
+
+TEST(CorruptSnapshotTest, FutureFormatVersionIsRejectedWithClearError) {
+  const CorruptFixture fixture = MakeCorruptFixture("ckpt_future");
+  const std::string& newest = fixture.snapshots.back();
+  std::string bytes = ReadFileBytes(newest);
+  ASSERT_GT(bytes.size(), 16u);
+  // Bump the version word (offset 8, little-endian) and re-seal the CRC so
+  // the version check itself is what fires.
+  bytes[8] = 99;
+  const uint32_t crc = Crc32(bytes.data() + 8, bytes.size() - 12);
+  for (int i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 4 + static_cast<size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  WriteFileBytes(newest, bytes);
+  SimResult resumed;
+  std::string policy;
+  std::string error;
+  EXPECT_FALSE(
+      ResumeBenchFromSnapshot(newest, BenchResumeOptions{}, &resumed, &policy, &error));
+  EXPECT_NE(error.find("newer than supported"), std::string::npos) << error;
+  std::filesystem::remove_all(fixture.dir);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler-crash recovery.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerCrashRecoveryTest, WarmRecoveryIsByteInvisible) {
+  const uint64_t seed = 4;
+  const std::vector<JobSpec> trace = SmallTrace(seed);
+  const BenchSimConfig base = SmallConfig(SimEngine::kEvent, "light", seed);
+  BenchSimConfig crashing = base;
+  crashing.faults.mtbf_sched = 600.0;
+  crashing.faults.sched_recovery = SchedRecovery::kWarm;
+  const SimResult without = RunImportedTrace("pollux", base, trace);
+  const SimResult with = RunImportedTrace("pollux", crashing, trace);
+  int crashes = 0;
+  for (const auto& event : with.events) {
+    crashes += event.kind == SimEventKind::kSchedCrash ? 1 : 0;
+  }
+  ASSERT_GT(crashes, 0);
+  // Warm restores are lossless: apart from the sched_crash log entries the
+  // crashing run is byte-identical to the crash-free one.
+  EXPECT_EQ(FormatResult(with, /*skip_sched_crash_events=*/true), FormatResult(without));
+}
+
+TEST(SchedulerCrashRecoveryTest, ColdRecoveryCompletesAllJobsAndExportsMetrics) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+  registry.SetEnabled(true);
+  const uint64_t seed = 4;
+  const std::vector<JobSpec> trace = SmallTrace(seed);
+  SimOptions options;
+  options.cluster = ClusterSpec::Homogeneous(2, 4);
+  options.seed = seed;
+  options.check_invariants = true;
+  options.faults.mtbf_sched = 600.0;
+  options.faults.sched_recovery = SchedRecovery::kCold;
+  PolluxPolicy policy(options.cluster, SmallSchedConfig(seed));
+  const SimResult result = Simulator(options, trace, &policy).Run();
+  registry.SetEnabled(false);
+  ASSERT_FALSE(result.timed_out);
+  int crashes = 0;
+  for (const auto& event : result.events) {
+    crashes += event.kind == SimEventKind::kSchedCrash ? 1 : 0;
+  }
+  ASSERT_GT(crashes, 0);
+  for (const auto& job : result.jobs) {
+    EXPECT_TRUE(job.completed) << "job " << job.job_id;
+    EXPECT_LE(job.num_restart_failures, 20) << "job " << job.job_id;
+  }
+  EXPECT_EQ(registry.GetCounter("sim.recovery.scheduler_crashes")->value(),
+            static_cast<uint64_t>(crashes));
+  EXPECT_EQ(registry.GetCounter("sim.recovery.cold_resets")->value(),
+            static_cast<uint64_t>(crashes));
+  EXPECT_EQ(registry.GetCounter("sim.recovery.warm_restores")->value(), 0u);
+  EXPECT_GT(registry.GetCounter("sim.recovery.agents_reset")->value(), 0u);
+  registry.Reset();
+}
+
+TEST(SchedulerCrashRecoveryTest, ColdRecoveryIsDeterministicPerSeed) {
+  const uint64_t seed = 9;
+  const std::vector<JobSpec> trace = SmallTrace(seed);
+  BenchSimConfig config = SmallConfig(SimEngine::kEvent, "none", seed);
+  config.faults.mtbf_sched = 700.0;
+  config.faults.sched_recovery = SchedRecovery::kCold;
+  const SimResult a = RunImportedTrace("pollux", config, trace);
+  const SimResult b = RunImportedTrace("pollux", config, trace);
+  EXPECT_EQ(FormatResult(a), FormatResult(b));
+}
+
+// ---------------------------------------------------------------------------
+// Bench-config codec (the snapshot's embedded driver configuration).
+// ---------------------------------------------------------------------------
+
+TEST(BenchConfigCodecTest, RoundTripsEveryRunDefiningField) {
+  BenchSimConfig config;
+  config.engine = SimEngine::kTicked;
+  config.nodes = 3;
+  config.gpus_per_node = 2;
+  config.jobs = 17;
+  config.duration_hours = 1.25;
+  config.load = 0.75;
+  config.user_configured_fraction = 0.5;
+  config.interference_slowdown = 0.33;
+  config.interference_avoidance = false;
+  config.weight_lambda = 0.125;
+  config.ga_population = 9;
+  config.ga_generations = 4;
+  config.threads = 2;
+  config.sched_interval = 45.0;
+  config.restart_penalty = 0.1234567890123456;
+  config.tick = 0.5;
+  config.observation_noise = 0.01;
+  config.gns_noise = 0.02;
+  config.seed = 987654321;
+  config.faults.mtbf_node = 1234.5;
+  config.faults.repair_time = 77.7;
+  config.faults.straggler_frac = 0.25;
+  config.faults.straggler_slowdown = 1.75;
+  config.faults.report_drop_rate = 0.05;
+  config.faults.restart_fail_rate = 0.1;
+  config.faults.restart_backoff_init = 10.0;
+  config.faults.restart_backoff_cap = 300.0;
+  config.faults.mtbf_sched = 900.0;
+  config.faults.sched_recovery = SchedRecovery::kCold;
+  config.check_invariants = true;
+  config.round_time_budget = 0.25;
+
+  BenchSimConfig decoded;
+  ASSERT_TRUE(DecodeBenchSimConfig(EncodeBenchSimConfig(config), &decoded));
+  EXPECT_EQ(decoded.engine, config.engine);
+  EXPECT_EQ(decoded.nodes, config.nodes);
+  EXPECT_EQ(decoded.gpus_per_node, config.gpus_per_node);
+  EXPECT_EQ(decoded.jobs, config.jobs);
+  EXPECT_EQ(decoded.duration_hours, config.duration_hours);
+  EXPECT_EQ(decoded.load, config.load);
+  EXPECT_EQ(decoded.user_configured_fraction, config.user_configured_fraction);
+  EXPECT_EQ(decoded.interference_slowdown, config.interference_slowdown);
+  EXPECT_EQ(decoded.interference_avoidance, config.interference_avoidance);
+  EXPECT_EQ(decoded.weight_lambda, config.weight_lambda);
+  EXPECT_EQ(decoded.ga_population, config.ga_population);
+  EXPECT_EQ(decoded.ga_generations, config.ga_generations);
+  EXPECT_EQ(decoded.threads, config.threads);
+  EXPECT_EQ(decoded.sched_interval, config.sched_interval);
+  EXPECT_EQ(decoded.restart_penalty, config.restart_penalty);
+  EXPECT_EQ(decoded.tick, config.tick);
+  EXPECT_EQ(decoded.observation_noise, config.observation_noise);
+  EXPECT_EQ(decoded.gns_noise, config.gns_noise);
+  EXPECT_EQ(decoded.seed, config.seed);
+  EXPECT_EQ(decoded.faults.mtbf_node, config.faults.mtbf_node);
+  EXPECT_EQ(decoded.faults.repair_time, config.faults.repair_time);
+  EXPECT_EQ(decoded.faults.straggler_frac, config.faults.straggler_frac);
+  EXPECT_EQ(decoded.faults.straggler_slowdown, config.faults.straggler_slowdown);
+  EXPECT_EQ(decoded.faults.report_drop_rate, config.faults.report_drop_rate);
+  EXPECT_EQ(decoded.faults.restart_fail_rate, config.faults.restart_fail_rate);
+  EXPECT_EQ(decoded.faults.restart_backoff_init, config.faults.restart_backoff_init);
+  EXPECT_EQ(decoded.faults.restart_backoff_cap, config.faults.restart_backoff_cap);
+  EXPECT_EQ(decoded.faults.mtbf_sched, config.faults.mtbf_sched);
+  EXPECT_EQ(decoded.faults.sched_recovery, config.faults.sched_recovery);
+  EXPECT_EQ(decoded.check_invariants, config.check_invariants);
+  EXPECT_EQ(decoded.round_time_budget, config.round_time_budget);
+}
+
+TEST(BenchConfigCodecTest, CheckpointKnobsAreRunLocalAndNotEncoded) {
+  BenchSimConfig config;
+  config.checkpoint_every = 300.0;
+  config.checkpoint_dir = "/tmp/somewhere";
+  config.halt_after_checkpoint = 600.0;
+  const std::string encoded = EncodeBenchSimConfig(config);
+  EXPECT_EQ(encoded.find("checkpoint"), std::string::npos);
+  EXPECT_EQ(encoded.find("halt"), std::string::npos);
+  BenchSimConfig decoded;
+  ASSERT_TRUE(DecodeBenchSimConfig(encoded, &decoded));
+  EXPECT_EQ(decoded.checkpoint_every, 0.0);
+  EXPECT_TRUE(decoded.checkpoint_dir.empty());
+  EXPECT_EQ(decoded.halt_after_checkpoint, 0.0);
+}
+
+TEST(BenchConfigCodecTest, RejectsGarbageAndUnknownKeys) {
+  BenchSimConfig decoded;
+  EXPECT_FALSE(DecodeBenchSimConfig("nodes=abc\n", &decoded));
+  EXPECT_FALSE(DecodeBenchSimConfig("future_knob=1\n", &decoded));
+  EXPECT_FALSE(DecodeBenchSimConfig("no_equals_sign\n", &decoded));
+  EXPECT_FALSE(DecodeBenchSimConfig("engine=quantum\n", &decoded));
+  EXPECT_TRUE(DecodeBenchSimConfig("", &decoded));  // Empty config = defaults.
+}
+
+}  // namespace
+}  // namespace pollux

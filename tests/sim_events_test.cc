@@ -93,6 +93,12 @@ TEST(SimEventsTest, KindNamesAreStable) {
   EXPECT_STREQ(SimEventKindName(SimEventKind::kPreempt), "preempt");
   EXPECT_STREQ(SimEventKindName(SimEventKind::kComplete), "complete");
   EXPECT_STREQ(SimEventKindName(SimEventKind::kClusterResize), "cluster_resize");
+  EXPECT_STREQ(SimEventKindName(SimEventKind::kNodeFail), "node_fail");
+  EXPECT_STREQ(SimEventKindName(SimEventKind::kNodeRepair), "node_repair");
+  EXPECT_STREQ(SimEventKindName(SimEventKind::kEvict), "evict");
+  EXPECT_STREQ(SimEventKindName(SimEventKind::kRestartFailure), "restart_failure");
+  EXPECT_STREQ(SimEventKindName(SimEventKind::kReportDrop), "report_drop");
+  EXPECT_STREQ(SimEventKindName(SimEventKind::kSchedCrash), "sched_crash");
 }
 
 }  // namespace

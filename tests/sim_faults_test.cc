@@ -25,6 +25,170 @@ namespace {
 // FaultInjector unit tests.
 // ---------------------------------------------------------------------------
 
+TEST(FaultInjectorTest, NextTransitionTimeIsInfiniteWhenAllFaultsDisabled) {
+  FaultOptions options;  // Every knob zero.
+  FaultInjector injector(options, 4, 42);
+  EXPECT_TRUE(std::isinf(injector.NextTransitionTime()));
+  EXPECT_TRUE(injector.Poll(1e12).empty());
+  EXPECT_EQ(injector.PollSchedulerCrashes(1e12), 0);
+  // Bernoulli-only fault classes never arm a transition either: the event
+  // engine must not schedule fault polls for them.
+  options.report_drop_rate = 0.5;
+  options.restart_fail_rate = 0.5;
+  FaultInjector bernoulli_only(options, 4, 42);
+  EXPECT_TRUE(std::isinf(bernoulli_only.NextTransitionTime()));
+  EXPECT_TRUE(bernoulli_only.Poll(1e12).empty());
+  EXPECT_EQ(bernoulli_only.PollSchedulerCrashes(1e12), 0);
+}
+
+TEST(FaultInjectorTest, NextTransitionTimeZeroMtbfDisablesEachClassIndependently) {
+  FaultOptions node_only;
+  node_only.mtbf_node = 500.0;
+  FaultInjector nodes(node_only, 2, 7);
+  EXPECT_TRUE(std::isfinite(nodes.NextTransitionTime()));
+  EXPECT_EQ(nodes.PollSchedulerCrashes(1e12), 0);
+
+  FaultOptions sched_only;
+  sched_only.mtbf_sched = 500.0;
+  FaultInjector sched(sched_only, 2, 7);
+  EXPECT_TRUE(std::isfinite(sched.NextTransitionTime()));
+  EXPECT_TRUE(sched.Poll(1e12).empty());
+  EXPECT_GT(sched.PollSchedulerCrashes(1e6), 0);
+}
+
+TEST(FaultInjectorTest, NextTransitionTimeTracksEarliestArmedTransition) {
+  FaultOptions options;
+  options.mtbf_node = 300.0;
+  options.repair_time = 60.0;
+  options.mtbf_sched = 700.0;
+  FaultInjector injector(options, 4, 11);
+  const double next = injector.NextTransitionTime();
+  ASSERT_TRUE(std::isfinite(next));
+  ASSERT_GT(next, 0.0);
+  // Nothing fires strictly before the armed time...
+  EXPECT_TRUE(injector.Poll(std::nextafter(next, 0.0)).empty());
+  EXPECT_EQ(injector.PollSchedulerCrashes(std::nextafter(next, 0.0)), 0);
+  // ...polling exactly at it consumes it (node transition or sched crash)...
+  const size_t node_fires = injector.Poll(next).size();
+  const int sched_fires = injector.PollSchedulerCrashes(next);
+  EXPECT_GE(node_fires + static_cast<size_t>(sched_fires), 1u);
+  // ...and the armed time then moves strictly past the consumed one.
+  EXPECT_GT(injector.NextTransitionTime(), next);
+}
+
+TEST(FaultInjectorTest, DegenerateTinyMtbfTerminatesAndAlternates) {
+  FaultOptions options;
+  options.mtbf_node = 1e-3;   // Crash almost immediately, always.
+  options.repair_time = 1e-3;  // Clamped internally so retries terminate.
+  FaultInjector injector(options, 1, 3);
+  const auto transitions = injector.Poll(30.0);
+  ASSERT_FALSE(transitions.empty());
+  bool failed = false;
+  for (const auto& transition : transitions) {
+    EXPECT_EQ(transition.node, 0);
+    EXPECT_NE(transition.failed, failed);  // Strict crash/repair alternation.
+    failed = transition.failed;
+  }
+  EXPECT_EQ(injector.NodeFailed(0), failed);
+  EXPECT_GT(injector.NextTransitionTime(), 30.0);
+}
+
+TEST(FaultInjectorTest, TransitionExactlyOnTickBoundaryFiresOnceInclusively) {
+  FaultOptions options;
+  options.mtbf_node = 100.0;
+  options.repair_time = 25.0;
+  FaultInjector injector(options, 1, 5);
+  FaultInjector::State state = injector.GetState();
+  state.nodes[0].next_transition = 10.0;  // Exactly on the 1 s tick grid.
+  injector.SetState(state);
+  // The tick *before* the boundary sees nothing; the boundary tick fires it
+  // (Poll is inclusive, matching the engines' "due at exactly t" handling).
+  EXPECT_TRUE(injector.Poll(9.0).empty());
+  const auto fired = injector.Poll(10.0);
+  ASSERT_FALSE(fired.empty());
+  EXPECT_EQ(fired[0].node, 0);
+  EXPECT_TRUE(fired[0].failed);
+  // Re-polling the same boundary replays nothing.
+  EXPECT_TRUE(injector.Poll(10.0).empty());
+}
+
+TEST(FaultInjectorTest, SchedulerCrashBoundaryIsInclusiveAndRearms) {
+  FaultOptions options;
+  options.mtbf_sched = 400.0;
+  FaultInjector injector(options, 1, 13);
+  FaultInjector::State state = injector.GetState();
+  state.next_sched_crash = 60.0;  // Exactly on a scheduling-round boundary.
+  injector.SetState(state);
+  EXPECT_EQ(injector.PollSchedulerCrashes(59.0), 0);
+  EXPECT_GE(injector.PollSchedulerCrashes(60.0), 1);
+  EXPECT_EQ(injector.PollSchedulerCrashes(60.0), 0);
+  EXPECT_GT(injector.NextTransitionTime(), 60.0);
+}
+
+TEST(FaultInjectorTest, SchedulerCrashStreamDoesNotPerturbNodeStreams) {
+  FaultOptions node_only;
+  node_only.mtbf_node = 200.0;
+  node_only.repair_time = 50.0;
+  FaultOptions with_sched = node_only;
+  with_sched.mtbf_sched = 500.0;
+  FaultInjector a(node_only, 4, 42);
+  FaultInjector b(with_sched, 4, 42);
+  for (double t : {250.0, 1000.0, 4000.0}) {
+    const auto ta = a.Poll(t);
+    const auto tb = b.Poll(t);
+    ASSERT_EQ(ta.size(), tb.size()) << "t=" << t;
+    for (size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].node, tb[i].node);
+      EXPECT_EQ(ta[i].failed, tb[i].failed);
+    }
+  }
+  EXPECT_GT(b.PollSchedulerCrashes(1e6), 0);
+}
+
+TEST(FaultInjectorTest, LazyGridPollingMatchesPerTickPolling) {
+  // The event engine polls faults only at the tick-grid point covering
+  // NextTransitionTime; the ticked engine polls every tick. Both must see
+  // the same transitions in the same order with the same RNG draws.
+  FaultOptions options;
+  options.mtbf_node = 150.0;
+  options.repair_time = 40.0;
+  options.mtbf_sched = 400.0;
+  const double tick = 1.0;
+  const double horizon = 2000.0;
+  FaultInjector dense(options, 3, 9);
+  FaultInjector lazy(options, 3, 9);
+  std::vector<FaultInjector::NodeTransition> dense_log;
+  std::vector<FaultInjector::NodeTransition> lazy_log;
+  int dense_crashes = 0;
+  int lazy_crashes = 0;
+  for (double t = tick; t <= horizon; t += tick) {
+    for (const auto& transition : dense.Poll(t)) {
+      dense_log.push_back(transition);
+    }
+    dense_crashes += dense.PollSchedulerCrashes(t);
+  }
+  while (true) {
+    const double next = lazy.NextTransitionTime();
+    if (!std::isfinite(next)) {
+      break;
+    }
+    const double grid = std::ceil(next / tick) * tick;
+    if (grid > horizon) {
+      break;
+    }
+    for (const auto& transition : lazy.Poll(grid)) {
+      lazy_log.push_back(transition);
+    }
+    lazy_crashes += lazy.PollSchedulerCrashes(grid);
+  }
+  ASSERT_EQ(lazy_log.size(), dense_log.size());
+  for (size_t i = 0; i < dense_log.size(); ++i) {
+    EXPECT_EQ(lazy_log[i].node, dense_log[i].node) << i;
+    EXPECT_EQ(lazy_log[i].failed, dense_log[i].failed) << i;
+  }
+  EXPECT_EQ(lazy_crashes, dense_crashes);
+}
+
 TEST(FaultOptionsTest, DisabledByDefaultAndProfilesParse) {
   FaultOptions options;
   EXPECT_FALSE(options.enabled());

@@ -87,6 +87,49 @@ TEST(TraceIoTest, RejectsMalformedFields) {
   }
 }
 
+TEST(TraceIoTest, RejectsNonFiniteAndOverflowingNumbers) {
+  const std::string header =
+      "job_id,model,submit_time,requested_gpus,batch_size,user_configured\n";
+  for (const std::string row : {
+           "0,resnet18-cifar10,inf,1,128,0\n",     // Infinite submit time.
+           "0,resnet18-cifar10,nan,1,128,0\n",     // NaN submit time.
+           "0,resnet18-cifar10,1e999,1,128,0\n",   // Double overflow (ERANGE).
+           "0,resnet18-cifar10,-1e999,1,128,0\n",  // Negative overflow.
+           "99999999999999999999999,resnet18-cifar10,0,1,128,0\n",  // Long overflow.
+           "0,resnet18-cifar10,0,1,99999999999999999999999,0\n",    // Batch overflow.
+       }) {
+    std::istringstream bad(header + row);
+    std::string error;
+    EXPECT_FALSE(ReadTraceCsv(bad, &error).has_value()) << row;
+    EXPECT_FALSE(error.empty()) << row;
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  }
+}
+
+TEST(TraceIoTest, SubmitTimesRoundTripBitExactly) {
+  // Snapshot-embedded traces (sim/checkpoint.h) replay through ReadTraceCsv
+  // on resume; submit times must survive the text round trip bit-for-bit or
+  // resumed runs diverge from uninterrupted ones.
+  std::vector<JobSpec> jobs(3);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].job_id = i;
+    jobs[i].model = ModelKind::kResNet18Cifar10;
+    jobs[i].requested_gpus = 1;
+    jobs[i].batch_size = 128;
+  }
+  jobs[0].submit_time = 0.1;                    // Not representable in binary.
+  jobs[1].submit_time = 1234.5678901234567;     // Needs all 17 digits.
+  jobs[2].submit_time = 3.0000000000000004;     // One ulp above 3.
+  std::stringstream buffer;
+  WriteTraceCsv(buffer, jobs);
+  const auto parsed = ReadTraceCsv(buffer);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].submit_time, jobs[i].submit_time) << i;
+  }
+}
+
 TEST(TraceIoTest, ToleratesCarriageReturnsAndBlankLines) {
   std::istringstream input(
       "job_id,model,submit_time,requested_gpus,batch_size,user_configured\r\n"

@@ -48,33 +48,78 @@ def resolve(metrics, key):
     return None
 
 
+def fail(message):
+    """Prints an actionable error (no traceback) and returns the usage-error code."""
+    print(f"check_bench_regression: error: {message}", file=sys.stderr)
+    return 2
+
+
+def load_json(path, what):
+    """Returns (parsed, None) or (None, error_message)."""
+    try:
+        with open(path) as f:
+            return json.load(f), None
+    except OSError as e:
+        return None, f"cannot read {what} {path}: {e.strerror or e}"
+    except json.JSONDecodeError as e:
+        return None, (
+            f"{what} {path} is not valid JSON (line {e.lineno}, column {e.colno}): "
+            f"{e.msg}. Was the producing run interrupted?"
+        )
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(argv[1]) as f:
-        metrics = json.load(f)
-    with open(argv[2]) as f:
-        baseline = json.load(f)
+    metrics, error = load_json(argv[1], "metrics file")
+    if error:
+        return fail(error)
+    baseline, error = load_json(argv[2], "baseline file")
+    if error:
+        return fail(error)
+    if not isinstance(metrics, dict):
+        return fail(f"metrics file {argv[1]} must be a JSON object, got {type(metrics).__name__}")
+    if not isinstance(baseline, dict):
+        return fail(f"baseline file {argv[2]} must be a JSON object, got {type(baseline).__name__}")
 
     tracked = baseline.get("metrics", {})
-    if not tracked:
-        print("baseline tracks no metrics", file=sys.stderr)
-        return 2
+    if not isinstance(tracked, dict) or not tracked:
+        return fail(
+            f'baseline file {argv[2]} tracks no metrics: expected a non-empty "metrics" object '
+            '(see the baseline format in this script\'s docstring)'
+        )
 
     failures = 0
     width = max(len(k) for k in tracked)
     print(f"{'metric':<{width}}  {'baseline':>12}  {'actual':>12}  {'drift':>8}  {'tol':>6}")
     for key in sorted(tracked):
         spec = tracked[key]
-        base = float(spec["value"])
-        tol = float(spec.get("rel_tol", 0.05))
+        if not isinstance(spec, dict) or "value" not in spec:
+            return fail(
+                f'baseline entry "{key}" must be an object with a "value" key '
+                f'(e.g. {{"value": 1.0, "rel_tol": 0.05}}), got: {json.dumps(spec)}'
+            )
+        try:
+            base = float(spec["value"])
+            tol = float(spec.get("rel_tol", 0.05))
+        except (TypeError, ValueError):
+            return fail(
+                f'baseline entry "{key}" has a non-numeric "value" or "rel_tol": '
+                f"{json.dumps(spec)}"
+            )
         actual = resolve(metrics, key)
         if actual is None:
-            print(f"{key:<{width}}  {base:>12.6g}  {'MISSING':>12}")
+            print(
+                f"{key:<{width}}  {base:>12.6g}  {'MISSING':>12}  "
+                "<-- not in the metrics file (produced with --metrics-out by the right bench?)"
+            )
             failures += 1
             continue
-        actual = float(actual)
+        try:
+            actual = float(actual)
+        except (TypeError, ValueError):
+            return fail(f'metric "{key}" in {argv[1]} is not numeric: {json.dumps(actual)}')
         denom = abs(base) if base != 0.0 else 1.0
         drift = abs(actual - base) / denom
         verdict = "" if drift <= tol else "  <-- REGRESSION"

@@ -7,6 +7,8 @@
 //   pollux_simulate --policy=pollux --jobs=160 --seed=1
 //   pollux_simulate --policy=tiresias --trace=trace.csv --jobs_csv=out.csv
 //   pollux_simulate --save_trace=trace.csv   # synthesize + archive, no run
+//   pollux_simulate --checkpoint-every=600 --checkpoint-dir=ckpt  # + snapshots
+//   pollux_simulate --resume-from=ckpt      # resume the newest valid snapshot
 
 #include <fstream>
 #include <iostream>
@@ -18,51 +20,10 @@
 namespace pollux {
 namespace {
 
-int Main(int argc, char** argv) {
-  FlagParser flags;
-  AddCommonFlags(flags);
-  flags.DefineString("policy", "pollux",
-                     "pollux | pollux-fixed-batch | optimus | tiresias");
-  flags.DefineString("trace", "", "CSV trace to replay (default: synthesize)");
-  flags.DefineString("save_trace", "", "write the (synthesized) trace to this CSV file");
-  flags.DefineString("jobs_csv", "", "write per-job results to this CSV file");
-  flags.DefineString("timeline_csv", "", "write the cluster timeline to this CSV file");
-  flags.DefineString("events_csv", "", "write the lifecycle event log to this CSV file");
-  if (!flags.Parse(argc, argv)) {
-    return 1;
-  }
-  ObsSession obs(flags);
-  const BenchSimConfig config = ConfigFromFlags(flags);
-  const std::string& policy = flags.GetString("policy");
-
-  // Resolve the trace: import or synthesize.
-  std::vector<JobSpec> trace;
-  if (!flags.GetString("trace").empty()) {
-    std::ifstream in(flags.GetString("trace"));
-    if (!in) {
-      std::fprintf(stderr, "cannot open trace file %s\n", flags.GetString("trace").c_str());
-      return 1;
-    }
-    std::string error;
-    auto parsed = ReadTraceCsv(in, &error);
-    if (!parsed.has_value()) {
-      std::fprintf(stderr, "bad trace: %s\n", error.c_str());
-      return 1;
-    }
-    trace = std::move(*parsed);
-  } else {
-    trace = MakeBenchTrace(config);
-  }
-  if (!flags.GetString("save_trace").empty()) {
-    std::ofstream out(flags.GetString("save_trace"));
-    WriteTraceCsv(out, trace);
-    std::printf("wrote %zu jobs to %s\n", trace.size(), flags.GetString("save_trace").c_str());
-  }
-
-  // Run: RunImportedTrace applies every config knob (RunBenchPolicy is the
-  // same call over a synthesized trace), so both paths share one wiring.
-  const SimResult result = RunImportedTrace(policy, config, trace);
-
+// Prints the summary table and writes the optional CSVs; shared by the fresh
+// and the --resume-from paths so resumed runs report identically. Returns the
+// process exit code: 0 ok, 2 timed out, 3 halted after a checkpoint.
+int ReportResult(const FlagParser& flags, const std::string& policy, const SimResult& result) {
   const Summary jct = result.JctSummary();
   TablePrinter table({"metric", "value"});
   table.AddRow({"policy", policy});
@@ -71,9 +32,13 @@ int Main(int argc, char** argv) {
   table.AddRow({"p50 JCT", FormatDuration(jct.p50)});
   table.AddRow({"p99 JCT", FormatDuration(jct.p99)});
   table.AddRow({"makespan", FormatDuration(result.makespan)});
-  table.AddRow({"avg stat. efficiency", FormatDouble(100.0 * result.AvgClusterEfficiency(), 1) + "%"});
+  table.AddRow(
+      {"avg stat. efficiency", FormatDouble(100.0 * result.AvgClusterEfficiency(), 1) + "%"});
   table.AddRow({"node-hours", FormatDouble(result.node_seconds / 3600.0, 0)});
   table.AddRow({"timed out", result.timed_out ? "YES" : "no"});
+  if (result.halted) {
+    table.AddRow({"halted", "after checkpoint (resume with --resume-from)"});
+  }
   table.Print(std::cout);
 
   if (!flags.GetString("jobs_csv").empty()) {
@@ -120,7 +85,82 @@ int Main(int argc, char** argv) {
     std::printf("wrote %zu events to %s\n", result.events.size(),
                 flags.GetString("events_csv").c_str());
   }
+  if (result.halted) {
+    return 3;
+  }
   return result.timed_out ? 2 : 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(flags);
+  flags.DefineString("policy", "pollux",
+                     "pollux | pollux-fixed-batch | optimus | tiresias");
+  flags.DefineString("trace", "", "CSV trace to replay (default: synthesize)");
+  flags.DefineString("save_trace", "", "write the (synthesized) trace to this CSV file");
+  flags.DefineString("jobs_csv", "", "write per-job results to this CSV file");
+  flags.DefineString("timeline_csv", "", "write the cluster timeline to this CSV file");
+  flags.DefineString("events_csv", "", "write the lifecycle event log to this CSV file");
+  flags.DefineString("resume-from", "",
+                     "resume from this snapshot file, or the newest valid snapshot "
+                     "in this directory (policy/trace/config come from the snapshot)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  ObsSession obs(flags);
+  const BenchSimConfig config = ConfigFromFlags(flags);
+  if ((config.checkpoint_every > 0.0) != !config.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--checkpoint-every and --checkpoint-dir must be set together\n");
+    return 1;
+  }
+
+  if (!flags.GetString("resume-from").empty()) {
+    SimResult result;
+    std::string policy;
+    std::string error;
+    BenchResumeOptions resume;
+    resume.checkpoint_every = config.checkpoint_every;
+    resume.checkpoint_dir = config.checkpoint_dir;
+    resume.halt_after_checkpoint = config.halt_after_checkpoint;
+    if (!ResumeBenchFromSnapshot(flags.GetString("resume-from"), resume, &result, &policy,
+                                 &error)) {
+      std::fprintf(stderr, "cannot resume from %s: %s\n", flags.GetString("resume-from").c_str(),
+                   error.c_str());
+      return 1;
+    }
+    return ReportResult(flags, policy, result);
+  }
+
+  const std::string& policy = flags.GetString("policy");
+
+  // Resolve the trace: import or synthesize.
+  std::vector<JobSpec> trace;
+  if (!flags.GetString("trace").empty()) {
+    std::ifstream in(flags.GetString("trace"));
+    if (!in) {
+      std::fprintf(stderr, "cannot open trace file %s\n", flags.GetString("trace").c_str());
+      return 1;
+    }
+    std::string error;
+    auto parsed = ReadTraceCsv(in, &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "bad trace: %s\n", error.c_str());
+      return 1;
+    }
+    trace = std::move(*parsed);
+  } else {
+    trace = MakeBenchTrace(config);
+  }
+  if (!flags.GetString("save_trace").empty()) {
+    std::ofstream out(flags.GetString("save_trace"));
+    WriteTraceCsv(out, trace);
+    std::printf("wrote %zu jobs to %s\n", trace.size(), flags.GetString("save_trace").c_str());
+  }
+
+  // Run: RunImportedTrace applies every config knob (RunBenchPolicy is the
+  // same call over a synthesized trace), so both paths share one wiring.
+  const SimResult result = RunImportedTrace(policy, config, trace);
+  return ReportResult(flags, policy, result);
 }
 
 }  // namespace
