@@ -24,7 +24,7 @@ int Main(int argc, char** argv) {
   AddCommonFlags(flags);
   flags.DefineInt("seeds", 1, "trace seeds to average per cell");
   if (!flags.Parse(argc, argv)) {
-    return 1;
+    return flags.help_requested() ? kExitOk : kExitUsage;
   }
   ObsSession obs(flags);
   const BenchSimConfig base = ConfigFromFlags(flags);

@@ -84,7 +84,7 @@ int Main(int argc, char** argv) {
   flags.DefineInt("ga_gens", 10, "GA generations");
   AddObsFlags(flags);
   if (!flags.Parse(argc, argv)) {
-    return 1;
+    return flags.help_requested() ? kExitOk : kExitUsage;
   }
   ObsSession obs(flags);
   const int min_nodes = static_cast<int>(flags.GetInt("min_nodes"));

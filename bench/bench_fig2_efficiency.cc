@@ -28,7 +28,7 @@ int Main(int argc, char** argv) {
   flags.DefineInt("seed", 1, "random seed for the estimator experiment");
   AddObsFlags(flags);
   if (!flags.Parse(argc, argv)) {
-    return 1;
+    return flags.help_requested() ? kExitOk : kExitUsage;
   }
   ObsSession obs(flags);
   const ModelProfile& profile = GetModelProfile(ModelKind::kResNet50ImageNet);

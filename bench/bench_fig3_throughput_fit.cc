@@ -26,7 +26,7 @@ int Main(int argc, char** argv) {
   flags.DefineInt("gpus_per_node", 4, "GPUs per node");
   AddObsFlags(flags);
   if (!flags.Parse(argc, argv)) {
-    return 1;
+    return flags.help_requested() ? kExitOk : kExitUsage;
   }
   ObsSession obs(flags);
   const ModelProfile& profile = GetModelProfile(ModelKind::kResNet50ImageNet);

@@ -19,7 +19,7 @@ int Main(int argc, char** argv) {
   flags.DefineInt("seed", 1, "trace seed");
   AddObsFlags(flags);
   if (!flags.Parse(argc, argv)) {
-    return 1;
+    return flags.help_requested() ? kExitOk : kExitUsage;
   }
   ObsSession obs(flags);
 

@@ -1,0 +1,81 @@
+// Degraded control plane: Pollux under the "none", "lan", "flaky", and
+// "partitioned" network-fault profiles (latency/jitter, burst loss,
+// duplication, reordering, node/rack partitions; see sim/netmodel.h), with
+// lease-based liveness compared against the naive instant-masking baseline
+// (--net-naive-masking semantics).
+//
+// The interesting shape: under "lan" both modes match the clean run — a
+// healthy network never expires a lease. Under "flaky"/"partitioned" the
+// naive scheduler reclaims every job whose reports go quiet, churning
+// healthy-but-unreachable jobs through evictions, while the lease scheduler
+// freezes them through the outage and resumes when it heals, finishing with
+// fewer evictions and better JCT/goodput. No job is ever lost (invariants on
+// for every run).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "sim/pollux_policy.h"
+#include "util/csv.h"
+
+namespace pollux {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(flags);
+  if (!flags.Parse(argc, argv)) {
+    return flags.help_requested() ? kExitOk : kExitUsage;
+  }
+  ObsSession obs(flags);
+  BenchSimConfig config = ConfigFromFlags(flags);
+  config.check_invariants = true;
+
+  // One trace for every cell: the comparison isolates the control plane.
+  const std::vector<JobSpec> trace = MakeBenchTrace(config);
+
+  std::printf("=== Degraded control plane: lease liveness vs naive masking ===\n");
+  TablePrinter table({"liveness", "profile", "avg JCT (h)", "goodput (ex/s)", "completed",
+                      "evictions", "bounces", "degraded rounds", "lease evictions"});
+  for (const bool naive : {false, true}) {
+    for (const std::string profile : {"none", "lan", "flaky", "partitioned"}) {
+      NetProfileByName(profile, &config.net);
+      config.net.naive_masking = naive;
+      PolluxPolicy policy(ClusterSpec::Homogeneous(config.nodes, config.gpus_per_node),
+                          SchedConfigFromBenchConfig(config));
+      Simulator sim(SimOptionsFromBenchConfig(config), trace, &policy);
+      const SimResult result = sim.Run();
+      int completed = 0;
+      long evictions = 0;
+      for (const auto& job : result.jobs) {
+        completed += job.completed ? 1 : 0;
+        evictions += job.num_evictions;
+      }
+      long bounces = 0;
+      for (const auto& event : result.events) {
+        bounces += event.kind == SimEventKind::kDecisionBounce ? 1 : 0;
+      }
+      table.AddRow({naive ? "naive" : "lease", profile,
+                    FormatDouble(result.JctSummary().mean / 3600.0, 2),
+                    FormatDouble(result.AvgJobGoodput(), 1),
+                    std::to_string(completed) + "/" + std::to_string(result.jobs.size()),
+                    std::to_string(evictions), std::to_string(bounces),
+                    std::to_string(policy.sched().degraded_rounds()),
+                    std::to_string(policy.sched().lease_evictions())});
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\nExpected shape: \"none\" and \"lan\" rows match across modes (healthy\n"
+              "networks never expire a lease). Under \"flaky\"/\"partitioned\" the naive\n"
+              "scheduler reclaims jobs whose reports merely went quiet; the lease\n"
+              "scheduler freezes them through the outage, so it completes the same jobs\n"
+              "with far fewer lease evictions and better avg JCT. (Per-job goodput can\n"
+              "look better for naive: reclaiming jobs leaves survivors hogging GPUs.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pollux
+
+int main(int argc, char** argv) { return pollux::Main(argc, argv); }

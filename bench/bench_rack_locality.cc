@@ -40,7 +40,7 @@ int Main(int argc, char** argv) {
   flags.DefineDouble("noise", 0.05, "lognormal sigma of measurement noise");
   AddObsFlags(flags);
   if (!flags.Parse(argc, argv)) {
-    return 1;
+    return flags.help_requested() ? kExitOk : kExitUsage;
   }
   ObsSession obs(flags);
   const auto truth = ResNet50RackTruth();

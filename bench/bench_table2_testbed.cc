@@ -55,7 +55,7 @@ int Main(int argc, char** argv) {
   AddCommonFlags(flags);
   flags.DefineInt("seeds", 4, "number of trace seeds to average (paper: 8)");
   if (!flags.Parse(argc, argv)) {
-    return 1;
+    return flags.help_requested() ? kExitOk : kExitUsage;
   }
   ObsSession obs(flags);
   const BenchSimConfig config = ConfigFromFlags(flags);

@@ -16,7 +16,7 @@ int Main(int argc, char** argv) {
   FlagParser flags;
   AddCommonFlags(flags);
   if (!flags.Parse(argc, argv)) {
-    return 1;
+    return flags.help_requested() ? kExitOk : kExitUsage;
   }
   ObsSession obs(flags);
   BenchSimConfig config = ConfigFromFlags(flags);

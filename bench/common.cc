@@ -68,6 +68,60 @@ void AddCommonFlags(FlagParser& flags) {
   flags.DefineString("sched-recovery", "warm",
                      "scheduler crash recovery: warm (lossless control-plane "
                      "snapshot reload) | cold (agents refit, queues rebuilt)");
+  flags.DefineString("net-profile", "none",
+                     "control-plane network model preset: none | lan | flaky | "
+                     "partitioned (individual --net-* flags override the preset)");
+  flags.DefineDouble("net-latency", -1.0,
+                     "base one-way control message latency in seconds "
+                     "(negative keeps the profile value)");
+  flags.DefineDouble("net-jitter", -1.0,
+                     "mean exponential jitter added to each delivery in seconds "
+                     "(negative keeps the profile value)");
+  flags.DefineDouble("net-loss", -1.0,
+                     "probability one control message send attempt is lost "
+                     "(negative keeps the profile value)");
+  flags.DefineDouble("net-burst-rate", -1.0,
+                     "probability a send trips the channel into a loss burst "
+                     "(negative keeps the profile value)");
+  flags.DefineDouble("net-burst-duration", -1.0,
+                     "mean loss burst length in seconds "
+                     "(negative keeps the profile value)");
+  flags.DefineDouble("net-dup", -1.0,
+                     "probability a delivered message is duplicated "
+                     "(negative keeps the profile value)");
+  flags.DefineDouble("net-reorder", -1.0,
+                     "probability a delivery is delayed enough to reorder "
+                     "(negative keeps the profile value)");
+  flags.DefineDouble("net-reorder-extra", -1.0,
+                     "max extra reorder delay in seconds "
+                     "(negative keeps the profile value)");
+  flags.DefineDouble("net-mtbf-partition", -1.0,
+                     "mean time between single-node control partitions in seconds "
+                     "(0 disables; negative keeps the profile value)");
+  flags.DefineDouble("net-partition-duration", -1.0,
+                     "mean single-node partition duration in seconds "
+                     "(negative keeps the profile value)");
+  flags.DefineDouble("net-mtbf-rack-partition", -1.0,
+                     "mean time between rack-scoped control partitions in seconds "
+                     "(0 disables; negative keeps the profile value)");
+  flags.DefineDouble("net-rack-partition-duration", -1.0,
+                     "mean rack partition duration in seconds "
+                     "(negative keeps the profile value)");
+  flags.DefineInt("net-rack-size", -1,
+                  "nodes per rack for rack-scoped partitions "
+                  "(negative keeps the profile value)");
+  flags.DefineInt("net-lease-intervals", -1,
+                  "report intervals without a heartbeat before a node's capacity "
+                  "is masked (negative keeps the profile value)");
+  flags.DefineDouble("net-lease-grace", -1.0,
+                     "seconds a job with an expired report lease is frozen before "
+                     "eviction (negative keeps the profile value)");
+  flags.DefineDouble("net-degraded-coverage", -1.0,
+                     "fresh-report coverage below which the scheduler freezes warm "
+                     "allocations for the round (negative keeps the profile value)");
+  flags.DefineBool("net-naive-masking", false,
+                   "baseline liveness: instantly mask failed capacity and reclaim "
+                   "stale jobs with no lease, grace, or degraded rounds");
   flags.DefineDouble("checkpoint-every", 0.0,
                      "write a crash-consistent state snapshot every N sim-seconds "
                      "(0 disables; requires --checkpoint-dir)");
@@ -200,6 +254,61 @@ BenchSimConfig ConfigFromFlags(const FlagParser& flags) {
                  flags.GetString("sched-recovery").c_str(),
                  SchedRecoveryName(config.faults.sched_recovery));
   }
+  if (!NetProfileByName(flags.GetString("net-profile"), &config.net)) {
+    std::fprintf(stderr, "unknown --net-profile \"%s\", using \"none\"\n",
+                 flags.GetString("net-profile").c_str());
+  }
+  if (flags.GetDouble("net-latency") >= 0.0) {
+    config.net.latency = flags.GetDouble("net-latency");
+  }
+  if (flags.GetDouble("net-jitter") >= 0.0) {
+    config.net.jitter = flags.GetDouble("net-jitter");
+  }
+  if (flags.GetDouble("net-loss") >= 0.0) {
+    config.net.loss_rate = flags.GetDouble("net-loss");
+  }
+  if (flags.GetDouble("net-burst-rate") >= 0.0) {
+    config.net.burst_rate = flags.GetDouble("net-burst-rate");
+  }
+  if (flags.GetDouble("net-burst-duration") >= 0.0) {
+    config.net.burst_duration = flags.GetDouble("net-burst-duration");
+  }
+  if (flags.GetDouble("net-dup") >= 0.0) {
+    config.net.dup_rate = flags.GetDouble("net-dup");
+  }
+  if (flags.GetDouble("net-reorder") >= 0.0) {
+    config.net.reorder_rate = flags.GetDouble("net-reorder");
+  }
+  if (flags.GetDouble("net-reorder-extra") >= 0.0) {
+    config.net.reorder_extra = flags.GetDouble("net-reorder-extra");
+  }
+  if (flags.GetDouble("net-mtbf-partition") >= 0.0) {
+    config.net.mtbf_partition = flags.GetDouble("net-mtbf-partition");
+  }
+  if (flags.GetDouble("net-partition-duration") >= 0.0) {
+    config.net.partition_duration = flags.GetDouble("net-partition-duration");
+  }
+  if (flags.GetDouble("net-mtbf-rack-partition") >= 0.0) {
+    config.net.mtbf_rack_partition = flags.GetDouble("net-mtbf-rack-partition");
+  }
+  if (flags.GetDouble("net-rack-partition-duration") >= 0.0) {
+    config.net.rack_partition_duration = flags.GetDouble("net-rack-partition-duration");
+  }
+  if (flags.GetInt("net-rack-size") >= 0) {
+    config.net.rack_size = static_cast<int>(flags.GetInt("net-rack-size"));
+  }
+  if (flags.GetInt("net-lease-intervals") >= 0) {
+    config.net.lease_intervals = static_cast<int>(flags.GetInt("net-lease-intervals"));
+  }
+  if (flags.GetDouble("net-lease-grace") >= 0.0) {
+    config.net.lease_grace = flags.GetDouble("net-lease-grace");
+  }
+  if (flags.GetDouble("net-degraded-coverage") >= 0.0) {
+    config.net.degraded_coverage = flags.GetDouble("net-degraded-coverage");
+  }
+  if (flags.GetBool("net-naive-masking")) {
+    config.net.naive_masking = true;
+  }
   config.check_invariants = flags.GetBool("check-invariants");
   config.round_time_budget = flags.GetDouble("sched-budget");
   config.checkpoint_every = flags.GetDouble("checkpoint-every");
@@ -224,8 +333,6 @@ SimResult RunBenchPolicy(const std::string& policy, const BenchSimConfig& config
   return RunImportedTrace(policy, config, MakeBenchTrace(config));
 }
 
-namespace {
-
 SimOptions SimOptionsFromBenchConfig(const BenchSimConfig& config) {
   SimOptions options;
   options.engine = config.engine;
@@ -239,6 +346,7 @@ SimOptions SimOptionsFromBenchConfig(const BenchSimConfig& config) {
   options.seed = config.seed;
   options.sched_threads = config.threads;
   options.faults = config.faults;
+  options.net = config.net;
   options.check_invariants = config.check_invariants;
   options.checkpoint_every = config.checkpoint_every;
   options.checkpoint_dir = config.checkpoint_dir;
@@ -256,8 +364,19 @@ SchedConfig SchedConfigFromBenchConfig(const BenchSimConfig& config) {
   sched_config.ga.threads = config.threads;
   sched_config.weight_lambda = config.weight_lambda;
   sched_config.round_time_budget = config.round_time_budget;
+  if (config.net.enabled()) {
+    if (config.net.naive_masking) {
+      sched_config.naive_masking = true;
+    } else {
+      sched_config.lease_intervals = config.net.lease_intervals;
+      sched_config.lease_grace = config.net.lease_grace;
+      sched_config.degraded_coverage = config.net.degraded_coverage;
+    }
+  }
   return sched_config;
 }
+
+namespace {
 
 // Constructs the named policy on the stack (unknown names fall back to
 // Tiresias, matching the historical RunImportedTrace behavior) and invokes
@@ -388,6 +507,26 @@ std::string EncodeBenchSimConfig(const BenchSimConfig& config) {
   PutConfigDouble(out, "restart_backoff_cap", config.faults.restart_backoff_cap);
   PutConfigDouble(out, "mtbf_sched", config.faults.mtbf_sched);
   out << "sched_recovery=" << SchedRecoveryName(config.faults.sched_recovery) << '\n';
+  PutConfigDouble(out, "net_latency", config.net.latency);
+  PutConfigDouble(out, "net_jitter", config.net.jitter);
+  PutConfigDouble(out, "net_loss", config.net.loss_rate);
+  PutConfigDouble(out, "net_burst_rate", config.net.burst_rate);
+  PutConfigDouble(out, "net_burst_duration", config.net.burst_duration);
+  PutConfigDouble(out, "net_dup", config.net.dup_rate);
+  PutConfigDouble(out, "net_reorder", config.net.reorder_rate);
+  PutConfigDouble(out, "net_reorder_extra", config.net.reorder_extra);
+  PutConfigDouble(out, "net_mtbf_partition", config.net.mtbf_partition);
+  PutConfigDouble(out, "net_partition_duration", config.net.partition_duration);
+  PutConfigDouble(out, "net_mtbf_rack_partition", config.net.mtbf_rack_partition);
+  PutConfigDouble(out, "net_rack_partition_duration", config.net.rack_partition_duration);
+  out << "net_rack_size=" << config.net.rack_size << '\n';
+  PutConfigDouble(out, "net_retry_backoff_init", config.net.retry_backoff_init);
+  PutConfigDouble(out, "net_retry_backoff_cap", config.net.retry_backoff_cap);
+  out << "net_max_retries=" << config.net.max_retries << '\n';
+  out << "net_lease_intervals=" << config.net.lease_intervals << '\n';
+  PutConfigDouble(out, "net_lease_grace", config.net.lease_grace);
+  PutConfigDouble(out, "net_degraded_coverage", config.net.degraded_coverage);
+  out << "net_naive_masking=" << (config.net.naive_masking ? 1 : 0) << '\n';
   out << "check_invariants=" << (config.check_invariants ? 1 : 0) << '\n';
   PutConfigDouble(out, "sched_budget", config.round_time_budget);
   return out.str();
@@ -466,6 +605,46 @@ bool DecodeBenchSimConfig(const std::string& text, BenchSimConfig* config) {
       ok = ParseConfigDouble(value, &parsed.faults.mtbf_sched);
     } else if (key == "sched_recovery") {
       ok = SchedRecoveryByName(value, &parsed.faults.sched_recovery);
+    } else if (key == "net_latency") {
+      ok = ParseConfigDouble(value, &parsed.net.latency);
+    } else if (key == "net_jitter") {
+      ok = ParseConfigDouble(value, &parsed.net.jitter);
+    } else if (key == "net_loss") {
+      ok = ParseConfigDouble(value, &parsed.net.loss_rate);
+    } else if (key == "net_burst_rate") {
+      ok = ParseConfigDouble(value, &parsed.net.burst_rate);
+    } else if (key == "net_burst_duration") {
+      ok = ParseConfigDouble(value, &parsed.net.burst_duration);
+    } else if (key == "net_dup") {
+      ok = ParseConfigDouble(value, &parsed.net.dup_rate);
+    } else if (key == "net_reorder") {
+      ok = ParseConfigDouble(value, &parsed.net.reorder_rate);
+    } else if (key == "net_reorder_extra") {
+      ok = ParseConfigDouble(value, &parsed.net.reorder_extra);
+    } else if (key == "net_mtbf_partition") {
+      ok = ParseConfigDouble(value, &parsed.net.mtbf_partition);
+    } else if (key == "net_partition_duration") {
+      ok = ParseConfigDouble(value, &parsed.net.partition_duration);
+    } else if (key == "net_mtbf_rack_partition") {
+      ok = ParseConfigDouble(value, &parsed.net.mtbf_rack_partition);
+    } else if (key == "net_rack_partition_duration") {
+      ok = ParseConfigDouble(value, &parsed.net.rack_partition_duration);
+    } else if (key == "net_rack_size") {
+      ok = ParseConfigInt(value, &parsed.net.rack_size);
+    } else if (key == "net_retry_backoff_init") {
+      ok = ParseConfigDouble(value, &parsed.net.retry_backoff_init);
+    } else if (key == "net_retry_backoff_cap") {
+      ok = ParseConfigDouble(value, &parsed.net.retry_backoff_cap);
+    } else if (key == "net_max_retries") {
+      ok = ParseConfigInt(value, &parsed.net.max_retries);
+    } else if (key == "net_lease_intervals") {
+      ok = ParseConfigInt(value, &parsed.net.lease_intervals);
+    } else if (key == "net_lease_grace") {
+      ok = ParseConfigDouble(value, &parsed.net.lease_grace);
+    } else if (key == "net_degraded_coverage") {
+      ok = ParseConfigDouble(value, &parsed.net.degraded_coverage);
+    } else if (key == "net_naive_masking") {
+      ok = ParseConfigBool(value, &parsed.net.naive_masking);
     } else if (key == "check_invariants") {
       ok = ParseConfigBool(value, &parsed.check_invariants);
     } else if (key == "sched_budget") {

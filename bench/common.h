@@ -8,11 +8,22 @@
 #include <string>
 #include <vector>
 
+#include "core/sched.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
 #include "workload/trace_gen.h"
 
 namespace pollux {
+
+// Process exit codes shared by pollux_simulate and the bench binaries, so
+// CI scripts can tell outcomes apart: 0 success (including --help), 1 runtime
+// failure (timed-out run, unreadable input, failed resume), 2 usage error
+// (unknown or malformed flag), 3 run halted after a checkpoint
+// (--halt-after; resume with --resume-from).
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitRuntime = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitHalted = 3;
 
 struct BenchSimConfig {
   // Simulation engine: the event-driven engine (default) or the legacy
@@ -48,6 +59,11 @@ struct BenchSimConfig {
   // --fault-profile flag ("none" | "light" | "heavy") sets the whole block,
   // then individual flags override.
   FaultOptions faults;
+  // Control-plane network model (all off by default; see sim/netmodel.h).
+  // The --net-profile flag ("none" | "lan" | "flaky" | "partitioned") sets
+  // the whole block, then individual --net-* flags override. The lease knobs
+  // inside also configure PolluxSched's liveness handling (DESIGN.md §12).
+  NetOptions net;
   // Cross-check simulator invariants every tick (capacity, job conservation,
   // event-log monotonicity); aborts on violation.
   bool check_invariants = false;
@@ -106,6 +122,12 @@ BenchSimConfig ConfigFromFlags(const FlagParser& flags);
 
 // Synthesizes the workload trace for the config.
 std::vector<JobSpec> MakeBenchTrace(const BenchSimConfig& config);
+
+// Maps the bench config onto the simulator / PolluxSched option structs.
+// Exposed so benches that need the policy object itself (e.g. to read lease
+// counters after a run) build it exactly like RunBenchPolicy would.
+SimOptions SimOptionsFromBenchConfig(const BenchSimConfig& config);
+SchedConfig SchedConfigFromBenchConfig(const BenchSimConfig& config);
 
 // Runs one full cluster simulation under the named policy
 // ("pollux" | "pollux-fixed-batch" | "optimus" | "tiresias") and returns its

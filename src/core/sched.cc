@@ -14,6 +14,12 @@ namespace {
 struct SchedMetrics {
   obs::Counter* rounds;
   obs::Counter* fallback_rounds;
+  obs::Counter* degraded_rounds;
+  obs::Counter* lease_expirations;
+  obs::Counter* lease_evictions;
+  obs::Counter* dup_reports;
+  obs::Gauge* lease_held_jobs;
+  obs::Gauge* lease_coverage;
   obs::Histogram* round_time_s;
   obs::Gauge* last_utility;
   obs::Gauge* last_fitness;
@@ -34,6 +40,12 @@ struct SchedMetrics {
     auto& registry = obs::MetricsRegistry::Global();
     rounds = registry.GetCounter("sched.rounds");
     fallback_rounds = registry.GetCounter("sched.fallback_rounds");
+    degraded_rounds = registry.GetCounter("sched.degraded_rounds");
+    lease_expirations = registry.GetCounter("sched.lease.expirations");
+    lease_evictions = registry.GetCounter("sched.lease.evictions");
+    dup_reports = registry.GetCounter("sched.dup_reports");
+    lease_held_jobs = registry.GetGauge("sched.lease.held_jobs");
+    lease_coverage = registry.GetGauge("sched.lease.coverage");
     round_time_s = registry.GetHistogram("sched.round_time_s");
     last_utility = registry.GetGauge("sched.last_utility");
     last_fitness = registry.GetGauge("sched.last_fitness");
@@ -81,7 +93,12 @@ std::vector<SchedJobInfo> PolluxSched::BuildJobInfos(const std::vector<SchedJobR
     info.weight = JobWeight(report.gpu_time, config_.gpu_time_threshold, config_.weight_lambda);
     info.current_allocation = report.current_allocation;
     info.max_gpus_cap = std::max(1, report.agent.max_gpus_cap);
-    if (report.stale) {
+    bool stale = config_.stale_report_age > 0.0 && report.report_age > config_.stale_report_age;
+    if (config_.lease_intervals > 0) {
+      stale = stale ||
+              report.report_age > config_.lease_intervals * config_.report_interval;
+    }
+    if (stale) {
       // No fresh telemetry: hold the job at (at most) its current size
       // rather than growing it on a goodput model we cannot trust.
       int current = 0;
@@ -105,34 +122,70 @@ std::map<uint64_t, std::vector<int>> PolluxSched::Schedule(
   }
   TRACE_SCOPE("sched_round");
   const auto round_start = std::chrono::steady_clock::now();
-  const std::vector<SchedJobInfo> jobs =
-      BuildJobInfos(reports, optimizer_.cluster().TotalGpus());
-  const GeneticOptimizer::Result result = optimizer_.Optimize(jobs);
-  last_utility_ = result.utility;
-  last_fitness_ = result.fitness;
-  for (size_t j = 0; j < jobs.size(); ++j) {
-    allocations[jobs[j].job_id] = result.best.Row(j);
+  const bool lease_mode = config_.lease_intervals > 0 && !config_.naive_masking;
+  const uint64_t expirations_before = lease_expirations_;
+  const uint64_t evictions_before = lease_evictions_;
+  const uint64_t dups_before = dup_reports_;
+  const std::vector<Lease> lease = ClassifyLeases(reports);
+  size_t fresh = 0;
+  size_t held = 0;
+  for (Lease state : lease) {
+    fresh += state == Lease::kFresh ? 1 : 0;
+    held += state == Lease::kHeld ? 1 : 0;
   }
-  // Graceful degradation: never apply an allocation that overflows the
-  // (possibly fault-degraded) cluster, and never let one runaway GA round
-  // stall the whole scheduler past its budget — fall back to the last
-  // known-feasible allocation projected onto surviving nodes.
-  bool fallback = !AllocationsFeasible(optimizer_.cluster(), allocations);
+  const double coverage = static_cast<double>(fresh) / static_cast<double>(reports.size());
+  const bool degraded =
+      lease_mode && config_.degraded_coverage > 0.0 && coverage < config_.degraded_coverage;
+  bool fallback = false;
+  if (degraded) {
+    // Too little of the fleet is reporting to trust a full re-optimization:
+    // freeze what is warm, pack only the fresh queued jobs.
+    ++degraded_rounds_;
+    allocations = DegradedRound(reports, lease);
+  } else {
+    const std::vector<SchedJobInfo> jobs =
+        BuildJobInfos(reports, optimizer_.cluster().TotalGpus());
+    const GeneticOptimizer::Result result = optimizer_.Optimize(jobs);
+    last_utility_ = result.utility;
+    last_fitness_ = result.fitness;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      allocations[jobs[j].job_id] = result.best.Row(j);
+    }
+    // Graceful degradation: never apply an allocation that overflows the
+    // (possibly fault-degraded) cluster, and never let one runaway GA round
+    // stall the whole scheduler past its budget — fall back to the last
+    // known-feasible allocation projected onto surviving nodes.
+    fallback = !AllocationsFeasible(optimizer_.cluster(), allocations);
+    if (!fallback && config_.round_time_budget > 0.0) {
+      const double ga_elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - round_start)
+              .count();
+      fallback = ga_elapsed > config_.round_time_budget;
+    }
+    if (fallback) {
+      ++fallback_rounds_;
+      allocations = ProjectOntoCluster(reports);
+    }
+  }
+  if (lease_mode || config_.naive_masking) {
+    ApplyLeaseOverrides(reports, lease, &allocations);
+  }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - round_start).count();
-  if (!fallback && config_.round_time_budget > 0.0) {
-    fallback = elapsed > config_.round_time_budget;
-  }
-  if (fallback) {
-    ++fallback_rounds_;
-    allocations = ProjectOntoCluster(reports);
-  }
   if (obs::MetricsRegistry::Global().enabled()) {
     const SchedMetrics& metrics = SchedMetrics::Get();
     metrics.rounds->Add();
     if (fallback) {
       metrics.fallback_rounds->Add();
     }
+    if (degraded) {
+      metrics.degraded_rounds->Add();
+    }
+    metrics.lease_expirations->Add(lease_expirations_ - expirations_before);
+    metrics.lease_evictions->Add(lease_evictions_ - evictions_before);
+    metrics.dup_reports->Add(dup_reports_ - dups_before);
+    metrics.lease_held_jobs->Set(static_cast<double>(held));
+    metrics.lease_coverage->Set(coverage);
     metrics.round_time_s->Record(elapsed);
     metrics.last_utility->Set(last_utility_);
     metrics.last_fitness->Set(last_fitness_);
@@ -167,6 +220,145 @@ bool PolluxSched::AllocationsFeasible(
     }
   }
   return true;
+}
+
+std::vector<PolluxSched::Lease> PolluxSched::ClassifyLeases(
+    const std::vector<SchedJobReport>& reports) {
+  std::vector<Lease> lease(reports.size(), Lease::kFresh);
+  const bool lease_mode = config_.lease_intervals > 0 && !config_.naive_masking;
+  if (!lease_mode && !config_.naive_masking) {
+    return lease;
+  }
+  const double lease_age = config_.lease_intervals * config_.report_interval;
+  std::map<uint64_t, JobTelemetry> next;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const SchedJobReport& report = reports[i];
+    if (config_.naive_masking) {
+      if (config_.stale_report_age > 0.0 && report.report_age > config_.stale_report_age) {
+        lease[i] = Lease::kEvicted;
+      }
+    } else if (report.report_age > lease_age + config_.lease_grace) {
+      lease[i] = Lease::kEvicted;
+    } else if (report.report_age > lease_age) {
+      lease[i] = Lease::kHeld;
+    }
+    const auto prev = telemetry_.find(report.agent.job_id);
+    JobTelemetry telemetry;
+    if (prev != telemetry_.end()) {
+      // Monotonic-staleness tracking: a seq that failed to advance means the
+      // round ran on the same (or duplicate) telemetry as the previous one.
+      if (report.seq > 0 && report.seq <= prev->second.last_seq) {
+        ++dup_reports_;
+      }
+      telemetry.last_seq = std::max(report.seq, prev->second.last_seq);
+      const Lease was = static_cast<Lease>(prev->second.last_class);
+      if (lease[i] == Lease::kHeld && was == Lease::kFresh) {
+        ++lease_expirations_;
+      }
+      if (lease[i] == Lease::kEvicted && was != Lease::kEvicted) {
+        ++lease_evictions_;
+      }
+    } else {
+      telemetry.last_seq = report.seq;
+      if (lease[i] == Lease::kHeld) {
+        ++lease_expirations_;
+      }
+      if (lease[i] == Lease::kEvicted) {
+        ++lease_evictions_;
+      }
+    }
+    telemetry.last_class = static_cast<uint32_t>(lease[i]);
+    next[report.agent.job_id] = telemetry;
+  }
+  // Finished jobs drop out of the reports; prune their telemetry.
+  telemetry_ = std::move(next);
+  return lease;
+}
+
+std::map<uint64_t, std::vector<int>> PolluxSched::DegradedRound(
+    const std::vector<SchedJobReport>& reports, const std::vector<Lease>& lease) const {
+  const ClusterSpec& cluster = optimizer_.cluster();
+  const size_t num_nodes = cluster.gpus_per_node.size();
+  std::map<uint64_t, std::vector<int>> allocations;
+  ClusterSpec residual = cluster;
+  std::vector<size_t> queued;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const SchedJobReport& report = reports[i];
+    std::vector<int> row = report.current_allocation;
+    row.resize(num_nodes, 0);
+    int total = 0;
+    for (int gpus : row) {
+      total += gpus;
+    }
+    if (lease[i] != Lease::kEvicted && total > 0) {
+      // Warm and not reclaimed: freeze verbatim, whatever the lease state.
+      for (size_t n = 0; n < num_nodes; ++n) {
+        residual.gpus_per_node[n] = std::max(0, residual.gpus_per_node[n] - row[n]);
+      }
+      allocations[report.agent.job_id] = std::move(row);
+      continue;
+    }
+    allocations[report.agent.job_id] = std::vector<int>(num_nodes, 0);
+    if (lease[i] == Lease::kFresh) {
+      queued.push_back(i);
+    }
+  }
+  if (queued.empty() || residual.TotalGpus() <= 0) {
+    return allocations;
+  }
+  // Re-optimize only the fresh queued jobs over the residual capacity with a
+  // probe GA (fresh seed each round; the persisted population's matrix shape
+  // does not match this sub-problem).
+  std::vector<SchedJobReport> fresh_reports;
+  fresh_reports.reserve(queued.size());
+  for (size_t i : queued) {
+    fresh_reports.push_back(reports[i]);
+  }
+  const std::vector<SchedJobInfo> jobs = BuildJobInfos(fresh_reports, residual.TotalGpus());
+  GaOptions options = config_.ga;
+  options.generations = std::max(1, options.generations / 4);
+  GeneticOptimizer probe(residual, options);
+  const GeneticOptimizer::Result result = probe.Optimize(jobs);
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    allocations[jobs[j].job_id] = result.best.Row(j);
+  }
+  return allocations;
+}
+
+void PolluxSched::ApplyLeaseOverrides(const std::vector<SchedJobReport>& reports,
+                                      const std::vector<Lease>& lease,
+                                      std::map<uint64_t, std::vector<int>>* allocations) const {
+  const ClusterSpec& cluster = optimizer_.cluster();
+  const size_t num_nodes = cluster.gpus_per_node.size();
+  std::vector<int> free = cluster.gpus_per_node;
+  // Pin held rows first: a held job keeps exactly what it physically holds,
+  // even on a node the lease view has masked (the allocation is real; the
+  // scheduler just cannot hear about it). Free capacity may go negative on
+  // such nodes, which correctly starves fresh jobs off them.
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const SchedJobReport& report = reports[i];
+    if (lease[i] == Lease::kHeld) {
+      std::vector<int> row = report.current_allocation;
+      row.resize(num_nodes, 0);
+      for (size_t n = 0; n < num_nodes; ++n) {
+        free[n] -= row[n];
+      }
+      (*allocations)[report.agent.job_id] = std::move(row);
+    } else if (lease[i] == Lease::kEvicted) {
+      (*allocations)[report.agent.job_id] = std::vector<int>(num_nodes, 0);
+    }
+  }
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (lease[i] != Lease::kFresh) {
+      continue;
+    }
+    std::vector<int>& row = (*allocations)[reports[i].agent.job_id];
+    row.resize(num_nodes, 0);
+    for (size_t n = 0; n < num_nodes; ++n) {
+      row[n] = std::clamp(row[n], 0, std::max(free[n], 0));
+      free[n] -= row[n];
+    }
+  }
 }
 
 std::map<uint64_t, std::vector<int>> PolluxSched::ProjectOntoCluster(

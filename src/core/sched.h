@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "core/agent.h"
@@ -36,6 +37,29 @@ struct SchedConfig {
   // favor of the last known-feasible allocation projected onto surviving
   // nodes, instead of aborting or applying garbage.
   double round_time_budget = 0.0;
+  // Reports older than this (seconds) are stale: the job's exploration cap is
+  // clamped to its current size so the GA never grows a job on telemetry it
+  // cannot trust. 0 disables the clamp.
+  double stale_report_age = 150.0;
+  // Expected agent report interval, seconds; a job's telemetry lease spans
+  // lease_intervals of it.
+  double report_interval = 30.0;
+  // Lease-based liveness over a degraded control plane (0 disables, which is
+  // the legacy stale-clamp-only behavior). A job whose report age exceeds the
+  // lease is *held*: frozen at exactly its current allocation. Only after a
+  // further lease_grace seconds of silence is it evicted (allocation
+  // reclaimed). See DESIGN.md §12.
+  int lease_intervals = 0;
+  double lease_grace = 300.0;
+  // When the fraction of jobs with an unexpired lease drops below this
+  // threshold, the round runs degraded: every warm allocation is frozen as-is
+  // and only fresh queued jobs are packed onto the residual capacity by a
+  // reduced-budget GA. 0 disables degraded rounds.
+  double degraded_coverage = 0.0;
+  // Instant-masking baseline (bench_netfaults): any job whose report age
+  // exceeds stale_report_age is reclaimed immediately — no lease, no grace,
+  // no degraded rounds.
+  bool naive_masking = false;
 };
 
 // Per-job information PolluxSched receives each interval.
@@ -45,12 +69,16 @@ struct SchedJobReport {
   double gpu_time = 0.0;
   // GPUs per node the job currently holds; empty when not running.
   std::vector<int> current_allocation;
-  // Seconds since the report was produced and whether the caller considers
-  // it stale (agent reports can be lost in degraded clusters). A stale job
-  // is scheduled conservatively: its exploration cap is clamped to its
+  // Seconds since the last delivered report was produced (agent reports can
+  // be lost or delayed in degraded clusters). Staleness and lease expiry are
+  // judged from this measured age against SchedConfig thresholds: a stale job
+  // is scheduled conservatively — its exploration cap is clamped to its
   // current allocation, so the GA never *grows* a job on dead telemetry.
   double report_age = 0.0;
-  bool stale = false;
+  // Delivery sequence number of that report (0 when the transport does not
+  // sequence). Monotonically increasing per job; used to detect stagnant or
+  // duplicate telemetry across rounds.
+  uint64_t seq = 0;
 };
 
 class PolluxSched {
@@ -68,6 +96,20 @@ class PolluxSched {
   // Rounds whose GA result was discarded (budget overrun or infeasible) in
   // favor of the projected fallback allocation.
   uint64_t fallback_rounds() const { return fallback_rounds_; }
+
+  // Rounds that ran in degraded mode (fresh-report coverage below threshold:
+  // warm allocations frozen, only fresh queued jobs re-optimized).
+  uint64_t degraded_rounds() const { return degraded_rounds_; }
+
+  // Lease lifecycle accounting: jobs whose lease expired (entered the held
+  // state) and jobs reclaimed after the grace period (or instantly under
+  // naive masking).
+  uint64_t lease_expirations() const { return lease_expirations_; }
+  uint64_t lease_evictions() const { return lease_evictions_; }
+
+  // Rounds-with-stagnant-telemetry count: a job whose report seq did not
+  // advance since the previous round (duplicate or no delivery).
+  uint64_t dup_reports() const { return dup_reports_; }
 
   // True when every row fits the cluster: no over-committed node and no GPUs
   // on zero-capacity (failed) nodes.
@@ -102,29 +144,84 @@ class PolluxSched {
     double last_utility = 0.0;
     double last_fitness = 0.0;
     uint64_t fallback_rounds = 0;
+    uint64_t degraded_rounds = 0;
+    uint64_t lease_expirations = 0;
+    uint64_t lease_evictions = 0;
+    uint64_t dup_reports = 0;
+    // job id -> (last seen report seq, last lease class 0=fresh/1=held/
+    // 2=evicted), so lease transition counting survives a warm restart.
+    std::map<uint64_t, std::pair<uint64_t, uint32_t>> telemetry;
   };
   State GetState() const {
-    return State{optimizer_.GetState(), last_utility_, last_fitness_, fallback_rounds_};
+    State state;
+    state.ga = optimizer_.GetState();
+    state.last_utility = last_utility_;
+    state.last_fitness = last_fitness_;
+    state.fallback_rounds = fallback_rounds_;
+    state.degraded_rounds = degraded_rounds_;
+    state.lease_expirations = lease_expirations_;
+    state.lease_evictions = lease_evictions_;
+    state.dup_reports = dup_reports_;
+    for (const auto& [job_id, telemetry] : telemetry_) {
+      state.telemetry[job_id] = {telemetry.last_seq, telemetry.last_class};
+    }
+    return state;
   }
   void SetState(const State& state) {
     optimizer_.SetState(state.ga);
     last_utility_ = state.last_utility;
     last_fitness_ = state.last_fitness;
     fallback_rounds_ = state.fallback_rounds;
+    degraded_rounds_ = state.degraded_rounds;
+    lease_expirations_ = state.lease_expirations;
+    lease_evictions_ = state.lease_evictions;
+    dup_reports_ = state.dup_reports;
+    telemetry_.clear();
+    for (const auto& [job_id, saved] : state.telemetry) {
+      telemetry_[job_id] = JobTelemetry{saved.first, saved.second};
+    }
   }
 
-  // Cold recovery: drop the persisted GA population and diagnostics, as a
-  // freshly restarted scheduler process would. The cumulative fallback
-  // counter survives — it is run-level accounting, not process state.
+  // Cold recovery: drop the persisted GA population, diagnostics, and the
+  // per-job telemetry map, as a freshly restarted scheduler process would.
+  // The cumulative counters survive — they are run-level accounting, not
+  // process state.
   void ResetSearchState() {
     optimizer_.ResetSearchState();
     last_utility_ = 0.0;
     last_fitness_ = 0.0;
+    telemetry_.clear();
   }
 
  private:
+  // Telemetry lease classes (DESIGN.md §12): fresh leases schedule normally,
+  // held jobs are frozen at their current allocation, evicted jobs are
+  // reclaimed.
+  enum class Lease : uint32_t { kFresh = 0, kHeld = 1, kEvicted = 2 };
+
+  struct JobTelemetry {
+    uint64_t last_seq = 0;
+    uint32_t last_class = 0;
+  };
+
   std::vector<SchedJobInfo> BuildJobInfos(const std::vector<SchedJobReport>& reports,
                                           int max_gpus) const;
+
+  // Classifies every report into a lease class and updates the telemetry map
+  // (seq stagnation + transition counters).
+  std::vector<Lease> ClassifyLeases(const std::vector<SchedJobReport>& reports);
+
+  // Degraded round: freeze every warm non-evicted allocation verbatim and
+  // pack fresh queued jobs onto the residual capacity with a reduced-budget
+  // GA probe (the persisted population is not disturbed).
+  std::map<uint64_t, std::vector<int>> DegradedRound(const std::vector<SchedJobReport>& reports,
+                                                     const std::vector<Lease>& lease) const;
+
+  // Post-GA overrides: evicted rows zeroed, held rows pinned to the current
+  // allocation verbatim, fresh rows clamped to the remaining capacity.
+  void ApplyLeaseOverrides(const std::vector<SchedJobReport>& reports,
+                           const std::vector<Lease>& lease,
+                           std::map<uint64_t, std::vector<int>>* allocations) const;
 
   SchedConfig config_;
   GeneticOptimizer optimizer_;
@@ -136,6 +233,11 @@ class PolluxSched {
   double last_utility_ = 0.0;
   double last_fitness_ = 0.0;
   uint64_t fallback_rounds_ = 0;
+  uint64_t degraded_rounds_ = 0;
+  uint64_t lease_expirations_ = 0;
+  uint64_t lease_evictions_ = 0;
+  uint64_t dup_reports_ = 0;
+  std::map<uint64_t, JobTelemetry> telemetry_;
 };
 
 }  // namespace pollux

@@ -33,7 +33,9 @@
 
 namespace pollux {
 
-inline constexpr uint32_t kSnapshotVersion = 1;
+// Version 2: kTagJobs rows gained per-channel delivery sequence numbers and
+// the kTagNet section (control-plane network model state) was added.
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 // Section tags. Unknown tags are preserved but ignored by readers, so later
 // versions can add sections without breaking older payload parsers.
@@ -45,6 +47,7 @@ enum SnapshotTag : uint32_t {
   kTagScheduler = 5,  // Opaque Scheduler::SaveState blob.
   kTagResult = 6,     // Event log, timeline, node-second accounting.
   kTagLoop = 7,       // Engine loop state (tick thresholds / timer states).
+  kTagNet = 8,        // NetModel streams/in-flight messages + lease liveness.
 };
 
 // CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).

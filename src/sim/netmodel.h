@@ -1,0 +1,264 @@
+// Deterministic control-plane network model for the cluster simulator.
+//
+// Training traffic (all-reduce) is out of scope; this models the *control
+// plane* only: agent -> scheduler report messages, scheduler -> agent
+// allocation decisions, and per-node liveness heartbeats. Messages experience
+// configurable latency/jitter, independent and burst loss, duplication,
+// reordering, and node- or rack-scoped network partitions with deterministic
+// heal times. A partition blocks control messages but does NOT stop training:
+// an already-allocated job keeps running through a partition (contrast with a
+// node crash from FaultInjector, which evicts it).
+//
+// Determinism contract (mirrors FaultInjector):
+//   - Every draw comes from a dedicated splitmix64-derived Rng stream: one
+//     stream per (job, direction) channel and one per node/rack partition
+//     track. A channel's draws depend only on its own send sequence, so
+//     message interleaving across jobs never perturbs another channel.
+//   - Heartbeats draw no randomness at all (fixed base latency, blocked under
+//     partition), so enabling them is free of RNG side effects.
+//   - All fate draws (loss, burst, duplication, latency, retry jitter) happen
+//     at send time; in-flight messages are pure data. Runs are
+//     byte-reproducible per seed and the full state round-trips through
+//     checkpoints (kTagNet).
+//   - With every knob at zero (`NetOptions::enabled()` false) the simulator
+//     never constructs a NetModel, so `--net-profile=none` runs are
+//     byte-identical to pre-netmodel behavior.
+
+#ifndef POLLUX_SIM_NETMODEL_H_
+#define POLLUX_SIM_NETMODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "util/rng.h"
+
+namespace pollux {
+
+struct NetOptions {
+  // Base one-way delivery latency, seconds, applied to every message.
+  double latency = 0.0;
+  // Mean of an exponential jitter term added on top of the base latency.
+  double jitter = 0.0;
+  // Probability one send attempt is lost independently.
+  double loss_rate = 0.0;
+  // Probability one send attempt trips the channel into a loss burst, and the
+  // mean burst length (exponential). During a burst every attempt on that
+  // channel is dropped (correlated loss: a flapping ToR port, not coin flips).
+  double burst_rate = 0.0;
+  double burst_duration = 240.0;
+  // Probability a delivered message is duplicated (second copy with its own
+  // latency draw; receivers dedup by sequence number).
+  double dup_rate = 0.0;
+  // Probability a delivered message is delayed an extra Uniform(0, extra)
+  // seconds, enough to overtake later sends (receivers keep newest-seq only).
+  double reorder_rate = 0.0;
+  double reorder_extra = 10.0;
+  // Mean time between control-plane partitions of one node / one rack,
+  // seconds (exponential inter-arrival per scope), and the mean partition
+  // duration. 0 disables that partition scope.
+  double mtbf_partition = 0.0;
+  double partition_duration = 240.0;
+  double mtbf_rack_partition = 0.0;
+  double rack_partition_duration = 360.0;
+  // Nodes per rack for rack-scoped partitions.
+  int rack_size = 4;
+  // Agent-side send retry: first backoff, doubling per attempt up to the cap,
+  // each delay jittered by Uniform(0.5, 1.5); the message is dropped for good
+  // after max_retries retries.
+  double retry_backoff_init = 2.0;
+  double retry_backoff_cap = 30.0;
+  int max_retries = 6;
+
+  // Scheduler-side liveness knobs (consumed by the simulator / PolluxSched,
+  // carried here so one --net-* flag namespace configures the whole control
+  // plane). A node's capacity is masked from the scheduler only after
+  // `lease_intervals` report intervals pass without a heartbeat; a job whose
+  // report lease expired is frozen (never grown) for `lease_grace` seconds
+  // before it is evicted. When the fraction of jobs with fresh reports drops
+  // below `degraded_coverage` the scheduler enters a degraded round: warm
+  // allocations freeze and only fresh queued jobs are re-optimized.
+  int lease_intervals = 3;
+  double lease_grace = 300.0;
+  double degraded_coverage = 0.4;
+  // Baseline mode for bench_netfaults: binary instant liveness. The scheduler
+  // sees the physically-masked cluster immediately and reclaims any job whose
+  // report age exceeds the stale threshold, with no lease, grace, or degraded
+  // rounds.
+  bool naive_masking = false;
+
+  bool enabled() const {
+    return latency > 0.0 || jitter > 0.0 || loss_rate > 0.0 || burst_rate > 0.0 ||
+           dup_rate > 0.0 || reorder_rate > 0.0 || mtbf_partition > 0.0 ||
+           mtbf_rack_partition > 0.0;
+  }
+};
+
+// Named presets for --net-profile. Returns true and fills `options` for
+// "none" | "lan" | "flaky" | "partitioned"; returns false for anything else.
+bool NetProfileByName(const std::string& name, NetOptions* options);
+
+class NetModel {
+ public:
+  enum class MsgKind : uint32_t { kReport = 0, kDecision = 1, kHeartbeat = 2 };
+
+  struct Message {
+    MsgKind kind = MsgKind::kReport;
+    double deliver_at = 0.0;
+    // Global admission order; ties on deliver_at resolve by seq so delivery
+    // order is deterministic.
+    uint64_t seq = 0;
+    uint64_t job_id = 0;  // kReport / kDecision.
+    int node = -1;        // Agent host (kReport/kDecision) or heartbeat node.
+    // Per-channel sequence number; receivers drop payload_seq <= last seen.
+    uint64_t payload_seq = 0;
+    double sent_at = 0.0;
+    AgentReport report;    // kReport payload.
+    std::vector<int> row;  // kDecision payload (GPUs per node).
+  };
+
+  struct SendOutcome {
+    bool delivered = false;  // At least one copy is in flight.
+    int attempts = 1;        // 1 + retries.
+    bool duplicated = false;
+    uint64_t payload_seq = 0;
+  };
+
+  // A node-/rack-scoped partition starting (down=true) or healing.
+  struct Transition {
+    double time = 0.0;
+    int index = 0;  // Node index, or rack index when rack=true.
+    bool rack = false;
+    bool down = false;
+  };
+
+  NetModel(NetOptions options, int num_nodes, uint64_t seed);
+
+  // Sends one message through the job's channel, replaying the agent's retry
+  // loop (capped jittered exponential backoff) at send time. `node` is the
+  // sender's (reports) or receiver's (decisions) host; -1 means co-located
+  // with the scheduler and immune to partitions.
+  SendOutcome SendReport(uint64_t job_id, int node, const AgentReport& report, double now);
+  SendOutcome SendDecision(uint64_t job_id, int node, const std::vector<int>& row, double now);
+
+  // Heartbeats draw no RNG: blocked when the node is partitioned at `now`,
+  // otherwise delivered after the base latency. Returns whether it was sent.
+  bool SendHeartbeat(int node, double now);
+
+  // Removes and returns every in-flight message due by `now`, ordered by
+  // (deliver_at, admission seq).
+  std::vector<Message> PopDue(double now);
+
+  // Earliest in-flight delivery time, +inf when nothing is in flight. Lets
+  // the event engine arm delivery events lazily.
+  double NextDeliveryTime() const;
+
+  // Advances partition state to `now`; returns the partition/heal transitions
+  // that fired since the previous poll in (time, node-before-rack, index)
+  // order.
+  std::vector<Transition> PollTransitions(double now);
+
+  // Earliest pending partition transition, +inf when partitions are disabled.
+  double NextTransitionTime();
+
+  // Whether `node` is unreachable at time `t` (its own partition or its
+  // rack's). `t` may be in the future: partition windows are generated ahead
+  // deterministically, which the send-time retry replay relies on.
+  bool Partitioned(int node, double t);
+
+  // Reshapes per-node/rack tracks after an autoscaler resize; surviving
+  // scopes keep their streams, new ones start healthy with fresh streams.
+  void OnClusterResize(int num_nodes, double now);
+
+  size_t InFlight() const { return inflight_.size(); }
+  const NetOptions& options() const { return options_; }
+  int num_racks() const { return static_cast<int>(rack_tracks_.size()); }
+
+  // Full model state for checkpoint/restore: channel stream cursors and burst
+  // windows, partition track cursors and pregenerated windows, in-flight
+  // messages, and the admission counter. Options/seed are construction
+  // parameters and not part of the state.
+  struct State {
+    struct Channel {
+      uint64_t job_id = 0;
+      Rng::State rng;
+      double burst_until = 0.0;
+      uint64_t next_seq = 0;
+    };
+    struct Track {
+      Rng::State rng;
+      bool head_down = false;
+      double tail_time = 0.0;
+      std::vector<double> pending;
+    };
+    std::vector<Channel> report_channels;
+    std::vector<Channel> decision_channels;
+    std::vector<Track> node_tracks;
+    std::vector<Track> rack_tracks;
+    std::vector<Message> messages;
+    uint64_t next_msg_seq = 0;
+    uint64_t node_tracks_created = 0;
+    uint64_t rack_tracks_created = 0;
+  };
+  State GetState() const;
+  void SetState(const State& state);
+
+ private:
+  struct ChannelState {
+    Rng rng;
+    // End of the current loss burst on this channel (0 when none).
+    double burst_until = 0.0;
+    // Next per-channel payload sequence number (first message gets 1).
+    uint64_t next_seq = 0;
+  };
+
+  // Alternating up/down windows for one partition scope, generated lazily
+  // from a dedicated stream. `pending` holds future state-flip times;
+  // `head_down` is the state before pending.front(). Windows are generated on
+  // demand past any queried time so future lookups (retry attempts) and
+  // PollTransitions consume the same deterministic sequence.
+  struct Track {
+    Rng rng;
+    bool head_down = false;
+    double tail_time = 0.0;  // Time of the last generated flip.
+    std::deque<double> pending;
+  };
+
+  struct MessageOrder {
+    bool operator()(const Message& a, const Message& b) const {
+      if (a.deliver_at != b.deliver_at) return a.deliver_at < b.deliver_at;
+      return a.seq < b.seq;
+    }
+  };
+
+  ChannelState& GetChannel(std::map<uint64_t, ChannelState>& channels, uint64_t job_id,
+                           uint64_t stream);
+  SendOutcome Send(ChannelState& channel, Message message, int node, double now);
+  // Queues one copy sent at `attempt`; draws latency/jitter/reorder from the
+  // channel stream.
+  void EnqueueCopy(ChannelState& channel, const Message& message, double attempt);
+  Track MakeTrack(uint64_t salt, uint64_t index);
+  // Generates windows for `track` until its tail passes `t`.
+  void ExtendTrack(Track& track, double t, double mtbf, double duration);
+  bool TrackDownAt(Track& track, double t, double mtbf, double duration);
+
+  NetOptions options_;
+  uint64_t seed_;
+  std::map<uint64_t, ChannelState> report_channels_;
+  std::map<uint64_t, ChannelState> decision_channels_;
+  std::vector<Track> node_tracks_;
+  std::vector<Track> rack_tracks_;
+  std::multiset<Message, MessageOrder> inflight_;
+  uint64_t next_msg_seq_ = 0;
+  // Monotone counters so scopes added by resizes get fresh streams.
+  uint64_t node_tracks_created_ = 0;
+  uint64_t rack_tracks_created_ = 0;
+};
+
+}  // namespace pollux
+
+#endif  // POLLUX_SIM_NETMODEL_H_

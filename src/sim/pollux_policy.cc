@@ -22,7 +22,7 @@ std::map<uint64_t, std::vector<int>> PolluxPolicy::Schedule(const SchedulerConte
     report.gpu_time = snapshot.gpu_time;
     report.current_allocation = snapshot.allocation;
     report.report_age = snapshot.report_age;
-    report.stale = snapshot.report_stale;
+    report.seq = snapshot.report_seq;
     last_reports_.push_back(std::move(report));
   }
   return sched_.Schedule(last_reports_);
@@ -52,13 +52,23 @@ void PolluxPolicy::SaveState(std::string* blob) const {
   out.PutDouble(state.last_utility);
   out.PutDouble(state.last_fitness);
   out.PutU64(state.fallback_rounds);
+  out.PutU64(state.degraded_rounds);
+  out.PutU64(state.lease_expirations);
+  out.PutU64(state.lease_evictions);
+  out.PutU64(state.dup_reports);
+  out.PutU64(state.telemetry.size());
+  for (const auto& [job_id, telemetry] : state.telemetry) {
+    out.PutU64(job_id);
+    out.PutU64(telemetry.first);
+    out.PutU32(telemetry.second);
+  }
   out.PutU64(last_reports_.size());
   for (const SchedJobReport& report : last_reports_) {
     PutAgentReport(out, report.agent);
     out.PutDouble(report.gpu_time);
     out.PutIntVec(report.current_allocation);
     out.PutDouble(report.report_age);
-    out.PutBool(report.stale);
+    out.PutU64(report.seq);
   }
   *blob = out.str();
 }
@@ -97,6 +107,17 @@ bool PolluxPolicy::LoadState(const std::string& blob) {
   state.last_utility = in.GetDouble();
   state.last_fitness = in.GetDouble();
   state.fallback_rounds = in.GetU64();
+  state.degraded_rounds = in.GetU64();
+  state.lease_expirations = in.GetU64();
+  state.lease_evictions = in.GetU64();
+  state.dup_reports = in.GetU64();
+  const uint64_t telemetry_entries = in.GetU64();
+  for (uint64_t i = 0; i < telemetry_entries && in.ok(); ++i) {
+    const uint64_t job_id = in.GetU64();
+    const uint64_t last_seq = in.GetU64();
+    const uint32_t last_class = in.GetU32();
+    state.telemetry[job_id] = {last_seq, last_class};
+  }
   const uint64_t reports = in.GetU64();
   std::vector<SchedJobReport> restored_reports;
   for (uint64_t i = 0; i < reports && in.ok(); ++i) {
@@ -105,7 +126,7 @@ bool PolluxPolicy::LoadState(const std::string& blob) {
     report.gpu_time = in.GetDouble();
     report.current_allocation = in.GetIntVec();
     report.report_age = in.GetDouble();
-    report.stale = in.GetBool();
+    report.seq = in.GetU64();
     restored_reports.push_back(std::move(report));
   }
   if (!in.ok() || !in.AtEnd()) {

@@ -44,11 +44,13 @@ struct JobSnapshot {
   double oracle_single_gpu_remaining = 0.0;
   // The batch size the job currently trains with.
   long batch_size = 0;
-  // Seconds since the scheduler last received a fresh agent report for this
-  // job (grows past the report interval when reports are dropped), and
-  // whether the simulator considers the current report stale.
+  // Seconds since the latest delivered agent report was *produced* (grows
+  // past the report interval when reports are dropped or delayed in transit);
+  // staleness is judged by the policy against this measured age.
   double report_age = 0.0;
-  bool report_stale = false;
+  // Delivery sequence number of that report (0 when the control-plane
+  // network model is off and reports arrive synchronously).
+  uint64_t report_seq = 0;
 };
 
 struct SchedulerContext {

@@ -23,18 +23,30 @@ constexpr double kProgressEpsilon = 1e-6;
 
 // Sim-time trace tracks (pid kSimPid): jobs use their job id, nodes are
 // offset so the two id spaces can't collide; the scheduler control plane gets
-// its own track above both.
+// its own track above both, and rack-scoped partition spans above that.
 constexpr uint64_t kNodeTrackBase = uint64_t{1} << 40;
 constexpr uint64_t kSchedTrack = kNodeTrackBase * 2;
+constexpr uint64_t kRackTrackBase = kNodeTrackBase * 3;
 
 struct SimMetrics {
   obs::Counter* ticks;
   obs::Counter* engine_events;
   obs::Gauge* engine_events_per_s;
   obs::Gauge* run_wall_s;
-  obs::Counter* events_by_kind[12];
+  obs::Counter* events_by_kind[15];
   obs::Gauge* failed_nodes;
   obs::Gauge* masked_gpus;
+  obs::Counter* net_sent;
+  obs::Counter* net_delivered;
+  obs::Counter* net_lost;
+  obs::Counter* net_duplicated;
+  obs::Counter* net_retries;
+  obs::Counter* net_dup_reports;
+  obs::Counter* net_decisions_suppressed;
+  obs::Counter* net_decisions_bounced;
+  obs::Counter* net_partitions;
+  obs::Gauge* net_in_flight;
+  obs::Histogram* net_delivery_delay;
   obs::Gauge* avg_goodput;
   obs::Gauge* avg_throughput;
   obs::Gauge* avg_efficiency;
@@ -59,12 +71,23 @@ struct SimMetrics {
     engine_events = registry.GetCounter("sim.engine.events");
     engine_events_per_s = registry.GetGauge("sim.engine.events_per_s");
     run_wall_s = registry.GetGauge("sim.run_wall_s");
-    for (int kind = 0; kind <= static_cast<int>(SimEventKind::kSchedCrash); ++kind) {
+    for (int kind = 0; kind <= static_cast<int>(SimEventKind::kDecisionBounce); ++kind) {
       events_by_kind[kind] = registry.GetCounter(
           std::string("sim.events.") + SimEventKindName(static_cast<SimEventKind>(kind)));
     }
     failed_nodes = registry.GetGauge("sim.failed_nodes");
     masked_gpus = registry.GetGauge("sim.masked_gpus");
+    net_sent = registry.GetCounter("net.messages_sent");
+    net_delivered = registry.GetCounter("net.messages_delivered");
+    net_lost = registry.GetCounter("net.messages_lost");
+    net_duplicated = registry.GetCounter("net.messages_duplicated");
+    net_retries = registry.GetCounter("net.retries");
+    net_dup_reports = registry.GetCounter("net.dup_reports");
+    net_decisions_suppressed = registry.GetCounter("net.decisions_suppressed");
+    net_decisions_bounced = registry.GetCounter("net.decisions_bounced");
+    net_partitions = registry.GetCounter("net.partitions");
+    net_in_flight = registry.GetGauge("net.in_flight");
+    net_delivery_delay = registry.GetHistogram("net.delivery_delay_s");
     avg_goodput = registry.GetGauge("sim.avg_goodput");
     avg_throughput = registry.GetGauge("sim.avg_throughput");
     avg_efficiency = registry.GetGauge("sim.avg_efficiency");
@@ -97,6 +120,17 @@ Placement PlacementOf(const std::vector<int>& row) {
     }
   }
   return placement;
+}
+
+// The node hosting a job's rank-0 agent process (first node with GPUs), or -1
+// for queued jobs whose agent is co-located with the scheduler.
+int AgentHostNode(const std::vector<int>& alloc) {
+  for (size_t n = 0; n < alloc.size(); ++n) {
+    if (alloc[n] > 0) {
+      return static_cast<int>(n);
+    }
+  }
+  return -1;
 }
 
 }  // namespace
@@ -143,6 +177,12 @@ const char* SimEventKindName(SimEventKind kind) {
       return "report_drop";
     case SimEventKind::kSchedCrash:
       return "sched_crash";
+    case SimEventKind::kNetPartition:
+      return "net_partition";
+    case SimEventKind::kNetHeal:
+      return "net_heal";
+    case SimEventKind::kDecisionBounce:
+      return "decision_bounce";
   }
   return "?";
 }
@@ -177,9 +217,15 @@ struct Simulator::Job {
   int restart_failures = 0;
   double backoff_seconds = 0.0;
   bool has_report = false;
-  // Time the scheduler last *received* a report (drops don't update it).
+  // Time the report the scheduler last received was *produced* (drops don't
+  // update it; under the network model delivery lags production, so report
+  // age includes transit time).
   double last_report_time = -1.0;
   AgentReport report;
+  // Highest per-channel sequence numbers delivered so far: older or duplicate
+  // reports/decisions that arrive out of order are discarded.
+  uint64_t report_seq = 0;
+  uint64_t decision_seq = 0;
 
   // Time integrals while running.
   double run_seconds = 0.0;
@@ -212,6 +258,13 @@ Simulator::Simulator(SimOptions options, std::vector<JobSpec> trace, Scheduler* 
     // main simulation stream (job noise forks) is untouched.
     faults_ = std::make_unique<FaultInjector>(options_.faults, cluster_.NumNodes(),
                                               options_.seed ^ 0xFA017ULL);
+  }
+  if (options_.net.enabled()) {
+    // Distinct salt: the network model's streams never collide with the
+    // fault injector's even under identical seeds.
+    net_ = std::make_unique<NetModel>(options_.net, cluster_.NumNodes(),
+                                      options_.seed ^ 0x5E7A11ULL);
+    last_heard_.assign(cluster_.gpus_per_node.size(), 0.0);
   }
 }
 
@@ -262,6 +315,7 @@ void Simulator::ActivateSubmissions(double now) {
 
 void Simulator::RefreshReports(double now) {
   TRACE_SCOPE("sim.refresh_reports");
+  const bool metrics_on = obs::MetricsRegistry::Global().enabled();
   for (auto& job : jobs_) {
     if (job->finished) {
       continue;
@@ -274,6 +328,26 @@ void Simulator::RefreshReports(double now) {
                          faults_->DropReport();
     if (dropped) {
       Emit(SimEvent{now, SimEventKind::kReportDrop, job->spec.job_id, 0, 0});
+    } else if (net_ != nullptr) {
+      // The report travels as a sequence-numbered message; the agent retries
+      // lost attempts with capped jittered backoff at send time. A message
+      // whose every attempt is lost counts as a drop, like the legacy path.
+      const NetModel::SendOutcome outcome =
+          net_->SendReport(job->spec.job_id, AgentHostNode(job->alloc), fresh, now);
+      if (metrics_on) {
+        const SimMetrics& metrics = SimMetrics::Get();
+        metrics.net_sent->Add();
+        metrics.net_retries->Add(static_cast<uint64_t>(outcome.attempts - 1));
+        if (outcome.duplicated) {
+          metrics.net_duplicated->Add();
+        }
+        if (!outcome.delivered) {
+          metrics.net_lost->Add();
+        }
+      }
+      if (!outcome.delivered) {
+        Emit(SimEvent{now, SimEventKind::kReportDrop, job->spec.job_id, 0, 0});
+      }
     } else {
       job->report = std::move(fresh);
       job->has_report = true;
@@ -289,6 +363,16 @@ void Simulator::RefreshReports(double now) {
         if (choice.batch_size > 0) {
           job->batch = choice.batch_size;
         }
+      }
+    }
+  }
+  if (net_ != nullptr) {
+    // Liveness heartbeats from every physically-up node, once per report
+    // interval. RNG-free by contract: blocked under partition, delivered
+    // after the base latency otherwise.
+    for (size_t n = 0; n < cluster_.gpus_per_node.size(); ++n) {
+      if (cluster_.gpus_per_node[n] > 0) {
+        net_->SendHeartbeat(static_cast<int>(n), now);
       }
     }
   }
@@ -325,8 +409,7 @@ std::vector<JobSnapshot> Simulator::BuildSnapshots(double now) {
         snapshot.oracle_remaining_iterations *
         job->profile->TrueIterTime(Placement{1, 1}, job->batch);
     snapshot.report_age = job->last_report_time >= 0.0 ? now - job->last_report_time : 0.0;
-    snapshot.report_stale =
-        options_.stale_report_age > 0.0 && snapshot.report_age > options_.stale_report_age;
+    snapshot.report_seq = job->report_seq;
     snapshots.push_back(std::move(snapshot));
   }
   return snapshots;
@@ -384,7 +467,7 @@ void Simulator::RunSchedulingRound(double now) {
   TRACE_SCOPE("sim.sched_round");
   SchedulerContext context;
   context.now = now;
-  context.cluster = &cluster_;
+  context.cluster = net_ != nullptr ? &SchedulerClusterView(now) : &cluster_;
   context.jobs = BuildSnapshots(now);
   const auto decisions = scheduler_->Schedule(context);
   for (auto& job : jobs_) {
@@ -392,10 +475,65 @@ void Simulator::RunSchedulingRound(double now) {
       continue;
     }
     const auto it = decisions.find(job->spec.job_id);
-    if (it != decisions.end()) {
+    if (it == decisions.end()) {
+      continue;
+    }
+    if (net_ == nullptr) {
       ApplyAllocation(*job, it->second, now);
+      continue;
+    }
+    // Under the network model only *changed* rows travel: a decision message
+    // per job per change, not per round (no-op decisions would only add
+    // suppression noise at the receiver).
+    std::vector<int> new_row = it->second;
+    new_row.resize(cluster_.gpus_per_node.size(), 0);
+    std::vector<int> old_row = job->alloc;
+    old_row.resize(cluster_.gpus_per_node.size(), 0);
+    if (new_row != old_row) {
+      SendDecision(*job, new_row, now);
     }
   }
+}
+
+void Simulator::SendDecision(Job& job, const std::vector<int>& row, double now) {
+  const NetModel::SendOutcome outcome =
+      net_->SendDecision(job.spec.job_id, AgentHostNode(job.alloc), row, now);
+  if (obs::MetricsRegistry::Global().enabled()) {
+    const SimMetrics& metrics = SimMetrics::Get();
+    metrics.net_sent->Add();
+    metrics.net_retries->Add(static_cast<uint64_t>(outcome.attempts - 1));
+    if (outcome.duplicated) {
+      metrics.net_duplicated->Add();
+    }
+    if (!outcome.delivered) {
+      // The decision never reaches the agent; the scheduler self-corrects
+      // next round when the job's snapshot still shows the old allocation.
+      metrics.net_lost->Add();
+    }
+  }
+}
+
+const ClusterSpec& Simulator::SchedulerClusterView(double now) {
+  if (options_.net.naive_masking || options_.net.lease_intervals <= 0) {
+    // Instant-masking baseline: the scheduler sees the physically masked
+    // capacity immediately, as if liveness were free and perfect.
+    return cluster_;
+  }
+  // Lease view: the scheduler only distrusts a node after its lease expires —
+  // lease_intervals heartbeat periods plus transit slack, so a healthy node
+  // is never masked spuriously. Until then a crashed node still looks alive
+  // (decisions placed there bounce at apply time); conversely a repaired node
+  // is readmitted at its first heartbeat delivery.
+  sched_view_ = base_cluster_;
+  const double lease = options_.net.lease_intervals * options_.report_interval +
+                       2.0 * (options_.net.latency + options_.net.jitter) + options_.tick;
+  for (size_t n = 0; n < sched_view_.gpus_per_node.size(); ++n) {
+    const double heard = n < last_heard_.size() ? last_heard_[n] : 0.0;
+    if (now - heard > lease) {
+      sched_view_.gpus_per_node[n] = 0;
+    }
+  }
+  return sched_view_;
 }
 
 void Simulator::RunAutoscaling(double now) {
@@ -420,6 +558,12 @@ void Simulator::RunAutoscaling(double now) {
         cluster_.gpus_per_node[static_cast<size_t>(n)] = 0;
       }
     }
+  }
+  if (net_ != nullptr) {
+    net_->OnClusterResize(target, now);
+    // Newly provisioned nodes start with a fresh lease (heard "now"), not an
+    // expired one from before they existed.
+    last_heard_.resize(static_cast<size_t>(target), now);
   }
   scheduler_->OnClusterChanged(cluster_);
   for (auto& job : jobs_) {
@@ -493,10 +637,13 @@ void Simulator::ProcessFaults(double now) {
     metrics.masked_gpus->Set(
         static_cast<double>(base_cluster_.TotalGpus() - cluster_.TotalGpus()));
   }
-  if (!transitions.empty()) {
+  if (!transitions.empty() &&
+      !(net_ != nullptr && !options_.net.naive_masking && options_.net.lease_intervals > 0)) {
     // Failed nodes are masked out of the schedulers' capacity model (the GA
     // mutates/repairs against zero-capacity columns; consolidated placement
-    // sees zero free GPUs there).
+    // sees zero free GPUs there). Under lease-based liveness the scheduler
+    // must NOT learn of the transition instantly — it only finds out through
+    // missed heartbeats, via SchedulerClusterView at the next round.
     scheduler_->OnClusterChanged(cluster_);
   }
 }
@@ -559,6 +706,160 @@ void Simulator::RecoverScheduler(double now) {
   }
   Log(LogLevel::kInfo) << "scheduler crash at t=" << now << ": cold recovery reset " << reset
                        << " agents";
+}
+
+void Simulator::ProcessNet(double now) {
+  if (net_ == nullptr) {
+    return;
+  }
+  const bool metrics_on = obs::MetricsRegistry::Global().enabled();
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  for (const auto& transition : net_->PollTransitions(now)) {
+    const std::pair<int, int> key{transition.rack ? 1 : 0, transition.index};
+    const uint64_t track = transition.rack
+                               ? kRackTrackBase + static_cast<uint64_t>(transition.index)
+                               : kNodeTrackBase + static_cast<uint64_t>(transition.index);
+    if (transition.down) {
+      Emit(SimEvent{now, SimEventKind::kNetPartition, 0, transition.rack ? 1 : 0,
+                    transition.index});
+      partition_started_[key] = transition.time;
+      if (metrics_on) {
+        SimMetrics::Get().net_partitions->Add();
+      }
+      if (recorder.enabled() && transition.rack) {
+        recorder.SetTrackName(obs::TraceRecorder::kSimPid, track,
+                              "rack " + std::to_string(transition.index));
+      }
+    } else {
+      Emit(SimEvent{now, SimEventKind::kNetHeal, 0, transition.rack ? 1 : 0,
+                    transition.index});
+      const auto it = partition_started_.find(key);
+      if (it != partition_started_.end()) {
+        if (recorder.enabled()) {
+          recorder.EmitSimSpan(transition.rack ? "rack_partition" : "net_partition", track,
+                               it->second, transition.time - it->second);
+        }
+        partition_started_.erase(it);
+      }
+    }
+  }
+  // Deliveries. Heartbeats and reports apply in delivery order; decisions
+  // delivered at the same instant apply releases (shrinks) before grows, so
+  // a GA rebalance whose messages land together does not spuriously bounce
+  // the growing job on capacity the shrinking job is about to release.
+  const std::vector<NetModel::Message> due = net_->PopDue(now + 1e-9);
+  std::vector<const NetModel::Message*> grows;
+  for (const auto& message : due) {
+    if (message.kind == NetModel::MsgKind::kDecision) {
+      long current = 0;
+      for (const auto& job : jobs_) {
+        if (job->spec.job_id == message.job_id && !job->finished) {
+          current = job->placement.num_gpus;
+          break;
+        }
+      }
+      if (PlacementOf(message.row).num_gpus > current) {
+        grows.push_back(&message);
+        continue;
+      }
+    }
+    DeliverNetMessage(message, now);
+  }
+  for (const NetModel::Message* message : grows) {
+    DeliverNetMessage(*message, now);
+  }
+  if (metrics_on) {
+    SimMetrics::Get().net_in_flight->Set(static_cast<double>(net_->InFlight()));
+  }
+}
+
+void Simulator::DeliverNetMessage(const NetModel::Message& message, double now) {
+  const bool metrics_on = obs::MetricsRegistry::Global().enabled();
+  if (message.kind == NetModel::MsgKind::kHeartbeat) {
+    if (message.node >= 0 && static_cast<size_t>(message.node) < last_heard_.size()) {
+      last_heard_[static_cast<size_t>(message.node)] = now;
+    }
+    return;
+  }
+  if (metrics_on) {
+    const SimMetrics& metrics = SimMetrics::Get();
+    metrics.net_delivered->Add();
+    metrics.net_delivery_delay->Record(now - message.sent_at);
+  }
+  Job* target = nullptr;
+  for (auto& job : jobs_) {
+    if (job->spec.job_id == message.job_id) {
+      target = job.get();
+      break;
+    }
+  }
+  if (target == nullptr || target->finished) {
+    return;  // The job completed while the message was in flight.
+  }
+  if (message.kind == NetModel::MsgKind::kReport) {
+    if (message.payload_seq <= target->report_seq) {
+      // Duplicate, or overtaken by a newer report that arrived first.
+      if (metrics_on) {
+        SimMetrics::Get().net_dup_reports->Add();
+      }
+      return;
+    }
+    target->report_seq = message.payload_seq;
+    target->report = message.report;
+    target->has_report = true;
+    // Age counts from production, so transit delay ages the report too.
+    target->last_report_time = message.sent_at;
+    return;
+  }
+  // Allocation decision.
+  if (message.payload_seq <= target->decision_seq) {
+    // A duplicate copy, or a stale decision overtaken by a newer one.
+    if (metrics_on) {
+      SimMetrics::Get().net_decisions_suppressed->Add();
+    }
+    return;
+  }
+  target->decision_seq = message.payload_seq;
+  // The decision was computed against the scheduler's (possibly lease-stale)
+  // view; re-validate against the *physical* masked capacity at apply time.
+  // Rows that no longer fit — the node crashed or was released while the
+  // message was in flight, or the lease view overstated capacity — bounce:
+  // the job keeps its current allocation and the scheduler retries from
+  // fresher telemetry next round.
+  std::vector<int> row = message.row;
+  row.resize(cluster_.gpus_per_node.size(), 0);
+  bool feasible = true;
+  for (size_t n = cluster_.gpus_per_node.size(); n < message.row.size(); ++n) {
+    if (message.row[n] > 0) {
+      feasible = false;  // Targets a node the autoscaler released.
+    }
+  }
+  if (feasible) {
+    std::vector<long> usage(cluster_.gpus_per_node.size(), 0);
+    for (const auto& job : jobs_) {
+      if (job->finished || job.get() == target) {
+        continue;
+      }
+      for (size_t n = 0; n < job->alloc.size() && n < usage.size(); ++n) {
+        usage[n] += job->alloc[n];
+      }
+    }
+    for (size_t n = 0; n < row.size(); ++n) {
+      if (row[n] > 0 && usage[n] + row[n] > cluster_.gpus_per_node[n]) {
+        feasible = false;
+        break;
+      }
+    }
+  }
+  if (!feasible) {
+    Emit(SimEvent{now, SimEventKind::kDecisionBounce, message.job_id,
+                  PlacementOf(message.row).num_gpus, 0});
+    if (metrics_on) {
+      SimMetrics::Get().net_decisions_bounced->Add();
+    }
+    return;
+  }
+  ApplyAllocation(*target, row, now);
 }
 
 bool Simulator::JobSuffersInterference(const Job& job) const {
@@ -876,6 +1177,7 @@ double Simulator::RunTicked() {
     if (!skip_handlers) {
       ActivateSubmissions(now);
       ProcessFaults(now);
+      ProcessNet(now);
       if (now + 1e-9 >= next_report) {
         RefreshReports(now);
         next_report += options_.report_interval;
@@ -929,10 +1231,11 @@ double Simulator::RunEvent() {
   enum : int {
     kSubmission = 0,
     kFaultPoll = 1,
-    kReport = 2,
-    kSched = 3,
-    kAutoscale = 4,
-    kCheckpoint = 5,
+    kNet = 2,
+    kReport = 3,
+    kSched = 4,
+    kAutoscale = 5,
+    kCheckpoint = 6,
   };
   EventQueue<int> queue;
   RecurringTimer report_timer(0.0, options_.report_interval);
@@ -985,6 +1288,26 @@ double Simulator::RunEvent() {
     }
   };
   arm_fault_poll();
+  // Net events (partition transitions + message deliveries) are armed the
+  // same lazy way. Transitions land on the exact grid point (the ticked loop
+  // compares them without slack via Partitioned()); deliveries use the
+  // threshold slack to match the ticked loop's PopDue(now + 1e-9) scan.
+  double armed_net = std::numeric_limits<double>::infinity();
+  const auto arm_net = [&] {
+    if (net_ == nullptr) {
+      return;
+    }
+    double at = clock.GridCeil(net_->NextTransitionTime());
+    const double delivery = net_->NextDeliveryTime();
+    if (std::isfinite(delivery)) {
+      at = std::min(at, clock.GridCeilSlack(delivery));
+    }
+    if (std::isfinite(at) && at < armed_net) {
+      queue.Push(at, kNet, kNet);
+      armed_net = at;
+    }
+  };
+  arm_net();
 
   bool checkpoint_due = false;
   const auto dispatch_at = [&](double t) {
@@ -1012,13 +1335,25 @@ double Simulator::RunEvent() {
           ProcessFaults(t);
           arm_fault_poll();
           break;
+        case kNet:
+          if (t >= armed_net) {
+            armed_net = std::numeric_limits<double>::infinity();
+          }
+          ProcessNet(t);
+          arm_net();
+          break;
         case kReport:
           RefreshReports(t);
+          // Reports and heartbeats just entered the channel; arm their
+          // delivery instants.
+          arm_net();
           report_timer.Fired(t);
           queue.Push(report_timer.NextFireTime(clock), kReport, kReport);
           break;
         case kSched:
           RunSchedulingRound(t);
+          // Decision messages may now be in flight.
+          arm_net();
           RecordTimelineSample(t);
           sched_timer.Fired(t);
           queue.Push(sched_timer.NextFireTime(clock), kSched, kSched);
@@ -1026,8 +1361,9 @@ double Simulator::RunEvent() {
         case kAutoscale:
           RunAutoscaling(t);
           // The resize may have added nodes whose first transition precedes
-          // the currently armed poll.
+          // the currently armed poll (fault or partition track).
           arm_fault_poll();
+          arm_net();
           autoscale_timer.Fired(t);
           queue.Push(autoscale_timer.NextFireTime(clock), kAutoscale, kAutoscale);
           break;
@@ -1231,6 +1567,8 @@ bool Simulator::SaveSnapshot(const std::string& path, std::string* error) {
       out.PutBool(job->has_report);
       out.PutDouble(job->last_report_time);
       PutAgentReport(out, job->report);
+      out.PutU64(job->report_seq);
+      out.PutU64(job->decision_seq);
       out.PutDouble(job->run_seconds);
       out.PutDouble(job->eff_integral);
       out.PutDouble(job->tput_integral);
@@ -1257,6 +1595,64 @@ bool Simulator::SaveSnapshot(const std::string& path, std::string* error) {
       out.PutU64(state.nodes_created);
     }
     sections[kTagFaults] = out.str();
+  }
+  {
+    BinWriter out;
+    out.PutBool(net_ != nullptr);
+    if (net_ != nullptr) {
+      const NetModel::State state = net_->GetState();
+      const auto put_channels = [&out](const std::vector<NetModel::State::Channel>& channels) {
+        out.PutU64(channels.size());
+        for (const auto& channel : channels) {
+          out.PutU64(channel.job_id);
+          PutRngState(out, channel.rng);
+          out.PutDouble(channel.burst_until);
+          out.PutU64(channel.next_seq);
+        }
+      };
+      put_channels(state.report_channels);
+      put_channels(state.decision_channels);
+      const auto put_tracks = [&out](const std::vector<NetModel::State::Track>& tracks) {
+        out.PutU64(tracks.size());
+        for (const auto& track : tracks) {
+          PutRngState(out, track.rng);
+          out.PutBool(track.head_down);
+          out.PutDouble(track.tail_time);
+          out.PutU64(track.pending.size());
+          for (double flip : track.pending) {
+            out.PutDouble(flip);
+          }
+        }
+      };
+      put_tracks(state.node_tracks);
+      put_tracks(state.rack_tracks);
+      out.PutU64(state.messages.size());
+      for (const NetModel::Message& message : state.messages) {
+        out.PutU32(static_cast<uint32_t>(message.kind));
+        out.PutDouble(message.deliver_at);
+        out.PutU64(message.seq);
+        out.PutU64(message.job_id);
+        out.PutI64(message.node);
+        out.PutU64(message.payload_seq);
+        out.PutDouble(message.sent_at);
+        PutAgentReport(out, message.report);
+        out.PutIntVec(message.row);
+      }
+      out.PutU64(state.next_msg_seq);
+      out.PutU64(state.node_tracks_created);
+      out.PutU64(state.rack_tracks_created);
+      out.PutU64(last_heard_.size());
+      for (double heard : last_heard_) {
+        out.PutDouble(heard);
+      }
+      out.PutU64(partition_started_.size());
+      for (const auto& [key, start] : partition_started_) {
+        out.PutU32(static_cast<uint32_t>(key.first));
+        out.PutI64(key.second);
+        out.PutDouble(start);
+      }
+    }
+    sections[kTagNet] = out.str();
   }
   {
     std::string blob;
@@ -1332,7 +1728,7 @@ bool Simulator::LoadSnapshot(const std::string& path, std::string* error) {
     return false;
   }
   for (const uint32_t tag :
-       {kTagSimCore, kTagJobs, kTagFaults, kTagScheduler, kTagResult, kTagLoop}) {
+       {kTagSimCore, kTagJobs, kTagFaults, kTagScheduler, kTagResult, kTagLoop, kTagNet}) {
     if (sections.find(tag) == sections.end()) {
       return LoadFail(error, path, "missing section " + std::to_string(tag));
     }
@@ -1398,6 +1794,8 @@ bool Simulator::LoadSnapshot(const std::string& path, std::string* error) {
       job->has_report = in.GetBool();
       job->last_report_time = in.GetDouble();
       job->report = GetAgentReport(in);
+      job->report_seq = in.GetU64();
+      job->decision_seq = in.GetU64();
       job->run_seconds = in.GetDouble();
       job->eff_integral = in.GetDouble();
       job->tput_integral = in.GetDouble();
@@ -1441,6 +1839,103 @@ bool Simulator::LoadSnapshot(const std::string& path, std::string* error) {
     }
   }
 
+  {
+    BinReader in(sections[kTagNet]);
+    const bool present = in.GetBool();
+    if (present != (net_ != nullptr)) {
+      return LoadFail(error, path, "network-model configuration mismatch");
+    }
+    if (present) {
+      NetModel::State state;
+      const auto get_channels = [&in](std::vector<NetModel::State::Channel>* channels) {
+        const uint64_t count = in.GetU64();
+        if (count > (uint64_t{1} << 24)) {
+          return false;
+        }
+        for (uint64_t i = 0; i < count && in.ok(); ++i) {
+          NetModel::State::Channel channel;
+          channel.job_id = in.GetU64();
+          channel.rng = GetRngState(in);
+          channel.burst_until = in.GetDouble();
+          channel.next_seq = in.GetU64();
+          channels->push_back(std::move(channel));
+        }
+        return in.ok();
+      };
+      const auto get_tracks = [&in](std::vector<NetModel::State::Track>* tracks) {
+        const uint64_t count = in.GetU64();
+        if (count > (uint64_t{1} << 20)) {
+          return false;
+        }
+        for (uint64_t i = 0; i < count && in.ok(); ++i) {
+          NetModel::State::Track track;
+          track.rng = GetRngState(in);
+          track.head_down = in.GetBool();
+          track.tail_time = in.GetDouble();
+          const uint64_t pending = in.GetU64();
+          if (pending > (uint64_t{1} << 24)) {
+            return false;
+          }
+          for (uint64_t p = 0; p < pending && in.ok(); ++p) {
+            track.pending.push_back(in.GetDouble());
+          }
+          tracks->push_back(std::move(track));
+        }
+        return in.ok();
+      };
+      if (!get_channels(&state.report_channels) || !get_channels(&state.decision_channels) ||
+          !get_tracks(&state.node_tracks) || !get_tracks(&state.rack_tracks)) {
+        return LoadFail(error, path, "malformed network section");
+      }
+      const uint64_t messages = in.GetU64();
+      if (!in.ok() || messages > (uint64_t{1} << 24)) {
+        return LoadFail(error, path, "malformed network section");
+      }
+      for (uint64_t i = 0; i < messages && in.ok(); ++i) {
+        NetModel::Message message;
+        const uint32_t kind = in.GetU32();
+        if (kind > static_cast<uint32_t>(NetModel::MsgKind::kHeartbeat)) {
+          return LoadFail(error, path, "unknown message kind in snapshot");
+        }
+        message.kind = static_cast<NetModel::MsgKind>(kind);
+        message.deliver_at = in.GetDouble();
+        message.seq = in.GetU64();
+        message.job_id = in.GetU64();
+        message.node = static_cast<int>(in.GetI64());
+        message.payload_seq = in.GetU64();
+        message.sent_at = in.GetDouble();
+        message.report = GetAgentReport(in);
+        message.row = in.GetIntVec();
+        state.messages.push_back(std::move(message));
+      }
+      state.next_msg_seq = in.GetU64();
+      state.node_tracks_created = in.GetU64();
+      state.rack_tracks_created = in.GetU64();
+      const uint64_t heard = in.GetU64();
+      if (!in.ok() || heard > (uint64_t{1} << 20)) {
+        return LoadFail(error, path, "malformed network section");
+      }
+      last_heard_.clear();
+      for (uint64_t n = 0; n < heard && in.ok(); ++n) {
+        last_heard_.push_back(in.GetDouble());
+      }
+      const uint64_t partitions = in.GetU64();
+      if (!in.ok() || partitions > (uint64_t{1} << 20)) {
+        return LoadFail(error, path, "malformed network section");
+      }
+      partition_started_.clear();
+      for (uint64_t i = 0; i < partitions && in.ok(); ++i) {
+        const int rack = static_cast<int>(in.GetU32());
+        const int index = static_cast<int>(in.GetI64());
+        partition_started_[{rack, index}] = in.GetDouble();
+      }
+      if (!in.ok() || !in.AtEnd()) {
+        return LoadFail(error, path, "malformed network section");
+      }
+      net_->SetState(state);
+    }
+  }
+
   if (!scheduler_->LoadState(sections[kTagScheduler])) {
     return LoadFail(error, path,
                     std::string("scheduler '") + scheduler_->name() +
@@ -1455,7 +1950,7 @@ bool Simulator::LoadSnapshot(const std::string& path, std::string* error) {
       SimEvent event;
       event.time = in.GetDouble();
       const uint32_t kind = in.GetU32();
-      if (kind > static_cast<uint32_t>(SimEventKind::kSchedCrash)) {
+      if (kind > static_cast<uint32_t>(SimEventKind::kDecisionBounce)) {
         return LoadFail(error, path, "unknown event kind in snapshot");
       }
       event.kind = static_cast<SimEventKind>(kind);

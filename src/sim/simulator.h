@@ -19,14 +19,17 @@
 #ifndef POLLUX_SIM_SIMULATOR_H_
 #define POLLUX_SIM_SIMULATOR_H_
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/allocation.h"
 #include "sim/autoscale.h"
 #include "sim/checkpoint.h"
 #include "sim/fault_injector.h"
+#include "sim/netmodel.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -81,10 +84,15 @@ struct SimOptions {
   // failures). All-zero knobs (the default) mean no injector is constructed
   // and simulated traces are byte-identical to fault-free behavior.
   FaultOptions faults;
-  // Reports older than this many seconds are flagged stale to the scheduler
-  // (JobSnapshot::report_age still carries the exact age). Only meaningful
-  // when report drops are enabled.
-  double stale_report_age = 150.0;
+  // Control-plane network model (latency/jitter, loss and loss bursts,
+  // duplication, reordering, node/rack partitions). All-zero knobs (the
+  // default, --net-profile=none) mean no NetModel is constructed: reports and
+  // decisions move synchronously and runs are byte-identical to
+  // pre-netmodel behavior. When enabled, reports/decisions travel as
+  // sequence-numbered in-flight messages and node liveness is lease-based
+  // (NetOptions::lease_intervals) unless NetOptions::naive_masking asks for
+  // the instant-masking baseline. See DESIGN.md §12.
+  NetOptions net;
   // Run the simulator's invariant checker (capacity conservation, no
   // lost/double-completed jobs, near-monotone event log) every scheduling
   // round; violations abort. Cheap, but off by default.
@@ -141,6 +149,12 @@ enum class SimEventKind {
   kRestartFailure,  // One checkpoint-restore attempt failed (gpus = attempt).
   kReportDrop,      // An agent report was lost in transit.
   kSchedCrash,      // Scheduler process crashed and recovered (warm or cold).
+  kNetPartition,    // Control-plane partition began (nodes = node index, or
+                    // gpus = 1 with nodes = rack index for rack scope).
+  kNetHeal,         // Control-plane partition healed (same addressing).
+  kDecisionBounce,  // A delivered allocation decision conflicted with the
+                    // physical cluster (lease-masked telemetry) and was
+                    // rejected at apply time.
 };
 
 const char* SimEventKindName(SimEventKind kind);
@@ -221,6 +235,14 @@ class Simulator {
 
   void ActivateSubmissions(double now);
   void RefreshReports(double now);
+  // Control-plane network hooks (no-ops when net_ is null): partition
+  // transitions + due message deliveries (reports, decisions, heartbeats),
+  // the per-round decision send, and the lease view of the cluster the
+  // scheduler sees in place of the physical one.
+  void ProcessNet(double now);
+  void DeliverNetMessage(const NetModel::Message& message, double now);
+  void SendDecision(Job& job, const std::vector<int>& row, double now);
+  const ClusterSpec& SchedulerClusterView(double now);
   void RunSchedulingRound(double now);
   void RunAutoscaling(double now);
   void ProcessFaults(double now);
@@ -269,6 +291,14 @@ class Simulator {
   ClusterAutoscaler* autoscaler_;
   Rng rng_;
   std::unique_ptr<FaultInjector> faults_;
+  // Control-plane network model (null when every NetOptions knob is zero).
+  std::unique_ptr<NetModel> net_;
+  // Lease-based liveness bookkeeping (net_ only): last heartbeat delivery
+  // per node, the lease-view cluster handed to the scheduler, and open
+  // partition spans (keyed by (rack?, index)) for the trace timeline.
+  std::vector<double> last_heard_;
+  ClusterSpec sched_view_;
+  std::map<std::pair<int, int>, double> partition_started_;
   std::vector<JobSpec> trace_;
   std::vector<std::unique_ptr<Job>> jobs_;
   size_t next_submission_ = 0;

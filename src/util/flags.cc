@@ -1,10 +1,34 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
 namespace pollux {
+
+namespace {
+
+// Levenshtein distance, early-exiting via the length gap. Flag names are
+// short, so the quadratic row buffer is negligible.
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) {
+    row[j] = j;
+  }
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
 
 void FlagParser::DefineInt(const std::string& name, int64_t default_value,
                            const std::string& help) {
@@ -25,10 +49,40 @@ void FlagParser::DefineBool(const std::string& name, bool default_value, const s
   flags_[name] = Flag{Type::kBool, default_value ? "true" : "false", help};
 }
 
+std::string FlagParser::SuggestFlag(const std::string& name) const {
+  // An edit distance above 2 is no longer a plausible typo for names this
+  // short; the map's sorted order makes ties alphabetical, hence stable.
+  size_t best = 3;
+  std::string suggestion;
+  for (const auto& [candidate, flag] : flags_) {
+    const size_t gap = candidate.size() > name.size() ? candidate.size() - name.size()
+                                                      : name.size() - candidate.size();
+    if (gap >= best) {
+      continue;
+    }
+    const size_t distance = EditDistance(name, candidate);
+    if (distance < best) {
+      best = distance;
+      suggestion = candidate;
+    }
+  }
+  return suggestion;
+}
+
+void FlagParser::ReportUnknown(const std::string& name) const {
+  const std::string suggestion = SuggestFlag(name);
+  if (suggestion.empty()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+  } else {
+    std::fprintf(stderr, "unknown flag: --%s (did you mean --%s?)\n", name.c_str(),
+                 suggestion.c_str());
+  }
+}
+
 bool FlagParser::SetValue(const std::string& name, const std::string& value) {
   auto it = flags_.find(name);
   if (it == flags_.end()) {
-    std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+    ReportUnknown(name);
     return false;
   }
   // Values are type-checked at parse time so a malformed value ("--seed=abc")
@@ -73,10 +127,12 @@ bool FlagParser::SetValue(const std::string& name, const std::string& value) {
 }
 
 bool FlagParser::Parse(int argc, char** argv) {
+  help_requested_ = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       PrintUsage(argv[0]);
+      help_requested_ = true;
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
@@ -111,6 +167,10 @@ bool FlagParser::Parse(int argc, char** argv) {
         return false;
       }
       continue;
+    }
+    if (flags_.find(arg) == flags_.end()) {
+      ReportUnknown(arg);
+      return false;
     }
     std::fprintf(stderr, "flag --%s is missing a value\n", arg.c_str());
     return false;

@@ -23,13 +23,23 @@ class FlagParser {
   void DefineBool(const std::string& name, bool default_value, const std::string& help);
 
   // Parses argv. Returns false (after printing usage) on --help or any
-  // malformed/unknown flag.
+  // malformed/unknown flag. Unknown flags get a "did you mean --x?" hint
+  // when a defined flag is within edit distance 2.
   bool Parse(int argc, char** argv);
+
+  // Whether the last Parse() returned false because of --help/-h (exit code 0)
+  // rather than a malformed command line (exit code 2).
+  bool help_requested() const { return help_requested_; }
 
   int64_t GetInt(const std::string& name) const;
   double GetDouble(const std::string& name) const;
   const std::string& GetString(const std::string& name) const;
   bool GetBool(const std::string& name) const;
+
+  // Closest defined flag name within edit distance 2 of `name` (ties break
+  // alphabetically), or "" when nothing is close. Used for the unknown-flag
+  // hint; exposed for tests.
+  std::string SuggestFlag(const std::string& name) const;
 
   void PrintUsage(const std::string& program) const;
 
@@ -42,8 +52,10 @@ class FlagParser {
   };
 
   bool SetValue(const std::string& name, const std::string& value);
+  void ReportUnknown(const std::string& name) const;
 
   std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
 };
 
 }  // namespace pollux

@@ -117,5 +117,61 @@ TEST(PolluxSchedTest, SetClusterChangesMatrixWidth) {
   EXPECT_EQ(allocations.at(1).size(), 6u);
 }
 
+TEST(PolluxSchedTest, OldReportAgeNeverGrowsJob) {
+  // A job whose last report is far older than stale_report_age (default 150 s)
+  // must never be grown past its current size, no matter how attractive its
+  // (dead) goodput model looks — here a huge phi that would otherwise claim
+  // most of the idle cluster.
+  PolluxSched sched(ClusterSpec::Homogeneous(2, 4), SmallConfig());
+  SchedJobReport stale = MakeReport(1, /*phi=*/1e5, /*cap=*/16);
+  stale.current_allocation = {1, 0};
+  stale.report_age = 1e4;
+  const auto allocations = sched.Schedule({stale});
+  int total = 0;
+  for (int gpus : allocations.at(1)) {
+    total += gpus;
+  }
+  EXPECT_LE(total, 1);
+
+  // Control: the identical job with fresh telemetry expands onto the idle
+  // cluster, so the clamp above is doing the work.
+  SchedJobReport fresh = stale;
+  fresh.report_age = 0.0;
+  PolluxSched unclamped(ClusterSpec::Homogeneous(2, 4), SmallConfig());
+  const auto fresh_allocations = unclamped.Schedule({fresh});
+  int fresh_total = 0;
+  for (int gpus : fresh_allocations.at(1)) {
+    fresh_total += gpus;
+  }
+  EXPECT_GT(fresh_total, 1);
+}
+
+TEST(PolluxSchedTest, UnusableGaOutputFallsBackAndCounts) {
+  // An unusable GA round — output infeasible against the (degraded) cluster,
+  // or over the wall-clock budget — must be discarded for the last
+  // known-feasible allocation projected onto surviving nodes, and counted.
+  // The infeasibility predicate itself:
+  const ClusterSpec degraded{{4, 0}};  // Node 1 failed (masked to zero).
+  EXPECT_FALSE(PolluxSched::AllocationsFeasible(degraded, {{1, {0, 1}}}));
+  EXPECT_FALSE(PolluxSched::AllocationsFeasible(degraded, {{1, {5, 0}}}));
+  EXPECT_TRUE(PolluxSched::AllocationsFeasible(degraded, {{1, {4, 0}}}));
+
+  // Both unusable-round causes share one fallback path; the budget trigger
+  // is the deterministic way to drive it end-to-end from the public API.
+  SchedConfig config = SmallConfig();
+  config.round_time_budget = 1e-12;  // Any real GA round overruns this.
+  PolluxSched sched(ClusterSpec::Homogeneous(2, 4), config);
+  EXPECT_EQ(sched.fallback_rounds(), 0u);
+  SchedJobReport report = MakeReport(3);
+  report.current_allocation = {2, 0};
+  const auto allocations = sched.Schedule({report});
+  EXPECT_EQ(sched.fallback_rounds(), 1u);
+  // The fallback kept the job exactly at its known-feasible allocation.
+  EXPECT_EQ(allocations.at(3), (std::vector<int>{2, 0}));
+  // A second unusable round keeps counting.
+  sched.Schedule({report});
+  EXPECT_EQ(sched.fallback_rounds(), 2u);
+}
+
 }  // namespace
 }  // namespace pollux

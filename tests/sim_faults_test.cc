@@ -484,8 +484,7 @@ TEST(SchedFallbackTest, StaleReportClampsJobToItsCurrentSize) {
   PolluxSched sched(ClusterSpec::Homogeneous(2, 4), SchedSmallConfig());
   SchedJobReport report = SchedReport(1, /*cap=*/16);
   report.current_allocation = {1, 0};
-  report.stale = true;
-  report.report_age = 600.0;
+  report.report_age = 600.0;  // Far past the default stale_report_age.
   const auto allocations = sched.Schedule({report});
   int total = 0;
   for (int g : allocations.at(1)) {
@@ -495,7 +494,7 @@ TEST(SchedFallbackTest, StaleReportClampsJobToItsCurrentSize) {
   EXPECT_LE(total, 1);
 
   // The same job with fresh telemetry expands onto the idle cluster.
-  report.stale = false;
+  report.report_age = 0.0;
   PolluxSched fresh(ClusterSpec::Homogeneous(2, 4), SchedSmallConfig());
   const auto grown = fresh.Schedule({report});
   int grown_total = 0;

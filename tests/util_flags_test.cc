@@ -132,5 +132,42 @@ TEST(FlagsTest, MissingValueFails) {
   EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
 }
 
+// help_requested() is what lets binaries map Parse() == false onto the
+// unified exit codes (bench/common.h): --help exits 0, a bad flag exits 2.
+TEST(FlagsTest, HelpRequestedDistinguishesHelpFromUsageErrors) {
+  FlagParser parser = MakeParser();
+  std::vector<std::string> help_args = {"prog", "--help"};
+  auto help_argv = MakeArgv(help_args);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(help_argv.size()), help_argv.data()));
+  EXPECT_TRUE(parser.help_requested());
+
+  std::vector<std::string> bad_args = {"prog", "--not-a-flag=1"};
+  auto bad_argv = MakeArgv(bad_args);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(bad_argv.size()), bad_argv.data()));
+  EXPECT_FALSE(parser.help_requested());
+
+  // A later clean parse resets the sticky help state.
+  std::vector<std::string> ok_args = {"prog", "--jobs=1"};
+  auto ok_argv = MakeArgv(ok_args);
+  EXPECT_TRUE(parser.Parse(static_cast<int>(ok_argv.size()), ok_argv.data()));
+  EXPECT_FALSE(parser.help_requested());
+}
+
+TEST(FlagsTest, UnknownFlagSuggestsClosestName) {
+  FlagParser parser = MakeParser();
+  // One edit away.
+  EXPECT_EQ(parser.SuggestFlag("jbs"), "jobs");
+  EXPECT_EQ(parser.SuggestFlag("polcy"), "policy");
+  // Two edits (transposition counts as two here).
+  EXPECT_EQ(parser.SuggestFlag("laod"), "load");
+  // An exact miss with nothing close suggests nothing.
+  EXPECT_EQ(parser.SuggestFlag("verbosity"), "");
+  EXPECT_EQ(parser.SuggestFlag(""), "");
+  // Parsing still fails on the near-miss (the hint is stderr-only).
+  std::vector<std::string> args = {"prog", "--jbs=3"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
 }  // namespace
 }  // namespace pollux

@@ -25,7 +25,13 @@ Deterministic simulation metrics (goodput, JCT, event counts) should carry a
 tight tolerance — they only move when scheduling behavior changes. Wall-time
 metrics are noisy on shared CI runners and need a loose one.
 
-Usage: check_bench_regression.py METRICS_JSON BASELINE_JSON
+Usage: check_bench_regression.py [--allow-missing] METRICS_JSON BASELINE_JSON
+
+With --allow-missing, a tracked metric absent from the run is a warning
+instead of a failure (exit 0 if everything present is within tolerance).
+Use it while a baseline entry is newer than the bench that emits the metric
+— e.g. right after adding a metric, before the first baseline-refresh run.
+Malformed files still exit 2.
 """
 
 import json
@@ -69,6 +75,8 @@ def load_json(path, what):
 
 
 def main(argv):
+    allow_missing = "--allow-missing" in argv[1:]
+    argv = [argv[0]] + [a for a in argv[1:] if a != "--allow-missing"]
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
@@ -91,6 +99,7 @@ def main(argv):
         )
 
     failures = 0
+    missing = 0
     width = max(len(k) for k in tracked)
     print(f"{'metric':<{width}}  {'baseline':>12}  {'actual':>12}  {'drift':>8}  {'tol':>6}")
     for key in sorted(tracked):
@@ -110,11 +119,18 @@ def main(argv):
             )
         actual = resolve(metrics, key)
         if actual is None:
-            print(
-                f"{key:<{width}}  {base:>12.6g}  {'MISSING':>12}  "
-                "<-- not in the metrics file (produced with --metrics-out by the right bench?)"
-            )
-            failures += 1
+            if allow_missing:
+                print(
+                    f"{key:<{width}}  {base:>12.6g}  {'MISSING':>12}  "
+                    "<-- skipped (--allow-missing)"
+                )
+                missing += 1
+            else:
+                print(
+                    f"{key:<{width}}  {base:>12.6g}  {'MISSING':>12}  "
+                    "<-- not in the metrics file (produced with --metrics-out by the right bench?)"
+                )
+                failures += 1
             continue
         try:
             actual = float(actual)
@@ -130,6 +146,11 @@ def main(argv):
     if failures:
         print(f"\n{failures} metric(s) breached tolerance", file=sys.stderr)
         return 1
+    if missing:
+        print(
+            f"\nwarning: {missing} tracked metric(s) missing from the run (allowed)",
+            file=sys.stderr,
+        )
     print("\nall tracked metrics within tolerance")
     return 0
 

@@ -22,7 +22,8 @@ namespace {
 
 // Prints the summary table and writes the optional CSVs; shared by the fresh
 // and the --resume-from paths so resumed runs report identically. Returns the
-// process exit code: 0 ok, 2 timed out, 3 halted after a checkpoint.
+// process exit code (see kExit* in bench/common.h): 0 ok, 1 timed out,
+// 3 halted after a checkpoint.
 int ReportResult(const FlagParser& flags, const std::string& policy, const SimResult& result) {
   const Summary jct = result.JctSummary();
   TablePrinter table({"metric", "value"});
@@ -86,9 +87,9 @@ int ReportResult(const FlagParser& flags, const std::string& policy, const SimRe
                 flags.GetString("events_csv").c_str());
   }
   if (result.halted) {
-    return 3;
+    return kExitHalted;
   }
-  return result.timed_out ? 2 : 0;
+  return result.timed_out ? kExitRuntime : kExitOk;
 }
 
 int Main(int argc, char** argv) {
@@ -105,13 +106,13 @@ int Main(int argc, char** argv) {
                      "resume from this snapshot file, or the newest valid snapshot "
                      "in this directory (policy/trace/config come from the snapshot)");
   if (!flags.Parse(argc, argv)) {
-    return 1;
+    return flags.help_requested() ? kExitOk : kExitUsage;
   }
   ObsSession obs(flags);
   const BenchSimConfig config = ConfigFromFlags(flags);
   if ((config.checkpoint_every > 0.0) != !config.checkpoint_dir.empty()) {
     std::fprintf(stderr, "--checkpoint-every and --checkpoint-dir must be set together\n");
-    return 1;
+    return kExitUsage;
   }
 
   if (!flags.GetString("resume-from").empty()) {
@@ -126,7 +127,7 @@ int Main(int argc, char** argv) {
                                  &error)) {
       std::fprintf(stderr, "cannot resume from %s: %s\n", flags.GetString("resume-from").c_str(),
                    error.c_str());
-      return 1;
+      return kExitRuntime;
     }
     return ReportResult(flags, policy, result);
   }
@@ -139,13 +140,13 @@ int Main(int argc, char** argv) {
     std::ifstream in(flags.GetString("trace"));
     if (!in) {
       std::fprintf(stderr, "cannot open trace file %s\n", flags.GetString("trace").c_str());
-      return 1;
+      return kExitRuntime;
     }
     std::string error;
     auto parsed = ReadTraceCsv(in, &error);
     if (!parsed.has_value()) {
       std::fprintf(stderr, "bad trace: %s\n", error.c_str());
-      return 1;
+      return kExitRuntime;
     }
     trace = std::move(*parsed);
   } else {

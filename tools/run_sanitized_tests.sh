@@ -4,11 +4,12 @@
 #   tools/run_sanitized_tests.sh            # ThreadSanitizer (default)
 #   tools/run_sanitized_tests.sh tsan       # ThreadSanitizer
 #   tools/run_sanitized_tests.sh asan       # AddressSanitizer + UBSan
+#   tools/run_sanitized_tests.sh ubsan      # UBSan alone (fastest)
 #   tools/run_sanitized_tests.sh tsan -R ThreadPool   # extra args go to ctest
 #
-# Each sanitizer gets its own build directory (build-tsan / build-asan) so
-# instrumented and plain objects never mix. Exits non-zero on any test
-# failure or sanitizer report.
+# Each sanitizer gets its own build directory (build-tsan / build-asan /
+# build-ubsan) so instrumented and plain objects never mix. Exits non-zero on
+# any test failure or sanitizer report.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,8 +17,8 @@ cd "$(dirname "$0")/.."
 san="${1:-tsan}"
 shift || true
 case "$san" in
-  tsan|asan) ;;
-  *) echo "usage: $0 [tsan|asan] [ctest args...]" >&2; exit 2 ;;
+  tsan|asan|ubsan) ;;
+  *) echo "usage: $0 [tsan|asan|ubsan] [ctest args...]" >&2; exit 2 ;;
 esac
 
 build_dir="build-$san"
