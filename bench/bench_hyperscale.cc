@@ -1,0 +1,135 @@
+// Hyperscale scheduling ladder: goodput loss vs round-time speedup of
+// --sched-mode=incremental and first-match relative to exact, on large
+// generated traces (ROADMAP "10k-node clusters and 100k-job traces").
+//
+// Two entry points:
+//   bench_hyperscale --nodes=... --jobs=... --duration_hours=... \
+//       --modes=exact,incremental,first-match
+//     runs every listed mode over the same GenerateHyperscaleTrace workload
+//     and prints the goodput-loss-vs-speedup table (EXPERIMENTS.md).
+//   bench_hyperscale --gen-trace=PATH ...
+//     only synthesizes the trace and writes it as CSV for other binaries
+//     (the CI hyperscale-smoke job feeds it to pollux_simulate), then exits.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "workload/trace_io.h"
+
+namespace pollux {
+namespace {
+
+std::vector<std::string> SplitModes(const std::string& list) {
+  std::vector<std::string> modes;
+  std::istringstream in(list);
+  std::string mode;
+  while (std::getline(in, mode, ',')) {
+    if (!mode.empty()) {
+      modes.push_back(mode);
+    }
+  }
+  return modes;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  AddCommonFlags(flags);
+  flags.DefineString("modes", "exact,incremental,first-match",
+                     "comma-separated --sched-mode values to compare");
+  flags.DefineInt("max-request-gpus", 64, "per-job GPU request ceiling for the trace");
+  flags.DefineString("gen-trace", "",
+                     "write the generated hyperscale trace to this CSV and exit "
+                     "(no simulation)");
+  if (!flags.Parse(argc, argv)) {
+    return flags.help_requested() ? kExitOk : kExitUsage;
+  }
+  ObsSession obs(flags);
+  BenchSimConfig config = ConfigFromFlags(flags);
+
+  HyperTraceOptions trace_options;
+  trace_options.num_nodes = config.nodes;
+  trace_options.gpus_per_node = config.gpus_per_node;
+  trace_options.num_jobs = config.jobs;
+  trace_options.duration = config.duration_hours * 3600.0;
+  trace_options.user_configured_fraction = config.user_configured_fraction;
+  trace_options.max_request_gpus = static_cast<int>(flags.GetInt("max-request-gpus"));
+  trace_options.seed = config.seed;
+  trace_options.threads = config.threads;
+  const std::vector<JobSpec> trace = GenerateHyperscaleTrace(trace_options);
+
+  if (!flags.GetString("gen-trace").empty()) {
+    const std::string path = flags.GetString("gen-trace");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open trace output file %s\n", path.c_str());
+      return kExitRuntime;
+    }
+    WriteTraceCsv(out, trace);
+    std::printf("wrote %zu jobs (%d nodes x %d GPUs, %.1f h horizon) to %s\n", trace.size(),
+                config.nodes, config.gpus_per_node, config.duration_hours, path.c_str());
+    return kExitOk;
+  }
+
+  const std::vector<std::string> modes = SplitModes(flags.GetString("modes"));
+  if (modes.empty()) {
+    std::fprintf(stderr, "--modes must name at least one sched mode\n");
+    return kExitUsage;
+  }
+
+  std::printf("=== sched-mode ladder: %d nodes x %d GPUs, %zu jobs, %.1f h ===\n", config.nodes,
+              config.gpus_per_node, trace.size(), config.duration_hours);
+  struct ModeOutcome {
+    std::string name;
+    double wall_s = 0.0;
+    double avg_goodput = 0.0;
+    double avg_jct_h = 0.0;
+  };
+  std::vector<ModeOutcome> outcomes;
+  for (const std::string& name : modes) {
+    if (!SchedModeByName(name, &config.sched_mode)) {
+      std::fprintf(stderr, "unknown sched mode \"%s\"\n", name.c_str());
+      return kExitUsage;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const SimResult result = RunImportedTrace("pollux", config, trace);
+    const auto end = std::chrono::steady_clock::now();
+    ModeOutcome outcome;
+    outcome.name = name;
+    outcome.wall_s = std::chrono::duration<double>(end - start).count();
+    outcome.avg_goodput = result.AvgJobGoodput();
+    outcome.avg_jct_h = result.JctSummary().mean / 3600.0;
+    outcomes.push_back(outcome);
+    std::printf("  %-12s wall=%.2fs avg_goodput=%.1f avg_jct=%.2fh\n", name.c_str(),
+                outcome.wall_s, outcome.avg_goodput, outcome.avg_jct_h);
+  }
+
+  // The first listed mode is the quality reference (exact, unless the caller
+  // narrowed the ladder).
+  const ModeOutcome& reference = outcomes.front();
+  std::printf("\n=== goodput loss vs speedup (reference: %s) ===\n", reference.name.c_str());
+  TablePrinter table({"mode", "wall_s", "speedup", "avg_goodput", "goodput_loss", "avg_jct_h"});
+  for (const ModeOutcome& outcome : outcomes) {
+    const double speedup = outcome.wall_s > 0.0 ? reference.wall_s / outcome.wall_s : 0.0;
+    const double loss = reference.avg_goodput > 0.0
+                            ? 100.0 * (1.0 - outcome.avg_goodput / reference.avg_goodput)
+                            : 0.0;
+    table.AddRow({outcome.name, FormatDouble(outcome.wall_s, 2), FormatDouble(speedup, 2) + "x",
+                  FormatDouble(outcome.avg_goodput, 1), FormatDouble(loss, 2) + "%",
+                  FormatDouble(outcome.avg_jct_h, 2)});
+  }
+  table.Print(std::cout);
+  return kExitOk;
+}
+
+}  // namespace
+}  // namespace pollux
+
+int main(int argc, char** argv) { return pollux::Main(argc, argv); }

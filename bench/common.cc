@@ -1,5 +1,6 @@
 #include "bench/common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +38,11 @@ void AddCommonFlags(FlagParser& flags) {
   flags.DefineInt("ga_gens", 25, "genetic algorithm generations per round");
   flags.DefineInt("threads", 1, "scheduler worker threads (0 = all hardware threads)");
   flags.DefineDouble("sched_interval", 60.0, "scheduling interval in seconds");
+  flags.DefineDouble("report_interval", 30.0, "agent report interval in seconds");
+  flags.DefineString("sched-mode", "exact",
+                     "scheduler quality/speed ladder: exact (paper behavior) | "
+                     "incremental (re-optimize only dirty jobs) | "
+                     "first-match (O(jobs) greedy placement)");
   flags.DefineDouble("restart_penalty", 0.25, "RESTART_PENALTY in the fitness function");
   flags.DefineDouble("tick", 1.0, "simulation clock step in seconds");
   flags.DefineDouble("obs_noise", 0.05, "lognormal sigma of profiled iteration times");
@@ -219,6 +225,11 @@ BenchSimConfig ConfigFromFlags(const FlagParser& flags) {
   config.ga_generations = static_cast<int>(flags.GetInt("ga_gens"));
   config.threads = static_cast<int>(flags.GetInt("threads"));
   config.sched_interval = flags.GetDouble("sched_interval");
+  config.report_interval = flags.GetDouble("report_interval");
+  if (!SchedModeByName(flags.GetString("sched-mode"), &config.sched_mode)) {
+    std::fprintf(stderr, "unknown --sched-mode \"%s\", using \"%s\"\n",
+                 flags.GetString("sched-mode").c_str(), SchedModeName(config.sched_mode));
+  }
   config.restart_penalty = flags.GetDouble("restart_penalty");
   config.tick = flags.GetDouble("tick");
   config.observation_noise = flags.GetDouble("obs_noise");
@@ -340,6 +351,10 @@ SimOptions SimOptionsFromBenchConfig(const BenchSimConfig& config) {
   options.gpus_per_node = config.gpus_per_node;
   options.interference_slowdown = config.interference_slowdown;
   options.sched_interval = config.sched_interval;
+  options.report_interval = config.report_interval;
+  // Multi-week hyperscale traces outlive the 14-day default horizon; keep
+  // the default for short traces so historical runs stay byte-identical.
+  options.max_time = std::max(options.max_time, config.duration_hours * 3600.0 * 2.0);
   options.tick = config.tick;
   options.observation_noise = config.observation_noise;
   options.gns_noise = config.gns_noise;
@@ -362,6 +377,8 @@ SchedConfig SchedConfigFromBenchConfig(const BenchSimConfig& config) {
   sched_config.ga.restart_penalty = config.restart_penalty;
   sched_config.ga.seed = config.seed;
   sched_config.ga.threads = config.threads;
+  sched_config.mode = config.sched_mode;
+  sched_config.report_interval = config.report_interval;
   sched_config.weight_lambda = config.weight_lambda;
   sched_config.round_time_budget = config.round_time_budget;
   if (config.net.enabled()) {
@@ -492,6 +509,8 @@ std::string EncodeBenchSimConfig(const BenchSimConfig& config) {
   out << "ga_gens=" << config.ga_generations << '\n';
   out << "threads=" << config.threads << '\n';
   PutConfigDouble(out, "sched_interval", config.sched_interval);
+  PutConfigDouble(out, "report_interval", config.report_interval);
+  out << "sched_mode=" << SchedModeName(config.sched_mode) << '\n';
   PutConfigDouble(out, "restart_penalty", config.restart_penalty);
   PutConfigDouble(out, "tick", config.tick);
   PutConfigDouble(out, "obs_noise", config.observation_noise);
@@ -575,6 +594,10 @@ bool DecodeBenchSimConfig(const std::string& text, BenchSimConfig* config) {
       ok = ParseConfigInt(value, &parsed.threads);
     } else if (key == "sched_interval") {
       ok = ParseConfigDouble(value, &parsed.sched_interval);
+    } else if (key == "report_interval") {
+      ok = ParseConfigDouble(value, &parsed.report_interval);
+    } else if (key == "sched_mode") {
+      ok = SchedModeByName(value, &parsed.sched_mode);
     } else if (key == "restart_penalty") {
       ok = ParseConfigDouble(value, &parsed.restart_penalty);
     } else if (key == "tick") {

@@ -50,6 +50,14 @@ struct BenchSimConfig {
   // defaults; swept by bench_ablation).
   double sched_interval = 60.0;
   double restart_penalty = 0.25;
+  // Agent report cadence in seconds. The paper (and the historical simulator
+  // constant) uses 30 s; hyperscale runs raise it so report refresh is not
+  // the bottleneck at 10^5 jobs.
+  double report_interval = 30.0;
+  // Scheduler quality/speed ladder (DESIGN.md §13): exact re-optimizes every
+  // job each round (paper behavior), incremental re-optimizes only dirty
+  // jobs, first-match is an O(jobs) greedy pass.
+  SchedMode sched_mode = SchedMode::kExact;
   // Simulator fidelity knobs (swept by bench_fidelity).
   double tick = 1.0;
   double observation_noise = 0.05;

@@ -70,7 +70,51 @@ uint16_t ProgressBucket(double gpu_time) {
   return static_cast<uint16_t>(std::min(bucket, 1023.0)) + 1;
 }
 
+// splitmix64-style mix for deriving per-shard GA seeds from (config seed,
+// round, shard index). Every shard solver gets an independent, reproducible
+// stream regardless of how shards are distributed across workers.
+uint64_t MixSeed(uint64_t seed, uint64_t round, uint64_t shard) {
+  uint64_t x = seed + 0x9e3779b97f4a7c15ull * (round + 1) + 0x85ebca6bc2b2ae35ull * (shard + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Relative drift between two fitted values, symmetric and safe at zero.
+bool Drifted(double now, double then, double rel_tol) {
+  const double scale = std::max({std::abs(now), std::abs(then), 1e-12});
+  return std::abs(now - then) > rel_tol * scale;
+}
+
 }  // namespace
+
+bool SchedModeByName(const std::string& name, SchedMode* mode) {
+  if (name == "exact") {
+    *mode = SchedMode::kExact;
+  } else if (name == "incremental") {
+    *mode = SchedMode::kIncremental;
+  } else if (name == "first-match") {
+    *mode = SchedMode::kFirstMatch;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* SchedModeName(SchedMode mode) {
+  switch (mode) {
+    case SchedMode::kIncremental:
+      return "incremental";
+    case SchedMode::kFirstMatch:
+      return "first-match";
+    case SchedMode::kExact:
+      break;
+  }
+  return "exact";
+}
 
 PolluxSched::PolluxSched(ClusterSpec cluster, SchedConfig config)
     : config_(config), optimizer_(std::move(cluster), config.ga) {}
@@ -142,6 +186,17 @@ std::map<uint64_t, std::vector<int>> PolluxSched::Schedule(
     // freeze what is warm, pack only the fresh queued jobs.
     ++degraded_rounds_;
     allocations = DegradedRound(reports, lease);
+  } else if (config_.mode == SchedMode::kFirstMatch) {
+    // Greedy placement: no speedup tables, no GA, no utility estimate. The
+    // returned map is sparse — unchanged jobs keep their allocation by
+    // omission (the Scheduler contract).
+    allocations = FirstMatchRound(reports);
+    last_utility_ = 0.0;
+    last_fitness_ = 0.0;
+  } else if (config_.mode == SchedMode::kIncremental) {
+    // Re-optimize only the dirty subset; feasibility holds by construction
+    // (clean rows are charged before shard capacities are carved out).
+    allocations = IncrementalRound(reports);
   } else {
     const std::vector<SchedJobInfo> jobs =
         BuildJobInfos(reports, optimizer_.cluster().TotalGpus());
@@ -348,11 +403,29 @@ void PolluxSched::ApplyLeaseOverrides(const std::vector<SchedJobReport>& reports
       (*allocations)[report.agent.job_id] = std::vector<int>(num_nodes, 0);
     }
   }
+  // Fresh jobs omitted from a sparse map (incremental/first-match modes)
+  // keep their current allocation: charge it against the free capacity
+  // before clamping the rows that are present. In exact mode every job has
+  // a row, so this loop never fires and behavior is unchanged.
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (lease[i] != Lease::kFresh ||
+        allocations->find(reports[i].agent.job_id) != allocations->end()) {
+      continue;
+    }
+    const std::vector<int>& row = reports[i].current_allocation;
+    for (size_t n = 0; n < row.size() && n < num_nodes; ++n) {
+      free[n] -= row[n];
+    }
+  }
   for (size_t i = 0; i < reports.size(); ++i) {
     if (lease[i] != Lease::kFresh) {
       continue;
     }
-    std::vector<int>& row = (*allocations)[reports[i].agent.job_id];
+    const auto it = allocations->find(reports[i].agent.job_id);
+    if (it == allocations->end()) {
+      continue;
+    }
+    std::vector<int>& row = it->second;
     row.resize(num_nodes, 0);
     for (size_t n = 0; n < num_nodes; ++n) {
       row[n] = std::clamp(row[n], 0, std::max(free[n], 0));
@@ -393,6 +466,362 @@ double PolluxSched::EvaluateUtilityAt(int num_nodes, int gpus_per_node,
   return probe.Optimize(jobs).utility;
 }
 
-void PolluxSched::SetCluster(ClusterSpec cluster) { optimizer_.SetCluster(std::move(cluster)); }
+void PolluxSched::SetCluster(ClusterSpec cluster) {
+  optimizer_.SetCluster(std::move(cluster));
+  // Capacity changed: every incremental snapshot is stale (rows may overflow
+  // the new cluster and shard capacities were carved from the old one), so
+  // the next incremental round re-optimizes everything.
+  opt_state_.clear();
+}
+
+std::map<uint64_t, std::vector<int>> PolluxSched::FirstMatchRound(
+    const std::vector<SchedJobReport>& reports) const {
+  const ClusterSpec& cluster = optimizer_.cluster();
+  const size_t num_nodes = cluster.gpus_per_node.size();
+  std::vector<int> free = cluster.gpus_per_node;
+  std::map<uint64_t, std::vector<int>> allocations;
+  // Pass 1: running jobs keep their allocation (projected onto surviving
+  // capacity, in report order) and grow in place toward their exploration
+  // cap using free GPUs on nodes they already occupy. Only changed rows are
+  // emitted.
+  struct Queued {
+    size_t index;
+    int want;
+  };
+  std::vector<Queued> queued;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const SchedJobReport& report = reports[i];
+    const int cap = std::max(1, report.agent.max_gpus_cap);
+    std::vector<int> row = report.current_allocation;
+    row.resize(num_nodes, 0);
+    bool changed = false;
+    int total = 0;
+    for (size_t n = 0; n < num_nodes; ++n) {
+      const int clamped = std::clamp(row[n], 0, free[n]);
+      if (clamped != row[n]) {
+        row[n] = clamped;
+        changed = true;
+      }
+      free[n] -= row[n];
+      total += row[n];
+    }
+    if (total == 0) {
+      queued.push_back({i, cap});
+      continue;
+    }
+    int grow = cap - total;
+    for (size_t n = 0; n < num_nodes && grow > 0; ++n) {
+      if (row[n] > 0 && free[n] > 0) {
+        const int add = std::min(grow, free[n]);
+        row[n] += add;
+        free[n] -= add;
+        grow -= add;
+        changed = true;
+      }
+    }
+    if (changed) {
+      allocations[report.agent.job_id] = std::move(row);
+    }
+  }
+  // Pass 2: queued jobs (report order) take GPUs on the first node with
+  // free capacity. The cursor only advances, so the whole pass is O(jobs +
+  // nodes) even on 10k-node clusters.
+  size_t cursor = 0;
+  for (const Queued& q : queued) {
+    while (cursor < num_nodes && free[cursor] <= 0) {
+      ++cursor;
+    }
+    if (cursor == num_nodes) {
+      break;  // Cluster full; the rest stay queued (omitted == unchanged).
+    }
+    std::vector<int> row(num_nodes, 0);
+    const int give = std::min(q.want, free[cursor]);
+    row[cursor] = give;
+    free[cursor] -= give;
+    allocations[reports[q.index].agent.job_id] = std::move(row);
+  }
+  return allocations;
+}
+
+std::map<uint64_t, std::vector<int>> PolluxSched::IncrementalRound(
+    const std::vector<SchedJobReport>& reports) {
+  ++incremental_round_;
+  const ClusterSpec& cluster = optimizer_.cluster();
+  const size_t num_nodes = cluster.gpus_per_node.size();
+  const size_t count = reports.size();
+  std::map<uint64_t, std::vector<int>> allocations;
+
+  // 1. Dirtiness predicate (DESIGN.md §13): new job, queued, exploration cap
+  // moved, progress bucket advanced, fitted model drifted materially, row no
+  // longer feasible, or the periodic refresh came due.
+  std::vector<char> dirty(count, 0);
+  for (size_t i = 0; i < count; ++i) {
+    const SchedJobReport& report = reports[i];
+    const std::vector<int>& row = report.current_allocation;
+    int total = 0;
+    bool overflow = false;
+    for (size_t n = 0; n < row.size(); ++n) {
+      if (n < num_nodes) {
+        total += row[n];
+      } else if (row[n] > 0) {
+        overflow = true;  // Holds GPUs on a node the cluster no longer has.
+      }
+    }
+    const auto it = opt_state_.find(report.agent.job_id);
+    bool is_dirty = overflow || it == opt_state_.end() || total == 0;
+    if (!is_dirty) {
+      const JobOptState& snap = it->second;
+      const ThroughputParams& now = report.agent.model.params();
+      const ThroughputParams& then = snap.params;
+      const double tol = config_.dirty_rel_change;
+      is_dirty = std::max(1, report.agent.max_gpus_cap) != snap.cap ||
+                 ProgressBucket(report.gpu_time) != snap.bucket ||
+                 report.agent.model.base_batch_size() != snap.base_batch ||
+                 Drifted(report.agent.model.phi(), snap.phi, tol) ||
+                 Drifted(now.alpha_grad, then.alpha_grad, tol) ||
+                 Drifted(now.beta_grad, then.beta_grad, tol) ||
+                 Drifted(now.alpha_sync_local, then.alpha_sync_local, tol) ||
+                 Drifted(now.beta_sync_local, then.beta_sync_local, tol) ||
+                 Drifted(now.alpha_sync_node, then.alpha_sync_node, tol) ||
+                 Drifted(now.beta_sync_node, then.beta_sync_node, tol) ||
+                 Drifted(now.gamma, then.gamma, tol) ||
+                 (config_.refresh_rounds > 0 &&
+                  snap.rounds_clean + 1 >= static_cast<uint32_t>(config_.refresh_rounds));
+    }
+    dirty[i] = is_dirty ? 1 : 0;
+  }
+
+  // 2. Charge clean rows against capacity, in report order. A clean row that
+  // no longer fits (e.g. after a collision caused by a shrink) turns dirty
+  // and its GPUs go back into the pool.
+  std::vector<int> free = cluster.gpus_per_node;
+  for (size_t i = 0; i < count; ++i) {
+    if (dirty[i]) {
+      continue;
+    }
+    const std::vector<int>& row = reports[i].current_allocation;
+    bool fits = true;
+    for (size_t n = 0; n < row.size() && n < num_nodes; ++n) {
+      if (row[n] < 0 || row[n] > free[n]) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) {
+      dirty[i] = 1;
+      continue;
+    }
+    for (size_t n = 0; n < row.size() && n < num_nodes; ++n) {
+      free[n] -= row[n];
+    }
+  }
+
+  std::vector<size_t> dirty_idx;
+  for (size_t i = 0; i < count; ++i) {
+    if (dirty[i]) {
+      dirty_idx.push_back(i);
+    }
+  }
+
+  if (!dirty_idx.empty()) {
+    // 3. Group dirty jobs into node-disjoint components (union-find over the
+    // nodes they currently occupy), so shard GAs never compete for capacity.
+    std::vector<size_t> parent(dirty_idx.size());
+    for (size_t d = 0; d < parent.size(); ++d) {
+      parent[d] = d;
+    }
+    const auto find_root = [&parent](size_t d) {
+      while (parent[d] != d) {
+        parent[d] = parent[parent[d]];
+        d = parent[d];
+      }
+      return d;
+    };
+    std::map<size_t, size_t> node_claim;  // global node -> dirty index
+    for (size_t d = 0; d < dirty_idx.size(); ++d) {
+      const std::vector<int>& row = reports[dirty_idx[d]].current_allocation;
+      for (size_t n = 0; n < row.size() && n < num_nodes; ++n) {
+        if (row[n] <= 0) {
+          continue;
+        }
+        const auto claim = node_claim.find(n);
+        if (claim == node_claim.end()) {
+          node_claim[n] = d;
+        } else {
+          parent[find_root(d)] = find_root(claim->second);
+        }
+      }
+    }
+
+    // 4. Pack components into shards of up to shard_jobs jobs. Components
+    // are visited in first-member order; oversized ones stay whole.
+    const size_t target = static_cast<size_t>(std::max(1, config_.shard_jobs));
+    std::map<size_t, size_t> root_shard;  // component root -> shard index
+    struct Shard {
+      std::vector<size_t> members;  // report indexes, ascending
+      std::vector<size_t> nodes;    // global node ids, ascending
+      int demand = 0;               // sum of member exploration caps
+      int capacity = 0;             // free GPUs on claimed nodes
+    };
+    std::vector<Shard> shards;
+    std::vector<size_t> shard_of(dirty_idx.size());
+    for (size_t d = 0; d < dirty_idx.size(); ++d) {
+      const size_t root = find_root(d);
+      auto placed = root_shard.find(root);
+      if (placed == root_shard.end()) {
+        if (shards.empty() || shards.back().members.size() >= target) {
+          shards.emplace_back();
+        }
+        placed = root_shard.emplace(root, shards.size() - 1).first;
+      }
+      shard_of[d] = placed->second;
+      Shard& shard = shards[placed->second];
+      shard.members.push_back(dirty_idx[d]);
+      shard.demand += std::max(1, reports[dirty_idx[d]].agent.max_gpus_cap);
+    }
+    for (const auto& [node, d] : node_claim) {
+      Shard& shard = shards[shard_of[find_root(d)]];
+      shard.nodes.push_back(node);
+      shard.capacity += free[node];
+    }
+
+    // 5. Hand unclaimed free nodes round-robin to shards that still need
+    // capacity (up to 2x demand, so a queued job's shard can both place and
+    // later grow it without dragging thousands of idle nodes into every
+    // matrix).
+    size_t rr = 0;
+    for (size_t n = 0; n < num_nodes; ++n) {
+      if (free[n] <= 0 || node_claim.find(n) != node_claim.end()) {
+        continue;
+      }
+      bool placed = false;
+      for (size_t probe = 0; probe < shards.size(); ++probe) {
+        Shard& shard = shards[(rr + probe) % shards.size()];
+        if (shard.capacity < 2 * shard.demand) {
+          shard.nodes.push_back(n);
+          shard.capacity += free[n];
+          rr = (rr + probe + 1) % shards.size();
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        break;  // Every shard is sated.
+      }
+    }
+
+    // 6. Solve every shard with its own serial GA over its carved-out
+    // capacity. Shards are independent (node-disjoint), so running them on
+    // the pool in any order is bit-identical to running them serially.
+    struct ShardResult {
+      std::vector<uint64_t> job_ids;
+      std::vector<std::vector<int>> rows;  // global-width rows
+      double utility = 0.0;
+      double fitness = 0.0;
+    };
+    std::vector<ShardResult> results(shards.size());
+    if (shard_pool_ == nullptr) {
+      shard_pool_ = std::make_unique<ThreadPool>(config_.ga.threads);
+    }
+    shard_pool_->ParallelFor(0, shards.size(), [&](size_t s) {
+      Shard& shard = shards[s];
+      if (shard.nodes.empty()) {
+        // Every member is queued and the cluster is saturated: emitting no
+        // rows keeps them queued (sparse-map omission means "unchanged").
+        return;
+      }
+      std::sort(shard.nodes.begin(), shard.nodes.end());
+      ClusterSpec local;
+      local.gpus_per_node.reserve(shard.nodes.size());
+      for (size_t node : shard.nodes) {
+        local.gpus_per_node.push_back(free[node]);
+      }
+      std::vector<SchedJobReport> sub;
+      sub.reserve(shard.members.size());
+      for (size_t i : shard.members) {
+        SchedJobReport report = reports[i];
+        std::vector<int> local_row(shard.nodes.size(), 0);
+        for (size_t l = 0; l < shard.nodes.size(); ++l) {
+          const size_t n = shard.nodes[l];
+          if (n < report.current_allocation.size()) {
+            local_row[l] = report.current_allocation[n];
+          }
+        }
+        report.current_allocation = std::move(local_row);
+        sub.push_back(std::move(report));
+      }
+      const std::vector<SchedJobInfo> jobs = BuildJobInfos(sub, local.TotalGpus());
+      GaOptions options = config_.ga;
+      options.threads = 1;
+      options.seed = MixSeed(config_.ga.seed, incremental_round_, s);
+      GeneticOptimizer solver(std::move(local), options);
+      const GeneticOptimizer::Result result = solver.Optimize(jobs);
+      ShardResult& out = results[s];
+      out.utility = result.utility;
+      out.fitness = result.fitness;
+      for (size_t j = 0; j < jobs.size(); ++j) {
+        out.job_ids.push_back(jobs[j].job_id);
+        std::vector<int> row(num_nodes, 0);
+        const std::vector<int> local_row = result.best.Row(j);
+        for (size_t l = 0; l < local_row.size() && l < shard.nodes.size(); ++l) {
+          row[shard.nodes[l]] = local_row[l];
+        }
+        out.rows.push_back(std::move(row));
+      }
+    });
+
+    double utility = 0.0;
+    double fitness = 0.0;
+    for (const ShardResult& result : results) {
+      utility += result.utility;
+      fitness += result.fitness;
+      for (size_t j = 0; j < result.job_ids.size(); ++j) {
+        allocations[result.job_ids[j]] = result.rows[j];
+      }
+    }
+    // Shard-sum of Eqn. 17 / Eqn. 14 over the dirty subset only — a partial
+    // view, but the natural per-round progress signal for this mode.
+    last_utility_ = utility;
+    last_fitness_ = fitness;
+  }
+
+  // 7. Refresh the snapshots: dirty jobs get a new one from this round's
+  // telemetry, clean jobs age, vanished jobs (completions) are pruned.
+  std::map<uint64_t, JobOptState> next;
+  for (size_t i = 0; i < count; ++i) {
+    const SchedJobReport& report = reports[i];
+    JobOptState snap;
+    if (!dirty[i]) {
+      snap = opt_state_[report.agent.job_id];
+      ++snap.rounds_clean;
+    } else {
+      snap.params = report.agent.model.params();
+      snap.phi = report.agent.model.phi();
+      snap.base_batch = report.agent.model.base_batch_size();
+      snap.cap = std::max(1, report.agent.max_gpus_cap);
+      snap.bucket = ProgressBucket(report.gpu_time);
+      snap.rounds_clean = 0;
+    }
+    next[report.agent.job_id] = snap;
+  }
+  opt_state_ = std::move(next);
+
+  // Drop rows identical to what the job already runs with: the sparse-map
+  // contract makes omission mean "keep", and the simulator then skips the
+  // whole apply path for them.
+  for (size_t i = 0; i < count; ++i) {
+    const SchedJobReport& report = reports[i];
+    const auto it = allocations.find(report.agent.job_id);
+    if (it == allocations.end()) {
+      continue;
+    }
+    std::vector<int> current = report.current_allocation;
+    current.resize(num_nodes, 0);
+    if (it->second == current) {
+      allocations.erase(it);
+    }
+  }
+  return allocations;
+}
 
 }  // namespace pollux

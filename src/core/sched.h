@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -18,8 +20,32 @@
 #include "core/allocation.h"
 #include "core/eval_cache.h"
 #include "core/genetic.h"
+#include "util/thread_pool.h"
 
 namespace pollux {
+
+// Quality/speed ladder for one scheduling round (DESIGN.md §13).
+//
+//   exact       Re-optimize every job with the full GA (the paper's
+//               behavior; byte-identical to builds that predate the ladder).
+//   incremental Re-optimize only jobs whose telemetry changed materially
+//               since their last optimization; clean jobs keep their warm
+//               allocation and are omitted from the decision map entirely.
+//               Dirty jobs are partitioned into node-disjoint shards, each
+//               solved by its own deterministic GA, in parallel.
+//   first-match O(jobs) greedy placement with no speedup tables and no GA:
+//               running jobs keep (and grow in place toward their
+//               exploration cap), queued jobs take the first node with free
+//               capacity. The ultrafast mode for 10k-node clusters.
+enum class SchedMode {
+  kExact = 0,
+  kIncremental = 1,
+  kFirstMatch = 2,
+};
+
+// "exact" | "incremental" | "first-match" (returns false on unknown names).
+bool SchedModeByName(const std::string& name, SchedMode* mode);
+const char* SchedModeName(SchedMode mode);
 
 struct SchedConfig {
   GaOptions ga;
@@ -60,6 +86,22 @@ struct SchedConfig {
   // exceeds stale_report_age is reclaimed immediately — no lease, no grace,
   // no degraded rounds.
   bool naive_masking = false;
+  // Scheduling-round quality/speed ladder (DESIGN.md §13). kExact keeps the
+  // legacy full-GA round byte-identical; the other modes trade goodput for
+  // round time (bench_hyperscale measures the curve).
+  SchedMode mode = SchedMode::kExact;
+  // Incremental mode: a clean job turns dirty when any fitted throughput
+  // parameter or its gradient-noise scale drifts by more than this relative
+  // amount since the job's last re-optimization.
+  double dirty_rel_change = 0.05;
+  // Incremental mode: target dirty jobs per GA shard (node-disjoint job
+  // groups are packed into shards up to this size; a group that is already
+  // larger stays whole).
+  int shard_jobs = 16;
+  // Incremental mode: a clean job is re-optimized anyway after this many
+  // rounds, so warm allocations cannot go stale forever and queued jobs
+  // eventually get a chance to displace them. 0 disables the refresh.
+  int refresh_rounds = 20;
 };
 
 // Per-job information PolluxSched receives each interval.
@@ -136,6 +178,20 @@ class PolluxSched {
   // Hit/miss counters of the speedup-table construction cache.
   EvalCacheStats table_cache_stats() const { return table_cache_.Stats(); }
 
+  // Incremental-mode bookkeeping for one job: the telemetry snapshot taken
+  // at its last re-optimization. The dirtiness predicate (DESIGN.md §13)
+  // compares the current report against this snapshot.
+  struct JobOptState {
+    ThroughputParams params;
+    double phi = 0.0;
+    long base_batch = 1;
+    int cap = 1;
+    uint16_t bucket = 0;
+    // Rounds this job has stayed clean since the snapshot (drives the
+    // periodic refresh).
+    uint32_t rounds_clean = 0;
+  };
+
   // Scheduler state for checkpoint/restore: the GA search state plus the
   // last-round diagnostics and the cumulative fallback counter. The table
   // cache is excluded (memoization never changes results).
@@ -151,6 +207,10 @@ class PolluxSched {
     // job id -> (last seen report seq, last lease class 0=fresh/1=held/
     // 2=evicted), so lease transition counting survives a warm restart.
     std::map<uint64_t, std::pair<uint64_t, uint32_t>> telemetry;
+    // Incremental-mode per-job snapshots and the round counter that seeds
+    // the shard GAs (empty/zero in the other modes).
+    std::map<uint64_t, JobOptState> incremental;
+    uint64_t incremental_round = 0;
   };
   State GetState() const {
     State state;
@@ -165,6 +225,8 @@ class PolluxSched {
     for (const auto& [job_id, telemetry] : telemetry_) {
       state.telemetry[job_id] = {telemetry.last_seq, telemetry.last_class};
     }
+    state.incremental = opt_state_;
+    state.incremental_round = incremental_round_;
     return state;
   }
   void SetState(const State& state) {
@@ -180,6 +242,8 @@ class PolluxSched {
     for (const auto& [job_id, saved] : state.telemetry) {
       telemetry_[job_id] = JobTelemetry{saved.first, saved.second};
     }
+    opt_state_ = state.incremental;
+    incremental_round_ = state.incremental_round;
   }
 
   // Cold recovery: drop the persisted GA population, diagnostics, and the
@@ -191,6 +255,8 @@ class PolluxSched {
     last_utility_ = 0.0;
     last_fitness_ = 0.0;
     telemetry_.clear();
+    opt_state_.clear();
+    incremental_round_ = 0;
   }
 
  private:
@@ -219,9 +285,22 @@ class PolluxSched {
 
   // Post-GA overrides: evicted rows zeroed, held rows pinned to the current
   // allocation verbatim, fresh rows clamped to the remaining capacity.
+  // Fresh jobs absent from the (possibly sparse) map keep their current
+  // allocation, which is charged against the free capacity first.
   void ApplyLeaseOverrides(const std::vector<SchedJobReport>& reports,
                            const std::vector<Lease>& lease,
                            std::map<uint64_t, std::vector<int>>* allocations) const;
+
+  // first-match mode: one greedy O(jobs) pass, no speedup tables, no GA.
+  // Returns a sparse map (only jobs whose allocation changes have rows).
+  std::map<uint64_t, std::vector<int>> FirstMatchRound(
+      const std::vector<SchedJobReport>& reports) const;
+
+  // incremental mode: re-optimize only dirty jobs, sharded into node-
+  // disjoint GA sub-problems run across the thread pool. Returns a sparse
+  // map; clean jobs are omitted and keep their warm allocation.
+  std::map<uint64_t, std::vector<int>> IncrementalRound(
+      const std::vector<SchedJobReport>& reports);
 
   SchedConfig config_;
   GeneticOptimizer optimizer_;
@@ -238,6 +317,13 @@ class PolluxSched {
   uint64_t lease_evictions_ = 0;
   uint64_t dup_reports_ = 0;
   std::map<uint64_t, JobTelemetry> telemetry_;
+  // Incremental-mode state: per-job snapshots from the last re-optimization,
+  // the round counter mixed into each shard GA's seed, and the worker pool
+  // the shards run on (created lazily; determinism does not depend on the
+  // thread count — each shard GA is a self-contained serial solver).
+  std::map<uint64_t, JobOptState> opt_state_;
+  uint64_t incremental_round_ = 0;
+  std::unique_ptr<ThreadPool> shard_pool_;
 };
 
 }  // namespace pollux

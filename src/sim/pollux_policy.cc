@@ -70,6 +70,23 @@ void PolluxPolicy::SaveState(std::string* blob) const {
     out.PutDouble(report.report_age);
     out.PutU64(report.seq);
   }
+  out.PutU64(state.incremental.size());
+  for (const auto& [job_id, snap] : state.incremental) {
+    out.PutU64(job_id);
+    out.PutDouble(snap.params.alpha_grad);
+    out.PutDouble(snap.params.beta_grad);
+    out.PutDouble(snap.params.alpha_sync_local);
+    out.PutDouble(snap.params.beta_sync_local);
+    out.PutDouble(snap.params.alpha_sync_node);
+    out.PutDouble(snap.params.beta_sync_node);
+    out.PutDouble(snap.params.gamma);
+    out.PutDouble(snap.phi);
+    out.PutI64(snap.base_batch);
+    out.PutI64(snap.cap);
+    out.PutU32(snap.bucket);
+    out.PutU32(snap.rounds_clean);
+  }
+  out.PutU64(state.incremental_round);
   *blob = out.str();
 }
 
@@ -129,6 +146,25 @@ bool PolluxPolicy::LoadState(const std::string& blob) {
     report.seq = in.GetU64();
     restored_reports.push_back(std::move(report));
   }
+  const uint64_t incremental_entries = in.GetU64();
+  for (uint64_t i = 0; i < incremental_entries && in.ok(); ++i) {
+    const uint64_t job_id = in.GetU64();
+    PolluxSched::JobOptState snap;
+    snap.params.alpha_grad = in.GetDouble();
+    snap.params.beta_grad = in.GetDouble();
+    snap.params.alpha_sync_local = in.GetDouble();
+    snap.params.beta_sync_local = in.GetDouble();
+    snap.params.alpha_sync_node = in.GetDouble();
+    snap.params.beta_sync_node = in.GetDouble();
+    snap.params.gamma = in.GetDouble();
+    snap.phi = in.GetDouble();
+    snap.base_batch = static_cast<long>(in.GetI64());
+    snap.cap = static_cast<int>(in.GetI64());
+    snap.bucket = static_cast<uint16_t>(in.GetU32());
+    snap.rounds_clean = in.GetU32();
+    state.incremental[job_id] = snap;
+  }
+  state.incremental_round = in.GetU64();
   if (!in.ok() || !in.AtEnd()) {
     return false;
   }

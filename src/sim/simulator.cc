@@ -308,18 +308,28 @@ void Simulator::ActivateSubmissions(double now) {
     jobs_.push_back(std::make_unique<Job>(spec, GetModelProfile(spec.model),
                                           scheduler_->adapts_batch_size(), rng_.Fork(),
                                           agent_config));
+    active_.push_back(jobs_.size() - 1);
     Emit(SimEvent{spec.submit_time, SimEventKind::kSubmit, spec.job_id, 0, 0});
     ++next_submission_;
   }
 }
 
+void Simulator::CompactActive() const {
+  size_t kept = 0;
+  for (size_t idx : active_) {
+    if (!jobs_[idx]->finished) {
+      active_[kept++] = idx;
+    }
+  }
+  active_.resize(kept);
+}
+
 void Simulator::RefreshReports(double now) {
   TRACE_SCOPE("sim.refresh_reports");
   const bool metrics_on = obs::MetricsRegistry::Global().enabled();
-  for (auto& job : jobs_) {
-    if (job->finished) {
-      continue;
-    }
+  CompactActive();
+  for (size_t active_idx : active_) {
+    Job* const job = jobs_[active_idx].get();
     // The agent always refreshes locally; the *delivery* to the scheduler
     // can be lost. A dropped report leaves the scheduler holding the
     // previous one, whose age keeps growing.
@@ -380,10 +390,10 @@ void Simulator::RefreshReports(double now) {
 
 std::vector<JobSnapshot> Simulator::BuildSnapshots(double now) {
   std::vector<JobSnapshot> snapshots;
-  for (auto& job : jobs_) {
-    if (job->finished) {
-      continue;
-    }
+  CompactActive();
+  snapshots.reserve(active_.size());
+  for (size_t active_idx : active_) {
+    Job* const job = jobs_[active_idx].get();
     if (!job->has_report) {
       job->report = job->agent.MakeReport();
       job->has_report = true;
@@ -470,10 +480,9 @@ void Simulator::RunSchedulingRound(double now) {
   context.cluster = net_ != nullptr ? &SchedulerClusterView(now) : &cluster_;
   context.jobs = BuildSnapshots(now);
   const auto decisions = scheduler_->Schedule(context);
-  for (auto& job : jobs_) {
-    if (job->finished) {
-      continue;
-    }
+  CompactActive();
+  for (size_t active_idx : active_) {
+    Job* const job = jobs_[active_idx].get();
     const auto it = decisions.find(job->spec.job_id);
     if (it == decisions.end()) {
       continue;
@@ -883,7 +892,9 @@ bool Simulator::JobSuffersInterference(const Job& job) const {
 }
 
 void Simulator::AdvanceJobs(double now, double dt) {
-  for (auto& job : jobs_) {
+  CompactActive();
+  for (size_t active_idx : active_) {
+    Job* const job = jobs_[active_idx].get();
     if (!job->Running(now)) {
       continue;
     }
@@ -945,7 +956,11 @@ void Simulator::AdvanceJobs(double now, double dt) {
             SolveCompletionTime(*job->profile, job->batch, throughput, progress_before, dt);
       }
       job->finish_time = now + final_step;
-      job->alloc.assign(job->alloc.size(), 0);
+      // Release the dense per-node row outright (not just zero it): at 10^5
+      // jobs x 10^4 nodes the completed rows would otherwise pin gigabytes.
+      // PlacementOf(empty) and every reader treat an empty row as "no GPUs".
+      job->alloc.clear();
+      job->alloc.shrink_to_fit();
       job->placement = Placement{};
       Emit(SimEvent{job->finish_time, SimEventKind::kComplete, job->spec.job_id, 0, 0});
     }
@@ -1020,7 +1035,8 @@ void Simulator::AdvanceJobSpan(Job& job, double from, double to) {
       const double final_step =
           SolveCompletionTime(*job.profile, job.batch, throughput, progress_before, tick);
       job.finish_time = now + final_step;
-      job.alloc.assign(job.alloc.size(), 0);
+      job.alloc.clear();
+      job.alloc.shrink_to_fit();
       job.placement = Placement{};
       Emit(SimEvent{job.finish_time, SimEventKind::kComplete, job.spec.job_id, 0, 0});
       return;
@@ -1041,8 +1057,9 @@ void Simulator::AdvanceSpan(double from, double to) {
     }
     return;
   }
-  for (auto& job : jobs_) {
-    AdvanceJobSpan(*job, from, to);
+  CompactActive();
+  for (size_t active_idx : active_) {
+    AdvanceJobSpan(*jobs_[active_idx], from, to);
   }
 }
 
@@ -1052,8 +1069,10 @@ void Simulator::RecordTimelineSample(double now) {
   sample.nodes = cluster_.NumNodes();
   sample.total_gpus = cluster_.TotalGpus();
   double eff_sum = 0.0;
-  for (const auto& job : jobs_) {
-    if (job->finished || job->placement.num_gpus <= 0) {
+  CompactActive();
+  for (size_t active_idx : active_) {
+    const Job* const job = jobs_[active_idx].get();
+    if (job->placement.num_gpus <= 0) {
       continue;
     }
     ++sample.running_jobs;
@@ -1143,12 +1162,8 @@ bool Simulator::AllJobsFinished() const {
   if (next_submission_ < trace_.size()) {
     return false;
   }
-  for (const auto& job : jobs_) {
-    if (!job->finished) {
-      return false;
-    }
-  }
-  return true;
+  CompactActive();
+  return active_.empty();
 }
 
 double Simulator::RunTicked() {
@@ -1804,6 +1819,12 @@ bool Simulator::LoadSnapshot(const std::string& path, std::string* error) {
     }
     if (!in.ok() || !in.AtEnd()) {
       return LoadFail(error, path, "malformed job section");
+    }
+    active_.clear();
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+      if (!jobs_[i]->finished) {
+        active_.push_back(i);
+      }
     }
   }
 

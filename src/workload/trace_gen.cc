@@ -1,9 +1,11 @@
 #include "workload/trace_gen.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "core/goodput.h"
+#include "util/thread_pool.h"
 
 namespace pollux {
 namespace {
@@ -33,13 +35,32 @@ GoodputModel TrueGoodputModel(const ModelProfile& profile, double progress_fract
                       profile.base_batch_size);
 }
 
-ModelKind SampleModelKind(Rng& rng) {
-  // Table 1 workload fractions: 38% / 38% / 17% / 5% / 2%.
-  const std::vector<double> weights = {0.02, 0.05, 0.17, 0.38, 0.38};
-  static const ModelKind kOrder[] = {ModelKind::kResNet50ImageNet, ModelKind::kYoloV3Voc,
+// Table 1 workload order shared by SampleModelKind and the hyperscale
+// per-model menus (menu slot i holds kModelOrder[i]'s configurations).
+constexpr ModelKind kModelOrder[] = {ModelKind::kResNet50ImageNet, ModelKind::kYoloV3Voc,
                                      ModelKind::kDeepSpeech2, ModelKind::kResNet18Cifar10,
                                      ModelKind::kNeuMFMovieLens};
-  return kOrder[rng.WeightedIndex(weights)];
+constexpr size_t kNumModelKinds = sizeof(kModelOrder) / sizeof(kModelOrder[0]);
+
+size_t SampleModelIndex(Rng& rng) {
+  // Table 1 workload fractions: 38% / 38% / 17% / 5% / 2%.
+  const std::vector<double> weights = {0.02, 0.05, 0.17, 0.38, 0.38};
+  return rng.WeightedIndex(weights);
+}
+
+ModelKind SampleModelKind(Rng& rng) { return kModelOrder[SampleModelIndex(rng)]; }
+
+// splitmix64 finalizer: turns (seed, job index) into an independent per-job
+// RNG seed, so hyperscale sampling order (and thread count) cannot affect
+// any job's draws.
+uint64_t PerJobSeed(uint64_t seed, uint64_t index) {
+  uint64_t x = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
 }
 
 }  // namespace
@@ -135,6 +156,103 @@ std::vector<JobSpec> GenerateTrace(const TraceOptions& options) {
   }
   std::sort(jobs.begin(), jobs.end(),
             [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].job_id = i;
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> GenerateHyperscaleTrace(const HyperTraceOptions& options) {
+  const size_t num_jobs = static_cast<size_t>(std::max(1L, options.num_jobs));
+  const long cluster_gpus =
+      static_cast<long>(options.num_nodes) * std::max(1, options.gpus_per_node);
+  const int max_gpus = static_cast<int>(
+      std::max(1L, std::min(static_cast<long>(options.max_request_gpus), cluster_gpus)));
+
+  // Per-model configuration menus, precomputed once so the per-job work is a
+  // handful of RNG draws and table lookups instead of a speedup-table scan.
+  // SampleTunedConfig / SampleUserConfig draw from exactly these sets, just
+  // recomputed per call.
+  struct ModelMenu {
+    std::vector<int> tuned_gpus;    // 50%-80% band GPU counts (Sec. 5.2).
+    std::vector<long> tuned_batch;  // Optimal batch per tuned_gpus entry.
+    std::vector<int> user_gpus;     // Clamped Philly request sizes.
+    std::vector<long> user_batch;   // Optimal batch per user_gpus entry.
+  };
+  static const int kUserSizes[] = {1, 2, 4, 8, 16};
+  std::array<ModelMenu, kNumModelKinds> menus;
+  for (size_t m = 0; m < kNumModelKinds; ++m) {
+    const ModelProfile& profile = GetModelProfile(kModelOrder[m]);
+    ModelMenu& menu = menus[m];
+    for (int k = 1; k <= max_gpus; ++k) {
+      const double speedup = TrueSpeedup(profile, k, options.gpus_per_node, kTuningProgress);
+      if (const double fraction = speedup / static_cast<double>(k);
+          fraction >= 0.5 && fraction <= 0.8) {
+        menu.tuned_gpus.push_back(k);
+      }
+    }
+    if (menu.tuned_gpus.empty()) {
+      menu.tuned_gpus.push_back(1);
+    }
+    for (int k : menu.tuned_gpus) {
+      menu.tuned_batch.push_back(
+          OptimalBatchForGpus(profile, k, options.gpus_per_node, kTuningProgress));
+    }
+    for (int size : kUserSizes) {
+      const int k = std::min(size, max_gpus);
+      menu.user_gpus.push_back(k);
+      menu.user_batch.push_back(
+          OptimalBatchForGpus(profile, k, options.gpus_per_node, kTuningProgress));
+    }
+  }
+
+  // Fig. 6's diurnal day shape tiled across the whole horizon, anchored at
+  // the paper's window start so the first 8 hours match GenerateTrace.
+  const double duration = std::max(options.duration, 3600.0);
+  const int hours = std::max(1, static_cast<int>(std::ceil(duration / 3600.0)));
+  std::vector<double> hour_weights(static_cast<size_t>(hours));
+  for (int h = 0; h < hours; ++h) {
+    hour_weights[static_cast<size_t>(h)] = DiurnalWeight24(kWindowStart + h);
+  }
+
+  const std::vector<double> user_weights = {0.70, 0.10, 0.12, 0.06, 0.02};
+  std::vector<JobSpec> jobs(num_jobs);
+  ThreadPool pool(options.threads);
+  pool.ParallelFor(0, num_jobs, [&](size_t i) {
+    Rng rng(PerJobSeed(options.seed, static_cast<uint64_t>(i)));
+    JobSpec& spec = jobs[i];
+    spec.job_id = i;  // Pre-sort identity; doubles as the sort tiebreak.
+    const size_t model_index = SampleModelIndex(rng);
+    spec.model = kModelOrder[model_index];
+    const size_t hour = rng.WeightedIndex(hour_weights);
+    spec.submit_time =
+        std::min((static_cast<double>(hour) + rng.NextDouble()) * 3600.0, duration);
+    spec.user_configured = rng.Bernoulli(options.user_configured_fraction);
+    const ModelMenu& menu = menus[model_index];
+    if (spec.user_configured) {
+      const size_t pick = rng.WeightedIndex(user_weights);
+      spec.requested_gpus = menu.user_gpus[pick];
+      const ModelProfile& profile = GetModelProfile(spec.model);
+      const double factor = std::exp2(rng.Uniform(-1.0, 1.0));
+      const BatchLimits limits = profile.Limits();
+      const long scaled =
+          std::lround(static_cast<double>(menu.user_batch[pick]) * factor);
+      spec.batch_size =
+          std::clamp(scaled, limits.min_batch, limits.MaxFeasible(spec.requested_gpus));
+    } else {
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(menu.tuned_gpus.size()) - 1));
+      spec.requested_gpus = menu.tuned_gpus[pick];
+      spec.batch_size = menu.tuned_batch[pick];
+    }
+  });
+
+  std::sort(jobs.begin(), jobs.end(), [](const JobSpec& a, const JobSpec& b) {
+    // job_id tiebreak: equal submit instants keep sampling order, so the
+    // sort (and thus the emitted trace) is deterministic.
+    return a.submit_time != b.submit_time ? a.submit_time < b.submit_time
+                                          : a.job_id < b.job_id;
+  });
   for (size_t i = 0; i < jobs.size(); ++i) {
     jobs[i].job_id = i;
   }

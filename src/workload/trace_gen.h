@@ -87,6 +87,28 @@ JobConfig SampleUserConfig(const ModelProfile& profile, int gpus_per_node, int m
 // by submission time and numbered from 0.
 std::vector<JobSpec> GenerateTrace(const TraceOptions& options);
 
+// Hyperscale trace generation (ROADMAP "10k-node clusters and 100k-job
+// traces"). Unlike GenerateTrace's single sequential RNG stream, every job
+// draws from its own counter-derived stream, so the trace can be sampled in
+// parallel yet is byte-identical for a given seed at any thread count. The
+// diurnal day shape is tiled across the whole multi-week horizon.
+struct HyperTraceOptions {
+  int num_nodes = 10000;
+  int gpus_per_node = 4;
+  long num_jobs = 100000;
+  double duration = 14.0 * 24.0 * 3600.0;  // Multi-week horizon, seconds.
+  double user_configured_fraction = 0.0;
+  // Per-job request ceiling; also clamped to the cluster's total GPUs so
+  // every generated job is placeable.
+  int max_request_gpus = 64;
+  uint64_t seed = 1;
+  // Worker threads for sampling (0 = all hardware threads). The emitted
+  // trace does not depend on this value.
+  int threads = 1;
+};
+
+std::vector<JobSpec> GenerateHyperscaleTrace(const HyperTraceOptions& options);
+
 }  // namespace pollux
 
 #endif  // POLLUX_WORKLOAD_TRACE_GEN_H_

@@ -1,0 +1,116 @@
+// Tests for GenerateHyperscaleTrace (DESIGN.md §13): the generator must be
+// deterministic for a given seed regardless of --threads, emit stable job-id
+// ordering, and keep every job within the requested bounds so hyperscale
+// traces are always placeable.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "workload/trace_gen.h"
+
+namespace pollux {
+namespace {
+
+HyperTraceOptions SmallOptions(uint64_t seed = 11) {
+  HyperTraceOptions options;
+  options.num_nodes = 200;
+  options.gpus_per_node = 4;
+  options.num_jobs = 3000;
+  options.duration = 2.0 * 24.0 * 3600.0;
+  options.max_request_gpus = 64;
+  options.seed = seed;
+  options.threads = 1;
+  return options;
+}
+
+void ExpectSameTrace(const std::vector<JobSpec>& a, const std::vector<JobSpec>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job_id, b[i].job_id) << "job " << i;
+    EXPECT_EQ(a[i].model, b[i].model) << "job " << i;
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time) << "job " << i;
+    EXPECT_EQ(a[i].requested_gpus, b[i].requested_gpus) << "job " << i;
+    EXPECT_EQ(a[i].batch_size, b[i].batch_size) << "job " << i;
+    EXPECT_EQ(a[i].user_configured, b[i].user_configured) << "job " << i;
+  }
+}
+
+TEST(HyperscaleTraceTest, IdenticalAcrossThreadCounts) {
+  HyperTraceOptions options = SmallOptions();
+  const auto serial = GenerateHyperscaleTrace(options);
+  options.threads = 8;
+  const auto threaded = GenerateHyperscaleTrace(options);
+  ExpectSameTrace(serial, threaded);
+  options.threads = 0;  // all hardware threads
+  ExpectSameTrace(serial, GenerateHyperscaleTrace(options));
+}
+
+TEST(HyperscaleTraceTest, StableJobIdOrdering) {
+  const auto jobs = GenerateHyperscaleTrace(SmallOptions());
+  ASSERT_EQ(jobs.size(), 3000u);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].job_id, i);  // renumbered after the submit-time sort
+    if (i > 0) {
+      EXPECT_GE(jobs[i].submit_time, jobs[i - 1].submit_time);
+    }
+  }
+}
+
+TEST(HyperscaleTraceTest, JobsStayWithinBounds) {
+  HyperTraceOptions options = SmallOptions();
+  options.user_configured_fraction = 0.5;
+  const auto jobs = GenerateHyperscaleTrace(options);
+  const int cluster_gpus = options.num_nodes * options.gpus_per_node;
+  const int gpu_ceiling = std::min(options.max_request_gpus, cluster_gpus);
+  int user = 0;
+  for (const auto& job : jobs) {
+    EXPECT_GE(job.submit_time, 0.0);
+    EXPECT_LE(job.submit_time, options.duration);
+    EXPECT_GE(job.requested_gpus, 1);
+    EXPECT_LE(job.requested_gpus, gpu_ceiling);
+    EXPECT_GT(job.batch_size, 0);
+    user += job.user_configured ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(user) / jobs.size(), 0.5, 0.05);
+}
+
+TEST(HyperscaleTraceTest, RequestCeilingClampedToTinyCluster) {
+  HyperTraceOptions options = SmallOptions();
+  options.num_nodes = 2;
+  options.gpus_per_node = 2;
+  options.num_jobs = 200;
+  options.max_request_gpus = 64;  // larger than the cluster
+  for (const auto& job : GenerateHyperscaleTrace(options)) {
+    EXPECT_LE(job.requested_gpus, 4);  // every job stays placeable
+  }
+}
+
+TEST(HyperscaleTraceTest, SeedsProduceDifferentTraces) {
+  const auto a = GenerateHyperscaleTrace(SmallOptions(11));
+  const auto b = GenerateHyperscaleTrace(SmallOptions(12));
+  ASSERT_EQ(a.size(), b.size());
+  size_t differing = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].submit_time != b[i].submit_time || a[i].model != b[i].model) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, a.size() / 2);
+}
+
+TEST(HyperscaleTraceTest, DegenerateSizesStayFinite) {
+  HyperTraceOptions options = SmallOptions();
+  options.num_jobs = 0;  // floored to one job
+  EXPECT_EQ(GenerateHyperscaleTrace(options).size(), 1u);
+  options.num_jobs = 1;
+  options.duration = 0.0;  // floored internally to one diurnal hour
+  const auto jobs = GenerateHyperscaleTrace(options);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_GE(jobs[0].submit_time, 0.0);
+  EXPECT_LE(jobs[0].submit_time, 3600.0);
+}
+
+}  // namespace
+}  // namespace pollux

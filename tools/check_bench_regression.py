@@ -25,13 +25,34 @@ Deterministic simulation metrics (goodput, JCT, event counts) should carry a
 tight tolerance — they only move when scheduling behavior changes. Wall-time
 metrics are noisy on shared CI runners and need a loose one.
 
-Usage: check_bench_regression.py [--allow-missing] METRICS_JSON BASELINE_JSON
+The baseline may also carry named suites next to the top-level metrics, each
+with its own command and tracked set:
+
+    {
+      "metrics": { ... },               <- default suite (no --suite flag)
+      "suites": {
+        "hyperscale-smoke": {"command": "...", "metrics": { ... }}
+      }
+    }
+
+Usage: check_bench_regression.py [--allow-missing] [--suite NAME]
+                                 [--update-baseline] METRICS_JSON BASELINE_JSON
 
 With --allow-missing, a tracked metric absent from the run is a warning
 instead of a failure (exit 0 if everything present is within tolerance).
 Use it while a baseline entry is newer than the bench that emits the metric
 — e.g. right after adding a metric, before the first baseline-refresh run.
 Malformed files still exit 2.
+
+With --suite NAME, the tracked set is baseline["suites"][NAME]["metrics"]
+instead of the top-level "metrics" object.
+
+With --update-baseline, instead of gating, every tracked metric's "value" is
+regenerated from the metrics file (tolerances and all other baseline content
+are preserved) and the baseline is rewritten in place as indented JSON. A
+tracked metric missing from the run is an error (exit 2) unless
+--allow-missing is also given. This replaces hand-editing baseline values
+after an intentional behavior change.
 """
 
 import json
@@ -74,29 +95,105 @@ def load_json(path, what):
         )
 
 
+def update(metrics, metrics_path, baseline, baseline_path, tracked, allow_missing):
+    """--update-baseline: refresh tracked values in place and rewrite the file."""
+    updated = 0
+    skipped = 0
+    for key in sorted(tracked):
+        spec = tracked[key]
+        if not isinstance(spec, dict) or "value" not in spec:
+            return fail(
+                f'baseline entry "{key}" must be an object with a "value" key '
+                f'(e.g. {{"value": 1.0, "rel_tol": 0.05}}), got: {json.dumps(spec)}'
+            )
+        actual = resolve(metrics, key)
+        if actual is None:
+            if allow_missing:
+                print(f"{key}: missing from the run, keeping {spec['value']}")
+                skipped += 1
+                continue
+            return fail(
+                f'metric "{key}" is missing from {metrics_path}; refusing to update the '
+                "baseline from an incomplete run (pass --allow-missing to keep old values)"
+            )
+        try:
+            actual = float(actual)
+        except (TypeError, ValueError):
+            return fail(f'metric "{key}" in {metrics_path} is not numeric: {json.dumps(actual)}')
+        print(f"{key}: {spec['value']} -> {actual:.12g}")
+        spec["value"] = actual
+        updated += 1
+    try:
+        with open(baseline_path, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+    except OSError as e:
+        return fail(f"cannot write baseline file {baseline_path}: {e.strerror or e}")
+    print(f"\nwrote {baseline_path}: {updated} value(s) updated, {skipped} kept")
+    return 0
+
+
 def main(argv):
-    allow_missing = "--allow-missing" in argv[1:]
-    argv = [argv[0]] + [a for a in argv[1:] if a != "--allow-missing"]
-    if len(argv) != 3:
+    allow_missing = False
+    update_baseline = False
+    suite = None
+    paths = []
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--allow-missing":
+            allow_missing = True
+        elif arg == "--update-baseline":
+            update_baseline = True
+        elif arg == "--suite":
+            if i + 1 >= len(args):
+                return fail("--suite requires a suite name")
+            suite = args[i + 1]
+            i += 1
+        elif arg.startswith("--suite="):
+            suite = arg.split("=", 1)[1]
+        elif arg.startswith("--"):
+            return fail(f"unknown flag {arg}")
+        else:
+            paths.append(arg)
+        i += 1
+    if len(paths) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    metrics, error = load_json(argv[1], "metrics file")
+    metrics_path, baseline_path = paths
+    metrics, error = load_json(metrics_path, "metrics file")
     if error:
         return fail(error)
-    baseline, error = load_json(argv[2], "baseline file")
+    baseline, error = load_json(baseline_path, "baseline file")
     if error:
         return fail(error)
     if not isinstance(metrics, dict):
-        return fail(f"metrics file {argv[1]} must be a JSON object, got {type(metrics).__name__}")
-    if not isinstance(baseline, dict):
-        return fail(f"baseline file {argv[2]} must be a JSON object, got {type(baseline).__name__}")
-
-    tracked = baseline.get("metrics", {})
-    if not isinstance(tracked, dict) or not tracked:
         return fail(
-            f'baseline file {argv[2]} tracks no metrics: expected a non-empty "metrics" object '
-            '(see the baseline format in this script\'s docstring)'
+            f"metrics file {metrics_path} must be a JSON object, got {type(metrics).__name__}"
         )
+    if not isinstance(baseline, dict):
+        return fail(
+            f"baseline file {baseline_path} must be a JSON object, got {type(baseline).__name__}"
+        )
+
+    if suite is not None:
+        suites = baseline.get("suites", {})
+        if not isinstance(suites, dict) or not isinstance(suites.get(suite), dict):
+            known = ", ".join(sorted(suites)) if isinstance(suites, dict) and suites else "none"
+            return fail(f'baseline file {baseline_path} has no suite "{suite}" (known: {known})')
+        tracked = suites[suite].get("metrics", {})
+    else:
+        tracked = baseline.get("metrics", {})
+    if not isinstance(tracked, dict) or not tracked:
+        where = f'suite "{suite}"' if suite is not None else f"baseline file {baseline_path}"
+        return fail(
+            f'{where} tracks no metrics: expected a non-empty "metrics" object '
+            "(see the baseline format in this script's docstring)"
+        )
+
+    if update_baseline:
+        return update(metrics, metrics_path, baseline, baseline_path, tracked, allow_missing)
 
     failures = 0
     missing = 0
@@ -135,7 +232,7 @@ def main(argv):
         try:
             actual = float(actual)
         except (TypeError, ValueError):
-            return fail(f'metric "{key}" in {argv[1]} is not numeric: {json.dumps(actual)}')
+            return fail(f'metric "{key}" in {metrics_path} is not numeric: {json.dumps(actual)}')
         denom = abs(base) if base != 0.0 else 1.0
         drift = abs(actual - base) / denom
         verdict = "" if drift <= tol else "  <-- REGRESSION"
