@@ -27,6 +27,22 @@ void AddCommonFlags(FlagParser& flags) {
                      "ticked (legacy fixed-tick loop)");
   flags.DefineInt("nodes", 16, "number of cluster nodes");
   flags.DefineInt("gpus_per_node", 4, "GPUs per node");
+  flags.DefineString("topology", "",
+                     "rack topology \"RxN\" (R racks of N nodes, overrides --nodes); "
+                     "empty keeps the flat single-tier cluster model");
+  flags.DefineString("gpu-mix", "",
+                     "GPU generation mix \"type:frac,...\" over nodes (types: t4, p100, "
+                     "v100, a100; fractions sum to 1), e.g. \"a100:0.25,t4:0.75\"; "
+                     "empty keeps an all-t4 (baseline) cluster");
+  flags.DefineDouble("rack-link-factor", 2.5,
+                     "multiplier (>= 1) on the node-tier sync cost for gangs that "
+                     "span racks (used with --topology)");
+  flags.DefineBool("topology-blind", false,
+                   "hide the topology annotations from the scheduler (ground-truth "
+                   "job speeds stay topology-aware); the bench_topology A/B baseline");
+  flags.DefineDouble("sync-heavy", -1.0,
+                     "fraction of trace jobs redrawn as sync-heavy multi-node gangs "
+                     "(negative keeps the standard Philly-style trace)");
   flags.DefineInt("jobs", 160, "job submissions in the trace window");
   flags.DefineDouble("duration_hours", 8.0, "trace window length in hours");
   flags.DefineDouble("load", 1.0, "relative load factor (scales job count)");
@@ -325,7 +341,75 @@ BenchSimConfig ConfigFromFlags(const FlagParser& flags) {
   config.checkpoint_every = flags.GetDouble("checkpoint-every");
   config.checkpoint_dir = flags.GetString("checkpoint-dir");
   config.halt_after_checkpoint = flags.GetDouble("halt-after");
+
+  // Cluster-shape validation: malformed shapes are usage errors (exit 2),
+  // not runs that limp along with a degenerate cluster.
+  if (config.gpus_per_node <= 0) {
+    std::fprintf(stderr, "--gpus_per_node must be positive, got %d\n", config.gpus_per_node);
+    std::exit(kExitUsage);
+  }
+  const std::string topology = flags.GetString("topology");
+  const std::string gpu_mix = flags.GetString("gpu-mix");
+  std::string topo_error;
+  TopologySpec topo_spec;
+  if (!topology.empty()) {
+    if (!ParseTopology(topology, config.gpus_per_node, &topo_spec, &topo_error)) {
+      std::fprintf(stderr, "%s\n", topo_error.c_str());
+      std::exit(kExitUsage);
+    }
+    config.racks = topo_spec.num_racks;
+    config.nodes = topo_spec.NumNodes();  // --topology overrides --nodes.
+  }
+  if (config.nodes <= 0) {
+    std::fprintf(stderr, "--nodes must be positive, got %d\n", config.nodes);
+    std::exit(kExitUsage);
+  }
+  config.rack_link_factor = flags.GetDouble("rack-link-factor");
+  if (config.rack_link_factor < 1.0) {
+    std::fprintf(stderr, "--rack-link-factor must be >= 1, got %g\n", config.rack_link_factor);
+    std::exit(kExitUsage);
+  }
+  if (!gpu_mix.empty()) {
+    // Validate the mix against the final node count (a mix without --topology
+    // describes a heterogeneous single-rack cluster).
+    TopologySpec mix_spec = topo_spec;
+    if (topology.empty()) {
+      mix_spec = TopologySpec::FlatHomogeneous(config.nodes, config.gpus_per_node);
+    }
+    if (!ParseGpuMix(gpu_mix, &mix_spec, &topo_error)) {
+      std::fprintf(stderr, "%s\n", topo_error.c_str());
+      std::exit(kExitUsage);
+    }
+    config.gpu_mix = gpu_mix;
+  }
+  config.topology_blind = flags.GetBool("topology-blind");
+  config.sync_heavy_fraction = flags.GetDouble("sync-heavy");
+  if (config.sync_heavy_fraction > 1.0) {
+    std::fprintf(stderr, "--sync-heavy must be <= 1, got %g\n", config.sync_heavy_fraction);
+    std::exit(kExitUsage);
+  }
   return config;
+}
+
+ClusterSpec ClusterFromBenchConfig(const BenchSimConfig& config) {
+  if (!config.TopologyActive()) {
+    return ClusterSpec::Homogeneous(config.nodes, config.gpus_per_node);
+  }
+  TopologySpec spec;
+  spec.num_racks = std::max(config.racks, 1);
+  spec.nodes_per_rack = std::max(config.nodes / spec.num_racks, 1);
+  spec.gpus_per_node = config.gpus_per_node;
+  spec.rack_link_factor = config.rack_link_factor;
+  if (!config.gpu_mix.empty()) {
+    std::string error;
+    if (!ParseGpuMix(config.gpu_mix, &spec, &error)) {
+      // Pre-validated by ConfigFromFlags; a decoded snapshot config can still
+      // carry garbage, which must not silently become an all-t4 cluster.
+      std::fprintf(stderr, "%s\n", error.c_str());
+      std::exit(kExitUsage);
+    }
+  }
+  return spec.ToCluster();
 }
 
 std::vector<JobSpec> MakeBenchTrace(const BenchSimConfig& config) {
@@ -337,6 +421,12 @@ std::vector<JobSpec> MakeBenchTrace(const BenchSimConfig& config) {
   options.gpus_per_node = config.gpus_per_node;
   options.max_gpus = config.nodes * config.gpus_per_node;
   options.seed = config.seed;
+  if (config.sync_heavy_fraction >= 0.0) {
+    TopologyTraceOptions topo_options;
+    topo_options.base = options;
+    topo_options.sync_heavy_fraction = config.sync_heavy_fraction;
+    return GenerateTopologyTrace(topo_options);
+  }
   return GenerateTrace(options);
 }
 
@@ -347,8 +437,9 @@ SimResult RunBenchPolicy(const std::string& policy, const BenchSimConfig& config
 SimOptions SimOptionsFromBenchConfig(const BenchSimConfig& config) {
   SimOptions options;
   options.engine = config.engine;
-  options.cluster = ClusterSpec::Homogeneous(config.nodes, config.gpus_per_node);
+  options.cluster = ClusterFromBenchConfig(config);
   options.gpus_per_node = config.gpus_per_node;
+  options.scheduler_topology_blind = config.topology_blind;
   options.interference_slowdown = config.interference_slowdown;
   options.sched_interval = config.sched_interval;
   options.report_interval = config.report_interval;
@@ -401,7 +492,12 @@ namespace {
 // so both build byte-identical policy objects.
 template <typename Fn>
 SimResult WithBenchPolicy(const std::string& policy, const BenchSimConfig& config, Fn&& run) {
-  const ClusterSpec cluster = ClusterSpec::Homogeneous(config.nodes, config.gpus_per_node);
+  // Under --topology-blind the policy is *constructed* against the stripped
+  // cluster too, so no topology information leaks in through the ctor.
+  ClusterSpec cluster = ClusterFromBenchConfig(config);
+  if (config.topology_blind) {
+    cluster = cluster.WithoutTopology();
+  }
   if (policy == "pollux") {
     PolluxPolicy pollux(cluster, SchedConfigFromBenchConfig(config));
     return run(&pollux);
@@ -548,6 +644,16 @@ std::string EncodeBenchSimConfig(const BenchSimConfig& config) {
   out << "net_naive_masking=" << (config.net.naive_masking ? 1 : 0) << '\n';
   out << "check_invariants=" << (config.check_invariants ? 1 : 0) << '\n';
   PutConfigDouble(out, "sched_budget", config.round_time_budget);
+  // Topology keys only when a topology knob is engaged: flat configs encode
+  // byte-identically to pre-topology drivers (whose decoder rejects unknown
+  // keys), so their snapshots stay mutually resumable.
+  if (config.TopologyActive() || config.topology_blind || config.sync_heavy_fraction >= 0.0) {
+    out << "racks=" << config.racks << '\n';
+    PutConfigDouble(out, "rack_link_factor", config.rack_link_factor);
+    out << "gpu_mix=" << config.gpu_mix << '\n';
+    out << "topology_blind=" << (config.topology_blind ? 1 : 0) << '\n';
+    PutConfigDouble(out, "sync_heavy_fraction", config.sync_heavy_fraction);
+  }
   return out.str();
 }
 
@@ -672,6 +778,16 @@ bool DecodeBenchSimConfig(const std::string& text, BenchSimConfig* config) {
       ok = ParseConfigBool(value, &parsed.check_invariants);
     } else if (key == "sched_budget") {
       ok = ParseConfigDouble(value, &parsed.round_time_budget);
+    } else if (key == "racks") {
+      ok = ParseConfigInt(value, &parsed.racks);
+    } else if (key == "rack_link_factor") {
+      ok = ParseConfigDouble(value, &parsed.rack_link_factor);
+    } else if (key == "gpu_mix") {
+      parsed.gpu_mix = value;
+    } else if (key == "topology_blind") {
+      ok = ParseConfigBool(value, &parsed.topology_blind);
+    } else if (key == "sync_heavy_fraction") {
+      ok = ParseConfigDouble(value, &parsed.sync_heavy_fraction);
     } else {
       ok = false;  // Unknown key: written by an incompatible (newer) driver.
     }

@@ -87,6 +87,22 @@ struct BenchSimConfig {
   double checkpoint_every = 0.0;
   std::string checkpoint_dir;
   double halt_after_checkpoint = 0.0;
+  // Topology model (DESIGN.md §14). racks == 0 and an empty gpu_mix keep the
+  // flat homogeneous cluster — byte-identical to pre-topology binaries.
+  // racks > 0 (--topology=RxN) arranges the nodes into racks with
+  // rack_link_factor scaling the node-tier sync cost for cross-rack gangs;
+  // gpu_mix ("a100:0.25,t4:0.75") assigns GPU generations to contiguous node
+  // blocks. topology_blind strips the annotations from everything the
+  // *scheduler* sees (ground truth stays topology-aware) — the A/B baseline
+  // arm of bench_topology. sync_heavy_fraction >= 0 switches the trace to
+  // GenerateTopologyTrace with that fraction of sync-heavy multi-node gangs.
+  int racks = 0;
+  double rack_link_factor = 2.5;
+  std::string gpu_mix;
+  bool topology_blind = false;
+  double sync_heavy_fraction = -1.0;
+
+  bool TopologyActive() const { return racks > 0 || !gpu_mix.empty(); }
 };
 
 // Registers the common --nodes/--jobs/--seed/... flags.
@@ -125,8 +141,14 @@ class ObsSession {
   std::string trace_out_;
 };
 
-// Builds the config from parsed flags.
+// Builds the config from parsed flags. Exits with kExitUsage on malformed
+// cluster-shape arguments (non-positive --nodes/--gpus_per_node, invalid
+// --topology/--gpu-mix/--rack-link-factor).
 BenchSimConfig ConfigFromFlags(const FlagParser& flags);
+
+// The cluster the config describes: flat homogeneous when no topology knob is
+// set, otherwise the annotated rack/GPU-type cluster.
+ClusterSpec ClusterFromBenchConfig(const BenchSimConfig& config);
 
 // Synthesizes the workload trace for the config.
 std::vector<JobSpec> MakeBenchTrace(const BenchSimConfig& config);

@@ -10,6 +10,23 @@ ClusterSpec ClusterSpec::Homogeneous(int nodes, int gpus) {
   return spec;
 }
 
+int ClusterSpec::NumRacks() const {
+  if (!HasTopology()) {
+    return NumNodes() > 0 ? 1 : 0;
+  }
+  int best = -1;
+  for (int r : rack_of_node) {
+    best = best > r ? best : r;
+  }
+  return best + 1;
+}
+
+ClusterSpec ClusterSpec::WithoutTopology() const {
+  ClusterSpec flat;
+  flat.gpus_per_node = gpus_per_node;
+  return flat;
+}
+
 AllocationMatrix::AllocationMatrix(size_t num_jobs, size_t num_nodes)
     : num_jobs_(num_jobs), num_nodes_(num_nodes), cells_(num_jobs * num_nodes, 0) {}
 
@@ -37,6 +54,47 @@ Placement AllocationMatrix::JobPlacement(size_t job) const {
     }
   }
   return placement;
+}
+
+RackPlacement AllocationMatrix::JobRackPlacement(size_t job, const ClusterSpec& cluster) const {
+  RackPlacement placement;
+  // Racks are dense ids starting at 0; a small bitmap-on-vector keeps this
+  // allocation-free for the flat (single-rack) case.
+  std::vector<char> rack_seen;
+  for (size_t n = 0; n < num_nodes_; ++n) {
+    const int gpus = at(job, n);
+    if (gpus <= 0) {
+      continue;
+    }
+    placement.num_gpus += gpus;
+    ++placement.num_nodes;
+    const int rack = cluster.RackOf(static_cast<int>(n));
+    if (rack >= static_cast<int>(rack_seen.size())) {
+      rack_seen.resize(static_cast<size_t>(rack) + 1, 0);
+    }
+    if (!rack_seen[rack]) {
+      rack_seen[rack] = 1;
+      ++placement.num_racks;
+    }
+  }
+  return placement;
+}
+
+double AllocationMatrix::JobMinGpuScale(size_t job, const ClusterSpec& cluster) const {
+  if (!cluster.HasTopology()) {
+    return 1.0;
+  }
+  double scale = 1.0;
+  bool any = false;
+  for (size_t n = 0; n < num_nodes_; ++n) {
+    if (at(job, n) <= 0) {
+      continue;
+    }
+    const double node_scale = cluster.GpuScaleOf(static_cast<int>(n));
+    scale = any ? (node_scale < scale ? node_scale : scale) : node_scale;
+    any = true;
+  }
+  return any ? scale : 1.0;
 }
 
 std::vector<int> AllocationMatrix::NodeUsage() const {

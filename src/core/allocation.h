@@ -10,13 +10,23 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/rack_model.h"
 #include "core/types.h"
 
 namespace pollux {
 
-// Physical cluster shape: GPUs available on each node.
+// Physical cluster shape: GPUs available on each node, plus optional topology
+// annotations (rack -> node -> GPU with mixed generations; DESIGN.md sec. 14).
 struct ClusterSpec {
   std::vector<int> gpus_per_node;
+
+  // Topology annotations. Empty `rack_of_node` selects the legacy flat
+  // single-rack homogeneous model; every consumer gates on HasTopology(), so
+  // flat configs stay byte-identical to pre-topology builds.
+  std::vector<int> rack_of_node;       // Rack id per node.
+  std::vector<int> gpu_type_of_node;   // GpuType per node (for reporting/serialization).
+  std::vector<double> node_gpu_scale;  // Relative GPU throughput per node (1.0 baseline).
+  double rack_link_factor = 1.0;       // Cross-rack multiplier on node-tier sync cost.
 
   int NumNodes() const { return static_cast<int>(gpus_per_node.size()); }
   int TotalGpus() const {
@@ -33,6 +43,19 @@ struct ClusterSpec {
     }
     return best;
   }
+
+  bool HasTopology() const { return !rack_of_node.empty(); }
+  int NumRacks() const;
+  int RackOf(int node) const {
+    return node >= 0 && node < static_cast<int>(rack_of_node.size()) ? rack_of_node[node] : 0;
+  }
+  double GpuScaleOf(int node) const {
+    return node >= 0 && node < static_cast<int>(node_gpu_scale.size()) ? node_gpu_scale[node]
+                                                                       : 1.0;
+  }
+  // Flat view with the annotations stripped: what a topology-blind scheduler
+  // sees in the bench_topology A/B baseline arm.
+  ClusterSpec WithoutTopology() const;
 
   // Homogeneous helper: `nodes` nodes with `gpus` GPUs each.
   static ClusterSpec Homogeneous(int nodes, int gpus);
@@ -57,6 +80,15 @@ class AllocationMatrix {
 
   // K and N for one job (Eqn. 10's placement summary).
   Placement JobPlacement(size_t job) const;
+
+  // (K, N, R) summary under the cluster's rack map. Flat clusters report
+  // R = min(N, 1), so Flatten() round-trips to JobPlacement().
+  RackPlacement JobRackPlacement(size_t job, const ClusterSpec& cluster) const;
+
+  // Slowest GPU generation the job touches: min node_gpu_scale over occupied
+  // nodes (1.0 when unallocated or on a flat cluster). Synchronous data
+  // parallelism paces every replica at the slowest one.
+  double JobMinGpuScale(size_t job, const ClusterSpec& cluster) const;
 
   // Total GPUs requested on each node across all jobs.
   std::vector<int> NodeUsage() const;

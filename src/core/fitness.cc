@@ -39,12 +39,47 @@ double RawSpeedup(const SchedJobInfo& job, const Placement& placement, EvalCache
       .value;
 }
 
+// Topology path: raw SPEEDUP_j(K, regime) memoized under the (K, N, R)
+// regime (1 = co-located, 2 = cross-node, 3 = cross-rack), then scaled by the
+// slowest GPU generation in the row. Synchronous data parallelism paces every
+// replica at the slowest one, so the scale is a min, not a mean.
+double RawRackSpeedup(const SchedJobInfo& job, const AllocationMatrix& matrix, size_t row,
+                      const ClusterSpec& cluster, EvalCache* cache) {
+  const RackPlacement placement = matrix.JobRackPlacement(row, cluster);
+  if (placement.num_gpus <= 0) {
+    return 0.0;
+  }
+  double raw;
+  if (cache == nullptr) {
+    raw = job.speedups.At(placement);
+  } else {
+    EvalCache::Key key;
+    key.job_id = job.job_id;
+    key.replicas = static_cast<uint32_t>(placement.num_gpus);
+    key.nodes = static_cast<uint16_t>(
+        placement.num_racks >= 2 && job.speedups.has_rack_regime() ? 3
+        : placement.num_nodes >= 2                                 ? 2
+                                                                   : 1);
+    key.progress_bucket = job.progress_bucket;
+    raw = cache
+              ->GetOrCompute(key,
+                             [&] { return EvalCache::Value{job.speedups.At(placement), 0}; })
+              .value;
+  }
+  return raw * matrix.JobMinGpuScale(row, cluster);
+}
+
 }  // namespace
 
 double PenalizedSpeedup(const SchedJobInfo& job, const AllocationMatrix& matrix, size_t row,
-                        double restart_penalty, EvalCache* cache) {
-  const Placement placement = matrix.JobPlacement(row);
-  double speedup = RawSpeedup(job, placement, cache);
+                        double restart_penalty, EvalCache* cache, const ClusterSpec* cluster) {
+  double speedup;
+  if (cluster != nullptr && cluster->HasTopology()) {
+    speedup = RawRackSpeedup(job, matrix, row, *cluster, cache);
+  } else {
+    const Placement placement = matrix.JobPlacement(row);
+    speedup = RawSpeedup(job, placement, cache);
+  }
   if (!job.current_allocation.empty()) {
     bool changed = false;
     for (size_t n = 0; n < matrix.num_nodes(); ++n) {
@@ -63,25 +98,32 @@ double PenalizedSpeedup(const SchedJobInfo& job, const AllocationMatrix& matrix,
 }
 
 double Fitness(const std::vector<SchedJobInfo>& jobs, const AllocationMatrix& matrix,
-               double restart_penalty, EvalCache* cache) {
+               double restart_penalty, EvalCache* cache, const ClusterSpec* cluster) {
   double weighted = 0.0;
   double total_weight = 0.0;
   for (size_t j = 0; j < jobs.size(); ++j) {
-    weighted += jobs[j].weight * PenalizedSpeedup(jobs[j], matrix, j, restart_penalty, cache);
+    weighted +=
+        jobs[j].weight * PenalizedSpeedup(jobs[j], matrix, j, restart_penalty, cache, cluster);
     total_weight += jobs[j].weight;
   }
   return total_weight > 0.0 ? weighted / total_weight : 0.0;
 }
 
 double Utility(const std::vector<SchedJobInfo>& jobs, const AllocationMatrix& matrix,
-               int total_gpus) {
+               int total_gpus, const ClusterSpec* cluster) {
   if (total_gpus <= 0) {
     return 0.0;
   }
+  const bool topology = cluster != nullptr && cluster->HasTopology();
   double total = 0.0;
   for (size_t j = 0; j < jobs.size(); ++j) {
-    const Placement placement = matrix.JobPlacement(j);
-    total += jobs[j].speedups.At(placement.num_gpus, placement.num_nodes);
+    if (topology) {
+      total += jobs[j].speedups.At(matrix.JobRackPlacement(j, *cluster)) *
+               matrix.JobMinGpuScale(j, *cluster);
+    } else {
+      const Placement placement = matrix.JobPlacement(j);
+      total += jobs[j].speedups.At(placement.num_gpus, placement.num_nodes);
+    }
   }
   return total / static_cast<double>(total_gpus);
 }

@@ -42,17 +42,25 @@ struct SchedJobInfo {
 // non-null the raw SPEEDUP_j(K, N) lookup is memoized through it (the restart
 // penalty depends on the full row, so it is always applied outside the
 // cache); results are bit-identical with and without a cache.
+//
+// When `cluster` carries topology annotations, the placement summary becomes
+// (K, N, R): cross-rack rows read the SpeedupTable's rack regime (cache key
+// nodes == 3), and the result is scaled by the slowest GPU generation the row
+// touches (outside the cache — the scale depends on the exact node set, not
+// the (K, N, R) summary). Flat clusters take the legacy path unchanged.
 double PenalizedSpeedup(const SchedJobInfo& job, const AllocationMatrix& matrix, size_t row,
-                        double restart_penalty, EvalCache* cache = nullptr);
+                        double restart_penalty, EvalCache* cache = nullptr,
+                        const ClusterSpec* cluster = nullptr);
 
 // Eqn. 14 over all jobs.
 double Fitness(const std::vector<SchedJobInfo>& jobs, const AllocationMatrix& matrix,
-               double restart_penalty, EvalCache* cache = nullptr);
+               double restart_penalty, EvalCache* cache = nullptr,
+               const ClusterSpec* cluster = nullptr);
 
 // Eqn. 17: cluster resource utility sum_j SPEEDUP_j / TOTAL_GPUS (no restart
 // penalty, no weights) — the autoscaling signal.
 double Utility(const std::vector<SchedJobInfo>& jobs, const AllocationMatrix& matrix,
-               int total_gpus);
+               int total_gpus, const ClusterSpec* cluster = nullptr);
 
 }  // namespace pollux
 

@@ -72,15 +72,49 @@ bool DecrementRandomPositiveInColumn(AllocationMatrix& matrix, size_t node, Rng&
   return true;
 }
 
+// Rack with the most GPUs in the given row (ties to the lowest rack id), or
+// -1 for unallocated rows. `rack_gpus` is scratch sized to the rack count.
+int PrimaryRackOf(const AllocationMatrix& matrix, size_t job, const ClusterSpec& cluster,
+                  std::vector<int>& rack_gpus) {
+  std::fill(rack_gpus.begin(), rack_gpus.end(), 0);
+  for (size_t n = 0; n < matrix.num_nodes(); ++n) {
+    const int gpus = matrix.at(job, n);
+    if (gpus > 0) {
+      rack_gpus[cluster.RackOf(static_cast<int>(n))] += gpus;
+    }
+  }
+  int primary = -1;
+  for (size_t r = 0; r < rack_gpus.size(); ++r) {
+    if (rack_gpus[r] > 0 && (primary < 0 || rack_gpus[r] > rack_gpus[primary])) {
+      primary = static_cast<int>(r);
+    }
+  }
+  return primary;
+}
+
 }  // namespace
 
 GeneticOptimizer::GeneticOptimizer(ClusterSpec cluster, GaOptions options)
-    : cluster_(std::move(cluster)), options_(options), rng_(options.seed) {}
+    : cluster_(std::move(cluster)), options_(options), rng_(options.seed) {
+  BuildRackIndex();
+}
 
 void GeneticOptimizer::SetCluster(ClusterSpec cluster) {
   cluster_ = std::move(cluster);
   population_.clear();
   last_job_ids_.clear();
+  BuildRackIndex();
+}
+
+void GeneticOptimizer::BuildRackIndex() {
+  rack_nodes_.clear();
+  if (!cluster_.HasTopology()) {
+    return;
+  }
+  rack_nodes_.resize(static_cast<size_t>(cluster_.NumRacks()));
+  for (int n = 0; n < cluster_.NumNodes(); ++n) {
+    rack_nodes_[cluster_.RackOf(n)].push_back(n);
+  }
 }
 
 void GeneticOptimizer::EnsurePool() {
@@ -94,6 +128,10 @@ void GeneticOptimizer::Mutate(AllocationMatrix& matrix) { MutateWith(matrix, rng
 void GeneticOptimizer::MutateWith(AllocationMatrix& matrix, Rng& rng) const {
   const size_t nodes = matrix.num_nodes();
   if (nodes == 0) {
+    return;
+  }
+  if (cluster_.HasTopology()) {
+    MutateRackAffineWith(matrix, rng);
     return;
   }
   // Each cell mutates with probability 1/N, i.e. each job suffers one
@@ -117,12 +155,49 @@ void GeneticOptimizer::MutateWith(AllocationMatrix& matrix, Rng& rng) const {
   }
 }
 
+void GeneticOptimizer::MutateRackAffineWith(AllocationMatrix& matrix, Rng& rng) const {
+  const size_t nodes = matrix.num_nodes();
+  // Same mutation-count law as the flat operator (one expected mutation per
+  // row), but half of an allocated job's mutations are redirected to a
+  // uniform node inside its primary rack: the search explores "fill my rack"
+  // moves as often as global ones, which is what replaces the flat model's
+  // scalar node-count penalty.
+  std::vector<int> rack_gpus(rack_nodes_.size(), 0);
+  const auto mutate_cell = [&](size_t j, size_t n, int primary) {
+    if (primary >= 0 && rng.Bernoulli(0.5)) {
+      const std::vector<int>& members = rack_nodes_[static_cast<size_t>(primary)];
+      n = static_cast<size_t>(
+          members[rng.UniformInt(0, static_cast<int64_t>(members.size()) - 1)]);
+    }
+    matrix.at(j, n) = static_cast<int>(rng.UniformInt(0, cluster_.gpus_per_node[n]));
+  };
+  for (size_t j = 0; j < matrix.num_jobs(); ++j) {
+    const int primary = PrimaryRackOf(matrix, j, cluster_, rack_gpus);
+    if (nodes <= 8) {
+      for (size_t n = 0; n < nodes; ++n) {
+        if (rng.Bernoulli(1.0 / static_cast<double>(nodes))) {
+          mutate_cell(j, n, primary);
+        }
+      }
+      continue;
+    }
+    const int64_t mutations = std::min<int64_t>(rng.Poisson(1.0), static_cast<int64_t>(nodes));
+    for (int64_t k = 0; k < mutations; ++k) {
+      const size_t n = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(nodes) - 1));
+      mutate_cell(j, n, primary);
+    }
+  }
+}
+
 AllocationMatrix GeneticOptimizer::Crossover(const AllocationMatrix& a, const AllocationMatrix& b) {
   return CrossoverWith(a, b, rng_);
 }
 
 AllocationMatrix GeneticOptimizer::CrossoverWith(const AllocationMatrix& a,
                                                  const AllocationMatrix& b, Rng& rng) const {
+  // Row-atomic: each job's full placement comes from one parent, so a
+  // rack-compact row survives crossover intact (crossover never needs its own
+  // rack-affinity handling).
   AllocationMatrix child(a.num_jobs(), a.num_nodes());
   for (size_t j = 0; j < a.num_jobs(); ++j) {
     const AllocationMatrix& parent = rng.Bernoulli(0.5) ? a : b;
@@ -163,6 +238,15 @@ void GeneticOptimizer::RepairWith(AllocationMatrix& matrix, const std::vector<Sc
     }
   }
 
+  // 2b. Rack-affine compaction (topology mode only): gather a rack-spanning
+  // job's spilled GPUs back into its primary rack where capacity allows —
+  // prefer filling a node, then the rack, before leaving any spill. Runs
+  // before interference avoidance so compacted rows are what the fixed point
+  // sees. Deterministic (no RNG draws), so the flat-mode stream is untouched.
+  if (!rack_nodes_.empty()) {
+    CompactRacks(matrix);
+  }
+
   // 3. Interference avoidance: at most one distributed (multi-node) job per
   // node. Evicting a job's share on one node can change which jobs are
   // distributed, so iterate to a fixed point. Node counts per job are
@@ -201,6 +285,54 @@ void GeneticOptimizer::RepairWith(AllocationMatrix& matrix, const std::vector<Sc
           matrix.at(j, n) = 0;
           --nodes_of_job[j];
           changed = true;
+        }
+      }
+    }
+  }
+}
+
+void GeneticOptimizer::CompactRacks(AllocationMatrix& matrix) const {
+  const size_t num_jobs = matrix.num_jobs();
+  const size_t num_nodes = matrix.num_nodes();
+  std::vector<int> usage = matrix.NodeUsage();
+  std::vector<int> rack_gpus(rack_nodes_.size(), 0);
+  for (size_t j = 0; j < num_jobs; ++j) {
+    const int primary = PrimaryRackOf(matrix, j, cluster_, rack_gpus);
+    if (primary < 0) {
+      continue;
+    }
+    int racks_occupied = 0;
+    for (int g : rack_gpus) {
+      racks_occupied += g > 0 ? 1 : 0;
+    }
+    if (racks_occupied < 2) {
+      continue;
+    }
+    const std::vector<int>& home = rack_nodes_[static_cast<size_t>(primary)];
+    // Two destination passes: nodes the job already occupies (fill a node),
+    // then the rest of the rack (fill the rack); node index order within each.
+    for (size_t n = 0; n < num_nodes; ++n) {
+      if (cluster_.RackOf(static_cast<int>(n)) == primary || matrix.at(j, n) <= 0) {
+        continue;
+      }
+      for (int pass = 0; pass < 2 && matrix.at(j, n) > 0; ++pass) {
+        for (int dst : home) {
+          const bool occupied = matrix.at(j, static_cast<size_t>(dst)) > 0;
+          if ((pass == 0) != occupied) {
+            continue;
+          }
+          const int free = cluster_.gpus_per_node[dst] - usage[dst];
+          const int take = std::min(free, matrix.at(j, n));
+          if (take <= 0) {
+            continue;
+          }
+          matrix.at(j, static_cast<size_t>(dst)) += take;
+          matrix.at(j, n) -= take;
+          usage[dst] += take;
+          usage[n] -= take;
+          if (matrix.at(j, n) <= 0) {
+            break;
+          }
         }
       }
     }
@@ -291,7 +423,7 @@ GeneticOptimizer::Result GeneticOptimizer::Optimize(const std::vector<SchedJobIn
   SeedPopulation(jobs);
   std::vector<double> fitnesses(population_.size());
   pool_->ParallelFor(0, population_.size(), [&](size_t i) {
-    fitnesses[i] = Fitness(jobs, population_[i], options_.restart_penalty, cache);
+    fitnesses[i] = Fitness(jobs, population_[i], options_.restart_penalty, cache, &cluster_);
   });
   if (observed) {
     GaMetrics::Get().fitness_evals->Add(population_.size());
@@ -318,7 +450,7 @@ GeneticOptimizer::Result GeneticOptimizer::Optimize(const std::vector<SchedJobIn
       AllocationMatrix child = CrossoverWith(population_[pa], population_[pb], rng);
       MutateWith(child, rng);
       RepairWith(child, jobs, rng);
-      child_fitnesses[i] = Fitness(jobs, child, options_.restart_penalty, cache);
+      child_fitnesses[i] = Fitness(jobs, child, options_.restart_penalty, cache, &cluster_);
       children[i] = std::move(child);
     });
     for (size_t i = 0; i < brood; ++i) {
@@ -349,7 +481,7 @@ GeneticOptimizer::Result GeneticOptimizer::Optimize(const std::vector<SchedJobIn
 
   result.best = population_.front();
   result.fitness = fitnesses.front();
-  result.utility = Utility(jobs, result.best, cluster_.TotalGpus());
+  result.utility = Utility(jobs, result.best, cluster_.TotalGpus(), &cluster_);
   if (observed) {
     GaMetrics::Get().best_fitness->Set(result.fitness);
   }

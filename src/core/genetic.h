@@ -110,13 +110,25 @@ class GeneticOptimizer {
   // the Rng handed in, never against rng_, so offspring can be produced
   // concurrently from pre-forked streams.
   void MutateWith(AllocationMatrix& matrix, Rng& rng) const;
+  // Topology-mode mutation: half of all mutations are redirected into the
+  // job's primary rack, so the search prefers filling a node, then a rack,
+  // before spilling (DESIGN.md sec. 14). Only used when cluster_ carries
+  // topology annotations; the flat path's RNG sequence is untouched.
+  void MutateRackAffineWith(AllocationMatrix& matrix, Rng& rng) const;
+  // Topology-mode repair stage: deterministically moves a rack-spanning
+  // job's minority-rack GPUs into free capacity in its primary rack.
+  void CompactRacks(AllocationMatrix& matrix) const;
   AllocationMatrix CrossoverWith(const AllocationMatrix& a, const AllocationMatrix& b,
                                  Rng& rng) const;
   void RepairWith(AllocationMatrix& matrix, const std::vector<SchedJobInfo>& jobs,
                   Rng& rng) const;
   size_t TournamentPickWith(const std::vector<double>& fitnesses, Rng& rng) const;
 
+  void BuildRackIndex();
+
   ClusterSpec cluster_;
+  // Node ids per rack, built once per SetCluster; empty outside topology mode.
+  std::vector<std::vector<int>> rack_nodes_;
   GaOptions options_;
   Rng rng_;
   std::unique_ptr<ThreadPool> pool_;

@@ -86,4 +86,11 @@ uint64_t ModelFingerprint(const GoodputModel& model, const BatchLimits& limits) 
   return fp != 0 ? fp : 1;
 }
 
+uint64_t ModelFingerprint(const GoodputModel& model, const BatchLimits& limits,
+                          double rack_link_factor) {
+  uint64_t fp = ModelFingerprint(model, limits);
+  fp = MixIn(fp, rack_link_factor);
+  return fp != 0 ? fp : 1;
+}
+
 }  // namespace pollux

@@ -61,6 +61,13 @@ double Speedup(const GoodputModel& model, const Placement& placement, const Batc
 // stale model revision (EvalCache::Key::model_fp).
 uint64_t ModelFingerprint(const GoodputModel& model, const BatchLimits& limits);
 
+// Topology-extended fingerprint: additionally mixes in the cross-rack link
+// factor, so rack-regime table entries (EvalCache::Key::nodes == 3) never
+// alias node-regime entries of the same model under a different topology.
+// Flat-mode callers use the two-argument overload, whose hashes are unchanged.
+uint64_t ModelFingerprint(const GoodputModel& model, const BatchLimits& limits,
+                          double rack_link_factor);
+
 }  // namespace pollux
 
 #endif  // POLLUX_CORE_GOODPUT_H_

@@ -130,10 +130,12 @@ std::vector<SchedJobInfo> PolluxSched::BuildJobInfos(const std::vector<SchedJobR
     // speedup table never needs entries beyond it.
     const int table_gpus = std::min(max_gpus, std::max(1, report.agent.max_gpus_cap));
     info.progress_bucket = ProgressBucket(report.gpu_time);
+    // The cluster's cross-rack link factor adds a third table regime; flat
+    // clusters carry 1.0, which builds exactly the legacy two-regime table.
     info.speedups =
         SpeedupTable(report.agent.model, report.agent.limits, table_gpus,
                      config_.memoize_tables ? &table_cache_ : nullptr, info.job_id,
-                     info.progress_bucket);
+                     info.progress_bucket, optimizer_.cluster().rack_link_factor);
     info.weight = JobWeight(report.gpu_time, config_.gpu_time_threshold, config_.weight_lambda);
     info.current_allocation = report.current_allocation;
     info.max_gpus_cap = std::max(1, report.agent.max_gpus_cap);
@@ -735,6 +737,21 @@ std::map<uint64_t, std::vector<int>> PolluxSched::IncrementalRound(
       local.gpus_per_node.reserve(shard.nodes.size());
       for (size_t node : shard.nodes) {
         local.gpus_per_node.push_back(free[node]);
+      }
+      if (cluster.HasTopology()) {
+        // Shard sub-clusters keep their nodes' global rack ids and GPU
+        // scales (rack ids need not be dense for the (K, N, R) summaries),
+        // so shard GAs stay rack-affine.
+        local.rack_link_factor = cluster.rack_link_factor;
+        for (size_t node : shard.nodes) {
+          const int global = static_cast<int>(node);
+          local.rack_of_node.push_back(cluster.RackOf(global));
+          local.gpu_type_of_node.push_back(
+              global < static_cast<int>(cluster.gpu_type_of_node.size())
+                  ? cluster.gpu_type_of_node[global]
+                  : 0);
+          local.node_gpu_scale.push_back(cluster.GpuScaleOf(global));
+        }
       }
       std::vector<SchedJobReport> sub;
       sub.reserve(shard.members.size());

@@ -5,7 +5,12 @@
 namespace pollux {
 
 SpeedupTable::SpeedupTable(const GoodputModel& model, const BatchLimits& limits, int max_gpus,
-                           EvalCache* cache, uint64_t job_id, uint16_t progress_bucket) {
+                           EvalCache* cache, uint64_t job_id, uint16_t progress_bucket)
+    : SpeedupTable(model, limits, max_gpus, cache, job_id, progress_bucket, 1.0) {}
+
+SpeedupTable::SpeedupTable(const GoodputModel& model, const BatchLimits& limits, int max_gpus,
+                           EvalCache* cache, uint64_t job_id, uint16_t progress_bucket,
+                           double rack_link_factor) {
   if (max_gpus < 1) {
     return;
   }
@@ -28,14 +33,16 @@ SpeedupTable::SpeedupTable(const GoodputModel& model, const BatchLimits& limits,
     key.model_fp = ModelFingerprint(model, limits);
     key.progress_bucket = progress_bucket;
   }
-  const auto optimize = [&](int k, int n) -> GoodputModel::BatchChoice {
+  const auto optimize = [&](const GoodputModel& m, uint64_t fp, int k,
+                            int n) -> GoodputModel::BatchChoice {
     if (cache == nullptr) {
-      return model.OptimizeBatchSize(Placement{k, n}, limits);
+      return m.OptimizeBatchSize(Placement{k, n > 2 ? 2 : n}, limits);
     }
+    key.model_fp = fp;
     key.replicas = static_cast<uint32_t>(k);
     key.nodes = static_cast<uint16_t>(n);
     const EvalCache::Value cached = cache->GetOrCompute(key, [&] {
-      const auto choice = model.OptimizeBatchSize(Placement{k, n}, limits);
+      const auto choice = m.OptimizeBatchSize(Placement{k, n > 2 ? 2 : n}, limits);
       return EvalCache::Value{choice.goodput, choice.batch_size};
     });
     GoodputModel::BatchChoice choice;
@@ -44,21 +51,43 @@ SpeedupTable::SpeedupTable(const GoodputModel& model, const BatchLimits& limits,
     return choice;
   };
 
-  const auto reference = optimize(1, 1);
+  const uint64_t base_fp = cache != nullptr ? ModelFingerprint(model, limits) : 0;
+  const auto reference = optimize(model, base_fp, 1, 1);
   const double denom = reference.goodput;
   single_node_.resize(grid_.size());
   multi_node_.resize(grid_.size());
   for (size_t i = 0; i < grid_.size(); ++i) {
     const int k = grid_[i];
-    const auto single = optimize(k, 1);
+    const auto single = optimize(model, base_fp, k, 1);
     // Degenerate reference goodput (no single-GPU data yet) falls back to a
     // neutral speedup of 1 so the job can still be scheduled (see Speedup()).
     single_node_[i] = {denom > 0.0 ? single.goodput / denom : 1.0, single.batch_size};
     if (k >= 2) {
-      const auto multi = optimize(k, 2);
+      const auto multi = optimize(model, base_fp, k, 2);
       multi_node_[i] = {denom > 0.0 ? multi.goodput / denom : 1.0, multi.batch_size};
     } else {
       multi_node_[i] = single_node_[i];
+    }
+  }
+
+  if (rack_link_factor > 1.0) {
+    // Cross-rack regime: the node-tier sync parameters scaled by the link
+    // factor, same denominator so all three regimes share the speedup scale.
+    ThroughputParams rack_params = model.params();
+    rack_params.alpha_sync_node *= rack_link_factor;
+    rack_params.beta_sync_node *= rack_link_factor;
+    const GoodputModel rack_model(rack_params, model.phi(), model.base_batch_size());
+    const uint64_t rack_fp =
+        cache != nullptr ? ModelFingerprint(model, limits, rack_link_factor) : 0;
+    multi_rack_.resize(grid_.size());
+    for (size_t i = 0; i < grid_.size(); ++i) {
+      const int k = grid_[i];
+      if (k >= 2) {
+        const auto rack = optimize(rack_model, rack_fp, k, 3);
+        multi_rack_[i] = {denom > 0.0 ? rack.goodput / denom : 1.0, rack.batch_size};
+      } else {
+        multi_rack_[i] = single_node_[i];
+      }
     }
   }
 }
@@ -69,11 +98,7 @@ size_t SpeedupTable::SegmentOf(int k) const {
   return static_cast<size_t>(std::distance(grid_.begin(), it)) - 1;
 }
 
-double SpeedupTable::At(int num_gpus, int num_nodes) const {
-  if (num_gpus <= 0 || grid_.empty()) {
-    return 0.0;
-  }
-  const std::vector<Entry>& table = num_nodes <= 1 ? single_node_ : multi_node_;
+double SpeedupTable::AtIn(const std::vector<Entry>& table, int num_gpus) const {
   const int k = std::min(num_gpus, grid_.back());
   const size_t i = SegmentOf(k);
   if (grid_[i] == k || i + 1 >= grid_.size()) {
@@ -84,11 +109,7 @@ double SpeedupTable::At(int num_gpus, int num_nodes) const {
   return table[i].speedup * (1.0 - frac) + table[i + 1].speedup * frac;
 }
 
-long SpeedupTable::BatchSizeAt(int num_gpus, int num_nodes) const {
-  if (num_gpus <= 0 || grid_.empty()) {
-    return 0;
-  }
-  const std::vector<Entry>& table = num_nodes <= 1 ? single_node_ : multi_node_;
+long SpeedupTable::BatchSizeIn(const std::vector<Entry>& table, int num_gpus) const {
   const int k = std::min(num_gpus, grid_.back());
   const size_t i = SegmentOf(k);
   if (grid_[i] == k || i + 1 >= grid_.size()) {
@@ -98,6 +119,34 @@ long SpeedupTable::BatchSizeAt(int num_gpus, int num_nodes) const {
   const int lo_gap = k - grid_[i];
   const int hi_gap = grid_[i + 1] - k;
   return lo_gap <= hi_gap ? table[i].batch_size : table[i + 1].batch_size;
+}
+
+double SpeedupTable::At(int num_gpus, int num_nodes) const {
+  if (num_gpus <= 0 || grid_.empty()) {
+    return 0.0;
+  }
+  return AtIn(TableFor(num_nodes, 1), num_gpus);
+}
+
+double SpeedupTable::At(const RackPlacement& placement) const {
+  if (placement.num_gpus <= 0 || grid_.empty()) {
+    return 0.0;
+  }
+  return AtIn(TableFor(placement.num_nodes, placement.num_racks), placement.num_gpus);
+}
+
+long SpeedupTable::BatchSizeAt(int num_gpus, int num_nodes) const {
+  if (num_gpus <= 0 || grid_.empty()) {
+    return 0;
+  }
+  return BatchSizeIn(TableFor(num_nodes, 1), num_gpus);
+}
+
+long SpeedupTable::BatchSizeAt(const RackPlacement& placement) const {
+  if (placement.num_gpus <= 0 || grid_.empty()) {
+    return 0;
+  }
+  return BatchSizeIn(TableFor(placement.num_nodes, placement.num_racks), placement.num_gpus);
 }
 
 }  // namespace pollux

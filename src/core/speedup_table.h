@@ -18,6 +18,7 @@
 
 #include "core/eval_cache.h"
 #include "core/goodput.h"
+#include "core/rack_model.h"
 #include "core/types.h"
 
 namespace pollux {
@@ -41,13 +42,30 @@ class SpeedupTable {
   SpeedupTable(const GoodputModel& model, const BatchLimits& limits, int max_gpus,
                EvalCache* cache, uint64_t job_id, uint16_t progress_bucket);
 
+  // Topology-aware variant: when rack_link_factor > 1 a third, cross-rack
+  // regime is precomputed from the same model with alpha/beta_sync_node
+  // scaled by the factor (Sec. 3.2's rack-locality extension of Eqn. 10).
+  // Its cache entries use EvalCache::Key::nodes == 3 and the topology-
+  // extended ModelFingerprint; node-regime entries are bit-identical to the
+  // flat constructor's.
+  SpeedupTable(const GoodputModel& model, const BatchLimits& limits, int max_gpus,
+               EvalCache* cache, uint64_t job_id, uint16_t progress_bucket,
+               double rack_link_factor);
+
   // SPEEDUP at K GPUs spread over N nodes; K beyond max_gpus clamps, off-grid
   // K interpolates linearly. N only matters as {1, multi}.
   double At(int num_gpus, int num_nodes) const;
 
+  // Regime-aware lookup: placements spanning >= 2 racks use the cross-rack
+  // table when it exists (falling back to the node regime otherwise).
+  double At(const RackPlacement& placement) const;
+
   // The batch size chosen by the numerator's inner maximization at the
   // nearest grid point; used to configure the job once an allocation lands.
   long BatchSizeAt(int num_gpus, int num_nodes) const;
+  long BatchSizeAt(const RackPlacement& placement) const;
+
+  bool has_rack_regime() const { return !multi_rack_.empty(); }
 
   int max_gpus() const { return grid_.empty() ? 0 : grid_.back(); }
   bool empty() const { return grid_.empty(); }
@@ -61,9 +79,20 @@ class SpeedupTable {
   // Index of the grid segment containing k (grid_[i] <= k).
   size_t SegmentOf(int k) const;
 
+  const std::vector<Entry>& TableFor(int num_nodes, int num_racks) const {
+    if (num_racks >= 2 && !multi_rack_.empty()) {
+      return multi_rack_;
+    }
+    return num_nodes <= 1 ? single_node_ : multi_node_;
+  }
+
+  double AtIn(const std::vector<Entry>& table, int num_gpus) const;
+  long BatchSizeIn(const std::vector<Entry>& table, int num_gpus) const;
+
   std::vector<int> grid_;
   std::vector<Entry> single_node_;
   std::vector<Entry> multi_node_;
+  std::vector<Entry> multi_rack_;  // Empty outside topology mode.
 };
 
 }  // namespace pollux

@@ -1,0 +1,203 @@
+// TopologySpec parsing and materialization (DESIGN.md sec. 14).
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/types.h"
+
+namespace pollux {
+namespace {
+
+// Relative single-GPU throughput per generation, kT4 = 1.0 baseline. Ratios
+// follow published ResNet-50 training throughput across the generations.
+constexpr double kGpuScales[kNumGpuTypes] = {1.0, 1.3, 2.0, 3.2};
+constexpr const char* kGpuNames[kNumGpuTypes] = {"t4", "p100", "v100", "a100"};
+
+bool ParsePositiveInt(const std::string& text, int* out) {
+  if (text.empty()) {
+    return false;
+  }
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  const long value = std::strtol(text.c_str(), nullptr, 10);
+  if (value <= 0 || value > 1000000) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool MixError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+double GpuTypeScale(GpuType type) {
+  const int index = static_cast<int>(type);
+  return index >= 0 && index < kNumGpuTypes ? kGpuScales[index] : 1.0;
+}
+
+const char* GpuTypeName(GpuType type) {
+  const int index = static_cast<int>(type);
+  return index >= 0 && index < kNumGpuTypes ? kGpuNames[index] : "unknown";
+}
+
+bool GpuTypeFromName(const std::string& name, GpuType* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (int i = 0; i < kNumGpuTypes; ++i) {
+    if (lower == kGpuNames[i]) {
+      *out = static_cast<GpuType>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TopologySpec::IsFlat() const {
+  // A single rack of baseline GPUs is the legacy model regardless of the
+  // link factor (the cross-rack tier is unreachable with one rack).
+  if (num_racks > 1) {
+    return false;
+  }
+  for (GpuType type : node_gpu_type) {
+    if (type != GpuType::kT4) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TopologySpec TopologySpec::FlatHomogeneous(int nodes, int gpus_per_node) {
+  TopologySpec spec;
+  spec.num_racks = 1;
+  spec.nodes_per_rack = nodes;
+  spec.gpus_per_node = gpus_per_node;
+  spec.rack_link_factor = 1.0;
+  return spec;
+}
+
+ClusterSpec TopologySpec::ToCluster() const {
+  ClusterSpec cluster;
+  const int nodes = NumNodes();
+  cluster.gpus_per_node.assign(static_cast<size_t>(nodes), gpus_per_node);
+  if (IsFlat()) {
+    return cluster;  // No annotations: byte-identical legacy behaviour.
+  }
+  cluster.rack_of_node.resize(static_cast<size_t>(nodes));
+  cluster.gpu_type_of_node.resize(static_cast<size_t>(nodes));
+  cluster.node_gpu_scale.resize(static_cast<size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    cluster.rack_of_node[n] = nodes_per_rack > 0 ? n / nodes_per_rack : 0;
+    const GpuType type =
+        n < static_cast<int>(node_gpu_type.size()) ? node_gpu_type[n] : GpuType::kT4;
+    cluster.gpu_type_of_node[n] = static_cast<int>(type);
+    cluster.node_gpu_scale[n] = GpuTypeScale(type);
+  }
+  cluster.rack_link_factor = rack_link_factor >= 1.0 ? rack_link_factor : 1.0;
+  return cluster;
+}
+
+bool ParseTopology(const std::string& text, int gpus_per_node, TopologySpec* spec,
+                   std::string* error) {
+  const size_t x = text.find('x');
+  int racks = 0;
+  int nodes_per_rack = 0;
+  if (x == std::string::npos || !ParsePositiveInt(text.substr(0, x), &racks) ||
+      !ParsePositiveInt(text.substr(x + 1), &nodes_per_rack)) {
+    return MixError(error, "--topology must be RxN with positive integers (e.g. 4x8), got '" +
+                               text + "'");
+  }
+  if (gpus_per_node <= 0) {
+    return MixError(error, "--gpus_per_node must be positive with --topology");
+  }
+  spec->num_racks = racks;
+  spec->nodes_per_rack = nodes_per_rack;
+  spec->gpus_per_node = gpus_per_node;
+  return true;
+}
+
+bool ParseGpuMix(const std::string& text, TopologySpec* spec, std::string* error) {
+  const int nodes = spec->NumNodes();
+  if (nodes <= 0) {
+    return MixError(error, "--gpu-mix requires a topology with at least one node");
+  }
+  // Parse "type:frac,type:frac,..." preserving the listed order.
+  std::vector<GpuType> types;
+  std::vector<double> fractions;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(',', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string item = text.substr(start, end - start);
+    const size_t colon = item.find(':');
+    GpuType type = GpuType::kT4;
+    char* frac_end = nullptr;
+    const double fraction =
+        colon == std::string::npos ? -1.0 : std::strtod(item.c_str() + colon + 1, &frac_end);
+    if (colon == std::string::npos || !GpuTypeFromName(item.substr(0, colon), &type) ||
+        frac_end == item.c_str() + colon + 1 || *frac_end != '\0' || fraction <= 0.0 ||
+        fraction > 1.0) {
+      return MixError(error, "--gpu-mix entries must be type:fraction (types: t4, p100, v100, "
+                             "a100; fractions in (0, 1]), got '" +
+                                 item + "'");
+    }
+    types.push_back(type);
+    fractions.push_back(fraction);
+    start = end + 1;
+    if (end == text.size()) {
+      break;
+    }
+  }
+  double total = 0.0;
+  for (double f : fractions) {
+    total += f;
+  }
+  if (total < 0.999 || total > 1.001) {
+    return MixError(error, "--gpu-mix fractions must sum to 1");
+  }
+  // Largest-remainder apportionment of node counts, then assignment in listed
+  // order by node index: deterministic, and generations cluster into
+  // contiguous node (hence rack) blocks.
+  std::vector<int> counts(types.size(), 0);
+  std::vector<std::pair<double, size_t>> remainders;
+  int assigned = 0;
+  for (size_t i = 0; i < types.size(); ++i) {
+    const double exact = fractions[i] * nodes;
+    counts[i] = static_cast<int>(exact);
+    assigned += counts[i];
+    remainders.emplace_back(exact - counts[i], i);
+  }
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t i = 0; assigned < nodes; ++i) {
+    ++counts[remainders[i % remainders.size()].second];
+    ++assigned;
+  }
+  spec->node_gpu_type.clear();
+  spec->node_gpu_type.reserve(static_cast<size_t>(nodes));
+  for (size_t i = 0; i < types.size(); ++i) {
+    for (int c = 0; c < counts[i]; ++c) {
+      spec->node_gpu_type.push_back(types[i]);
+    }
+  }
+  return true;
+}
+
+}  // namespace pollux

@@ -4,8 +4,70 @@
 #define POLLUX_CORE_TYPES_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace pollux {
+
+struct ClusterSpec;
+
+// GPU generations for the heterogeneous cluster model. The scale is the
+// relative single-GPU throughput of the generation; kT4 is the 1.0 baseline so
+// the Table-1 ground-truth profiles (fit on the T4 testbed) keep their meaning
+// on homogeneous clusters.
+enum class GpuType : int {
+  kT4 = 0,
+  kP100 = 1,
+  kV100 = 2,
+  kA100 = 3,
+};
+inline constexpr int kNumGpuTypes = 4;
+
+double GpuTypeScale(GpuType type);
+const char* GpuTypeName(GpuType type);
+bool GpuTypeFromName(const std::string& name, GpuType* out);
+
+// Cluster topology tree: rack -> node -> GPU, with per-node GPU type and a
+// per-tier link class (the cross-rack factor multiplies the node-tier sync
+// parameters, Sec. 3.2's rack-locality extension of Eqn. 10).
+//
+// The grammar is regular (every rack holds `nodes_per_rack` nodes of
+// `gpus_per_node` GPUs); heterogeneity enters through `node_gpu_type`.
+// FlatHomogeneous() reproduces the legacy single-rack model: its ToCluster()
+// carries no topology annotations, so downstream behaviour (and output bytes)
+// are identical to pre-topology builds.
+struct TopologySpec {
+  int num_racks = 1;
+  int nodes_per_rack = 1;
+  int gpus_per_node = 1;
+  // Per-node GPU type, size num_racks * nodes_per_rack; empty means all kT4.
+  std::vector<GpuType> node_gpu_type;
+  // Multiplier (>= 1) applied to alpha/beta_sync_node when a placement spans
+  // more than one rack.
+  double rack_link_factor = 2.5;
+
+  int NumNodes() const { return num_racks * nodes_per_rack; }
+  int TotalGpus() const { return NumNodes() * gpus_per_node; }
+  bool IsFlat() const;
+
+  // Legacy flat model: one rack, homogeneous kT4 nodes.
+  static TopologySpec FlatHomogeneous(int nodes, int gpus_per_node);
+
+  // Materializes the per-node view consumed by the scheduler and simulator.
+  // Flat specs return a ClusterSpec without topology annotations.
+  ClusterSpec ToCluster() const;
+};
+
+// Parses "RxN" (racks x nodes-per-rack), e.g. "4x8". Returns false and sets
+// *error on malformed or non-positive shapes.
+bool ParseTopology(const std::string& text, int gpus_per_node, TopologySpec* spec,
+                   std::string* error);
+
+// Parses a GPU generation mix like "a100:0.25,t4:0.75" and assigns types to
+// the spec's nodes deterministically (largest-remainder counts, then
+// generation-sorted blocks by node index: newest generations in the lowest
+// racks). Fractions must be positive and sum to ~1.
+bool ParseGpuMix(const std::string& text, TopologySpec* spec, std::string* error);
 
 // Summary of a job's resource allocation as seen by the throughput model
 // (Eqn. 10 depends on the allocation vector only through the number of GPUs K

@@ -35,7 +35,10 @@ namespace pollux {
 
 // Version 2: kTagJobs rows gained per-channel delivery sequence numbers and
 // the kTagNet section (control-plane network model state) was added.
-inline constexpr uint32_t kSnapshotVersion = 2;
+// Version 3: the kTagTopology section (rack/GPU-type cluster annotations,
+// DESIGN.md §14) was added. Older snapshots load fine — a missing topology
+// section means the construction-time annotations stay in force.
+inline constexpr uint32_t kSnapshotVersion = 3;
 
 // Section tags. Unknown tags are preserved but ignored by readers, so later
 // versions can add sections without breaking older payload parsers.
@@ -48,6 +51,7 @@ enum SnapshotTag : uint32_t {
   kTagResult = 6,     // Event log, timeline, node-second accounting.
   kTagLoop = 7,       // Engine loop state (tick thresholds / timer states).
   kTagNet = 8,        // NetModel streams/in-flight messages + lease liveness.
+  kTagTopology = 9,   // Cluster topology annotations (racks, GPU types).
 };
 
 // CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).

@@ -88,17 +88,73 @@ std::map<uint64_t, std::vector<int>> PlaceConsolidated(
       free[static_cast<size_t>(best_single)] -= needed;
       needed = 0;
     }
-    while (needed > 0) {
-      size_t freest = 0;
-      for (size_t n = 1; n < num_nodes; ++n) {
-        if (free[n] > free[freest]) {
-          freest = n;
+    if (cluster.HasTopology()) {
+      // Rack-affine spill: fill the freest node whose rack the job already
+      // occupies before crossing racks (cross-rack sync is strictly slower).
+      // When the job holds nothing yet (or its racks are full), seed from the
+      // rack with the most free capacity. Gated on topology annotations, so
+      // flat clusters take the legacy freest-node path byte-identically.
+      const int num_racks = cluster.NumRacks();
+      while (needed > 0) {
+        std::vector<char> occupied(static_cast<size_t>(num_racks), 0);
+        for (size_t n = 0; n < num_nodes; ++n) {
+          if (row[n] > 0) {
+            occupied[static_cast<size_t>(cluster.RackOf(static_cast<int>(n)))] = 1;
+          }
         }
+        int pick = -1;
+        for (size_t n = 0; n < num_nodes; ++n) {
+          if (free[n] > 0 && occupied[static_cast<size_t>(cluster.RackOf(static_cast<int>(n)))] &&
+              (pick < 0 || free[n] > free[static_cast<size_t>(pick)])) {
+            pick = static_cast<int>(n);
+          }
+        }
+        if (pick < 0) {
+          std::vector<int> rack_free(static_cast<size_t>(num_racks), 0);
+          for (size_t n = 0; n < num_nodes; ++n) {
+            rack_free[static_cast<size_t>(cluster.RackOf(static_cast<int>(n)))] += free[n];
+          }
+          int best_rack = 0;
+          for (int r = 1; r < num_racks; ++r) {
+            if (rack_free[static_cast<size_t>(r)] > rack_free[static_cast<size_t>(best_rack)]) {
+              best_rack = r;
+            }
+          }
+          for (size_t n = 0; n < num_nodes; ++n) {
+            if (free[n] > 0 && cluster.RackOf(static_cast<int>(n)) == best_rack &&
+                (pick < 0 || free[n] > free[static_cast<size_t>(pick)])) {
+              pick = static_cast<int>(n);
+            }
+          }
+          if (pick < 0) {
+            // best_rack has no free node (all capacity elsewhere): fall back
+            // to the globally freest node.
+            for (size_t n = 0; n < num_nodes; ++n) {
+              if (pick < 0 || free[n] > free[static_cast<size_t>(pick)]) {
+                pick = static_cast<int>(n);
+              }
+            }
+          }
+        }
+        const size_t chosen = static_cast<size_t>(pick);
+        const int take = std::min(free[chosen], needed);
+        row[chosen] += take;
+        free[chosen] -= take;
+        needed -= take;
       }
-      const int take = std::min(free[freest], needed);
-      row[freest] += take;
-      free[freest] -= take;
-      needed -= take;
+    } else {
+      while (needed > 0) {
+        size_t freest = 0;
+        for (size_t n = 1; n < num_nodes; ++n) {
+          if (free[n] > free[freest]) {
+            freest = n;
+          }
+        }
+        const int take = std::min(free[freest], needed);
+        row[freest] += take;
+        free[freest] -= take;
+        needed -= take;
+      }
     }
     result[request.job_id] = row;
   }

@@ -87,6 +87,20 @@ void PolluxPolicy::SaveState(std::string* blob) const {
     out.PutU32(snap.rounds_clean);
   }
   out.PutU64(state.incremental_round);
+  // Topology annotations travel with the blob so the restored scheduler's
+  // cluster compares equal to the live one — otherwise the first Schedule()
+  // after a resume would SetCluster (annotations missing) and wipe the
+  // persisted GA population, diverging from the uninterrupted run. Appended
+  // at the end so pre-topology blobs still load (the reader stops at
+  // end-of-blob and keeps the flat cluster they describe).
+  const ClusterSpec& sched_cluster = sched_.cluster();
+  out.PutIntVec(sched_cluster.rack_of_node);
+  out.PutIntVec(sched_cluster.gpu_type_of_node);
+  out.PutU64(sched_cluster.node_gpu_scale.size());
+  for (double scale : sched_cluster.node_gpu_scale) {
+    out.PutDouble(scale);
+  }
+  out.PutDouble(sched_cluster.rack_link_factor);
   *blob = out.str();
 }
 
@@ -97,9 +111,6 @@ bool PolluxPolicy::LoadState(const std::string& blob) {
   if (!in.ok()) {
     return false;
   }
-  // The cluster must be restored before the GA state: SetCluster clears the
-  // persisted population (matrix shapes change with the cluster).
-  sched_.SetCluster(cluster);
   PolluxSched::State state;
   state.ga.rng = GetRngState(in);
   const uint64_t job_ids = in.GetU64();
@@ -165,9 +176,29 @@ bool PolluxPolicy::LoadState(const std::string& blob) {
     state.incremental[job_id] = snap;
   }
   state.incremental_round = in.GetU64();
+  if (!in.ok()) {
+    return false;
+  }
+  if (!in.AtEnd()) {
+    // Trailing topology annotations (absent in pre-topology blobs).
+    cluster.rack_of_node = in.GetIntVec();
+    cluster.gpu_type_of_node = in.GetIntVec();
+    const uint64_t scales = in.GetU64();
+    if (!in.ok() || scales > (uint64_t{1} << 20)) {
+      return false;
+    }
+    cluster.node_gpu_scale.resize(static_cast<size_t>(scales));
+    for (uint64_t i = 0; i < scales && in.ok(); ++i) {
+      cluster.node_gpu_scale[i] = in.GetDouble();
+    }
+    cluster.rack_link_factor = in.GetDouble();
+  }
   if (!in.ok() || !in.AtEnd()) {
     return false;
   }
+  // The cluster must be restored before the GA state: SetCluster clears the
+  // persisted population (matrix shapes change with the cluster).
+  sched_.SetCluster(cluster);
   sched_.SetState(state);
   last_reports_ = std::move(restored_reports);
   return true;

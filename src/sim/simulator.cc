@@ -475,9 +475,19 @@ void Simulator::ApplyAllocation(Job& job, const std::vector<int>& row, double no
 
 void Simulator::RunSchedulingRound(double now) {
   TRACE_SCOPE("sim.sched_round");
+  CompactActive();
+  if (active_.empty()) {
+    // Entirely empty round: nothing submitted-and-unfinished, so there is
+    // nothing to snapshot, no decision to make, and no event to emit. Skip
+    // the whole round body (including the O(nodes) lease-view rebuild) while
+    // the fixed round cadence keeps firing. Schedulers see no difference:
+    // with zero jobs every policy returns zero decisions, and PolluxSched's
+    // empty-round early-return does not count toward sched.rounds.
+    return;
+  }
   SchedulerContext context;
   context.now = now;
-  context.cluster = net_ != nullptr ? &SchedulerClusterView(now) : &cluster_;
+  context.cluster = &SchedulerVisible(net_ != nullptr ? SchedulerClusterView(now) : cluster_);
   context.jobs = BuildSnapshots(now);
   const auto decisions = scheduler_->Schedule(context);
   CompactActive();
@@ -545,6 +555,14 @@ const ClusterSpec& Simulator::SchedulerClusterView(double now) {
   return sched_view_;
 }
 
+const ClusterSpec& Simulator::SchedulerVisible(const ClusterSpec& physical) {
+  if (!options_.scheduler_topology_blind || !physical.HasTopology()) {
+    return physical;
+  }
+  blind_view_ = physical.WithoutTopology();
+  return blind_view_;
+}
+
 void Simulator::RunAutoscaling(double now) {
   SchedulerContext context;
   context.now = now;
@@ -559,6 +577,31 @@ void Simulator::RunAutoscaling(double now) {
                        << " nodes";
   Emit(SimEvent{now, SimEventKind::kClusterResize, 0, 0, target});
   base_cluster_ = ClusterSpec::Homogeneous(target, options_.gpus_per_node);
+  if (options_.cluster.HasTopology()) {
+    // Preserve the topology annotations through the resize: racks keep the
+    // configured arity and new nodes repeat the original per-node GPU-type
+    // pattern, so a grown cluster adds whole racks of the same mix instead
+    // of silently degrading to the flat model.
+    const ClusterSpec& proto = options_.cluster;
+    int nodes_per_rack = 0;
+    for (int rack : proto.rack_of_node) {
+      nodes_per_rack += rack == 0 ? 1 : 0;
+    }
+    nodes_per_rack = std::max(nodes_per_rack, 1);
+    const size_t proto_nodes = proto.rack_of_node.size();
+    base_cluster_.rack_link_factor = proto.rack_link_factor;
+    base_cluster_.rack_of_node.resize(static_cast<size_t>(target));
+    base_cluster_.gpu_type_of_node.resize(static_cast<size_t>(target));
+    base_cluster_.node_gpu_scale.resize(static_cast<size_t>(target));
+    for (int n = 0; n < target; ++n) {
+      const size_t src = proto_nodes > 0 ? static_cast<size_t>(n) % proto_nodes : 0;
+      base_cluster_.rack_of_node[static_cast<size_t>(n)] = n / nodes_per_rack;
+      base_cluster_.gpu_type_of_node[static_cast<size_t>(n)] =
+          src < proto.gpu_type_of_node.size() ? proto.gpu_type_of_node[src] : 0;
+      base_cluster_.node_gpu_scale[static_cast<size_t>(n)] =
+          src < proto.node_gpu_scale.size() ? proto.node_gpu_scale[src] : 1.0;
+    }
+  }
   cluster_ = base_cluster_;
   if (faults_ != nullptr) {
     faults_->OnClusterResize(target, now);
@@ -574,7 +617,7 @@ void Simulator::RunAutoscaling(double now) {
     // expired one from before they existed.
     last_heard_.resize(static_cast<size_t>(target), now);
   }
-  scheduler_->OnClusterChanged(cluster_);
+  scheduler_->OnClusterChanged(SchedulerVisible(cluster_));
   for (auto& job : jobs_) {
     if (job->finished || job->alloc.empty()) {
       continue;
@@ -653,7 +696,7 @@ void Simulator::ProcessFaults(double now) {
     // sees zero free GPUs there). Under lease-based liveness the scheduler
     // must NOT learn of the transition instantly — it only finds out through
     // missed heartbeats, via SchedulerClusterView at the next round.
-    scheduler_->OnClusterChanged(cluster_);
+    scheduler_->OnClusterChanged(SchedulerVisible(cluster_));
   }
 }
 
@@ -891,6 +934,38 @@ bool Simulator::JobSuffersInterference(const Job& job) const {
   return false;
 }
 
+double Simulator::TrueJobIterTime(const Job& job) const {
+  if (!cluster_.HasTopology()) {
+    return job.profile->TrueIterTime(job.placement, job.batch);
+  }
+  // Summarize the row as (K, N, R) against the physical topology and find
+  // the slowest GPU generation in the gang (synchronous data parallelism
+  // paces every replica at the slowest one).
+  std::vector<char> rack_seen(static_cast<size_t>(cluster_.NumRacks()), 0);
+  RackPlacement placement;
+  double scale = 1.0;
+  bool any = false;
+  for (size_t n = 0; n < job.alloc.size(); ++n) {
+    if (job.alloc[n] <= 0) {
+      continue;
+    }
+    placement.num_gpus += job.alloc[n];
+    ++placement.num_nodes;
+    const int rack = cluster_.RackOf(static_cast<int>(n));
+    if (rack >= 0 && static_cast<size_t>(rack) < rack_seen.size() && !rack_seen[rack]) {
+      rack_seen[static_cast<size_t>(rack)] = 1;
+      ++placement.num_racks;
+    }
+    const double node_scale = cluster_.GpuScaleOf(static_cast<int>(n));
+    scale = any ? std::min(scale, node_scale) : node_scale;
+    any = true;
+  }
+  if (!any) {
+    return job.profile->TrueIterTime(job.placement, job.batch);
+  }
+  return job.profile->TrueRackIterTime(placement, job.batch, cluster_.rack_link_factor, scale);
+}
+
 void Simulator::AdvanceJobs(double now, double dt) {
   CompactActive();
   for (size_t active_idx : active_) {
@@ -909,7 +984,7 @@ void Simulator::AdvanceJobs(double now, double dt) {
       // training paces at the slowest replica).
       slow /= faults_->JobSlowdown(job->alloc);
     }
-    const double iter_time = job->profile->TrueIterTime(job->placement, job->batch);
+    const double iter_time = TrueJobIterTime(*job);
     if (iter_time <= 0.0) {
       continue;
     }
@@ -996,7 +1071,7 @@ void Simulator::AdvanceJobSpan(Job& job, double from, double to) {
   if (faults_ != nullptr) {
     slow /= faults_->JobSlowdown(job.alloc);
   }
-  const double iter_time = job.profile->TrueIterTime(job.placement, job.batch);
+  const double iter_time = TrueJobIterTime(job);
   if (iter_time <= 0.0) {
     return;
   }
@@ -1675,6 +1750,28 @@ bool Simulator::SaveSnapshot(const std::string& path, std::string* error) {
     sections[kTagScheduler] = std::move(blob);
   }
   {
+    // Topology annotations for both cluster copies (v3). The section is
+    // written even for flat runs (two false flags) so save -> load -> save is
+    // byte-identical; it matters after an autoscale resize, where the
+    // annotation vectors no longer match the construction-time options.
+    BinWriter out;
+    const auto put_topology = [&out](const ClusterSpec& cluster) {
+      out.PutBool(cluster.HasTopology());
+      if (cluster.HasTopology()) {
+        out.PutDouble(cluster.rack_link_factor);
+        out.PutIntVec(cluster.rack_of_node);
+        out.PutIntVec(cluster.gpu_type_of_node);
+        out.PutU64(cluster.node_gpu_scale.size());
+        for (double scale : cluster.node_gpu_scale) {
+          out.PutDouble(scale);
+        }
+      }
+    };
+    put_topology(cluster_);
+    put_topology(base_cluster_);
+    sections[kTagTopology] = out.str();
+  }
+  {
     BinWriter out;
     out.PutU64(result_.events.size());
     for (const auto& event : result_.events) {
@@ -1827,6 +1924,38 @@ bool Simulator::LoadSnapshot(const std::string& path, std::string* error) {
       }
     }
   }
+
+  if (const auto topology_it = sections.find(kTagTopology); topology_it != sections.end()) {
+    BinReader in(topology_it->second);
+    const auto get_topology = [&in](ClusterSpec* cluster) {
+      if (in.GetBool()) {
+        cluster->rack_link_factor = in.GetDouble();
+        cluster->rack_of_node = in.GetIntVec();
+        cluster->gpu_type_of_node = in.GetIntVec();
+        const uint64_t scales = in.GetU64();
+        if (scales > (uint64_t{1} << 20)) {
+          in.MarkBad();
+          return;
+        }
+        cluster->node_gpu_scale.clear();
+        for (uint64_t n = 0; n < scales && in.ok(); ++n) {
+          cluster->node_gpu_scale.push_back(in.GetDouble());
+        }
+      } else {
+        cluster->rack_link_factor = 1.0;
+        cluster->rack_of_node.clear();
+        cluster->gpu_type_of_node.clear();
+        cluster->node_gpu_scale.clear();
+      }
+    };
+    get_topology(&cluster_);
+    get_topology(&base_cluster_);
+    if (!in.ok() || !in.AtEnd()) {
+      return LoadFail(error, path, "malformed topology section");
+    }
+  }
+  // (Snapshots written before v3 have no kTagTopology section; the
+  // construction-time annotations from SimOptions::cluster stay in force.)
 
   {
     BinReader in(sections[kTagFaults]);

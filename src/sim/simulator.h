@@ -93,6 +93,12 @@ struct SimOptions {
   // (NetOptions::lease_intervals) unless NetOptions::naive_masking asks for
   // the instant-masking baseline. See DESIGN.md §12.
   NetOptions net;
+  // Topology A/B baseline arm (bench_topology): the physical cluster keeps
+  // its rack/GPU-type annotations (ground-truth job speeds stay
+  // topology-aware) but every cluster the *scheduler* sees is stripped to the
+  // flat model, so placement decisions cannot exploit rack locality or GPU
+  // generations. No effect when the cluster has no topology annotations.
+  bool scheduler_topology_blind = false;
   // Run the simulator's invariant checker (capacity conservation, no
   // lost/double-completed jobs, near-monotone event log) every scheduling
   // round; violations abort. Cheap, but off by default.
@@ -243,10 +249,20 @@ class Simulator {
   void DeliverNetMessage(const NetModel::Message& message, double now);
   void SendDecision(Job& job, const std::vector<int>& row, double now);
   const ClusterSpec& SchedulerClusterView(double now);
+  // Applies SimOptions::scheduler_topology_blind: the cluster handed to the
+  // scheduler (rounds and OnClusterChanged) with annotations stripped when
+  // the blind A/B arm is on; `physical` itself otherwise.
+  const ClusterSpec& SchedulerVisible(const ClusterSpec& physical);
   void RunSchedulingRound(double now);
   void RunAutoscaling(double now);
   void ProcessFaults(double now);
   void AdvanceJobs(double now, double dt);
+  // Ground-truth iteration time for the job's current placement and batch.
+  // Flat clusters use the profile's 7-parameter truth unchanged (bit-for-bit
+  // the pre-topology arithmetic); annotated clusters price the (K, N, R)
+  // placement through the rack-tier model and pace the job at its slowest
+  // GPU generation.
+  double TrueJobIterTime(const Job& job) const;
   void ApplyAllocation(Job& job, const std::vector<int>& row, double now);
   void RecordTimelineSample(double now);
   void CheckInvariants(double now);
@@ -300,6 +316,8 @@ class Simulator {
   // partition spans (keyed by (rack?, index)) for the trace timeline.
   std::vector<double> last_heard_;
   ClusterSpec sched_view_;
+  // Scratch for SchedulerVisible when scheduler_topology_blind is on.
+  ClusterSpec blind_view_;
   std::map<std::pair<int, int>, double> partition_started_;
   std::vector<JobSpec> trace_;
   std::vector<std::unique_ptr<Job>> jobs_;

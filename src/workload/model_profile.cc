@@ -32,6 +32,22 @@ double ModelProfile::TrueIterTime(const Placement& placement, long batch_size) c
   return IterTime(true_params, placement, static_cast<double>(batch_size));
 }
 
+double ModelProfile::TrueRackIterTime(const RackPlacement& placement, long batch_size,
+                                      double rack_link_factor, double gpu_scale) const {
+  RackThroughputParams params;
+  params.alpha_grad = true_params.alpha_grad;
+  params.beta_grad = true_params.beta_grad;
+  params.alpha_sync_local = true_params.alpha_sync_local;
+  params.beta_sync_local = true_params.beta_sync_local;
+  params.alpha_sync_node = true_params.alpha_sync_node;
+  params.beta_sync_node = true_params.beta_sync_node;
+  params.alpha_sync_rack = true_params.alpha_sync_node * rack_link_factor;
+  params.beta_sync_rack = true_params.beta_sync_node * rack_link_factor;
+  params.gamma = true_params.gamma;
+  const double base = RackIterTime(params, placement, static_cast<double>(batch_size));
+  return gpu_scale > 0.0 ? base / gpu_scale : base;
+}
+
 double ModelProfile::TrueThroughput(const Placement& placement, long batch_size) const {
   return ModelThroughput(true_params, placement, static_cast<double>(batch_size));
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/rack_model.h"
 #include "core/throughput_model.h"
 #include "core/types.h"
 
@@ -81,6 +82,14 @@ struct ModelProfile {
   // True iteration time / throughput / efficiency / goodput at the given
   // configuration and progress (progress only affects efficiency via phi).
   double TrueIterTime(const Placement& placement, long batch_size) const;
+  // Topology-aware ground truth (DESIGN.md §14): the node-tier sync pair
+  // stretched by rack_link_factor supplies the rack tier (gradient compute is
+  // unchanged), and the whole iteration is paced by gpu_scale — the slowest
+  // GPU generation's throughput multiple relative to the T4-class baseline
+  // the profiles are calibrated for. With R <= 1 and gpu_scale = 1 this is
+  // exactly TrueIterTime.
+  double TrueRackIterTime(const RackPlacement& placement, long batch_size,
+                          double rack_link_factor, double gpu_scale) const;
   double TrueThroughput(const Placement& placement, long batch_size) const;
   double TrueEfficiency(long batch_size, double progress_fraction) const;
   double TrueGoodput(const Placement& placement, long batch_size,

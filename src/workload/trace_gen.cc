@@ -162,6 +162,27 @@ std::vector<JobSpec> GenerateTrace(const TraceOptions& options) {
   return jobs;
 }
 
+std::vector<JobSpec> GenerateTopologyTrace(const TopologyTraceOptions& options) {
+  std::vector<JobSpec> jobs = GenerateTrace(options.base);
+  // Dedicated stream: changing sync_heavy_fraction perturbs only the redrawn
+  // jobs, never the base trace's arrivals or the untouched jobs' configs.
+  Rng rng(options.base.seed ^ 0x7090109BULL);
+  const int gpus_per_node = std::max(options.base.gpus_per_node, 1);
+  const int lo = gpus_per_node + 1;  // At least two nodes: sync is exercised.
+  const int hi = std::max(lo, std::min(options.base.max_gpus, 4 * gpus_per_node));
+  for (JobSpec& job : jobs) {
+    if (!rng.Bernoulli(options.sync_heavy_fraction)) {
+      continue;
+    }
+    job.model = rng.Bernoulli(0.5) ? ModelKind::kYoloV3Voc : ModelKind::kDeepSpeech2;
+    job.user_configured = false;
+    job.requested_gpus = static_cast<int>(rng.UniformInt(lo, hi));
+    job.batch_size = OptimalBatchForGpus(GetModelProfile(job.model), job.requested_gpus,
+                                         gpus_per_node, kTuningProgress);
+  }
+  return jobs;
+}
+
 std::vector<JobSpec> GenerateHyperscaleTrace(const HyperTraceOptions& options) {
   const size_t num_jobs = static_cast<size_t>(std::max(1L, options.num_jobs));
   const long cluster_gpus =

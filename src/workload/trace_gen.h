@@ -87,6 +87,20 @@ JobConfig SampleUserConfig(const ModelProfile& profile, int gpus_per_node, int m
 // by submission time and numbered from 0.
 std::vector<JobSpec> GenerateTrace(const TraceOptions& options);
 
+// Topology scenario traces (DESIGN.md §14). Starts from GenerateTrace's
+// workload and re-draws a configurable fraction of jobs as sync-heavy
+// multi-node gangs (YOLOv3 / DeepSpeech2, requests spanning at least two
+// nodes, tuned batch size) whose iteration time is dominated by
+// synchronization — the cross-rack-sensitive workloads the topology-aware
+// placement targets. The redraw uses a dedicated RNG stream derived from the
+// base seed, so the trace is deterministic per (options, fraction).
+struct TopologyTraceOptions {
+  TraceOptions base;
+  double sync_heavy_fraction = 0.5;
+};
+
+std::vector<JobSpec> GenerateTopologyTrace(const TopologyTraceOptions& options);
+
 // Hyperscale trace generation (ROADMAP "10k-node clusters and 100k-job
 // traces"). Unlike GenerateTrace's single sequential RNG stream, every job
 // draws from its own counter-derived stream, so the trace can be sampled in

@@ -131,6 +131,96 @@ TEST(RackFitTest, PriorPinsRackParamsUntilMultiRackSeen) {
   EXPECT_DOUBLE_EQ(fit.params.beta_sync_rack, 0.0);
 }
 
+TEST(RackFitTest, DegenerateAllSingleRackObservations) {
+  // Every observation inside one rack: the rack tier is unobservable, so the
+  // prior must pin it to zero while the node tier still fits accurately.
+  const auto truth = GroundTruth();
+  std::vector<RackThroughputObservation> data;
+  for (int k : {1, 2, 4, 8}) {
+    for (int nodes : {1, 2, 4}) {
+      if (k < nodes) {
+        continue;
+      }
+      for (long m : {128L, 512L, 2048L}) {
+        const RackPlacement placement{k, nodes, 1};
+        data.push_back({placement, m, RackIterTime(truth, placement, static_cast<double>(m))});
+      }
+    }
+  }
+  RackFitOptions options;
+  options.max_gpus_seen = 8;
+  options.max_nodes_seen = 4;
+  options.max_racks_seen = 1;
+  const RackFitResult fit = FitRackThroughputParams(data, options);
+  EXPECT_DOUBLE_EQ(fit.params.alpha_sync_rack, 0.0);
+  EXPECT_DOUBLE_EQ(fit.params.beta_sync_rack, 0.0);
+  for (const RackPlacement placement : {RackPlacement{6, 2, 1}, RackPlacement{8, 4, 1}}) {
+    const double predicted = RackIterTime(fit.params, placement, 768.0);
+    const double actual = RackIterTime(truth, placement, 768.0);
+    EXPECT_NEAR(predicted / actual, 1.0, 0.15)
+        << "K=" << placement.num_gpus << " N=" << placement.num_nodes;
+  }
+}
+
+TEST(RackFitTest, RackPinReleasesWithMultiRackObservations) {
+  // The moment cross-rack placements are observed, the prior lets the rack
+  // tier move off zero to explain the extra sync cost.
+  const auto truth = GroundTruth();
+  std::vector<RackThroughputObservation> data;
+  for (int k : {2, 4, 8, 16}) {
+    for (const auto& [nodes, racks] : std::vector<std::pair<int, int>>{{2, 1}, {4, 2}}) {
+      if (k < nodes) {
+        continue;
+      }
+      for (long m : {256L, 1024L}) {
+        const RackPlacement placement{k, nodes, racks};
+        data.push_back({placement, m, RackIterTime(truth, placement, static_cast<double>(m))});
+      }
+    }
+  }
+  RackFitOptions options;
+  options.max_gpus_seen = 16;
+  options.max_nodes_seen = 4;
+  options.max_racks_seen = 2;
+  const RackFitResult fit = FitRackThroughputParams(data, options);
+  EXPECT_GT(fit.params.alpha_sync_rack + fit.params.beta_sync_rack, 0.0);
+  // Cross-rack placements must still predict slower than single-rack ones.
+  EXPECT_GT(RackIterTime(fit.params, RackPlacement{8, 4, 2}, 512.0),
+            RackIterTime(fit.params, RackPlacement{8, 4, 1}, 512.0));
+}
+
+TEST(RackFitTest, FittedParamsStayFlattenConsistent) {
+  // For any fitted 9-parameter model, single-rack predictions must agree with
+  // the 6-parameter model built from the same non-rack parameters evaluated
+  // at Flatten()'d placements — the invariant that keeps flat-cluster
+  // scheduling byte-identical to the legacy model.
+  const auto truth = GroundTruth();
+  std::vector<RackThroughputObservation> data;
+  for (int k : {1, 2, 4, 8}) {
+    const RackPlacement placement{k, k >= 4 ? 2 : 1, 1};
+    data.push_back({placement, 512, RackIterTime(truth, placement, 512.0)});
+  }
+  RackFitOptions options;
+  options.max_gpus_seen = 8;
+  options.max_nodes_seen = 2;
+  options.max_racks_seen = 1;
+  const RackFitResult fit = FitRackThroughputParams(data, options);
+  ThroughputParams base;
+  base.alpha_grad = fit.params.alpha_grad;
+  base.beta_grad = fit.params.beta_grad;
+  base.alpha_sync_local = fit.params.alpha_sync_local;
+  base.beta_sync_local = fit.params.beta_sync_local;
+  base.alpha_sync_node = fit.params.alpha_sync_node;
+  base.beta_sync_node = fit.params.beta_sync_node;
+  base.gamma = fit.params.gamma;
+  for (const RackPlacement placement :
+       {RackPlacement{1, 1, 1}, RackPlacement{3, 1, 1}, RackPlacement{6, 2, 1},
+        RackPlacement{8, 2, 1}}) {
+    EXPECT_NEAR(RackIterTime(fit.params, placement, 640.0),
+                IterTime(base, placement.Flatten(), 640.0), 1e-12);
+  }
+}
+
 TEST(RackFitTest, AllPinsForSingleGpuJob) {
   std::vector<RackThroughputObservation> data = {
       {RackPlacement{1, 1, 1}, 256, 0.15},
