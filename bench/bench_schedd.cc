@@ -1,0 +1,449 @@
+// Swarm bench/smoke client for pollux_schedd (DESIGN.md §15).
+//
+// Drives a daemon — external (--socket to a running pollux_schedd) or spawned
+// in-process (--spawn) — with `--agents` concurrent simulated agents spread
+// over `--tenants` tenant domains, for `--epochs` deterministic scheduling
+// rounds. Per epoch every agent pushes a telemetry batch for its job slice,
+// then one leader per tenant requests the next round and applies the returned
+// sparse decisions to a client-side allocation view.
+//
+// Determinism + crash tolerance: the whole workload is a pure function of
+// --seed, reports are idempotent by content, and RunRound replays hit the
+// daemon's cached-decision path, so an epoch that fails mid-way (daemon
+// killed, connection lost, NACK storm) is simply retried wholesale. The final
+// per-tenant allocation CSVs (--csv-out) are therefore byte-identical between
+// an uninterrupted run and one whose daemon was kill -9ed and restarted from
+// checkpoints mid-run — CI's schedd job asserts exactly that with cmp.
+//
+// Observability: client-side request latencies land in the
+// schedd.client.{report,round}.seconds histograms and retry/NACK/reconnect
+// counters in schedd.client.*; with --spawn the daemon's own schedd.* metrics
+// share the registry. p50/p95/p99 are printed and exported via --metrics-out.
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "obs/metrics.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace pollux {
+namespace {
+
+using service::RoundDecisions;
+using service::ScheddClient;
+using service::ScheddClientOptions;
+using service::ScheddDaemon;
+using service::ScheddOptions;
+using service::TenantSetup;
+
+struct SwarmConfig {
+  std::string socket_path;
+  bool spawn = false;
+  int tenants = 2;
+  int agents = 8;
+  int jobs = 24;       // per tenant
+  int nodes = 8;       // per tenant
+  int gpus_per_node = 4;
+  int epochs = 5;
+  int ga_pop = 20;
+  int ga_gens = 10;
+  uint64_t seed = 1;
+  SchedMode sched_mode = SchedMode::kIncremental;
+  bool queue_admission = false;
+  double request_timeout = 60.0;
+  int epoch_attempts = 20;
+  // Wall-clock pause between epochs. Decisions are unaffected; it widens the
+  // window for CI's kill -9 mid-run test to land deterministically.
+  int epoch_sleep_ms = 0;
+  std::string csv_out;
+  // Spawned-daemon knobs.
+  int shards = 2;
+  int queue_cap = 256;
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+};
+
+// The deterministic workload: everything below is a pure function of the
+// config seed, so two bench runs (or one interrupted and retried) present
+// byte-identical inputs to the daemon.
+double JobPhi(const SwarmConfig& config, uint64_t tenant_id, uint64_t job_id) {
+  Rng rng(config.seed * 1000003 + tenant_id * 1009 + job_id);
+  return rng.Uniform(500.0, 2000.0);
+}
+
+AgentReport MakeAgent(const SwarmConfig& config, uint64_t tenant_id, uint64_t job_id) {
+  ThroughputParams params;
+  params.alpha_grad = 0.05;
+  params.beta_grad = 2e-4;
+  params.alpha_sync_local = 0.03;
+  params.beta_sync_local = 0.002;
+  params.alpha_sync_node = 0.1;
+  params.beta_sync_node = 0.005;
+  params.gamma = 2.0;
+  AgentReport agent;
+  agent.job_id = job_id;
+  agent.model = GoodputModel(params, JobPhi(config, tenant_id, job_id), 128);
+  agent.limits.min_batch = 128;
+  agent.limits.max_batch_total = 16384;
+  agent.limits.max_batch_per_gpu = 1024;
+  agent.max_gpus_cap = 8;
+  return agent;
+}
+
+SchedJobReport MakeEpochReport(const SwarmConfig& config, uint64_t tenant_id,
+                               uint64_t job_id, int epoch) {
+  SchedJobReport report;
+  report.agent = MakeAgent(config, tenant_id, job_id);
+  // GPU time grows with epochs so job weights (Eqn. 16) evolve over the run.
+  report.gpu_time = JobPhi(config, tenant_id, job_id) * static_cast<double>(epoch) * 30.0;
+  report.report_age = 0.0;
+  report.seq = static_cast<uint64_t>(epoch) + 1;
+  return report;
+}
+
+TenantSetup MakeSetup(const SwarmConfig& config, uint64_t tenant_id) {
+  TenantSetup setup;
+  setup.tenant_id = tenant_id;
+  setup.cluster.gpus_per_node.assign(static_cast<size_t>(config.nodes), config.gpus_per_node);
+  setup.sched.ga.population_size = config.ga_pop;
+  setup.sched.ga.generations = config.ga_gens;
+  setup.sched.ga.seed = config.seed + tenant_id;
+  setup.sched.mode = config.sched_mode;
+  setup.sched.queue_admission = config.queue_admission;
+  return setup;
+}
+
+struct ClientMetrics {
+  obs::Histogram* report_seconds;
+  obs::Histogram* round_seconds;
+  obs::Counter* retries;
+  obs::Counter* nacks;
+  obs::Counter* reconnects;
+  obs::Counter* timeouts;
+  obs::Counter* epoch_retries;
+  obs::Counter* rounds_ok;
+  obs::Gauge* utility_sum;
+};
+
+ClientMetrics& Metrics() {
+  static ClientMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    ClientMetrics m;
+    m.report_seconds = registry.GetHistogram("schedd.client.report.seconds");
+    m.round_seconds = registry.GetHistogram("schedd.client.round.seconds");
+    m.retries = registry.GetCounter("schedd.client.retries");
+    m.nacks = registry.GetCounter("schedd.client.nacks");
+    m.reconnects = registry.GetCounter("schedd.client.reconnects");
+    m.timeouts = registry.GetCounter("schedd.client.timeouts");
+    m.epoch_retries = registry.GetCounter("schedd.client.epoch_retries");
+    m.rounds_ok = registry.GetCounter("schedd.bench.rounds_ok");
+    m.utility_sum = registry.GetGauge("schedd.bench.utility_sum");
+    return m;
+  }();
+  return metrics;
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One simulated agent: a persistent client connection owning a slice of one
+// tenant's jobs.
+struct Agent {
+  uint64_t tenant_id = 0;
+  std::vector<uint64_t> job_ids;
+  std::unique_ptr<ScheddClient> client;
+};
+
+ScheddClientOptions ClientOptions(const SwarmConfig& config, uint64_t jitter_seed) {
+  ScheddClientOptions options;
+  options.socket_path = config.socket_path;
+  options.request_timeout = config.request_timeout;
+  options.jitter_seed = jitter_seed;
+  return options;
+}
+
+bool WriteTenantCsv(const std::string& dir, uint64_t tenant_id,
+                    const std::map<uint64_t, std::vector<int>>& allocations) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/tenant-" + std::to_string(tenant_id) + ".csv";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "job_id,total_gpus,allocation\n";
+  for (const auto& [job_id, row] : allocations) {
+    out << job_id << ',' << std::accumulate(row.begin(), row.end(), 0) << ',';
+    for (size_t n = 0; n < row.size(); ++n) {
+      if (n > 0) out << '|';
+      out << row[n];
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+int RunSwarm(const SwarmConfig& config) {
+  // Leader connection: tenant creation, job submission, rounds, stats.
+  ScheddClient leader(ClientOptions(config, config.seed));
+  std::string error;
+
+  for (int t = 0; t < config.tenants; ++t) {
+    const uint64_t tenant_id = static_cast<uint64_t>(t) + 1;
+    if (!leader.CreateTenant(MakeSetup(config, tenant_id), &error)) {
+      fprintf(stderr, "bench_schedd: create tenant %llu: %s\n",
+              static_cast<unsigned long long>(tenant_id), error.c_str());
+      return kExitRuntime;
+    }
+    for (int j = 0; j < config.jobs; ++j) {
+      const uint64_t job_id = static_cast<uint64_t>(j) + 1;
+      if (!leader.SubmitJob(tenant_id, MakeAgent(config, tenant_id, job_id), 0.0, &error)) {
+        fprintf(stderr, "bench_schedd: submit job %llu/%llu: %s\n",
+                static_cast<unsigned long long>(tenant_id),
+                static_cast<unsigned long long>(job_id), error.c_str());
+        return kExitRuntime;
+      }
+    }
+  }
+
+  // Partition jobs across agents: agent k serves tenant k % tenants and a
+  // contiguous slice of its jobs.
+  std::vector<Agent> agents(static_cast<size_t>(config.agents));
+  for (int a = 0; a < config.agents; ++a) {
+    Agent& agent = agents[static_cast<size_t>(a)];
+    agent.tenant_id = static_cast<uint64_t>(a % config.tenants) + 1;
+    agent.client =
+        std::make_unique<ScheddClient>(ClientOptions(config, config.seed + 100 + a));
+    const int peers = (config.agents + config.tenants - 1) / config.tenants;
+    const int slot = a / config.tenants;
+    for (int j = slot; j < config.jobs; j += peers) {
+      agent.job_ids.push_back(static_cast<uint64_t>(j) + 1);
+    }
+  }
+
+  // Client-side allocation views, updated from each round's sparse decisions.
+  std::map<uint64_t, std::map<uint64_t, std::vector<int>>> allocations;
+  std::map<uint64_t, double> last_utility;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    bool epoch_ok = false;
+    for (int attempt = 0; attempt < config.epoch_attempts && !epoch_ok; ++attempt) {
+      if (attempt > 0) Metrics().epoch_retries->Add();
+      // Phase 1: all agents push this epoch's telemetry concurrently.
+      std::atomic<int> failed{0};
+      std::vector<std::thread> threads;
+      threads.reserve(agents.size());
+      for (Agent& agent : agents) {
+        threads.emplace_back([&config, &agent, epoch, &failed] {
+          std::vector<SchedJobReport> batch;
+          batch.reserve(agent.job_ids.size());
+          for (uint64_t job_id : agent.job_ids) {
+            batch.push_back(MakeEpochReport(config, agent.tenant_id, job_id, epoch));
+          }
+          const double start = NowSeconds();
+          std::string report_error;
+          const bool ok = agent.client->Report(agent.tenant_id, batch, nullptr, &report_error);
+          Metrics().report_seconds->Record(NowSeconds() - start);
+          if (!ok) failed.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      for (auto& thread : threads) thread.join();
+      if (failed.load() != 0) continue;  // retry the whole epoch
+
+      // Phase 2: one round per tenant; replays of an already-executed round
+      // come back flagged kDecisionCached with identical rows.
+      bool rounds_ok = true;
+      for (int t = 0; t < config.tenants && rounds_ok; ++t) {
+        const uint64_t tenant_id = static_cast<uint64_t>(t) + 1;
+        RoundDecisions decisions;
+        const double start = NowSeconds();
+        if (!leader.RunRound(tenant_id, static_cast<uint64_t>(epoch), &decisions, &error)) {
+          fprintf(stderr, "bench_schedd: round %d tenant %llu attempt %d: %s\n", epoch,
+                  static_cast<unsigned long long>(tenant_id), attempt, error.c_str());
+          rounds_ok = false;
+          break;
+        }
+        Metrics().round_seconds->Record(NowSeconds() - start);
+        Metrics().rounds_ok->Add();
+        for (const auto& [job_id, row] : decisions.rows) {
+          allocations[tenant_id][job_id] = row;
+        }
+        last_utility[tenant_id] = decisions.utility;
+      }
+      epoch_ok = rounds_ok;
+    }
+    if (!epoch_ok) {
+      fprintf(stderr, "bench_schedd: epoch %d failed after %d attempts\n", epoch,
+              config.epoch_attempts);
+      return kExitRuntime;
+    }
+    if (config.epoch_sleep_ms > 0 && epoch + 1 < config.epochs) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(config.epoch_sleep_ms));
+    }
+  }
+
+  // Roll the per-agent client counters into the registry.
+  {
+    service::ScheddClientStats total = leader.stats();
+    for (const Agent& agent : agents) {
+      const auto& stats = agent.client->stats();
+      total.retries += stats.retries;
+      total.nacks += stats.nacks;
+      total.reconnects += stats.reconnects;
+      total.timeouts += stats.timeouts;
+    }
+    Metrics().retries->Add(total.retries);
+    Metrics().nacks->Add(total.nacks);
+    Metrics().reconnects->Add(total.reconnects);
+    Metrics().timeouts->Add(total.timeouts);
+  }
+
+  double utility_sum = 0.0;
+  for (const auto& [tenant_id, utility] : last_utility) utility_sum += utility;
+  Metrics().utility_sum->Set(utility_sum);
+
+  if (!config.csv_out.empty()) {
+    for (const auto& [tenant_id, rows] : allocations) {
+      if (!WriteTenantCsv(config.csv_out, tenant_id, rows)) {
+        fprintf(stderr, "bench_schedd: cannot write csv for tenant %llu\n",
+                static_cast<unsigned long long>(tenant_id));
+        return kExitRuntime;
+      }
+    }
+  }
+
+  // Daemon-side accounting via the stats RPC (works for external daemons too).
+  std::map<std::string, uint64_t> daemon_stats;
+  if (leader.Stats(&daemon_stats, &error)) {
+    for (const auto& [key, value] : daemon_stats) {
+      printf("schedd stat %s=%llu\n", key.c_str(), static_cast<unsigned long long>(value));
+    }
+  }
+  printf("swarm tenants=%d agents=%d jobs_per_tenant=%d epochs=%d utility_sum=%.6f\n",
+         config.tenants, config.agents, config.jobs, config.epochs, utility_sum);
+  printf("latency report_ms p50=%.3f p95=%.3f p99=%.3f\n",
+         Metrics().report_seconds->Quantile(0.5) * 1e3,
+         Metrics().report_seconds->Quantile(0.95) * 1e3,
+         Metrics().report_seconds->Quantile(0.99) * 1e3);
+  printf("latency round_ms p50=%.3f p95=%.3f p99=%.3f\n",
+         Metrics().round_seconds->Quantile(0.5) * 1e3,
+         Metrics().round_seconds->Quantile(0.95) * 1e3,
+         Metrics().round_seconds->Quantile(0.99) * 1e3);
+  return kExitOk;
+}
+
+}  // namespace
+}  // namespace pollux
+
+int main(int argc, char** argv) {
+  using namespace pollux;
+
+  FlagParser flags;
+  flags.DefineString("socket", "", "Daemon socket path (required)");
+  flags.DefineBool("spawn", false, "Spawn an in-process daemon on --socket");
+  flags.DefineInt("tenants", 2, "Tenant domains");
+  flags.DefineInt("agents", 8, "Concurrent simulated agent connections");
+  flags.DefineInt("jobs", 24, "Jobs per tenant");
+  flags.DefineInt("nodes", 8, "Nodes per tenant cluster");
+  flags.DefineInt("gpus_per_node", 4, "GPUs per node");
+  flags.DefineInt("epochs", 5, "Scheduling rounds per tenant");
+  flags.DefineInt("ga_pop", 20, "GA population per tenant scheduler");
+  flags.DefineInt("ga_gens", 10, "GA generations per tenant scheduler");
+  flags.DefineInt("seed", 1, "Workload seed (the whole swarm is a function of it)");
+  flags.DefineString("sched-mode", "incremental",
+                     "Tenant scheduler mode: exact | incremental | first-match");
+  flags.DefineBool("queue-admission", false,
+                   "Enable the incremental-mode queued-job admission pre-filter");
+  flags.DefineDouble("request-timeout", 60.0,
+                     "Per-request deadline, seconds (covers retry/backoff)");
+  flags.DefineInt("epoch-attempts", 20, "Whole-epoch retries before giving up");
+  flags.DefineInt("epoch-sleep-ms", 0,
+                  "Wall-clock pause between epochs (decisions unaffected; widens the "
+                  "kill-recovery test window)");
+  flags.DefineString("csv-out", "", "Directory for per-tenant final allocation CSVs");
+  flags.DefineInt("shards", 2, "Spawned daemon: tenant worker threads");
+  flags.DefineInt("queue-cap", 256, "Spawned daemon: per-tenant queue cap before shedding");
+  flags.DefineString("checkpoint-dir", "", "Spawned daemon: checkpoint directory");
+  flags.DefineInt("checkpoint-every", 1, "Spawned daemon: checkpoint every N rounds");
+  AddObsFlags(flags);
+  if (!flags.Parse(argc, argv)) {
+    return flags.help_requested() ? kExitOk : kExitUsage;
+  }
+
+  SwarmConfig config;
+  config.socket_path = flags.GetString("socket");
+  config.spawn = flags.GetBool("spawn");
+  config.tenants = static_cast<int>(flags.GetInt("tenants"));
+  config.agents = static_cast<int>(flags.GetInt("agents"));
+  config.jobs = static_cast<int>(flags.GetInt("jobs"));
+  config.nodes = static_cast<int>(flags.GetInt("nodes"));
+  config.gpus_per_node = static_cast<int>(flags.GetInt("gpus_per_node"));
+  config.epochs = static_cast<int>(flags.GetInt("epochs"));
+  config.ga_pop = static_cast<int>(flags.GetInt("ga_pop"));
+  config.ga_gens = static_cast<int>(flags.GetInt("ga_gens"));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.queue_admission = flags.GetBool("queue-admission");
+  config.request_timeout = flags.GetDouble("request-timeout");
+  config.epoch_attempts = static_cast<int>(flags.GetInt("epoch-attempts"));
+  config.epoch_sleep_ms = static_cast<int>(flags.GetInt("epoch-sleep-ms"));
+  config.csv_out = flags.GetString("csv-out");
+  config.shards = static_cast<int>(flags.GetInt("shards"));
+  config.queue_cap = static_cast<int>(flags.GetInt("queue-cap"));
+  config.checkpoint_dir = flags.GetString("checkpoint-dir");
+  config.checkpoint_every = static_cast<int>(flags.GetInt("checkpoint-every"));
+  if (config.socket_path.empty()) {
+    fprintf(stderr, "bench_schedd: --socket is required\n");
+    return kExitUsage;
+  }
+  if (!SchedModeByName(flags.GetString("sched-mode"), &config.sched_mode)) {
+    fprintf(stderr, "bench_schedd: unknown --sched-mode '%s'\n",
+            flags.GetString("sched-mode").c_str());
+    return kExitUsage;
+  }
+  if (config.tenants < 1 || config.agents < 1 || config.jobs < 1 || config.nodes < 1 ||
+      config.gpus_per_node < 1 || config.epochs < 1) {
+    fprintf(stderr, "bench_schedd: counts must be positive\n");
+    return kExitUsage;
+  }
+
+  ObsSession obs(flags);
+  // The printed latency percentiles come from the registry's histograms, so
+  // collection is always on here (export still requires --metrics-out).
+  obs::MetricsRegistry::Global().SetEnabled(true);
+
+  std::unique_ptr<service::ScheddDaemon> daemon;
+  if (config.spawn) {
+    service::ScheddOptions options;
+    options.socket_path = config.socket_path;
+    options.shards = config.shards;
+    options.ingest_queue_cap = static_cast<size_t>(config.queue_cap);
+    options.checkpoint_dir = config.checkpoint_dir;
+    options.checkpoint_every_rounds = config.checkpoint_every;
+    daemon = std::make_unique<service::ScheddDaemon>(options);
+    std::string error;
+    if (!daemon->Start(&error)) {
+      fprintf(stderr, "bench_schedd: spawn daemon: %s\n", error.c_str());
+      return kExitRuntime;
+    }
+  }
+
+  const int exit_code = RunSwarm(config);
+
+  if (daemon) {
+    daemon->RequestDrain();
+    daemon->Wait();
+  }
+  return exit_code;
+}

@@ -59,6 +59,10 @@ void AddCommonFlags(FlagParser& flags) {
                      "scheduler quality/speed ladder: exact (paper behavior) | "
                      "incremental (re-optimize only dirty jobs) | "
                      "first-match (O(jobs) greedy placement)");
+  flags.DefineBool("queue-admission", false,
+                   "incremental mode: admit queued jobs to GA shards only up to "
+                   "the round's free GPU capacity (backlogged jobs defer instead "
+                   "of inflating dirty-shard counts)");
   flags.DefineDouble("restart_penalty", 0.25, "RESTART_PENALTY in the fitness function");
   flags.DefineDouble("tick", 1.0, "simulation clock step in seconds");
   flags.DefineDouble("obs_noise", 0.05, "lognormal sigma of profiled iteration times");
@@ -246,6 +250,7 @@ BenchSimConfig ConfigFromFlags(const FlagParser& flags) {
     std::fprintf(stderr, "unknown --sched-mode \"%s\", using \"%s\"\n",
                  flags.GetString("sched-mode").c_str(), SchedModeName(config.sched_mode));
   }
+  config.queue_admission = flags.GetBool("queue-admission");
   config.restart_penalty = flags.GetDouble("restart_penalty");
   config.tick = flags.GetDouble("tick");
   config.observation_noise = flags.GetDouble("obs_noise");
@@ -469,6 +474,7 @@ SchedConfig SchedConfigFromBenchConfig(const BenchSimConfig& config) {
   sched_config.ga.seed = config.seed;
   sched_config.ga.threads = config.threads;
   sched_config.mode = config.sched_mode;
+  sched_config.queue_admission = config.queue_admission;
   sched_config.report_interval = config.report_interval;
   sched_config.weight_lambda = config.weight_lambda;
   sched_config.round_time_budget = config.round_time_budget;
@@ -607,6 +613,7 @@ std::string EncodeBenchSimConfig(const BenchSimConfig& config) {
   PutConfigDouble(out, "sched_interval", config.sched_interval);
   PutConfigDouble(out, "report_interval", config.report_interval);
   out << "sched_mode=" << SchedModeName(config.sched_mode) << '\n';
+  out << "queue_admission=" << (config.queue_admission ? 1 : 0) << '\n';
   PutConfigDouble(out, "restart_penalty", config.restart_penalty);
   PutConfigDouble(out, "tick", config.tick);
   PutConfigDouble(out, "obs_noise", config.observation_noise);
@@ -704,6 +711,8 @@ bool DecodeBenchSimConfig(const std::string& text, BenchSimConfig* config) {
       ok = ParseConfigDouble(value, &parsed.report_interval);
     } else if (key == "sched_mode") {
       ok = SchedModeByName(value, &parsed.sched_mode);
+    } else if (key == "queue_admission") {
+      ok = ParseConfigBool(value, &parsed.queue_admission);
     } else if (key == "restart_penalty") {
       ok = ParseConfigDouble(value, &parsed.restart_penalty);
     } else if (key == "tick") {

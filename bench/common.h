@@ -58,6 +58,10 @@ struct BenchSimConfig {
   // job each round (paper behavior), incremental re-optimizes only dirty
   // jobs, first-match is an O(jobs) greedy pass.
   SchedMode sched_mode = SchedMode::kExact;
+  // Incremental mode: queued-job admission pre-filter (--queue-admission).
+  // Queued jobs join GA shards only up to the round's free GPU capacity;
+  // backlogged jobs defer instead of inflating dirty-shard counts.
+  bool queue_admission = false;
   // Simulator fidelity knobs (swept by bench_fidelity).
   double tick = 1.0;
   double observation_noise = 0.05;

@@ -18,6 +18,7 @@ struct SchedMetrics {
   obs::Counter* lease_expirations;
   obs::Counter* lease_evictions;
   obs::Counter* dup_reports;
+  obs::Counter* queue_skipped;
   obs::Gauge* lease_held_jobs;
   obs::Gauge* lease_coverage;
   obs::Histogram* round_time_s;
@@ -44,6 +45,7 @@ struct SchedMetrics {
     lease_expirations = registry.GetCounter("sched.lease.expirations");
     lease_evictions = registry.GetCounter("sched.lease.evictions");
     dup_reports = registry.GetCounter("sched.dup_reports");
+    queue_skipped = registry.GetCounter("sched.queue.skipped");
     lease_held_jobs = registry.GetGauge("sched.lease.held_jobs");
     lease_coverage = registry.GetGauge("sched.lease.coverage");
     round_time_s = registry.GetHistogram("sched.round_time_s");
@@ -172,6 +174,7 @@ std::map<uint64_t, std::vector<int>> PolluxSched::Schedule(
   const uint64_t expirations_before = lease_expirations_;
   const uint64_t evictions_before = lease_evictions_;
   const uint64_t dups_before = dup_reports_;
+  const uint64_t queue_skipped_before = queue_skipped_;
   const std::vector<Lease> lease = ClassifyLeases(reports);
   size_t fresh = 0;
   size_t held = 0;
@@ -241,6 +244,7 @@ std::map<uint64_t, std::vector<int>> PolluxSched::Schedule(
     metrics.lease_expirations->Add(lease_expirations_ - expirations_before);
     metrics.lease_evictions->Add(lease_evictions_ - evictions_before);
     metrics.dup_reports->Add(dup_reports_ - dups_before);
+    metrics.queue_skipped->Add(queue_skipped_ - queue_skipped_before);
     metrics.lease_held_jobs->Set(static_cast<double>(held));
     metrics.lease_coverage->Set(coverage);
     metrics.round_time_s->Record(elapsed);
@@ -615,6 +619,37 @@ std::map<uint64_t, std::vector<int>> PolluxSched::IncrementalRound(
     }
     for (size_t n = 0; n < row.size() && n < num_nodes; ++n) {
       free[n] -= row[n];
+    }
+  }
+
+  // 2b. Queued-job admission pre-filter (opt-in): during a backlog, queued
+  // jobs — always dirty because they hold nothing — would each drag a GA
+  // shard into the round even though only free-capacity many can possibly be
+  // placed. Admit them in report order while the admitted count stays within
+  // the residual free capacity (every placement consumes at least one GPU);
+  // the rest are deferred to a later round and stay queued by omission.
+  if (config_.queue_admission) {
+    int budget = 0;
+    for (size_t n = 0; n < num_nodes; ++n) {
+      budget += std::max(free[n], 0);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (!dirty[i]) {
+        continue;
+      }
+      int total = 0;
+      for (int gpus : reports[i].current_allocation) {
+        total += gpus;
+      }
+      if (total > 0) {
+        continue;  // Running job: re-optimized for a real reason, not queued.
+      }
+      if (budget > 0) {
+        --budget;
+      } else {
+        dirty[i] = 0;
+        ++queue_skipped_;
+      }
     }
   }
 

@@ -102,6 +102,16 @@ struct SchedConfig {
   // rounds, so warm allocations cannot go stale forever and queued jobs
   // eventually get a chance to displace them. 0 disables the refresh.
   int refresh_rounds = 20;
+  // Incremental mode: queued-job admission pre-filter. Queued jobs are
+  // always dirty (they hold nothing), so during a backlog every one of them
+  // joins a GA shard each round even though only free-capacity many can
+  // possibly be placed. With admission on, queued jobs are admitted to the
+  // round in report order only while the admitted count stays within the
+  // free GPU capacity left after clean rows are charged; the rest are
+  // deferred (omitted from the decision map, i.e. they stay queued) and
+  // counted in queue_skipped(). Off by default: it changes which shards form
+  // under backlog, so it is opt-in for byte-compatibility.
+  bool queue_admission = false;
 };
 
 // Per-job information PolluxSched receives each interval.
@@ -152,6 +162,11 @@ class PolluxSched {
   // Rounds-with-stagnant-telemetry count: a job whose report seq did not
   // advance since the previous round (duplicate or no delivery).
   uint64_t dup_reports() const { return dup_reports_; }
+
+  // Queued jobs deferred by the incremental-mode admission pre-filter
+  // (SchedConfig::queue_admission): cumulative count of (job, round) pairs
+  // that were left queued without joining a GA shard.
+  uint64_t queue_skipped() const { return queue_skipped_; }
 
   // True when every row fits the cluster: no over-committed node and no GPUs
   // on zero-capacity (failed) nodes.
@@ -204,6 +219,7 @@ class PolluxSched {
     uint64_t lease_expirations = 0;
     uint64_t lease_evictions = 0;
     uint64_t dup_reports = 0;
+    uint64_t queue_skipped = 0;
     // job id -> (last seen report seq, last lease class 0=fresh/1=held/
     // 2=evicted), so lease transition counting survives a warm restart.
     std::map<uint64_t, std::pair<uint64_t, uint32_t>> telemetry;
@@ -222,6 +238,7 @@ class PolluxSched {
     state.lease_expirations = lease_expirations_;
     state.lease_evictions = lease_evictions_;
     state.dup_reports = dup_reports_;
+    state.queue_skipped = queue_skipped_;
     for (const auto& [job_id, telemetry] : telemetry_) {
       state.telemetry[job_id] = {telemetry.last_seq, telemetry.last_class};
     }
@@ -238,6 +255,7 @@ class PolluxSched {
     lease_expirations_ = state.lease_expirations;
     lease_evictions_ = state.lease_evictions;
     dup_reports_ = state.dup_reports;
+    queue_skipped_ = state.queue_skipped;
     telemetry_.clear();
     for (const auto& [job_id, saved] : state.telemetry) {
       telemetry_[job_id] = JobTelemetry{saved.first, saved.second};
@@ -316,6 +334,7 @@ class PolluxSched {
   uint64_t lease_expirations_ = 0;
   uint64_t lease_evictions_ = 0;
   uint64_t dup_reports_ = 0;
+  uint64_t queue_skipped_ = 0;
   std::map<uint64_t, JobTelemetry> telemetry_;
   // Incremental-mode state: per-job snapshots from the last re-optimization,
   // the round counter mixed into each shard GA's seed, and the worker pool

@@ -1,0 +1,113 @@
+// Client library for pollux_schedd (DESIGN.md §15).
+//
+// Strictly request-response over one Unix-domain connection. Every high-level
+// operation runs under a per-request deadline and retries the retryable
+// failure classes — NACK push-back (queue_full/draining) and a lost
+// connection — with capped, jittered exponential backoff; kMsgError replies
+// are client bugs or daemon refusals and fail immediately. Requests are safe
+// to retry by construction: submits and reports are idempotent by content,
+// and RunRound replays are answered from the daemon's cached-decision path.
+//
+// The jitter RNG is seeded per client, so a swarm of bench clients backs off
+// deterministically (per seed) yet desynchronized (across seeds).
+
+#ifndef POLLUX_SERVICE_CLIENT_H_
+#define POLLUX_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/tenant.h"
+#include "service/wire.h"
+#include "util/rng.h"
+
+namespace pollux {
+namespace service {
+
+struct ScheddClientOptions {
+  std::string socket_path;
+  // Per-request deadline, seconds: the retry loop (send + wait + backoff)
+  // never exceeds it.
+  double request_timeout = 30.0;
+  // Exponential backoff bounds between retries, seconds. Each wait is
+  // Uniform(0.5, 1.0) * min(backoff_max, backoff_initial * 2^attempt).
+  double backoff_initial = 0.02;
+  double backoff_max = 1.0;
+  // Seed for the backoff jitter stream.
+  uint64_t jitter_seed = 1;
+};
+
+// Cumulative client-side accounting (reported by bench_schedd).
+struct ScheddClientStats {
+  uint64_t requests = 0;    // high-level operations attempted
+  uint64_t retries = 0;     // resends after NACK or reconnect
+  uint64_t nacks = 0;       // NACK replies received
+  uint64_t reconnects = 0;  // successful re-establishments after a drop
+  uint64_t timeouts = 0;    // operations that exhausted their deadline
+};
+
+class ScheddClient {
+ public:
+  explicit ScheddClient(ScheddClientOptions options);
+  ~ScheddClient();
+
+  ScheddClient(const ScheddClient&) = delete;
+  ScheddClient& operator=(const ScheddClient&) = delete;
+
+  // Connects and completes the hello/version handshake.
+  bool Connect(std::string* error);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  // High-level operations. Each returns false with *error on a non-retryable
+  // reply or an exhausted deadline.
+  bool CreateTenant(const TenantSetup& setup, std::string* error);
+  bool SubmitJob(uint64_t tenant_id, const AgentReport& agent, double gpu_time,
+                 std::string* error);
+  bool CancelJob(uint64_t tenant_id, uint64_t job_id, std::string* error);
+  // Batched telemetry ingest; *accepted (optional) receives the daemon's
+  // accepted count.
+  bool Report(uint64_t tenant_id, const std::vector<SchedJobReport>& reports,
+              uint64_t* accepted, std::string* error);
+  bool RunRound(uint64_t tenant_id, uint64_t round, RoundDecisions* decisions,
+                std::string* error);
+  bool Stats(std::map<std::string, uint64_t>* stats, std::string* error);
+  bool Ping(std::string* error);
+
+  // One raw exchange with no retries and no handshake requirements; the
+  // negative-path tests drive the daemon's error handling through this.
+  struct RawReply {
+    bool ok = false;  // a frame came back before the deadline
+    uint32_t type = 0;
+    std::string payload;
+    std::string error;
+  };
+  RawReply Call(uint32_t type, const std::string& payload);
+
+  const ScheddClientStats& stats() const { return stats_; }
+
+ private:
+  // Sends `payload` as `type` and waits for the response frame, retrying
+  // retryable failures until the deadline. On success fills reply_type and
+  // reply_payload and returns true.
+  bool Request(uint32_t type, const std::string& payload, uint32_t* reply_type,
+               std::string* reply_payload, std::string* error);
+  bool SendAll(const std::string& bytes, std::string* error);
+  bool ReadFrame(double deadline, Frame* frame, std::string* error);
+  bool ExpectAck(uint32_t type, const std::string& payload, uint64_t* value,
+                 std::string* error);
+  void BackoffSleep(int attempt, double deadline);
+
+  ScheddClientOptions options_;
+  int fd_ = -1;
+  std::string inbuf_;
+  Rng jitter_;
+  ScheddClientStats stats_;
+};
+
+}  // namespace service
+}  // namespace pollux
+
+#endif  // POLLUX_SERVICE_CLIENT_H_

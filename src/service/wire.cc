@@ -1,0 +1,147 @@
+#include "service/wire.h"
+
+#include <cstring>
+
+namespace pollux {
+namespace service {
+namespace {
+
+uint32_t ReadU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
+         static_cast<uint32_t>(b[2]) << 16 | static_cast<uint32_t>(b[3]) << 24;
+}
+
+uint64_t ReadU64(const char* p) {
+  return static_cast<uint64_t>(ReadU32(p)) | static_cast<uint64_t>(ReadU32(p + 4)) << 32;
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case kMsgHello: return "hello";
+    case kMsgCreateTenant: return "create_tenant";
+    case kMsgSubmitJob: return "submit_job";
+    case kMsgCancelJob: return "cancel_job";
+    case kMsgReport: return "report";
+    case kMsgRunRound: return "run_round";
+    case kMsgStats: return "stats";
+    case kMsgPing: return "ping";
+    case kMsgAck: return "ack";
+    case kMsgNack: return "nack";
+    case kMsgError: return "error";
+    case kMsgDecisions: return "decisions";
+    case kMsgStatsReply: return "stats_reply";
+    case kMsgPong: return "pong";
+    case kMsgHelloOk: return "hello_ok";
+  }
+  return "unknown";
+}
+
+const char* ErrCodeName(ErrCode code) {
+  switch (code) {
+    case kErrMalformedPayload: return "malformed_payload";
+    case kErrUnknownType: return "unknown_type";
+    case kErrUnknownTenant: return "unknown_tenant";
+    case kErrTenantMismatch: return "tenant_mismatch";
+    case kErrBadRound: return "bad_round";
+    case kErrUnknownJob: return "unknown_job";
+    case kErrVersionMismatch: return "version_mismatch";
+    case kErrBadMagic: return "bad_magic";
+    case kErrBadCrc: return "bad_crc";
+    case kErrOversized: return "oversized";
+  }
+  return "unknown";
+}
+
+const char* NackReasonName(NackReason reason) {
+  switch (reason) {
+    case kNackQueueFull: return "queue_full";
+    case kNackDraining: return "draining";
+  }
+  return "unknown";
+}
+
+const char* FrameStatusName(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kNeedMore: return "need_more";
+    case FrameStatus::kBadMagic: return "bad_magic";
+    case FrameStatus::kOversized: return "oversized";
+    case FrameStatus::kBadCrc: return "bad_crc";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(uint32_t type, const std::string& payload) {
+  BinWriter out;
+  out.PutU32(kFrameMagic);
+  out.PutU32(type);
+  out.PutU64(payload.size());
+  std::string frame = out.str();
+  frame += payload;
+  // CRC covers everything after the magic: type, length, payload. The magic
+  // is excluded so a deliberate CRC flip in tests cannot be "fixed" by also
+  // flipping magic bytes into a colliding value.
+  const uint32_t crc = Crc32(frame.data() + 4, frame.size() - 4);
+  BinWriter trailer;
+  trailer.PutU32(crc);
+  frame += trailer.str();
+  return frame;
+}
+
+FrameStatus DecodeFrame(const std::string& buffer, size_t max_payload, Frame* frame,
+                        size_t* consumed) {
+  *consumed = 0;
+  // Reject bad magic as soon as the first four bytes are in: a garbage
+  // stream must not be able to stall a connection by never completing a
+  // "frame" whose declared length is nonsense.
+  if (buffer.size() >= 4 && ReadU32(buffer.data()) != kFrameMagic) {
+    return FrameStatus::kBadMagic;
+  }
+  if (buffer.size() < kFrameHeaderSize) {
+    return FrameStatus::kNeedMore;
+  }
+  const uint64_t length = ReadU64(buffer.data() + 8);
+  if (length > max_payload) {
+    return FrameStatus::kOversized;
+  }
+  const size_t total = kFrameHeaderSize + static_cast<size_t>(length) + kFrameTrailerSize;
+  if (buffer.size() < total) {
+    return FrameStatus::kNeedMore;
+  }
+  const uint32_t declared_crc = ReadU32(buffer.data() + total - kFrameTrailerSize);
+  const uint32_t actual_crc = Crc32(buffer.data() + 4, total - kFrameTrailerSize - 4);
+  if (declared_crc != actual_crc) {
+    return FrameStatus::kBadCrc;
+  }
+  frame->type = ReadU32(buffer.data() + 4);
+  frame->payload.assign(buffer.data() + kFrameHeaderSize, static_cast<size_t>(length));
+  *consumed = total;
+  return FrameStatus::kOk;
+}
+
+std::string EncodeError(ErrCode code, const std::string& detail) {
+  BinWriter out;
+  out.PutU32(code);
+  out.PutString(detail);
+  return out.str();
+}
+
+std::string EncodeNack(NackReason reason, const std::string& detail) {
+  BinWriter out;
+  out.PutU32(reason);
+  out.PutString(detail);
+  return out.str();
+}
+
+bool DecodeErrorPayload(const std::string& payload, uint32_t* code, std::string* detail) {
+  BinReader in(payload);
+  *code = in.GetU32();
+  *detail = in.GetString();
+  return in.ok();
+}
+
+}  // namespace service
+}  // namespace pollux

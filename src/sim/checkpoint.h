@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/agent.h"
+#include "core/sched.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -52,6 +53,7 @@ enum SnapshotTag : uint32_t {
   kTagLoop = 7,       // Engine loop state (tick thresholds / timer states).
   kTagNet = 8,        // NetModel streams/in-flight messages + lease liveness.
   kTagTopology = 9,   // Cluster topology annotations (racks, GPU types).
+  kTagService = 10,   // pollux_schedd per-tenant domain state (service/tenant.h).
 };
 
 // CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
@@ -105,6 +107,18 @@ void PutRunningStats(BinWriter& out, const RunningStats::State& state);
 RunningStats::State GetRunningStats(BinReader& in);
 void PutAgentReport(BinWriter& out, const AgentReport& report);
 AgentReport GetAgentReport(BinReader& in);
+
+// PolluxSched control-plane state codec, shared by the simulator's
+// PolluxPolicy blob and the pollux_schedd per-tenant snapshots. Split in two
+// so PolluxPolicy can keep its historical blob layout (core fields, then the
+// cached reports, then the incremental-mode state) byte-identical. Decoders
+// set the reader's sticky failure flag on malformed or absurdly sized input.
+void PutSchedJobReport(BinWriter& out, const SchedJobReport& report);
+SchedJobReport GetSchedJobReport(BinReader& in);
+void PutSchedStateCore(BinWriter& out, const PolluxSched::State& state);
+void GetSchedStateCore(BinReader& in, PolluxSched::State* state);
+void PutSchedStateIncremental(BinWriter& out, const PolluxSched::State& state);
+void GetSchedStateIncremental(BinReader& in, PolluxSched::State* state);
 
 // Driver payload embedded in every snapshot so a resume can reconstruct the
 // run without any of the original command line: the policy name, the

@@ -34,59 +34,12 @@ void PolluxPolicy::SaveState(std::string* blob) const {
   BinWriter out;
   out.PutIntVec(sched_.cluster().gpus_per_node);
   const PolluxSched::State state = sched_.GetState();
-  PutRngState(out, state.ga.rng);
-  out.PutU64(state.ga.last_job_ids.size());
-  for (uint64_t job_id : state.ga.last_job_ids) {
-    out.PutU64(job_id);
-  }
-  out.PutU64(state.ga.population.size());
-  for (const AllocationMatrix& matrix : state.ga.population) {
-    out.PutU64(matrix.num_jobs());
-    out.PutU64(matrix.num_nodes());
-    for (size_t job = 0; job < matrix.num_jobs(); ++job) {
-      for (size_t node = 0; node < matrix.num_nodes(); ++node) {
-        out.PutI64(matrix.at(job, node));
-      }
-    }
-  }
-  out.PutDouble(state.last_utility);
-  out.PutDouble(state.last_fitness);
-  out.PutU64(state.fallback_rounds);
-  out.PutU64(state.degraded_rounds);
-  out.PutU64(state.lease_expirations);
-  out.PutU64(state.lease_evictions);
-  out.PutU64(state.dup_reports);
-  out.PutU64(state.telemetry.size());
-  for (const auto& [job_id, telemetry] : state.telemetry) {
-    out.PutU64(job_id);
-    out.PutU64(telemetry.first);
-    out.PutU32(telemetry.second);
-  }
+  PutSchedStateCore(out, state);
   out.PutU64(last_reports_.size());
   for (const SchedJobReport& report : last_reports_) {
-    PutAgentReport(out, report.agent);
-    out.PutDouble(report.gpu_time);
-    out.PutIntVec(report.current_allocation);
-    out.PutDouble(report.report_age);
-    out.PutU64(report.seq);
+    PutSchedJobReport(out, report);
   }
-  out.PutU64(state.incremental.size());
-  for (const auto& [job_id, snap] : state.incremental) {
-    out.PutU64(job_id);
-    out.PutDouble(snap.params.alpha_grad);
-    out.PutDouble(snap.params.beta_grad);
-    out.PutDouble(snap.params.alpha_sync_local);
-    out.PutDouble(snap.params.beta_sync_local);
-    out.PutDouble(snap.params.alpha_sync_node);
-    out.PutDouble(snap.params.beta_sync_node);
-    out.PutDouble(snap.params.gamma);
-    out.PutDouble(snap.phi);
-    out.PutI64(snap.base_batch);
-    out.PutI64(snap.cap);
-    out.PutU32(snap.bucket);
-    out.PutU32(snap.rounds_clean);
-  }
-  out.PutU64(state.incremental_round);
+  PutSchedStateIncremental(out, state);
   // Topology annotations travel with the blob so the restored scheduler's
   // cluster compares equal to the live one — otherwise the first Schedule()
   // after a resume would SetCluster (annotations missing) and wipe the
@@ -112,70 +65,13 @@ bool PolluxPolicy::LoadState(const std::string& blob) {
     return false;
   }
   PolluxSched::State state;
-  state.ga.rng = GetRngState(in);
-  const uint64_t job_ids = in.GetU64();
-  for (uint64_t i = 0; i < job_ids && in.ok(); ++i) {
-    state.ga.last_job_ids.push_back(in.GetU64());
-  }
-  const uint64_t population = in.GetU64();
-  for (uint64_t i = 0; i < population && in.ok(); ++i) {
-    const uint64_t num_jobs = in.GetU64();
-    const uint64_t num_nodes = in.GetU64();
-    if (!in.ok() || num_jobs > (uint64_t{1} << 20) || num_nodes > (uint64_t{1} << 20)) {
-      return false;
-    }
-    AllocationMatrix matrix(static_cast<size_t>(num_jobs), static_cast<size_t>(num_nodes));
-    for (size_t job = 0; job < matrix.num_jobs(); ++job) {
-      for (size_t node = 0; node < matrix.num_nodes(); ++node) {
-        matrix.at(job, node) = static_cast<int>(in.GetI64());
-      }
-    }
-    state.ga.population.push_back(std::move(matrix));
-  }
-  state.last_utility = in.GetDouble();
-  state.last_fitness = in.GetDouble();
-  state.fallback_rounds = in.GetU64();
-  state.degraded_rounds = in.GetU64();
-  state.lease_expirations = in.GetU64();
-  state.lease_evictions = in.GetU64();
-  state.dup_reports = in.GetU64();
-  const uint64_t telemetry_entries = in.GetU64();
-  for (uint64_t i = 0; i < telemetry_entries && in.ok(); ++i) {
-    const uint64_t job_id = in.GetU64();
-    const uint64_t last_seq = in.GetU64();
-    const uint32_t last_class = in.GetU32();
-    state.telemetry[job_id] = {last_seq, last_class};
-  }
+  GetSchedStateCore(in, &state);
   const uint64_t reports = in.GetU64();
   std::vector<SchedJobReport> restored_reports;
   for (uint64_t i = 0; i < reports && in.ok(); ++i) {
-    SchedJobReport report;
-    report.agent = GetAgentReport(in);
-    report.gpu_time = in.GetDouble();
-    report.current_allocation = in.GetIntVec();
-    report.report_age = in.GetDouble();
-    report.seq = in.GetU64();
-    restored_reports.push_back(std::move(report));
+    restored_reports.push_back(GetSchedJobReport(in));
   }
-  const uint64_t incremental_entries = in.GetU64();
-  for (uint64_t i = 0; i < incremental_entries && in.ok(); ++i) {
-    const uint64_t job_id = in.GetU64();
-    PolluxSched::JobOptState snap;
-    snap.params.alpha_grad = in.GetDouble();
-    snap.params.beta_grad = in.GetDouble();
-    snap.params.alpha_sync_local = in.GetDouble();
-    snap.params.beta_sync_local = in.GetDouble();
-    snap.params.alpha_sync_node = in.GetDouble();
-    snap.params.beta_sync_node = in.GetDouble();
-    snap.params.gamma = in.GetDouble();
-    snap.phi = in.GetDouble();
-    snap.base_batch = static_cast<long>(in.GetI64());
-    snap.cap = static_cast<int>(in.GetI64());
-    snap.bucket = static_cast<uint16_t>(in.GetU32());
-    snap.rounds_clean = in.GetU32();
-    state.incremental[job_id] = snap;
-  }
-  state.incremental_round = in.GetU64();
+  GetSchedStateIncremental(in, &state);
   if (!in.ok()) {
     return false;
   }

@@ -337,5 +337,101 @@ TEST(SchedModeTest, ExactModeIgnoresIncrementalConfigKnobs) {
   EXPECT_EQ(sched_plain.Schedule(reports), sched_tuned.Schedule(reports));
 }
 
+TEST(SchedModeTest, QueueAdmissionDefersBacklogBeyondFreeCapacity) {
+  // 4-GPU cluster, 10 queued jobs: every placement consumes at least one GPU,
+  // so at most 4 of them can possibly land this round. The pre-filter admits
+  // the first 4 in report order and defers the other 6 (omitted from the
+  // sparse map — they simply stay queued) instead of dragging all 10 through
+  // GA shards.
+  SchedConfig config = ModeConfig(SchedMode::kIncremental);
+  config.queue_admission = true;
+  PolluxSched sched(ClusterSpec::Homogeneous(2, 2), config);
+  std::vector<SchedJobReport> reports;
+  for (uint64_t id = 1; id <= 10; ++id) {
+    reports.push_back(MakeReport(id, 1000.0, 4));
+  }
+  const auto decisions = sched.Schedule(reports);
+  EXPECT_EQ(sched.queue_skipped(), 6u);
+  for (uint64_t id = 5; id <= 10; ++id) {
+    EXPECT_EQ(decisions.count(id), 0u) << "deferred job " << id << " got a row";
+  }
+  AssertFeasible(decisions, 2, 2);
+}
+
+TEST(SchedModeTest, QueueAdmissionOffIsTheDefaultAndAdmitsEverything) {
+  SchedConfig config = ModeConfig(SchedMode::kIncremental);
+  EXPECT_FALSE(config.queue_admission);
+  PolluxSched sched(ClusterSpec::Homogeneous(2, 2), config);
+  std::vector<SchedJobReport> reports;
+  for (uint64_t id = 1; id <= 10; ++id) {
+    reports.push_back(MakeReport(id, 1000.0, 4));
+  }
+  sched.Schedule(reports);
+  EXPECT_EQ(sched.queue_skipped(), 0u);
+}
+
+TEST(SchedModeTest, QueueAdmissionNeverDefersRunningJobs) {
+  // A running job re-optimized because its model drifted is dirty for a real
+  // reason — the filter only gates jobs that hold nothing. Single 2-GPU node:
+  // job 1 runs (and drifts), three queued jobs compete for the 2 free-after-
+  // dirty-rows GPUs, so exactly one is deferred and it is the last by report
+  // order.
+  SchedConfig config = ModeConfig(SchedMode::kIncremental);
+  config.queue_admission = true;
+  PolluxSched sched(ClusterSpec::Homogeneous(1, 2), config);
+  std::vector<SchedJobReport> reports = {MakeReport(1, 1000.0, 2)};
+  std::map<uint64_t, std::vector<int>> allocations;
+  ApplyDecisions(sched.Schedule(reports), &allocations);
+  for (auto& report : reports) {
+    auto it = allocations.find(report.agent.job_id);
+    if (it != allocations.end()) {
+      report.current_allocation = it->second;
+    }
+  }
+  ASSERT_TRUE(sched.Schedule(reports).empty());  // warm and clean
+  EXPECT_EQ(sched.queue_skipped(), 0u);
+
+  reports[0].agent.model = TypicalModel(2500.0);  // drift: dirty but running
+  reports.push_back(MakeReport(2, 1000.0, 2));
+  reports.push_back(MakeReport(3, 1000.0, 2));
+  reports.push_back(MakeReport(4, 1000.0, 2));
+  const auto decisions = sched.Schedule(reports);
+  EXPECT_EQ(sched.queue_skipped(), 1u);
+  EXPECT_EQ(decisions.count(4), 0u);  // last queued job by report order
+  AssertFeasible(decisions, 1, 2);
+}
+
+TEST(SchedModeTest, QueueAdmissionIsInertInExactMode) {
+  // The filter lives on the incremental path; exact mode with the flag set
+  // must stay byte-identical to exact mode without it (golden identity).
+  std::vector<SchedJobReport> reports;
+  for (uint64_t id = 1; id <= 6; ++id) {
+    reports.push_back(MakeReport(id, 1000.0, 4));
+  }
+  SchedConfig plain = ModeConfig(SchedMode::kExact);
+  SchedConfig filtered = ModeConfig(SchedMode::kExact);
+  filtered.queue_admission = true;
+  PolluxSched sched_plain(ClusterSpec::Homogeneous(2, 2), plain);
+  PolluxSched sched_filtered(ClusterSpec::Homogeneous(2, 2), filtered);
+  EXPECT_EQ(sched_plain.Schedule(reports), sched_filtered.Schedule(reports));
+  EXPECT_EQ(sched_filtered.queue_skipped(), 0u);
+}
+
+TEST(SchedModeTest, QueueAdmissionStateSurvivesGetSet) {
+  // queue_skipped is part of the accounting a warm restart must not lose.
+  SchedConfig config = ModeConfig(SchedMode::kIncremental);
+  config.queue_admission = true;
+  PolluxSched sched(ClusterSpec::Homogeneous(2, 2), config);
+  std::vector<SchedJobReport> reports;
+  for (uint64_t id = 1; id <= 10; ++id) {
+    reports.push_back(MakeReport(id, 1000.0, 4));
+  }
+  sched.Schedule(reports);
+  ASSERT_GT(sched.queue_skipped(), 0u);
+  PolluxSched other(ClusterSpec::Homogeneous(2, 2), config);
+  other.SetState(sched.GetState());
+  EXPECT_EQ(other.queue_skipped(), sched.queue_skipped());
+}
+
 }  // namespace
 }  // namespace pollux

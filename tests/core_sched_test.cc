@@ -173,5 +173,99 @@ TEST(PolluxSchedTest, UnusableGaOutputFallsBackAndCounts) {
   EXPECT_EQ(sched.fallback_rounds(), 2u);
 }
 
+SchedConfig LeaseConfig() {
+  // lease span = 2 * 30 s = 60 s; eviction after a further 300 s of silence.
+  SchedConfig config = SmallConfig();
+  config.lease_intervals = 2;
+  config.report_interval = 30.0;
+  config.lease_grace = 300.0;
+  config.stale_report_age = 0.0;  // isolate the lease machinery
+  return config;
+}
+
+TEST(PolluxSchedTest, LeaseBoundaryAgeExactlyAtSpanStaysFresh) {
+  // The lease predicate is strictly greater-than: a report whose age lands
+  // exactly on the lease span (a report delivered right on schedule over a
+  // slow link) is still fresh, one epsilon past it is held.
+  PolluxSched sched(ClusterSpec::Homogeneous(2, 4), LeaseConfig());
+  SchedJobReport report = MakeReport(1);
+  report.current_allocation = {1, 0};
+  report.report_age = 60.0;  // == lease_intervals * report_interval
+  report.seq = 1;
+  sched.Schedule({report});
+  EXPECT_EQ(sched.lease_expirations(), 0u);
+
+  report.report_age = 60.0 + 1e-9;
+  report.seq = 2;
+  const auto held = sched.Schedule({report});
+  EXPECT_EQ(sched.lease_expirations(), 1u);
+  EXPECT_EQ(sched.lease_evictions(), 0u);
+  // Held means frozen at exactly the current allocation, not resized.
+  EXPECT_EQ(held.at(1), (std::vector<int>{1, 0}));
+}
+
+TEST(PolluxSchedTest, LeaseGraceBoundaryAgeExactlyAtGraceIsHeldNotEvicted) {
+  // Same strict inequality at the eviction edge: age == span + grace is the
+  // last instant the job is merely held; only past it is the allocation
+  // reclaimed.
+  PolluxSched sched(ClusterSpec::Homogeneous(2, 4), LeaseConfig());
+  SchedJobReport report = MakeReport(1);
+  report.current_allocation = {2, 0};
+  report.report_age = 360.0;  // == span (60) + grace (300)
+  report.seq = 1;
+  const auto held = sched.Schedule({report});
+  EXPECT_EQ(sched.lease_expirations(), 1u);
+  EXPECT_EQ(sched.lease_evictions(), 0u);
+  EXPECT_EQ(held.at(1), (std::vector<int>{2, 0}));
+
+  report.report_age = 360.0 + 1e-9;
+  report.seq = 1;
+  const auto evicted = sched.Schedule({report});
+  EXPECT_EQ(sched.lease_evictions(), 1u);
+  EXPECT_EQ(evicted.at(1), (std::vector<int>{0, 0}));
+}
+
+TEST(PolluxSchedTest, DuplicateSeqAfterPartitionHealIsCountedOnce) {
+  // A partition heals and the transport replays the last pre-partition
+  // report: same seq, now young again. The duplicate must be counted (the
+  // round ran on old telemetry) but must not disturb the lease class, and
+  // the next genuinely new report must not count.
+  PolluxSched sched(ClusterSpec::Homogeneous(2, 4), LeaseConfig());
+  SchedJobReport report = MakeReport(1);
+  report.current_allocation = {1, 0};
+  report.report_age = 0.0;
+  report.seq = 7;
+  sched.Schedule({report});
+  EXPECT_EQ(sched.dup_reports(), 0u);
+
+  // Partition: rounds keep running on the aging seq-7 report.
+  report.report_age = 100.0;  // held
+  sched.Schedule({report});
+  EXPECT_EQ(sched.dup_reports(), 1u);
+  EXPECT_EQ(sched.lease_expirations(), 1u);
+
+  // Heal: the replayed duplicate arrives fresh. Counted as a dup, and the
+  // job returns to a fresh lease without a phantom eviction.
+  report.report_age = 0.0;
+  sched.Schedule({report});
+  EXPECT_EQ(sched.dup_reports(), 2u);
+  EXPECT_EQ(sched.lease_evictions(), 0u);
+
+  // An out-of-order stale replay (seq below the high-water mark) is also a
+  // dup; the high-water mark must not regress because of it.
+  report.seq = 5;
+  sched.Schedule({report});
+  EXPECT_EQ(sched.dup_reports(), 3u);
+
+  // Genuinely new telemetry: no new dup.
+  report.seq = 8;
+  sched.Schedule({report});
+  EXPECT_EQ(sched.dup_reports(), 3u);
+  // And the mark advanced: replaying seq 7 now is again a dup.
+  report.seq = 7;
+  sched.Schedule({report});
+  EXPECT_EQ(sched.dup_reports(), 4u);
+}
+
 }  // namespace
 }  // namespace pollux

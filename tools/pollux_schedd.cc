@@ -1,0 +1,122 @@
+// pollux_schedd: the scheduler-as-a-service daemon (DESIGN.md §15).
+//
+// Serves multi-tenant Pollux scheduling over a Unix-domain socket. Runs until
+// SIGTERM/SIGINT, then drains gracefully: new work is NACKed, queued requests
+// finish, every tenant writes a final checkpoint, and the process exits with
+// kExitHalted (3) — the same "stopped after a durable checkpoint" code the
+// simulator uses for --halt-after. A later start with the same
+// --checkpoint-dir warm-restores every tenant (kill -9 recovery rides the
+// same path via the periodic per-round checkpoints).
+//
+// Exit codes (bench/common.h convention): 0 --help, 1 runtime failure,
+// 2 usage error, 3 drained after a signal.
+
+#include <errno.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+#include "service/daemon.h"
+#include "util/flags.h"
+
+namespace {
+
+// Self-pipe for async-signal-safe shutdown: the handler writes one byte, the
+// main thread blocks reading it.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char byte = 0;
+  (void)!write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pollux;
+  using namespace pollux::service;
+
+  FlagParser flags;
+  flags.DefineString("socket", "", "Unix-domain socket path to listen on (required)");
+  flags.DefineInt("shards", 2, "Tenant worker threads (tenants map by tenant_id % shards)");
+  flags.DefineInt("queue-cap", 256,
+                  "Pending requests per tenant before shedding with NACK queue_full");
+  flags.DefineInt("outbox-cap-mb", 8,
+                  "Outbound buffer per connection, MiB; a slower consumer is disconnected");
+  flags.DefineInt("max-frame-mb", 4, "Largest accepted frame payload, MiB");
+  flags.DefineString("checkpoint-dir", "",
+                     "Per-tenant checkpoint directory (empty disables crash tolerance)");
+  flags.DefineInt("checkpoint-every", 1,
+                  "Checkpoint a tenant every N executed rounds (0 = only on drain)");
+  flags.DefineInt("checkpoint-keep", 2, "Snapshots retained per tenant");
+  AddObsFlags(flags);
+  if (!flags.Parse(argc, argv)) {
+    return flags.help_requested() ? kExitOk : kExitUsage;
+  }
+  if (flags.GetString("socket").empty()) {
+    fprintf(stderr, "pollux_schedd: --socket is required\n");
+    return kExitUsage;
+  }
+  if (flags.GetInt("shards") < 1 || flags.GetInt("queue-cap") < 1 ||
+      flags.GetInt("outbox-cap-mb") < 1 || flags.GetInt("max-frame-mb") < 1) {
+    fprintf(stderr, "pollux_schedd: --shards/--queue-cap/--outbox-cap-mb/--max-frame-mb "
+                    "must be positive\n");
+    return kExitUsage;
+  }
+
+  ObsSession obs(flags);
+
+  ScheddOptions options;
+  options.socket_path = flags.GetString("socket");
+  options.shards = static_cast<int>(flags.GetInt("shards"));
+  options.ingest_queue_cap = static_cast<size_t>(flags.GetInt("queue-cap"));
+  options.outbox_cap_bytes = static_cast<size_t>(flags.GetInt("outbox-cap-mb")) << 20;
+  options.max_frame_bytes = static_cast<size_t>(flags.GetInt("max-frame-mb")) << 20;
+  options.checkpoint_dir = flags.GetString("checkpoint-dir");
+  options.checkpoint_every_rounds = static_cast<int>(flags.GetInt("checkpoint-every"));
+  options.checkpoint_keep = static_cast<int>(flags.GetInt("checkpoint-keep"));
+
+  if (pipe(g_signal_pipe) != 0) {
+    perror("pollux_schedd: pipe");
+    return kExitRuntime;
+  }
+  signal(SIGPIPE, SIG_IGN);
+
+  ScheddDaemon daemon(options);
+  std::string error;
+  if (!daemon.Start(&error)) {
+    fprintf(stderr, "pollux_schedd: start failed: %s\n", error.c_str());
+    return kExitRuntime;
+  }
+  const ScheddStats startup = daemon.Stats();
+  fprintf(stderr, "pollux_schedd: listening on %s (shards=%d, restored %llu tenants)\n",
+          options.socket_path.c_str(), options.shards,
+          static_cast<unsigned long long>(startup.restored));
+
+  struct sigaction action = {};
+  action.sa_handler = OnSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  char byte = 0;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  fprintf(stderr, "pollux_schedd: draining (checkpoint + exit)\n");
+  daemon.RequestDrain();
+  daemon.Wait();
+  const ScheddStats stats = daemon.Stats();
+  fprintf(stderr,
+          "pollux_schedd: drained: tenants=%llu jobs=%llu rounds=%llu checkpoints=%llu "
+          "sheds=%llu bad_frames=%llu\n",
+          static_cast<unsigned long long>(stats.tenants),
+          static_cast<unsigned long long>(stats.jobs),
+          static_cast<unsigned long long>(stats.rounds),
+          static_cast<unsigned long long>(stats.checkpoints),
+          static_cast<unsigned long long>(stats.sheds),
+          static_cast<unsigned long long>(stats.bad_frames));
+  return kExitHalted;
+}
